@@ -1,0 +1,103 @@
+// Ablation (§4.3): learned expected-RTT medians vs the raw badness
+// thresholds as Algorithm 1's comparison value. The paper's worked example:
+// a cloud fault lifting RTTs from [35,45]ms to [40,70]ms against a 50 ms
+// target — with the threshold only ~1/3 of quartets look bad (below τ=0.8,
+// fault missed); with the learned 40 ms median all of them do.
+#include "bench/common.h"
+#include "core/passive.h"
+
+int main() {
+  using namespace blameit;
+  bench::header("Ablation: learned expected RTT vs fixed badness threshold",
+                "learned medians catch sub-threshold shifts that fixed "
+                "thresholds miss (§4.3 worked example)");
+
+  auto stack = bench::make_stack();
+  const auto& topo = *stack->topology;
+  const int warmup = 3;
+
+  // A moderate cloud fault: large enough to hurt, small enough that many
+  // RTTs stay under the regional target.
+  const auto loc = topo.locations_in(net::Region::Europe).front();
+  stack->faults.add(sim::Fault{
+      .kind = sim::FaultKind::CloudLocation,
+      .cloud_location = loc,
+      .added_ms = 18.0,
+      .start = util::MinuteTime::from_days(warmup),
+      .duration_minutes = util::kMinutesPerDay});
+
+  // Warm a learner on clean history.
+  analysis::ExpectedRttLearner learner{analysis::ExpectedRttConfig{
+      .window_days = warmup, .reservoir_per_day = 128}};
+  {
+    sim::FaultInjector no_faults;
+    const sim::TelemetryGenerator clean{&topo, &no_faults};
+    for (int day = 0; day < warmup; ++day) {
+      for (int b = 0; b < util::kBucketsPerDay; b += 2) {
+        const util::TimeBucket bucket{day * util::kBucketsPerDay + b};
+        analysis::QuartetBuilder builder{&topo,
+                                         analysis::BadnessThresholds{}};
+        clean.generate_aggregates(
+            bucket, [&](const analysis::QuartetKey& k, int n, double mean) {
+              builder.add_aggregate(k, n, mean);
+            });
+        for (const auto& q : builder.take_bucket(bucket)) {
+          learner.observe(analysis::cloud_key(q.key.location, q.key.device),
+                          day, q.mean_rtt_ms);
+          learner.observe(
+              analysis::middle_key(q.key.location, q.middle, q.key.device),
+              day, q.mean_rtt_ms);
+        }
+      }
+    }
+  }
+  analysis::ExpectedRttLearner empty_learner;  // forces threshold fallback
+
+  const core::PassiveLocalizer with_learning{&topo, &learner};
+  const core::PassiveLocalizer threshold_only{&topo, &empty_learner};
+
+  // Evaluate several buckets during the fault. Since the inflation keeps
+  // most RTTs under the badness threshold, few quartets are flagged "bad";
+  // the interesting signal is the *group fraction* each variant computes.
+  int detected_learned = 0;
+  int detected_threshold = 0;
+  int buckets = 0;
+  for (int b = 0; b < util::kBucketsPerDay; b += 24) {
+    const util::TimeBucket bucket{warmup * util::kBucketsPerDay + b};
+    const auto quartets = stack->quartets(bucket);
+    ++buckets;
+
+    auto group_fraction = [&](const core::PassiveLocalizer& localizer) {
+      int total = 0;
+      int above = 0;
+      for (const auto& q : quartets) {
+        if (q.key.location != loc ||
+            q.key.device != net::DeviceClass::NonMobile) {
+          continue;
+        }
+        const double cmp = localizer.comparison_rtt(
+            analysis::cloud_key(loc, q.key.device), warmup, q.region,
+            q.key.device);
+        ++total;
+        above += q.mean_rtt_ms > cmp;
+      }
+      return total ? static_cast<double>(above) / total : 0.0;
+    };
+    detected_learned += group_fraction(with_learning) >= 0.8;
+    detected_threshold += group_fraction(threshold_only) >= 0.8;
+  }
+
+  util::TextTable table{{"comparison value", "buckets where cloud group "
+                         "crosses tau=0.8"}};
+  table.add_row({"learned 14-day median",
+                 std::to_string(detected_learned) + "/" +
+                     std::to_string(buckets)});
+  table.add_row({"fixed badness threshold",
+                 std::to_string(detected_threshold) + "/" +
+                     std::to_string(buckets)});
+  std::printf("%s", table.to_string().c_str());
+  std::puts("\nExpected: the learned median detects the sub-threshold cloud "
+            "shift in\n(nearly) every bucket; the fixed threshold misses "
+            "most or all of them.");
+  return 0;
+}

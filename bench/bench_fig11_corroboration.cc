@@ -1,0 +1,153 @@
+// Figure 11: large-scale corroboration of BlameIt's diagnoses against
+// ground truth, per BGP path, compared with the ⟨AS, Metro⟩ middle grouping.
+// The paper treats continuous traceroutes as truth and finds ~88% of BGP
+// paths at a perfect corroboration ratio of 1.0 under BlameIt's grouping,
+// with ⟨AS, Metro⟩ grouping significantly worse. Here ground truth is the
+// injected fault schedule itself.
+#include "baselines/as_metro.h"
+#include "bench/common.h"
+#include "core/passive.h"
+
+namespace {
+
+using namespace blameit;
+
+bool attributable(const net::Topology& topo, const analysis::Quartet& q,
+                  const sim::Incident& inc) {
+  switch (inc.kind) {
+    case sim::FaultKind::CloudLocation:
+      return q.key.location == inc.cloud_location;
+    case sim::FaultKind::MiddleAs: {
+      const auto& mids = topo.interner().ases(q.middle);
+      return std::find(mids.begin(), mids.end(), inc.target_as) !=
+             mids.end();
+    }
+    case sim::FaultKind::ClientAs:
+      return q.client_as == inc.target_as;
+    case sim::FaultKind::ClientBlock:
+      return q.key.block == inc.block;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  using namespace blameit;
+  bench::header("Figure 11: corroboration ratio per BGP path — BGP-path vs "
+                "AS-Metro grouping",
+                "~88% of paths at ratio 1.0 with BGP-path grouping; AS-Metro "
+                "grouping clearly worse");
+
+  auto stack = bench::make_stack();
+  const auto& topo = *stack->topology;
+  const int warmup_days = 3;
+
+  sim::IncidentSuiteConfig suite_cfg;
+  suite_cfg.count = 60;
+  suite_cfg.first_start = util::MinuteTime::from_days(warmup_days);
+  suite_cfg.min_duration_minutes = 45;
+  suite_cfg.max_duration_minutes = 180;
+  const auto incidents = sim::make_incident_suite(topo, suite_cfg);
+  sim::apply_incidents(incidents, stack->faults, stack->generator.get());
+
+  // Warm all three learner key families on fault-free history.
+  analysis::ExpectedRttLearner learner{analysis::ExpectedRttConfig{
+      .window_days = warmup_days, .reservoir_per_day = 128}};
+  for (int day = 0; day < warmup_days; ++day) {
+    for (int b = 0; b < util::kBucketsPerDay; b += 2) {
+      const util::TimeBucket bucket{day * util::kBucketsPerDay + b};
+      for (const auto& q : stack->quartets(bucket)) {
+        learner.observe(analysis::cloud_key(q.key.location, q.key.device),
+                        day, q.mean_rtt_ms);
+        learner.observe(
+            analysis::middle_key(q.key.location, q.middle, q.key.device),
+            day, q.mean_rtt_ms);
+        const auto* block = topo.find_block(q.key.block);
+        learner.observe(
+            baselines::AsMetroLocalizer::group_key(
+                q.key.location, q.client_as, block->metro, q.key.device),
+            day, q.mean_rtt_ms);
+      }
+    }
+  }
+
+  const core::PassiveLocalizer blameit{&topo, &learner};
+  const baselines::AsMetroLocalizer asmetro{&topo, &learner};
+
+  // Per BGP path: correct/total diagnoses under each grouping.
+  struct Ratio {
+    int total = 0;
+    int correct = 0;
+  };
+  std::map<std::uint64_t, Ratio> path_ratio_blameit;
+  std::map<std::uint64_t, Ratio> path_ratio_asmetro;
+
+  for (const auto& inc : incidents) {
+    const auto expected = bench::expected_blame(inc.kind);
+    // Sample up to 3 buckets spread over the incident window.
+    const auto first = util::TimeBucket::of(inc.start);
+    const int span = inc.duration_minutes / util::kBucketMinutes;
+    for (const int offset : {0, span / 2, span - 1}) {
+      const util::TimeBucket bucket{first.index + offset};
+      const auto quartets = stack->quartets(bucket);
+      const int day = bucket.day();
+      const auto rb = blameit.localize(quartets, day);
+      const auto rm = asmetro.localize(quartets, day);
+      auto tally = [&](const std::vector<core::BlameResult>& results,
+                       std::map<std::uint64_t, Ratio>& ratios) {
+        for (const auto& r : results) {
+          if (!attributable(topo, r.quartet, inc)) continue;
+          // Score the dense (non-mobile) series: bench-scale mobile volumes
+          // fall under the quartet floor and would measure data sparsity,
+          // not grouping quality.
+          if (r.quartet.key.device != net::DeviceClass::NonMobile) continue;
+          // "Insufficient" counts against the ratio: failing to diagnose an
+          // attributable bad quartet is a miss, not a skip — otherwise a
+          // grouping that fragments into tiny, undiagnosable groups would
+          // score artificially well on its few survivors.
+          auto& ratio = ratios[core::middle_issue_key(
+              r.quartet.key.location, r.quartet.middle)];
+          ++ratio.total;
+          ratio.correct += r.blame == expected;
+        }
+      };
+      tally(rb, path_ratio_blameit);
+      tally(rm, path_ratio_asmetro);
+      if (span <= 1) break;
+    }
+  }
+
+  auto ratios_of = [](const std::map<std::uint64_t, Ratio>& ratios) {
+    std::vector<double> out;
+    for (const auto& [key, r] : ratios) {
+      if (r.total > 0) {
+        out.push_back(static_cast<double>(r.correct) / r.total);
+      }
+    }
+    return out;
+  };
+  const auto blameit_ratios = ratios_of(path_ratio_blameit);
+  const auto asmetro_ratios = ratios_of(path_ratio_asmetro);
+
+  util::TextTable table{{"corroboration ratio >=", "BGP-path grouping",
+                         "AS-Metro grouping"}};
+  for (const double level : {0.5, 0.75, 0.9, 1.0}) {
+    auto frac_at = [&](const std::vector<double>& ratios) {
+      if (ratios.empty()) return std::string{"-"};
+      long n = 0;
+      for (const double r : ratios) n += r >= level;
+      return util::fmt_pct(static_cast<double>(n) /
+                           static_cast<double>(ratios.size()));
+    };
+    table.add_row({util::fmt(level, 2), frac_at(blameit_ratios),
+                   frac_at(asmetro_ratios)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\npaths scored: BGP-path=%zu, AS-Metro=%zu (same quartets, "
+              "different middle grouping)\n",
+              blameit_ratios.size(), asmetro_ratios.size());
+  std::puts("Expected (paper): the BGP-path column is near-perfect at 1.0 "
+            "(~88%), the\nAS-Metro column clearly lower.");
+  return 0;
+}

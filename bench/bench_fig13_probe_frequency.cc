@@ -1,0 +1,181 @@
+// Figure 13: fine-grained localization accuracy under different background
+// traceroute frequencies, with and without BGP-churn-triggered probes.
+// Paper: probing every BGP path every 10 minutes is near-perfect but costs
+// ~200M probes/day; backing off to once per 12 hours WITH churn-triggered
+// probes keeps ~93% accuracy at 72× lower cost; without churn triggers,
+// accuracy decays as the period grows.
+#include "bench/common.h"
+#include "core/active.h"
+#include "core/background.h"
+
+namespace {
+
+using namespace blameit;
+
+struct SweepPoint {
+  int period_minutes;
+  bool churn_probes;
+  double accuracy = 0.0;
+  std::uint64_t probes = 0;
+};
+
+struct Trial {
+  net::CloudLocationId location;
+  net::Slash24 block;
+  net::AsId target;          // faulted middle AS (ground truth)
+  util::MinuteTime when;     // diagnosis instant
+};
+
+// One full timeline run at a given background config. Rebuilds the world
+// identically each time (same seeds) so the only difference is probing.
+SweepPoint run_config(int period_minutes, bool churn_probes) {
+  auto stack = bench::make_stack();
+  auto& topo = *stack->topology;
+  util::Rng rng{4242};
+
+  constexpr int kDays = 2;
+  constexpr int kTrials = 30;
+
+  // Schedule one route flip for a third of the ⟨location, prefix⟩ pairs
+  // (paper: ~2/3 of paths see no churn in a day), at random times.
+  struct Flip {
+    net::CloudLocationId location;
+    net::Prefix prefix;
+    util::MinuteTime when;
+  };
+  std::vector<Flip> flips;
+  for (const auto& loc : topo.locations()) {
+    for (const auto& prefix : topo.routing().prefixes_at(loc.id)) {
+      if (!rng.chance(0.33)) continue;
+      const auto& alts = topo.alternates(loc.id, prefix);
+      if (alts.size() < 2) continue;
+      const auto when = util::MinuteTime{rng.uniform_int(
+          60, kDays * util::kMinutesPerDay - 240)};
+      topo.routing().change_path(loc.id, prefix, when, alts.back());
+      flips.push_back(Flip{loc.id, prefix, when});
+    }
+  }
+
+  // Trials: middle-AS faults on ASes that live routes actually cross at
+  // diagnosis time. Half the trials land on recently-churned paths — the
+  // case where baseline freshness (and churn-triggered probing) decides
+  // the outcome.
+  std::vector<Trial> trials;
+  for (int i = 0; i < kTrials; ++i) {
+    net::Slash24 trial_block{};
+    net::CloudLocationId loc{};
+    util::MinuteTime when{};
+    if (i % 2 == 0 && !flips.empty()) {
+      const auto& flip = flips[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(flips.size()) - 1))];
+      trial_block = net::Slash24{flip.prefix.network >> 8};
+      loc = flip.location;
+      // Fault strikes 30-90 minutes after the path changed.
+      when = flip.when.plus_minutes(rng.uniform_int(30, 90));
+    } else {
+      const auto& block = topo.blocks()[static_cast<std::size_t>(
+          rng.uniform_int(0,
+                          static_cast<std::int64_t>(topo.blocks().size()) -
+                              1))];
+      trial_block = block.block;
+      loc = topo.home_locations(block.block).front();
+      when = util::MinuteTime{
+          rng.uniform_int(3 * 60, kDays * util::kMinutesPerDay - 60)};
+    }
+    const auto& block = *topo.find_block(trial_block);
+    const auto* route = topo.routing().route_for(loc, block.block, when);
+    if (!route || route->middle_ases().empty()) continue;
+    const auto mids = route->middle_ases();
+    const auto target = mids[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mids.size()) - 1))];
+    trials.push_back(Trial{loc, block.block, target, when});
+    stack->faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                                 .as = target,
+                                 .added_ms = 90.0,
+                                 .start = when.plus_minutes(-30),
+                                 .duration_minutes = 60,
+                                 .only_via_location = loc});
+  }
+
+  core::BlameItConfig cfg;
+  cfg.background_period_minutes = period_minutes;
+  cfg.churn_triggered_probes = churn_probes;
+  core::BaselineStore store;
+  core::BackgroundProber background{&topo, stack->engine.get(), &store, cfg};
+  core::ActiveLocalizer localizer{&topo, stack->engine.get(), &store};
+
+  // Walk the timeline; diagnose each trial when its moment passes.
+  std::size_t next_trial = 0;
+  std::sort(trials.begin(), trials.end(),
+            [](const Trial& a, const Trial& b) { return a.when < b.when; });
+  int correct = 0;
+  for (int minute = 15; minute <= kDays * util::kMinutesPerDay;
+       minute += 15) {
+    const util::MinuteTime now{minute};
+    (void)background.step(util::MinuteTime{minute - 15}, now);
+    while (next_trial < trials.size() && trials[next_trial].when <= now) {
+      const auto& trial = trials[next_trial];
+      const auto* route =
+          topo.routing().route_for(trial.location, trial.block, trial.when);
+      if (route) {
+        // The passive phase knows when the badness run started; the
+        // diagnosis compares against a baseline from before it.
+        auto diag =
+            localizer.diagnose(trial.location, route->middle, trial.block,
+                               trial.when, trial.when.plus_minutes(-30));
+        correct += diag.culprit && *diag.culprit == trial.target;
+      }
+      ++next_trial;
+    }
+  }
+
+  SweepPoint point{.period_minutes = period_minutes,
+                   .churn_probes = churn_probes};
+  point.accuracy = trials.empty()
+                       ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(trials.size());
+  point.probes = stack->engine->accountant().total() / kDays;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  using namespace blameit;
+  bench::header("Figure 13: localization accuracy vs background probing "
+                "frequency",
+                "12h + churn-triggered probes ~= 93% accuracy at 72x lower "
+                "probe cost than 10-min probing");
+
+  std::vector<SweepPoint> points;
+  for (const int period : {10, 120, 360, 720, 1440}) {
+    for (const bool churn : {true, false}) {
+      points.push_back(run_config(period, churn));
+    }
+  }
+
+  const auto baseline_probes =
+      std::max<std::uint64_t>(1, points.front().probes);
+  util::TextTable table{{"background period", "churn probes", "accuracy",
+                         "probes/day", "cost vs 10-min"}};
+  for (const auto& point : points) {
+    table.add_row(
+        {point.period_minutes >= 60
+             ? std::to_string(point.period_minutes / 60) + "h"
+             : std::to_string(point.period_minutes) + "min",
+         point.churn_probes ? "on" : "off", util::fmt_pct(point.accuracy),
+         util::fmt_count(point.probes),
+         util::fmt(static_cast<double>(baseline_probes) /
+                       static_cast<double>(std::max<std::uint64_t>(
+                           1, point.probes)),
+                   1) +
+             "x cheaper"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::puts("\nExpected shape (paper): accuracy stays high at long periods "
+            "WHEN churn\nprobes are on (the 12h 'sweet spot'), and decays "
+            "without them; the 12h\nconfiguration costs ~72x less than "
+            "continuous 10-min probing.");
+  return 0;
+}

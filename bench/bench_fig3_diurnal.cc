@@ -1,0 +1,118 @@
+// Figure 3: bad-quartet percentage by the hour over one week — the USA-wide
+// series (top of the paper's figure) and two ISPs with different profiles
+// (bottom). The paper's observations: a diurnal pattern with badness higher
+// at night (home ISPs dominate off-work hours), a damped pattern on the
+// weekend, and per-ISP amplitudes that differ enough that temporal
+// predictability cannot be assumed.
+#include "bench/common.h"
+#include "util/histogram.h"
+
+int main() {
+  using namespace blameit;
+  bench::header("Figure 3: bad quartets (%) by hour, 1 week, USA + two ISPs",
+                "diurnal badness, higher at night; ISP amplitudes differ; "
+                "weekend pattern flattens");
+
+  auto stack = bench::make_stack();
+  const auto& topo = *stack->topology;
+  const auto incidents = bench::ambient_incidents(topo, 0, 7, 1.2);
+  sim::apply_incidents(incidents, stack->faults, stack->generator.get());
+
+  // Pick the most home-heavy and most enterprise-heavy US eyeballs as the
+  // two contrasting ISPs.
+  const auto us_eyeballs = topo.eyeballs_in(net::Region::UnitedStates);
+  auto mean_enterprise = [&](net::AsId isp) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& b : topo.blocks()) {
+      if (b.client_as == isp) {
+        sum += b.enterprise_fraction;
+        ++n;
+      }
+    }
+    return n ? sum / n : 0.0;
+  };
+  net::AsId isp_home = us_eyeballs.front();
+  net::AsId isp_work = us_eyeballs.front();
+  for (const auto isp : us_eyeballs) {
+    if (mean_enterprise(isp) < mean_enterprise(isp_home)) isp_home = isp;
+    if (mean_enterprise(isp) > mean_enterprise(isp_work)) isp_work = isp;
+  }
+
+  constexpr int kHours = 7 * 24;
+  struct HourCount {
+    long total = 0;
+    long bad = 0;
+  };
+  std::vector<HourCount> usa(kHours);
+  std::vector<HourCount> home(kHours);
+  std::vector<HourCount> work(kHours);
+
+  for (int hour = 0; hour < kHours; ++hour) {
+    for (int b = 0; b < 12; b += 2) {  // sample 6 of 12 buckets per hour
+      const util::TimeBucket bucket{hour * 12 + b};
+      for (const auto& q : stack->quartets(bucket)) {
+        if (q.region != net::Region::UnitedStates) continue;
+        auto bump = [&](std::vector<HourCount>& series) {
+          ++series[hour].total;
+          series[hour].bad += q.bad;
+        };
+        bump(usa);
+        if (q.client_as == isp_home) bump(home);
+        if (q.client_as == isp_work) bump(work);
+      }
+    }
+  }
+
+  auto pct_series = [](const std::vector<HourCount>& series) {
+    std::vector<double> out;
+    out.reserve(series.size());
+    for (const auto& h : series) {
+      out.push_back(h.total ? 100.0 * h.bad / h.total : 0.0);
+    }
+    return out;
+  };
+  const auto usa_pct = pct_series(usa);
+  const auto home_pct = pct_series(home);
+  const auto work_pct = pct_series(work);
+
+  std::puts("hourly bad% sparklines (168 hours; weekend = hours 120-168):");
+  std::printf("  USA  : %s\n", util::sparkline(usa_pct).c_str());
+  std::printf("  ISP1*: %s  (*home-heavy, evening peaks)\n",
+              util::sparkline(home_pct).c_str());
+  std::printf("  ISP2*: %s  (*enterprise-heavy, flatter)\n",
+              util::sparkline(work_pct).c_str());
+
+  // Day vs night comparison (paper: night consistently worse).
+  auto day_night = [&](const std::vector<double>& series) {
+    double day_sum = 0.0;
+    double night_sum = 0.0;
+    int day_n = 0;
+    int night_n = 0;
+    for (int hour = 0; hour < kHours; ++hour) {
+      const int h = hour % 24;
+      if (h >= 9 && h < 18) {
+        day_sum += series[hour];
+        ++day_n;
+      } else if (h >= 20 || h < 4) {
+        night_sum += series[hour];
+        ++night_n;
+      }
+    }
+    return std::pair{day_sum / day_n, night_sum / night_n};
+  };
+  util::TextTable table{{"series", "work-hours bad%", "night bad%"}};
+  const auto [usa_day, usa_night] = day_night(usa_pct);
+  const auto [home_day, home_night] = day_night(home_pct);
+  const auto [work_day, work_night] = day_night(work_pct);
+  table.add_row({"USA", util::fmt(usa_day, 2), util::fmt(usa_night, 2)});
+  table.add_row({"ISP1 (home)", util::fmt(home_day, 2),
+                 util::fmt(home_night, 2)});
+  table.add_row({"ISP2 (enterprise)", util::fmt(work_day, 2),
+                 util::fmt(work_night, 2)});
+  std::printf("%s", table.to_string().c_str());
+  std::puts("\nExpected: night >= work-hours for the aggregate series (home-"
+            "ISP\ncongestion), with the home-heavy ISP showing the larger "
+            "amplitude.");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 5: the paper's illustrative example of why ranking ⟨cloud location,
+// BGP path⟩ tuples by problematic-prefix count and by actual client-time
+// impact produce opposite orders. Reproduced literally:
+//   tuple #1: three /24s of 10 users with short bad windows -> 3 prefixes,
+//             350 user-minutes of impact;
+//   tuple #2: two /24s of 100 users bad for 30/20 minutes   -> 1(+1)
+//             prefixes, 2000+ user-minutes. (The figure counts one
+//             problematic prefix for #2's first /24 group.)
+#include "analysis/impact.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace blameit;
+  bench::header("Figure 5: ranking example — prefix count vs client-time",
+                "tuple #1 wins on prefix count (3 vs 1); tuple #2 wins on "
+                "impact (2000 vs 350)");
+
+  // Tuple #1: three /24s of 10 users each, bad for 20, 10, and 5 minutes
+  // respectively — 350 user-minutes across 3 problematic prefixes.
+  const double impact_1 = 10 * 20 + 10 * 10 + 10 * 5;  // = 350
+  const double prefixes_1 = 3;
+  // Tuple #2: IP/24 D bad 10 min (100 users), E bad 10 min (100 users) —
+  // 2000 user-minutes over 1 problematic prefix group.
+  const double impact_2 = 100 * 10 + 100 * 10;  // = 2000
+  const double prefixes_2 = 1;
+
+  std::vector<analysis::RankedAggregate> tuples{
+      {.key = 1, .impact = impact_1, .prefix_count = prefixes_1},
+      {.key = 2, .impact = impact_2, .prefix_count = prefixes_2},
+  };
+
+  util::TextTable table{{"tuple", "# problematic /24s",
+                         "client-time impact (user-min)"}};
+  table.add_row({"#1", util::fmt(prefixes_1, 0), util::fmt(impact_1, 0)});
+  table.add_row({"#2", util::fmt(prefixes_2, 0), util::fmt(impact_2, 0)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  const auto by_impact = analysis::impact_coverage_curve(tuples, true);
+  const auto by_prefix = analysis::impact_coverage_curve(tuples, false);
+  std::printf("top-1 coverage, impact ranking : %s (tuple #2 first)\n",
+              util::fmt_pct(by_impact[0]).c_str());
+  std::printf("top-1 coverage, prefix ranking : %s (tuple #1 first)\n",
+              util::fmt_pct(by_prefix[0]).c_str());
+  std::puts("\nWith one probe to spend, prefix-count ranking wastes it on "
+            "the 350\nuser-minute issue; impact ranking covers 85% of the "
+            "pain immediately.");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Microbenchmarks (google-benchmark): throughput of the hot paths — quartet
+// construction, Algorithm 1, expected-RTT learning, and the prioritizer —
+// verifying the passive phase comfortably sustains production-scale quartet
+// volumes on one core.
+#include <benchmark/benchmark.h>
+
+#include "analysis/expected_rtt.h"
+#include "analysis/quartet.h"
+#include "bench/common.h"
+#include "core/passive.h"
+#include "core/predictors.h"
+#include "core/prioritizer.h"
+
+namespace {
+
+using namespace blameit;
+
+struct MicroWorld {
+  std::unique_ptr<bench::Stack> stack;
+  std::vector<analysis::Quartet> quartets;
+  analysis::ExpectedRttLearner learner;
+
+  MicroWorld() : stack(bench::make_stack()) {
+    const auto bucket =
+        util::TimeBucket::of(util::MinuteTime::from_day_hour(1, 12));
+    quartets = stack->quartets(bucket);
+    for (int day = 0; day < 2; ++day) {
+      for (const auto& q : quartets) {
+        learner.observe(analysis::cloud_key(q.key.location, q.key.device),
+                        day, q.mean_rtt_ms);
+        learner.observe(
+            analysis::middle_key(q.key.location, q.middle, q.key.device),
+            day, q.mean_rtt_ms);
+      }
+    }
+  }
+};
+
+MicroWorld& world() {
+  static MicroWorld instance;
+  return instance;
+}
+
+void BM_QuartetGeneration(benchmark::State& state) {
+  auto& w = world();
+  std::int64_t bucket_index = 300;
+  for (auto _ : state) {
+    const auto quartets =
+        w.stack->quartets(util::TimeBucket{bucket_index++ % 500 + 200});
+    benchmark::DoNotOptimize(quartets.data());
+    state.counters["quartets"] = static_cast<double>(quartets.size());
+  }
+}
+BENCHMARK(BM_QuartetGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_Algorithm1(benchmark::State& state) {
+  auto& w = world();
+  const core::PassiveLocalizer localizer{w.stack->topology.get(),
+                                         &w.learner};
+  for (auto _ : state) {
+    const auto results = localizer.localize(w.quartets, 2);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.quartets.size()));
+}
+BENCHMARK(BM_Algorithm1)->Unit(benchmark::kMicrosecond);
+
+void BM_Algorithm1Scaled(benchmark::State& state) {
+  auto& w = world();
+  const core::PassiveLocalizer localizer{w.stack->topology.get(),
+                                         &w.learner};
+  // Replicate the bucket to the requested quartet volume.
+  std::vector<analysis::Quartet> scaled;
+  while (scaled.size() < static_cast<std::size_t>(state.range(0))) {
+    scaled.insert(scaled.end(), w.quartets.begin(), w.quartets.end());
+  }
+  scaled.resize(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto results = localizer.localize(scaled, 2);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Algorithm1Scaled)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExpectedRttLearning(benchmark::State& state) {
+  auto& w = world();
+  analysis::ExpectedRttLearner learner;
+  int day = 0;
+  for (auto _ : state) {
+    for (const auto& q : w.quartets) {
+      learner.observe(analysis::cloud_key(q.key.location, q.key.device),
+                      day, q.mean_rtt_ms);
+    }
+    ++day;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.quartets.size()));
+}
+BENCHMARK(BM_ExpectedRttLearning)->Unit(benchmark::kMicrosecond);
+
+void BM_Prioritizer(benchmark::State& state) {
+  core::DurationPredictor durations;
+  core::ClientVolumePredictor clients;
+  util::Rng rng{5};
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    for (int i = 0; i < 20; ++i) {
+      durations.record_duration(key, static_cast<int>(rng.pareto(1.0, 1.1)));
+    }
+  }
+  std::vector<core::MiddleIssue> issues(256);
+  for (std::size_t i = 0; i < issues.size(); ++i) {
+    issues[i].location = net::CloudLocationId{static_cast<std::uint16_t>(i % 14)};
+    issues[i].middle = net::MiddleSegmentId{static_cast<std::uint32_t>(i)};
+    issues[i].observed_users = rng.uniform(1.0, 5000.0);
+    issues[i].elapsed_buckets = static_cast<int>(rng.uniform_int(1, 24));
+  }
+  const core::ProbePrioritizer prioritizer{&durations, &clients};
+  for (auto _ : state) {
+    auto ranked = prioritizer.rank(issues, util::TimeBucket{1000});
+    benchmark::DoNotOptimize(ranked.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(issues.size()));
+}
+BENCHMARK(BM_Prioritizer)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

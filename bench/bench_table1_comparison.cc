@@ -1,0 +1,74 @@
+// Table 1: comparison with prior network-diagnosis systems on the desired
+// properties for scalable fault localization. The property matrix is the
+// paper's; alongside it, this bench demonstrates the three load-bearing
+// BlameIt properties live: triggered timely probes, impact-prioritized
+// probes, and low-latency diagnosis.
+#include "bench/common.h"
+
+int main() {
+  using namespace blameit;
+  bench::header("Table 1: desired properties vs prior systems",
+                "BlameIt is the only system with timely, impact-prioritized "
+                "probing plus passive coarse localization");
+
+  util::TextTable matrix{{"property", "BlameIt", "Tomography", "EdgeFabric",
+                          "PlanetSeer", "iPlane", "Trinocular", "Odin",
+                          "WhyHigh"}};
+  matrix.add_row({"Latency degradation", "yes", "yes", "yes", "no", "yes",
+                  "no", "yes", "yes"});
+  matrix.add_row({"Internet scale", "yes", "no", "yes", "no", "no", "yes",
+                  "yes", "yes"});
+  matrix.add_row({"Works with insufficient coverage", "yes", "no", "yes",
+                  "yes", "no", "yes", "yes", "yes"});
+  matrix.add_row({"Automated root-cause diagnosis", "yes", "yes", "no",
+                  "yes", "yes", "yes", "yes", "no"});
+  matrix.add_row({"Diagnosis with low latency", "yes", "no", "yes", "no",
+                  "no", "yes", "yes", "no"});
+  matrix.add_row({"Triggered timely probes", "yes", "no", "no", "yes", "no",
+                  "no", "no", "no"});
+  matrix.add_row({"Impact-prioritized probes", "yes", "no", "no", "no", "no",
+                  "no", "no", "no"});
+  std::printf("%s\n", matrix.to_string().c_str());
+
+  // Live demonstration of the BlameIt-only rows.
+  auto stack = bench::make_stack();
+  const auto& topo = *stack->topology;
+  const auto& block = topo.blocks().front();
+  const auto home = topo.home_locations(block.block).front();
+  const auto* route =
+      topo.routing().route_for(home, block.block, util::MinuteTime{0});
+  const auto victim = route->middle_ases().front();
+  const auto fault_start = util::MinuteTime::from_day_hour(3, 10);
+  stack->faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                               .as = victim,
+                               .added_ms = 110.0,
+                               .start = fault_start,
+                               .duration_minutes = 120});
+  bench::warm_pipeline(*stack, 3);
+
+  util::MinuteTime first_probe{-1};
+  util::MinuteTime first_diag{-1};
+  for (int minute = 9 * 60 + 15; minute <= 12 * 60; minute += 15) {
+    const auto now = util::MinuteTime::from_days(3).plus_minutes(minute);
+    const auto report = stack->pipeline->step(now);
+    if (report.on_demand_probes > 0 && first_probe.minutes < 0) {
+      first_probe = now;
+    }
+    for (const auto& diag : report.diagnoses) {
+      if (diag.culprit == victim && first_diag.minutes < 0) first_diag = now;
+    }
+  }
+  std::printf("timely probes   : fault at %s, first on-demand probe at %s "
+              "(%lld min into the incident)\n",
+              util::to_string(fault_start).c_str(),
+              util::to_string(first_probe).c_str(),
+              static_cast<long long>(first_probe.minutes -
+                                     fault_start.minutes));
+  std::printf("low-latency diag: culprit %s identified at %s — during the "
+              "incident, not post-hoc\n",
+              victim.to_string().c_str(),
+              util::to_string(first_diag).c_str());
+  std::puts("impact-priority : see bench_fig12_client_time_product / "
+            "bench_probe_cost");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared plumbing for the example programs: builds the synthetic internet,
+// wires telemetry -> quartets -> pipeline, and warms the learners.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "analysis/quartet.h"
+#include "core/pipeline.h"
+#include "net/topology.h"
+#include "sim/telemetry.h"
+#include "sim/traceroute.h"
+
+namespace blameit::examples {
+
+/// Everything a demo needs, owned together.
+struct Stack {
+  std::unique_ptr<net::Topology> topology;
+  sim::FaultInjector faults;
+  std::unique_ptr<sim::TelemetryGenerator> generator;
+  std::unique_ptr<sim::RttModel> model;
+  std::unique_ptr<sim::TracerouteEngine> engine;
+  std::unique_ptr<core::BlameItPipeline> pipeline;
+
+  /// Builds the quartets of one 5-minute bucket, as the analytics cluster
+  /// would.
+  [[nodiscard]] std::vector<analysis::Quartet> quartets(
+      util::TimeBucket bucket) const {
+    analysis::QuartetBuilder builder{topology.get(),
+                                     analysis::BadnessThresholds{}};
+    generator->generate_aggregates(
+        bucket, [&](const analysis::QuartetKey& k, int n, double mean) {
+          builder.add_aggregate(k, n, mean);
+        });
+    return builder.take_bucket(bucket);
+  }
+};
+
+inline std::unique_ptr<Stack> make_stack(
+    core::BlameItConfig config = [] {
+      core::BlameItConfig cfg;
+      cfg.expected_rtt_window_days = 2;  // short demo warmup
+      return cfg;
+    }(),
+    net::TopologyConfig topo_config = [] {
+      net::TopologyConfig cfg;
+      cfg.locations_per_region = 1;
+      cfg.eyeballs_per_region = 4;
+      cfg.blocks_per_eyeball = 8;
+      return cfg;
+    }()) {
+  auto stack = std::make_unique<Stack>();
+  stack->topology = net::make_topology(topo_config);
+  stack->generator = std::make_unique<sim::TelemetryGenerator>(
+      stack->topology.get(), &stack->faults);
+  stack->model = std::make_unique<sim::RttModel>(stack->topology.get(),
+                                                 &stack->faults);
+  stack->engine = std::make_unique<sim::TracerouteEngine>(
+      stack->topology.get(), stack->model.get());
+  Stack* raw = stack.get();
+  stack->pipeline = std::make_unique<core::BlameItPipeline>(
+      stack->topology.get(), stack->engine.get(),
+      [raw](util::TimeBucket bucket) { return raw->quartets(bucket); },
+      config);
+  return stack;
+}
+
+/// Feeds `days` full days of history into the learners (no localization).
+inline void warm_pipeline(Stack& stack, int days) {
+  for (int day = 0; day < days; ++day) {
+    for (int b = 0; b < util::kBucketsPerDay; ++b) {
+      stack.pipeline->warmup_bucket(
+          util::TimeBucket{day * util::kBucketsPerDay + b});
+    }
+  }
+}
+
+}  // namespace blameit::examples

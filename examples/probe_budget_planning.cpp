@@ -1,0 +1,101 @@
+// Capacity-planning demo: how many traceroutes does each monitoring strategy
+// cost per day, and what does BlameIt's impact-prioritized budget buy?
+//
+// Compares (a) continuous active probing, (b) Trinocular-style adaptive
+// probing, and (c) BlameIt's background cadence, then shows how the
+// client-time-product ranking concentrates the on-demand budget on the
+// issues that matter (§2.4 / §5.3).
+//
+//   $ ./probe_budget_planning
+#include <cstdio>
+
+#include "baselines/active_only.h"
+#include "baselines/trinocular.h"
+#include "core/background.h"
+#include "core/prioritizer.h"
+#include "examples/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace blameit;
+
+  std::puts("== probe budget planning ==");
+  auto stack = examples::make_stack();
+  const auto& topo = *stack->topology;
+
+  baselines::ActiveOnlyMonitor active_only{&topo, stack->engine.get()};
+  baselines::TrinocularMonitor trinocular{&topo, stack->engine.get()};
+  core::BaselineStore store;
+  core::BackgroundProber background{&topo, stack->engine.get(), &store};
+
+  const auto blameit_daily = background.periodic_probes_per_day() == 0
+                                 ? [&] {
+                                     // Targets build lazily; run one step.
+                                     (void)background.step(
+                                         util::MinuteTime{0},
+                                         util::MinuteTime{15});
+                                     return background.periodic_probes_per_day();
+                                   }()
+                                 : background.periodic_probes_per_day();
+
+  util::TextTable table{{"strategy", "probes/day", "vs BlameIt"}};
+  const auto active_daily = active_only.probes_per_day();
+  const auto trinocular_daily = trinocular.probes_per_day();
+  table.add_row({"continuous active (10 min)",
+                 util::fmt_count(active_daily),
+                 util::fmt(static_cast<double>(active_daily) /
+                               static_cast<double>(blameit_daily),
+                           1) +
+                     "x"});
+  table.add_row({"Trinocular-style (11 min)",
+                 util::fmt_count(trinocular_daily),
+                 util::fmt(static_cast<double>(trinocular_daily) /
+                               static_cast<double>(blameit_daily),
+                           1) +
+                     "x"});
+  table.add_row({"BlameIt background (2/day)", util::fmt_count(blameit_daily),
+                 "1.0x"});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::puts("on-demand budget: how the client-time product concentrates it");
+  // Rank a synthetic batch of middle issues with very different footprints.
+  core::DurationPredictor durations;
+  core::ClientVolumePredictor clients;
+  const auto big = core::middle_issue_key(net::CloudLocationId{0},
+                                          net::MiddleSegmentId{0});
+  const auto small = core::middle_issue_key(net::CloudLocationId{1},
+                                            net::MiddleSegmentId{1});
+  for (int i = 0; i < 20; ++i) durations.record_duration(big, 24);
+  for (int i = 0; i < 20; ++i) durations.record_duration(small, 1);
+  for (int day = 0; day < 3; ++day) {
+    const util::TimeBucket bucket{day * util::kBucketsPerDay + 144};
+    clients.observe(big, bucket, 4000.0);
+    clients.observe(small, bucket, 12.0);
+  }
+
+  std::vector<core::MiddleIssue> issues(2);
+  issues[0].location = net::CloudLocationId{0};
+  issues[0].middle = net::MiddleSegmentId{0};
+  issues[0].observed_users = 4000.0;
+  issues[0].elapsed_buckets = 6;
+  issues[1].location = net::CloudLocationId{1};
+  issues[1].middle = net::MiddleSegmentId{1};
+  issues[1].observed_users = 12.0;
+
+  const core::ProbePrioritizer prioritizer{&durations, &clients};
+  const auto ranked = prioritizer.rank(
+      std::move(issues), util::TimeBucket{3 * util::kBucketsPerDay + 144});
+
+  util::TextTable ranking{{"issue", "predicted users", "expected remaining",
+                           "client-time product"}};
+  for (const auto& issue : ranked) {
+    ranking.add_row(
+        {issue.middle.to_string(), util::fmt(issue.predicted_users, 0),
+         util::fmt(issue.predicted_remaining_buckets, 1) + " buckets",
+         util::fmt(issue.client_time_product, 0)});
+  }
+  std::printf("%s\n", ranking.to_string().c_str());
+  std::puts("With a budget of 1 probe, BlameIt spends it on the 4,000-user");
+  std::puts("long-lived issue — the paper's 5% budget covers 83% of impact.");
+  return 0;
+}

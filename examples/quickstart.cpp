@@ -1,0 +1,55 @@
+// Quickstart: the smallest end-to-end BlameIt run.
+//
+// Builds a synthetic internet, injects a transit-AS latency fault, runs the
+// BlameIt pipeline at its 15-minute cadence, and prints the coarse blame and
+// the traceroute-based AS-level diagnosis.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <string>
+
+#include "examples/common.h"
+#include "ops/report.h"
+#include "sim/fault.h"
+
+int main() {
+  using namespace blameit;
+
+  std::puts("== BlameIt quickstart ==");
+  std::puts("building synthetic internet + telemetry...");
+  auto stack = examples::make_stack();
+  const auto& topo = *stack->topology;
+
+  // Pick a transit AS in Europe that real routes cross, and break it at
+  // 10:00 on day 2 for two hours.
+  const auto& block = topo.blocks().front();
+  const auto home = topo.home_locations(block.block).front();
+  const auto* route =
+      topo.routing().route_for(home, block.block, util::MinuteTime{0});
+  const auto victim = route->middle_ases().front();
+  const auto fault_start = util::MinuteTime::from_day_hour(2, 10);
+  stack->faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                               .as = victim,
+                               .added_ms = 100.0,
+                               .start = fault_start,
+                               .duration_minutes = 120,
+                               .label = "quickstart-demo-fault"});
+  std::printf("injected +100ms fault in %s (%s), 10:00-12:00 on day 2\n",
+              victim.to_string().c_str(),
+              topo.registry().at(victim).name.c_str());
+
+  std::puts("warming expected-RTT learners (2 days of history)...");
+  examples::warm_pipeline(*stack, 2);
+
+  std::puts("running the pipeline every 15 minutes, 09:30-11:00:");
+  for (int minute = 9 * 60 + 30; minute <= 11 * 60; minute += 15) {
+    const auto now = util::MinuteTime::from_days(2).plus_minutes(minute);
+    const auto report = stack->pipeline->step(now);
+    std::printf("%s\n", ops::render_step(report, topo).c_str());
+  }
+
+  std::puts("\nThe middle-segment blames appear as soon as the fault starts,");
+  std::puts("and the on-demand traceroute pins the culprit AS — compare it");
+  std::puts("with the injected fault above.");
+  return 0;
+}

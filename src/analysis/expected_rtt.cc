@@ -1,0 +1,100 @@
+#include "analysis/expected_rtt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace blameit::analysis {
+
+ExpectedRttKey cloud_key(net::CloudLocationId location,
+                         net::DeviceClass device) noexcept {
+  return ExpectedRttKey{(std::uint64_t{1} << 62) |
+                        (std::uint64_t{location.value} << 8) |
+                        static_cast<std::uint64_t>(device)};
+}
+
+ExpectedRttKey middle_key(net::CloudLocationId location,
+                          net::MiddleSegmentId middle,
+                          net::DeviceClass device) noexcept {
+  return ExpectedRttKey{(std::uint64_t{2} << 62) |
+                        (std::uint64_t{location.value} << 40) |
+                        (std::uint64_t{middle.value} << 8) |
+                        static_cast<std::uint64_t>(device)};
+}
+
+ExpectedRttLearner::ExpectedRttLearner(ExpectedRttConfig config)
+    : config_(config) {
+  if (config_.window_days < 1 || config_.reservoir_per_day < 1) {
+    throw std::invalid_argument{"ExpectedRttConfig: invalid window/reservoir"};
+  }
+}
+
+void ExpectedRttLearner::observe(ExpectedRttKey key, int day, double rtt_ms) {
+  if (day < 0 || rtt_ms < 0.0) {
+    throw std::invalid_argument{"ExpectedRttLearner: negative day or RTT"};
+  }
+  auto& history = histories_[key];
+  if (history.days.empty() || history.days.back().day < day) {
+    history.days.push_back(DayReservoir{.day = day, .seen = 0, .sample = {}});
+  } else if (history.days.back().day > day) {
+    throw std::invalid_argument{
+        "ExpectedRttLearner: observations must arrive day-ordered"};
+  }
+  auto& reservoir = history.days.back();
+  ++reservoir.seen;
+  const auto cap = static_cast<std::size_t>(config_.reservoir_per_day);
+  if (reservoir.sample.size() < cap) {
+    reservoir.sample.push_back(rtt_ms);
+  } else {
+    // Algorithm R: keep a uniform sample of the day's stream, deterministic
+    // via a counter-seeded hash rather than shared RNG state.
+    const std::uint64_t slot =
+        util::hash_combine(key.packed,
+                           util::hash_combine(
+                               static_cast<std::uint64_t>(day),
+                               reservoir.seen)) %
+        reservoir.seen;
+    if (slot < cap) reservoir.sample[static_cast<std::size_t>(slot)] = rtt_ms;
+  }
+}
+
+std::optional<double> ExpectedRttLearner::expected(ExpectedRttKey key,
+                                                   int day) const {
+  const auto it = histories_.find(key);
+  if (it == histories_.end()) return std::nullopt;
+  std::vector<double> pool;
+  for (const auto& reservoir : it->second.days) {
+    if (reservoir.day >= day || reservoir.day < day - config_.window_days) {
+      continue;
+    }
+    pool.insert(pool.end(), reservoir.sample.begin(), reservoir.sample.end());
+  }
+  if (pool.empty()) return std::nullopt;
+  return util::median(pool);
+}
+
+std::size_t ExpectedRttLearner::history_size(ExpectedRttKey key,
+                                             int day) const {
+  const auto it = histories_.find(key);
+  if (it == histories_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& reservoir : it->second.days) {
+    if (reservoir.day >= day || reservoir.day < day - config_.window_days) {
+      continue;
+    }
+    n += reservoir.sample.size();
+  }
+  return n;
+}
+
+void ExpectedRttLearner::evict_stale(int day) {
+  for (auto& [key, history] : histories_) {
+    while (!history.days.empty() &&
+           history.days.front().day < day - config_.window_days) {
+      history.days.pop_front();
+    }
+  }
+}
+
+}  // namespace blameit::analysis

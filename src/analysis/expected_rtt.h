@@ -1,0 +1,81 @@
+// Rolling expected-RTT learner (§4.3): the median of the past 14 days of RTT
+// observations, learned separately per cloud location and per ⟨cloud
+// location, BGP path⟩, each split by device class. Algorithm 1 compares
+// against these learned values — not the badness thresholds — when computing
+// the bad fraction of a cloud node or middle segment, which is what lets it
+// catch shifts that stay below the region target (the paper's 40 ms→55 ms
+// worked example).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/bgp.h"
+#include "net/cloud.h"
+#include "net/device.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace blameit::analysis {
+
+/// Opaque learner key; build with cloud_key / middle_key.
+struct ExpectedRttKey {
+  std::uint64_t packed = 0;
+  bool operator==(const ExpectedRttKey&) const = default;
+};
+
+[[nodiscard]] ExpectedRttKey cloud_key(net::CloudLocationId location,
+                                       net::DeviceClass device) noexcept;
+[[nodiscard]] ExpectedRttKey middle_key(net::CloudLocationId location,
+                                        net::MiddleSegmentId middle,
+                                        net::DeviceClass device) noexcept;
+
+struct ExpectedRttConfig {
+  int window_days = 14;          ///< paper uses the past 14 days
+  int reservoir_per_day = 256;   ///< bounded per-day sample memory
+};
+
+/// Learns expected RTTs as the median over a sliding multi-day window of
+/// per-day reservoir samples. Deterministic given the feed order.
+class ExpectedRttLearner {
+ public:
+  explicit ExpectedRttLearner(ExpectedRttConfig config = {});
+
+  /// Feeds one observation (a quartet's mean RTT) for `key` on `day`.
+  void observe(ExpectedRttKey key, int day, double rtt_ms);
+
+  /// Median over days [day - window, day - 1]; nullopt when no history.
+  /// The current day is excluded so an ongoing incident cannot teach the
+  /// learner its own inflation.
+  [[nodiscard]] std::optional<double> expected(ExpectedRttKey key,
+                                               int day) const;
+
+  /// Number of historical observations backing expected(key, day).
+  [[nodiscard]] std::size_t history_size(ExpectedRttKey key, int day) const;
+
+  /// Drops per-day reservoirs older than `day - window` (memory bound).
+  void evict_stale(int day);
+
+ private:
+  struct DayReservoir {
+    int day = -1;
+    std::uint64_t seen = 0;
+    std::vector<double> sample;
+  };
+  struct KeyHistory {
+    std::deque<DayReservoir> days;  // ascending by day
+  };
+  struct KeyHash {
+    std::size_t operator()(const ExpectedRttKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.packed);
+    }
+  };
+
+  ExpectedRttConfig config_;
+  std::unordered_map<ExpectedRttKey, KeyHistory, KeyHash> histories_;
+};
+
+}  // namespace blameit::analysis

@@ -1,0 +1,95 @@
+#include "analysis/impact.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blameit::analysis {
+
+void IncidentTracker::observe(std::uint64_t key, util::TimeBucket bucket,
+                              bool bad, double users) {
+  const auto it = open_.find(key);
+  if (it != open_.end()) {
+    OpenRun& run = it->second;
+    if (bucket <= run.last) {
+      throw std::invalid_argument{
+          "IncidentTracker: buckets must advance per key"};
+    }
+    const bool consecutive = bucket == run.last.next();
+    if (bad && consecutive) {
+      run.last = bucket;
+      ++run.duration;
+      run.peak_users = std::max(run.peak_users, users);
+      run.user_time += users;
+      return;
+    }
+    // Run ends: either the key went good, or a gap broke continuity.
+    auto finished = std::move(it->second);
+    open_.erase(it);
+    close_run(key, std::move(finished));
+    // A bad observation after a gap starts a fresh run below.
+  }
+  if (bad) {
+    open_.emplace(key, OpenRun{.start = bucket,
+                               .last = bucket,
+                               .duration = 1,
+                               .peak_users = users,
+                               .user_time = users});
+  }
+}
+
+void IncidentTracker::close_run(std::uint64_t key, OpenRun&& run) {
+  closed_.push_back(Incident{.key = key,
+                             .start = run.start,
+                             .duration_buckets = run.duration,
+                             .peak_users = run.peak_users,
+                             .user_time_product = run.user_time});
+}
+
+std::vector<Incident> IncidentTracker::finish(util::TimeBucket end_bucket) {
+  for (auto& [key, run] : open_) {
+    if (run.last >= end_bucket) {
+      // Truncate book-keeping: runs may not extend past the declared end.
+      run.last = end_bucket;
+    }
+    close_run(key, std::move(run));
+  }
+  open_.clear();
+  std::sort(closed_.begin(), closed_.end(),
+            [](const Incident& a, const Incident& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.key < b.key;
+            });
+  return std::move(closed_);
+}
+
+std::optional<int> IncidentTracker::open_run_length(std::uint64_t key) const {
+  const auto it = open_.find(key);
+  if (it == open_.end()) return std::nullopt;
+  return it->second.duration;
+}
+
+std::vector<double> impact_coverage_curve(
+    std::vector<RankedAggregate> aggregates, bool rank_by_impact) {
+  std::vector<double> curve;
+  if (aggregates.empty()) return curve;
+  std::sort(aggregates.begin(), aggregates.end(),
+            [rank_by_impact](const RankedAggregate& a,
+                             const RankedAggregate& b) {
+              const double ka = rank_by_impact ? a.impact : a.prefix_count;
+              const double kb = rank_by_impact ? b.impact : b.prefix_count;
+              if (ka != kb) return ka > kb;  // descending importance
+              return a.key < b.key;
+            });
+  double total = 0.0;
+  for (const auto& agg : aggregates) total += agg.impact;
+  if (total <= 0.0) return std::vector<double>(aggregates.size(), 0.0);
+  curve.reserve(aggregates.size());
+  double acc = 0.0;
+  for (const auto& agg : aggregates) {
+    acc += agg.impact;
+    curve.push_back(acc / total);
+  }
+  return curve;
+}
+
+}  // namespace blameit::analysis

@@ -1,0 +1,83 @@
+// Impact accounting: incident runs (consecutive bad 5-minute buckets) and the
+// client-time product (§2.4, §5.3) — affected users × degradation duration —
+// that BlameIt ranks issues by, both for operator alerts and for allocating
+// the traceroute budget.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace blameit::analysis {
+
+/// A closed run of consecutive bad buckets for one aggregate key.
+struct Incident {
+  std::uint64_t key = 0;          ///< caller-defined aggregate identity
+  util::TimeBucket start;
+  int duration_buckets = 0;       ///< number of consecutive bad buckets
+  double peak_users = 0.0;        ///< max affected users in any bucket
+  double user_time_product = 0.0; ///< Σ users over buckets (client-time, §2.4)
+
+  [[nodiscard]] int duration_minutes() const noexcept {
+    return duration_buckets * util::kBucketMinutes;
+  }
+};
+
+/// Tracks per-key badness runs as buckets are fed in order. Keys are opaque
+/// 64-bit aggregates (e.g. packed ⟨location, BGP path⟩ or ⟨block, location,
+/// device⟩ — whatever granularity the caller studies).
+class IncidentTracker {
+ public:
+  /// Feeds the state of `key` in `bucket`: bad or good, with the number of
+  /// affected users when bad. Buckets must be fed in non-decreasing order
+  /// per key. A skipped bucket (no data) counts as good and closes runs.
+  void observe(std::uint64_t key, util::TimeBucket bucket, bool bad,
+               double users);
+
+  /// Closes every open run at `bucket` (end of stream) and returns all
+  /// incidents closed so far, start-ordered. The tracker is left empty.
+  [[nodiscard]] std::vector<Incident> finish(util::TimeBucket end_bucket);
+
+  /// Incidents closed so far without disturbing open runs.
+  [[nodiscard]] const std::vector<Incident>& closed() const noexcept {
+    return closed_;
+  }
+
+  /// Duration (in buckets, including the current one) of the open run for
+  /// `key`; nullopt when the key is not currently in a bad run. Feeds the
+  /// duration predictor's "lasted thus far" input (§5.3).
+  [[nodiscard]] std::optional<int> open_run_length(std::uint64_t key) const;
+
+ private:
+  struct OpenRun {
+    util::TimeBucket start;
+    util::TimeBucket last;
+    int duration = 0;
+    double peak_users = 0.0;
+    double user_time = 0.0;
+  };
+
+  void close_run(std::uint64_t key, OpenRun&& run);
+
+  std::unordered_map<std::uint64_t, OpenRun> open_;
+  std::vector<Incident> closed_;
+};
+
+/// One ranked aggregate for impact CDFs (Fig 4b): total impact and the count
+/// of distinct problematic /24s, under the two orderings the paper compares.
+struct RankedAggregate {
+  std::uint64_t key = 0;
+  double impact = 0.0;        ///< client-time product
+  double prefix_count = 0.0;  ///< problematic IP-/24 count (baseline metric)
+};
+
+/// Fraction of cumulative impact covered by the top `fraction` of aggregates
+/// under the given ordering ("by_impact" or by prefix_count when false).
+/// Returns the coverage curve evaluated at each aggregate (ascending rank).
+[[nodiscard]] std::vector<double> impact_coverage_curve(
+    std::vector<RankedAggregate> aggregates, bool rank_by_impact);
+
+}  // namespace blameit::analysis

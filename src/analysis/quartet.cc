@@ -1,0 +1,117 @@
+#include "analysis/quartet.h"
+
+#include <stdexcept>
+
+namespace blameit::analysis {
+
+BadnessThresholds::BadnessThresholds() {
+  for (const net::Region region : net::kAllRegions) {
+    const auto& profile = net::region_profile(region);
+    auto& row = thresholds_[static_cast<std::size_t>(region)];
+    row[static_cast<std::size_t>(net::DeviceClass::NonMobile)] =
+        profile.rtt_target_ms;
+    row[static_cast<std::size_t>(net::DeviceClass::Mobile)] =
+        profile.rtt_target_ms + profile.mobile_extra_ms;
+  }
+}
+
+double BadnessThresholds::threshold(net::Region region,
+                                    net::DeviceClass device) const noexcept {
+  return thresholds_[static_cast<std::size_t>(region)]
+                    [static_cast<std::size_t>(device)];
+}
+
+void BadnessThresholds::set(net::Region region, net::DeviceClass device,
+                            double ms) {
+  if (ms <= 0.0) {
+    throw std::invalid_argument{"BadnessThresholds: threshold must be > 0"};
+  }
+  thresholds_[static_cast<std::size_t>(region)]
+             [static_cast<std::size_t>(device)] = ms;
+}
+
+QuartetBuilder::QuartetBuilder(const net::Topology* topology,
+                               BadnessThresholds thresholds,
+                               QuartetBuilderConfig config)
+    : topology_(topology), thresholds_(thresholds), config_(config) {
+  if (!topology_) throw std::invalid_argument{"QuartetBuilder: null topology"};
+  if (config_.min_samples < 1) {
+    throw std::invalid_argument{"QuartetBuilder: min_samples must be >= 1"};
+  }
+}
+
+void QuartetBuilder::add(const RttRecord& record) {
+  const auto block = net::Slash24::of(record.client_ip);
+  if (!topology_->find_block(block)) {
+    ++dropped_unknown_;
+    return;
+  }
+  const QuartetKey key{.block = block,
+                       .location = record.location,
+                       .device = record.device,
+                       .bucket = util::TimeBucket::of(record.time)};
+  auto& acc = acc_[key];
+  ++acc.count;
+  acc.sum += record.rtt_ms;
+}
+
+void QuartetBuilder::add_aggregate(const QuartetKey& key, int sample_count,
+                                   double mean_rtt_ms) {
+  if (sample_count <= 0) return;
+  if (!topology_->find_block(key.block)) {
+    ++dropped_unknown_;
+    return;
+  }
+  auto& acc = acc_[key];
+  acc.count += sample_count;
+  acc.sum += mean_rtt_ms * sample_count;
+}
+
+std::vector<Quartet> QuartetBuilder::take_bucket(util::TimeBucket bucket) {
+  std::vector<Quartet> out;
+  for (auto it = acc_.begin(); it != acc_.end();) {
+    if (it->first.bucket != bucket) {
+      ++it;
+      continue;
+    }
+    const QuartetKey& key = it->first;
+    const Accumulator& acc = it->second;
+    if (acc.count >= config_.min_samples) {
+      const auto* block = topology_->find_block(key.block);
+      // find_block succeeded at add() time; topology is immutable.
+      const auto* route = topology_->routing().route_for(
+          key.location, key.block, bucket.start());
+      if (route) {
+        Quartet q;
+        q.key = key;
+        q.sample_count = acc.count;
+        q.mean_rtt_ms = acc.sum / acc.count;
+        q.middle = route->middle;
+        q.client_as = block->client_as;
+        q.region = block->region;
+        q.bad = q.mean_rtt_ms >
+                thresholds_.threshold(block->region, key.device);
+        out.push_back(q);
+      }
+    }
+    it = acc_.erase(it);
+  }
+  return out;
+}
+
+bool quartet_samples_homogeneous(std::span<const double> samples,
+                                 double alpha) {
+  if (samples.size() < 4) return true;  // too few to split meaningfully
+  const std::size_t half = samples.size() / 2;
+  // Interleaved split removes any ordering effects from the storage buckets.
+  std::vector<double> a;
+  std::vector<double> b;
+  a.reserve(half + 1);
+  b.reserve(half + 1);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (i % 2 == 0 ? a : b).push_back(samples[i]);
+  }
+  return util::ks_test(a, b).same_distribution(alpha);
+}
+
+}  // namespace blameit::analysis

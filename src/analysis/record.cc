@@ -1,0 +1,60 @@
+#include "analysis/record.h"
+
+#include <stdexcept>
+
+namespace blameit::analysis {
+
+HourlyBucketStore::HourlyBucketStore(int buckets_per_hour, std::uint64_t seed)
+    : buckets_per_hour_(buckets_per_hour), seed_(seed) {
+  if (buckets_per_hour_ <= 0) {
+    throw std::invalid_argument{"HourlyBucketStore: need buckets > 0"};
+  }
+}
+
+void HourlyBucketStore::add(const RttRecord& record) {
+  const std::int64_t hour = record.time.minutes / util::kMinutesPerHour;
+  auto& buckets = hours_[hour];
+  if (buckets.empty()) buckets.resize(static_cast<std::size_t>(buckets_per_hour_));
+  // Deterministic pseudo-random bucket choice (production picks randomly;
+  // determinism keeps replays identical without changing the semantics).
+  const auto bucket = util::hash_combine(
+                          seed_, util::hash_combine(
+                                     static_cast<std::uint64_t>(record.time.minutes),
+                                     record.client_ip.value)) %
+                      static_cast<std::uint64_t>(buckets_per_hour_);
+  buckets[static_cast<std::size_t>(bucket)].push_back(record);
+  ++total_;
+}
+
+std::vector<RttRecord> HourlyBucketStore::read_window(
+    util::MinuteTime from, util::MinuteTime to) const {
+  std::vector<RttRecord> out;
+  last_scan_buckets_ = 0;
+  if (to <= from) return out;
+  const std::int64_t first_hour = from.minutes / util::kMinutesPerHour;
+  const std::int64_t last_hour = (to.minutes - 1) / util::kMinutesPerHour;
+  for (std::int64_t hour = first_hour; hour <= last_hour; ++hour) {
+    const auto it = hours_.find(hour);
+    if (it == hours_.end()) continue;
+    for (const auto& bucket : it->second) {
+      ++last_scan_buckets_;
+      for (const auto& record : bucket) {
+        if (record.time >= from && record.time < to) out.push_back(record);
+      }
+    }
+  }
+  return out;
+}
+
+void HourlyBucketStore::evict_before_hour(std::int64_t hour_index) {
+  for (auto it = hours_.begin(); it != hours_.end();) {
+    if (it->first < hour_index) {
+      for (const auto& bucket : it->second) total_ -= bucket.size();
+      it = hours_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace blameit::analysis

@@ -1,0 +1,98 @@
+#include "baselines/active_only.h"
+
+#include <stdexcept>
+
+#include "core/prioritizer.h"
+
+namespace blameit::baselines {
+
+ActiveOnlyMonitor::ActiveOnlyMonitor(const net::Topology* topology,
+                                     sim::TracerouteEngine* engine,
+                                     ActiveOnlyConfig config)
+    : topology_(topology), engine_(engine), config_(config) {
+  if (!topology_ || !engine_) {
+    throw std::invalid_argument{"ActiveOnlyMonitor: null dependency"};
+  }
+  if (config_.period_minutes < 1) {
+    throw std::invalid_argument{"ActiveOnlyConfig: period must be >= 1"};
+  }
+}
+
+void ActiveOnlyMonitor::rebuild_paths(util::MinuteTime now) {
+  paths_.clear();
+  index_.clear();
+  for (const auto& loc : topology_->locations()) {
+    for (const auto& block : topology_->blocks()) {
+      const auto* route =
+          topology_->routing().route_for(loc.id, block.block, now);
+      if (!route) continue;
+      const auto key = core::middle_issue_key(loc.id, route->middle);
+      if (index_.contains(key)) continue;
+      index_.emplace(key, paths_.size());
+      paths_.push_back(PathState{.location = loc.id,
+                                 .middle = route->middle,
+                                 .block = block.block});
+    }
+  }
+  built_ = true;
+}
+
+int ActiveOnlyMonitor::step(util::MinuteTime prev, util::MinuteTime now) {
+  if (!built_) rebuild_paths(now);
+  int probes = 0;
+  for (auto& path : paths_) {
+    // One probe per elapsed period boundary, like the background prober but
+    // without staggering (the strawman probes everything on the clock).
+    const int period = config_.period_minutes;
+    std::int64_t t = (prev.minutes / period + 1) * period;
+    for (; t <= now.minutes; t += period) {
+      const auto result =
+          engine_->trace(path.location, path.block, util::MinuteTime{t});
+      ++probes;
+      if (!result.reached) continue;
+      path.previous = std::move(path.latest);
+      path.previous_cloud_ms = path.latest_cloud_ms;
+      path.latest = result.contributions();
+      path.latest_cloud_ms = result.cloud_ms;
+      path.has_two = path.has_one;
+      path.has_one = true;
+    }
+  }
+  return probes;
+}
+
+std::optional<net::AsId> ActiveOnlyMonitor::culprit(
+    net::CloudLocationId location, net::MiddleSegmentId middle) const {
+  const auto it = index_.find(core::middle_issue_key(location, middle));
+  if (it == index_.end()) return std::nullopt;
+  const PathState& path = paths_[it->second];
+  if (!path.has_two) return std::nullopt;
+  std::unordered_map<net::AsId, double> base;
+  for (const auto& [as, ms] : path.previous) base[as] = ms;
+  double best_increase = 0.0;
+  std::optional<net::AsId> best;
+  const double cloud_increase =
+      path.latest_cloud_ms - path.previous_cloud_ms;
+  if (cloud_increase > best_increase) {
+    best_increase = cloud_increase;
+    best = topology_->cloud_as();
+  }
+  for (const auto& [as, ms] : path.latest) {
+    const auto bit = base.find(as);
+    const double increase = bit == base.end() ? ms : ms - bit->second;
+    if (increase > best_increase) {
+      best_increase = increase;
+      best = as;
+    }
+  }
+  return best;
+}
+
+std::uint64_t ActiveOnlyMonitor::probes_per_day() {
+  if (!built_) rebuild_paths(util::MinuteTime{0});
+  return paths_.size() *
+         static_cast<std::uint64_t>(util::kMinutesPerDay /
+                                    config_.period_minutes);
+}
+
+}  // namespace blameit::baselines

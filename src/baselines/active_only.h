@@ -1,0 +1,62 @@
+// Baseline: pure active probing (§5.1's strawman). Continuous traceroutes
+// from every cloud location to every BGP path at a fixed cadence (the paper
+// uses 10 minutes for ground truth, §6.4/§6.5) give full before/after
+// coverage — and a probe bill ~72× BlameIt's. This baseline exists to
+// reproduce that comparison.
+#pragma once
+
+#include "core/background.h"
+#include "net/topology.h"
+#include "sim/traceroute.h"
+
+namespace blameit::baselines {
+
+struct ActiveOnlyConfig {
+  /// Probe period per ⟨location, BGP path⟩ (paper ground truth: 10 min).
+  int period_minutes = 10;
+};
+
+class ActiveOnlyMonitor {
+ public:
+  ActiveOnlyMonitor(const net::Topology* topology,
+                    sim::TracerouteEngine* engine,
+                    ActiveOnlyConfig config = {});
+
+  /// Probes every ⟨location, BGP path⟩ whose period elapsed in (prev, now],
+  /// updating its rolling baseline. Returns probes issued.
+  int step(util::MinuteTime prev, util::MinuteTime now);
+
+  /// Localizes the culprit AS for a (location, path) using the last two
+  /// probes (previous = baseline, latest = incident view). Mirrors
+  /// core::ActiveLocalizer's diff rule so the comparison is apples-to-apples.
+  [[nodiscard]] std::optional<net::AsId> culprit(
+      net::CloudLocationId location, net::MiddleSegmentId middle) const;
+
+  /// Probes a full day costs at this cadence (overhead accounting).
+  [[nodiscard]] std::uint64_t probes_per_day();
+
+ private:
+  struct PathState {
+    net::CloudLocationId location;
+    net::MiddleSegmentId middle;
+    net::Slash24 block;
+    // Last two per-AS contribution snapshots (older, newer).
+    std::vector<std::pair<net::AsId, double>> previous;
+    std::vector<std::pair<net::AsId, double>> latest;
+    double previous_cloud_ms = 0.0;
+    double latest_cloud_ms = 0.0;
+    bool has_two = false;
+    bool has_one = false;
+  };
+
+  void rebuild_paths(util::MinuteTime now);
+
+  const net::Topology* topology_;
+  sim::TracerouteEngine* engine_;
+  ActiveOnlyConfig config_;
+  std::vector<PathState> paths_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  bool built_ = false;
+};
+
+}  // namespace blameit::baselines

@@ -1,0 +1,112 @@
+#include "baselines/as_metro.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace blameit::baselines {
+
+AsMetroLocalizer::AsMetroLocalizer(
+    const net::Topology* topology,
+    const analysis::ExpectedRttLearner* learner, core::BlameItConfig config)
+    : topology_(topology), learner_(learner), config_(config) {
+  if (!topology_ || !learner_) {
+    throw std::invalid_argument{"AsMetroLocalizer: null dependency"};
+  }
+}
+
+analysis::ExpectedRttKey AsMetroLocalizer::group_key(
+    net::CloudLocationId location, net::AsId client_as, net::MetroId metro,
+    net::DeviceClass device) noexcept {
+  // Tag 3 distinguishes this namespace from cloud_key (1) and middle_key (2).
+  return analysis::ExpectedRttKey{
+      (std::uint64_t{3} << 62) | (std::uint64_t{location.value} << 44) |
+      ((std::uint64_t{client_as.value} & 0x7FFF) << 12) |
+      (std::uint64_t{metro.value} << 2) | static_cast<std::uint64_t>(device)};
+}
+
+std::vector<core::BlameResult> AsMetroLocalizer::localize(
+    std::span<const analysis::Quartet> quartets, int day) const {
+  struct GroupStats {
+    int quartets = 0;
+    int bad = 0;
+  };
+  std::unordered_map<std::uint64_t, GroupStats> cloud_groups;
+  std::unordered_map<std::uint64_t, GroupStats> metro_groups;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint16_t>>
+      good_locations;
+
+  auto cloud_group_key = [](const analysis::Quartet& q) {
+    return (std::uint64_t{q.key.location.value} << 8) |
+           static_cast<std::uint64_t>(q.key.device);
+  };
+  auto metro_of = [&](const analysis::Quartet& q) {
+    const auto* block = topology_->find_block(q.key.block);
+    return block ? block->metro : net::MetroId{0};
+  };
+  auto metro_group_key = [&](const analysis::Quartet& q) {
+    return group_key(q.key.location, q.client_as, metro_of(q), q.key.device)
+        .packed;
+  };
+
+  auto comparison = [&](analysis::ExpectedRttKey key,
+                        const analysis::Quartet& q) {
+    const auto learned = learner_->expected(key, day);
+    return learned ? *learned
+                   : thresholds_.threshold(q.region, q.key.device);
+  };
+
+  for (const auto& q : quartets) {
+    auto& cg = cloud_groups[cloud_group_key(q)];
+    ++cg.quartets;
+    cg.bad += q.mean_rtt_ms >
+              comparison(analysis::cloud_key(q.key.location, q.key.device),
+                         q);
+    auto& mg = metro_groups[metro_group_key(q)];
+    ++mg.quartets;
+    mg.bad += q.mean_rtt_ms >
+              comparison(group_key(q.key.location, q.client_as, metro_of(q),
+                                   q.key.device),
+                         q);
+    if (!q.bad) good_locations[q.key.block.block].insert(q.key.location.value);
+  }
+
+  std::vector<core::BlameResult> results;
+  for (const auto& q : quartets) {
+    if (!q.bad) continue;
+    core::BlameResult result;
+    result.quartet = q;
+    const auto& cg = cloud_groups[cloud_group_key(q)];
+    const auto& mg = metro_groups[metro_group_key(q)];
+    const double cloud_fraction =
+        cg.quartets ? static_cast<double>(cg.bad) / cg.quartets : 0.0;
+    const double metro_fraction =
+        mg.quartets ? static_cast<double>(mg.bad) / mg.quartets : 0.0;
+    if (cg.quartets <= config_.min_group_quartets) {
+      result.blame = core::Blame::Insufficient;
+    } else if (cloud_fraction >= config_.tau) {
+      result.blame = core::Blame::Cloud;
+      result.faulty_as = topology_->cloud_as();
+    } else if (mg.quartets <= config_.min_group_quartets) {
+      result.blame = core::Blame::Insufficient;
+    } else if (metro_fraction >= config_.tau) {
+      result.blame = core::Blame::Middle;
+    } else {
+      const auto it = good_locations.find(q.key.block.block);
+      const bool good_elsewhere =
+          it != good_locations.end() &&
+          (it->second.size() > 1 ||
+           !it->second.contains(q.key.location.value));
+      if (good_elsewhere) {
+        result.blame = core::Blame::Ambiguous;
+      } else {
+        result.blame = core::Blame::Client;
+        result.faulty_as = q.client_as;
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace blameit::baselines

@@ -1,0 +1,44 @@
+// Baseline: grouping the middle segment by ⟨client AS, metro⟩ instead of the
+// BGP path — the "traditional practice" the paper compares against (§4.2,
+// Fig 6/Fig 11). Only 47% of ⟨AS, Metro⟩ client groups see one consistent
+// path in Azure's tables, so this grouping mixes different middles into one
+// aggregate and dilutes fault signals.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/expected_rtt.h"
+#include "analysis/quartet.h"
+#include "core/blame.h"
+#include "core/config.h"
+#include "net/topology.h"
+
+namespace blameit::baselines {
+
+/// Variant of Algorithm 1 whose middle grouping key is ⟨location, client
+/// AS, metro, device⟩. Cloud and client steps are identical to BlameIt's,
+/// isolating the grouping decision for the Fig 11 ablation.
+class AsMetroLocalizer {
+ public:
+  AsMetroLocalizer(const net::Topology* topology,
+                   const analysis::ExpectedRttLearner* learner,
+                   core::BlameItConfig config = {});
+
+  [[nodiscard]] std::vector<core::BlameResult> localize(
+      std::span<const analysis::Quartet> quartets, int day) const;
+
+  /// The learner key used for an ⟨AS, metro⟩ middle group (exposed so the
+  /// bench can warm the learner with the same keys).
+  [[nodiscard]] static analysis::ExpectedRttKey group_key(
+      net::CloudLocationId location, net::AsId client_as, net::MetroId metro,
+      net::DeviceClass device) noexcept;
+
+ private:
+  const net::Topology* topology_;
+  const analysis::ExpectedRttLearner* learner_;
+  core::BlameItConfig config_;
+  analysis::BadnessThresholds thresholds_;
+};
+
+}  // namespace blameit::baselines

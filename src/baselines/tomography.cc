@@ -1,0 +1,133 @@
+#include "baselines/tomography.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/prioritizer.h"
+
+namespace blameit::baselines {
+
+namespace {
+
+struct PathObs {
+  // Segment indices into the segment table.
+  std::array<std::size_t, 3> segments;
+  bool bad = false;
+};
+
+}  // namespace
+
+TomographyResult boolean_tomography(
+    std::span<const analysis::Quartet> quartets,
+    const TomographyConfig& config) {
+  TomographyResult result;
+
+  // Intern segments.
+  std::vector<TomographySegment> segments;
+  std::unordered_map<std::uint64_t, std::size_t> seg_index;
+  auto intern = [&](TomographySegment seg) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(seg.kind) << 56) ^ seg.id;
+    const auto it = seg_index.find(key);
+    if (it != seg_index.end()) return it->second;
+    seg_index.emplace(key, segments.size());
+    segments.push_back(seg);
+    return segments.size() - 1;
+  };
+
+  std::vector<PathObs> paths;
+  paths.reserve(quartets.size());
+  for (const auto& q : quartets) {
+    PathObs obs;
+    obs.segments[0] = intern(TomographySegment{
+        TomographySegment::Kind::Cloud, q.key.location.value});
+    obs.segments[1] = intern(TomographySegment{
+        TomographySegment::Kind::Middle,
+        core::middle_issue_key(q.key.location, q.middle)});
+    obs.segments[2] = intern(TomographySegment{
+        TomographySegment::Kind::Client, q.client_as.value});
+    obs.bad = q.bad;
+    paths.push_back(obs);
+  }
+
+  const bool any_bad =
+      std::any_of(paths.begin(), paths.end(),
+                  [](const PathObs& p) { return p.bad; });
+  if (!any_bad) {
+    result.consistent = true;
+    result.unique = true;
+    result.solutions = 1;
+    return result;  // empty explanation
+  }
+
+  // Candidate segments: those that appear on at least one bad path but on
+  // NO good path (blaming a segment on a good path contradicts the boolean
+  // model where a path is good only if all its segments are good).
+  std::unordered_set<std::size_t> on_good;
+  std::unordered_set<std::size_t> on_bad;
+  for (const auto& p : paths) {
+    for (const auto s : p.segments) {
+      (p.bad ? on_bad : on_good).insert(s);
+    }
+  }
+  std::vector<std::size_t> candidates;
+  for (const auto s : on_bad) {
+    if (!on_good.contains(s)) candidates.push_back(s);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  // Bad paths must each be covered by a blamed candidate segment.
+  std::vector<const PathObs*> bad_paths;
+  for (const auto& p : paths) {
+    if (p.bad) bad_paths.push_back(&p);
+  }
+
+  auto covers = [&](const std::vector<std::size_t>& chosen) {
+    for (const auto* p : bad_paths) {
+      bool covered = false;
+      for (const auto s : p->segments) {
+        if (std::find(chosen.begin(), chosen.end(), s) != chosen.end()) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return false;
+    }
+    return true;
+  };
+
+  // Enumerate minimal covers by increasing size (Insight-2: small sets
+  // first). Candidate counts here are small, so the combinatorial search is
+  // exact up to the caps.
+  std::vector<std::vector<std::size_t>> minimal;
+  for (int size = 1;
+       size <= config.max_set_size && minimal.empty(); ++size) {
+    std::vector<std::size_t> pick(static_cast<std::size_t>(size));
+    auto recurse = [&](auto&& self, std::size_t start,
+                       std::size_t depth) -> void {
+      if (static_cast<int>(minimal.size()) >= config.max_solutions) return;
+      if (depth == pick.size()) {
+        if (covers(pick)) minimal.push_back(pick);
+        return;
+      }
+      for (std::size_t i = start; i < candidates.size(); ++i) {
+        pick[depth] = candidates[i];
+        self(self, i + 1, depth + 1);
+      }
+    };
+    recurse(recurse, 0, 0);
+  }
+
+  result.solutions = static_cast<int>(minimal.size());
+  result.consistent = !minimal.empty();
+  result.unique = minimal.size() == 1;
+  if (!minimal.empty()) {
+    for (const auto s : minimal.front()) {
+      result.blamed.push_back(segments[s]);
+    }
+  }
+  return result;
+}
+
+}  // namespace blameit::baselines

@@ -1,0 +1,52 @@
+// Baseline: boolean network tomography over the client/middle/cloud
+// segmentation (§4.1's infeasibility argument).
+//
+// Each quartet is a "path observation" crossing three segments; boolean
+// tomography seeks a minimal set of bad segments that covers every bad path
+// while touching no good path. §4.1 shows the system is under-determined:
+// this solver makes that concrete by reporting, per bucket, whether a
+// consistent minimal explanation exists and whether it is unique — the
+// ambiguity rate is what BlameIt's hierarchical elimination removes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/quartet.h"
+#include "net/topology.h"
+
+namespace blameit::baselines {
+
+/// Segment identity in the tomography graph.
+struct TomographySegment {
+  enum class Kind : std::uint8_t { Cloud, Middle, Client } kind{};
+  std::uint64_t id = 0;  ///< location / (location,middle) / client AS value
+  bool operator==(const TomographySegment&) const = default;
+};
+
+struct TomographyResult {
+  /// True when at least one segment set explains all observations (every
+  /// bad path crosses a blamed segment, no good path does).
+  bool consistent = false;
+  /// True when exactly one minimal explanation exists.
+  bool unique = false;
+  /// One minimal explanation (arbitrary representative when not unique).
+  std::vector<TomographySegment> blamed;
+  /// Count of minimal explanations found (capped at `max_solutions`).
+  int solutions = 0;
+};
+
+struct TomographyConfig {
+  /// Search cap: minimal covers of size above this are not enumerated
+  /// (classic tomography also prefers small failure sets — Insight-2).
+  int max_set_size = 3;
+  /// Enumeration cap for counting alternative explanations.
+  int max_solutions = 16;
+};
+
+/// Runs boolean tomography over one bucket of quartets.
+[[nodiscard]] TomographyResult boolean_tomography(
+    std::span<const analysis::Quartet> quartets,
+    const TomographyConfig& config = {});
+
+}  // namespace blameit::baselines

@@ -1,0 +1,111 @@
+#include "baselines/trinocular.h"
+
+#include <stdexcept>
+
+#include "core/prioritizer.h"
+
+namespace blameit::baselines {
+
+TrinocularMonitor::TrinocularMonitor(const net::Topology* topology,
+                                     sim::TracerouteEngine* engine,
+                                     TrinocularConfig config)
+    : topology_(topology), engine_(engine), config_(config) {
+  if (!topology_ || !engine_) {
+    throw std::invalid_argument{"TrinocularMonitor: null dependency"};
+  }
+  if (config_.base_period_minutes < 1 || config_.confirmation_probes < 0 ||
+      config_.degraded_factor <= 1.0) {
+    throw std::invalid_argument{"TrinocularConfig: invalid parameters"};
+  }
+}
+
+void TrinocularMonitor::rebuild(util::MinuteTime now) {
+  paths_.clear();
+  index_.clear();
+  for (const auto& loc : topology_->locations()) {
+    for (const auto& block : topology_->blocks()) {
+      const auto* route =
+          topology_->routing().route_for(loc.id, block.block, now);
+      if (!route) continue;
+      const auto key = core::middle_issue_key(loc.id, route->middle);
+      if (index_.contains(key)) continue;
+      index_.emplace(key, paths_.size());
+      paths_.push_back(PathBelief{.location = loc.id,
+                                  .middle = route->middle,
+                                  .block = block.block});
+    }
+  }
+  built_ = true;
+}
+
+int TrinocularMonitor::observe(PathBelief& path, util::MinuteTime t) {
+  int extra = 0;
+  const auto result = engine_->trace(path.location, path.block, t);
+  if (!result.reached) return extra;
+  double rtt = result.hops.back().cumulative_rtt_ms;
+
+  const bool looks_degraded =
+      path.observations > 0 &&
+      rtt > path.mean_rtt_ms * config_.degraded_factor;
+  if (looks_degraded != path.degraded && path.observations > 0) {
+    // Belief disagreement: burst confirmation probes (adaptive phase).
+    int agree = 0;
+    for (int i = 0; i < config_.confirmation_probes; ++i) {
+      const auto recheck =
+          engine_->trace(path.location, path.block, t.plus_minutes(i + 1));
+      ++extra;
+      if (!recheck.reached) continue;
+      const double rrtt = recheck.hops.back().cumulative_rtt_ms;
+      agree += (rrtt > path.mean_rtt_ms * config_.degraded_factor) ==
+               looks_degraded;
+    }
+    if (agree * 2 >= config_.confirmation_probes) {
+      path.degraded = looks_degraded;
+    }
+    path.consecutive_consistent = 0;  // state in flux: probe fast again
+  } else {
+    ++path.consecutive_consistent;
+  }
+  if (!path.degraded) {
+    // Healthy observations refresh the long-term mean.
+    path.mean_rtt_ms = path.observations == 0
+                           ? rtt
+                           : 0.9 * path.mean_rtt_ms + 0.1 * rtt;
+  }
+  ++path.observations;
+  return extra;
+}
+
+int TrinocularMonitor::step(util::MinuteTime prev, util::MinuteTime now) {
+  if (!built_) rebuild(now);
+  int probes = 0;
+  const int period = config_.base_period_minutes;
+  for (auto& path : paths_) {
+    std::int64_t t = (prev.minutes / period + 1) * period;
+    for (; t <= now.minutes; t += period) {
+      ++path.cycle;
+      // Adaptive suppression: confident beliefs are refreshed less often.
+      const int skip = std::min(
+          config_.max_backoff,
+          1 + path.consecutive_consistent / config_.backoff_after);
+      if (path.cycle % skip != 0) continue;
+      probes += 1 + observe(path, util::MinuteTime{t});
+    }
+  }
+  return probes;
+}
+
+bool TrinocularMonitor::believes_degraded(
+    net::CloudLocationId location, net::MiddleSegmentId middle) const {
+  const auto it = index_.find(core::middle_issue_key(location, middle));
+  return it != index_.end() && paths_[it->second].degraded;
+}
+
+std::uint64_t TrinocularMonitor::probes_per_day() {
+  if (!built_) rebuild(util::MinuteTime{0});
+  return paths_.size() *
+         static_cast<std::uint64_t>(util::kMinutesPerDay /
+                                    config_.base_period_minutes);
+}
+
+}  // namespace blameit::baselines

@@ -1,0 +1,73 @@
+// Baseline: Trinocular-style adaptive probing (Quan et al., SIGCOMM'13),
+// re-targeted from reachability to latency state as the paper's comparison
+// point ("BlameIt issues 20× fewer active probes than Trinocular", §6.5).
+//
+// Faithful-in-spirit simplification: each ⟨location, BGP path⟩ carries a
+// belief that the path is degraded, refreshed by periodic probes; when an
+// observation disagrees with the current belief, Trinocular bursts up to
+// `confirmation_probes` recheck probes before switching state. The knob
+// structure (base period + adaptive bursts over the whole path population)
+// is what drives its probe bill.
+#pragma once
+
+#include "net/topology.h"
+#include "sim/traceroute.h"
+
+namespace blameit::baselines {
+
+struct TrinocularConfig {
+  /// Base refresh period per path (Trinocular probes each block on an ~11
+  /// minute cycle; we default to the same).
+  int base_period_minutes = 11;
+  /// Extra probes issued to confirm a suspected state change.
+  int confirmation_probes = 3;
+  /// RTT multiplier over the learned mean that counts as "degraded".
+  double degraded_factor = 1.5;
+  /// Adaptive suppression: after `backoff_after` consecutive observations
+  /// that confirm the current belief, only every k-th cycle is probed, with
+  /// k growing up to `max_backoff` (Trinocular's belief model skips probes
+  /// whose expected information gain is low).
+  int backoff_after = 8;
+  int max_backoff = 3;
+};
+
+class TrinocularMonitor {
+ public:
+  TrinocularMonitor(const net::Topology* topology,
+                    sim::TracerouteEngine* engine,
+                    TrinocularConfig config = {});
+
+  /// Advances probing over (prev, now]. Returns probes issued.
+  int step(util::MinuteTime prev, util::MinuteTime now);
+
+  /// Whether the monitor currently believes the path is degraded.
+  [[nodiscard]] bool believes_degraded(net::CloudLocationId location,
+                                       net::MiddleSegmentId middle) const;
+
+  [[nodiscard]] std::uint64_t probes_per_day();
+
+ private:
+  struct PathBelief {
+    net::CloudLocationId location;
+    net::MiddleSegmentId middle;
+    net::Slash24 block;
+    double mean_rtt_ms = 0.0;  ///< EWMA of healthy observations
+    bool degraded = false;
+    int observations = 0;
+    int consecutive_consistent = 0;  ///< drives the adaptive backoff
+    std::int64_t cycle = 0;          ///< base-period cycle counter
+  };
+
+  void rebuild(util::MinuteTime now);
+  /// Probes one path at `t`; returns extra confirmation probes issued.
+  int observe(PathBelief& path, util::MinuteTime t);
+
+  const net::Topology* topology_;
+  sim::TracerouteEngine* engine_;
+  TrinocularConfig config_;
+  std::vector<PathBelief> paths_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  bool built_ = false;
+};
+
+}  // namespace blameit::baselines

@@ -1,0 +1,73 @@
+#include "core/active.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace blameit::core {
+
+ActiveLocalizer::ActiveLocalizer(const net::Topology* topology,
+                                 sim::TracerouteEngine* engine,
+                                 const BaselineStore* baselines)
+    : topology_(topology), engine_(engine), baselines_(baselines) {
+  if (!topology_ || !engine_ || !baselines_) {
+    throw std::invalid_argument{"ActiveLocalizer: null dependency"};
+  }
+}
+
+ActiveDiagnosis ActiveLocalizer::diagnose(
+    net::CloudLocationId location, net::MiddleSegmentId middle,
+    net::Slash24 target_block, util::MinuteTime now,
+    std::optional<util::MinuteTime> issue_start) {
+  ActiveDiagnosis diag;
+  diag.location = location;
+  diag.middle = middle;
+  diag.probe = engine_->trace(location, target_block, now);
+  diag.probe_reached = diag.probe.reached;
+  if (!diag.probe_reached) return diag;
+
+  const auto current = diag.probe.contributions();
+  const Baseline* baseline =
+      issue_start ? baselines_->get_before(location, middle, *issue_start)
+                  : baselines_->get(location, middle);
+  diag.have_baseline = baseline != nullptr;
+
+  if (baseline) {
+    // Index the baseline contributions; path membership can differ slightly
+    // (e.g. baseline captured just before a hop-level change), so match by
+    // AS and treat new ASes as pure increase.
+    std::unordered_map<net::AsId, double> base;
+    for (const auto& [as, ms] : baseline->contributions) base[as] = ms;
+    double best_increase = 0.0;
+    std::optional<net::AsId> best_as;
+    // The cloud's own segment participates too: a traceroute that shows the
+    // first-hop time ballooning implicates the cloud, not the middle.
+    const double cloud_increase = diag.probe.cloud_ms - baseline->cloud_ms;
+    if (cloud_increase > best_increase) {
+      best_increase = cloud_increase;
+      best_as = topology_->cloud_as();
+    }
+    for (const auto& [as, ms] : current) {
+      const auto it = base.find(as);
+      const double increase = it == base.end() ? ms : ms - it->second;
+      if (increase > best_increase) {
+        best_increase = increase;
+        best_as = as;
+      }
+    }
+    diag.culprit = best_as;
+    diag.culprit_increase_ms = best_increase;
+  } else {
+    // No baseline: blame the largest absolute contributor (low confidence).
+    double best = 0.0;
+    for (const auto& [as, ms] : current) {
+      if (ms > best) {
+        best = ms;
+        diag.culprit = as;
+      }
+    }
+    diag.culprit_increase_ms = best;
+  }
+  return diag;
+}
+
+}  // namespace blameit::core

@@ -1,0 +1,52 @@
+// Fine-grained AS-level localization with on-demand traceroutes (§5.2).
+//
+// For a prioritized middle-segment issue, trace the path while the issue is
+// live and diff each AS's latency contribution against the background
+// baseline; the AS with the largest increase is the culprit (the paper's
+// worked example: m1's contribution jumping 2 ms → 56 ms). When no baseline
+// exists (new path, e.g. after an anycast shift), the diagnosis falls back
+// to the largest absolute contributor and is flagged low-confidence.
+#pragma once
+
+#include <optional>
+
+#include "core/background.h"
+#include "net/topology.h"
+#include "sim/traceroute.h"
+
+namespace blameit::core {
+
+struct ActiveDiagnosis {
+  net::CloudLocationId location;
+  net::MiddleSegmentId middle;
+  bool probe_reached = false;
+  bool have_baseline = false;
+  /// The blamed AS (largest contribution increase; largest absolute
+  /// contribution when no baseline exists). Empty if the probe failed.
+  std::optional<net::AsId> culprit;
+  double culprit_increase_ms = 0.0;  ///< contribution delta vs baseline
+  sim::TracerouteResult probe;
+};
+
+class ActiveLocalizer {
+ public:
+  ActiveLocalizer(const net::Topology* topology, sim::TracerouteEngine* engine,
+                  const BaselineStore* baselines);
+
+  /// Probes `target_block` from `location` at `now` and localizes the
+  /// faulty AS on the issue's path. `issue_start`, when known (the passive
+  /// phase tracks when the badness run began), selects a baseline captured
+  /// BEFORE the incident — comparing against a mid-incident background
+  /// probe would hide the inflation.
+  [[nodiscard]] ActiveDiagnosis diagnose(
+      net::CloudLocationId location, net::MiddleSegmentId middle,
+      net::Slash24 target_block, util::MinuteTime now,
+      std::optional<util::MinuteTime> issue_start = std::nullopt);
+
+ private:
+  const net::Topology* topology_;
+  sim::TracerouteEngine* engine_;
+  const BaselineStore* baselines_;
+};
+
+}  // namespace blameit::core

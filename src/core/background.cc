@@ -1,0 +1,139 @@
+#include "core/background.h"
+
+#include <stdexcept>
+
+#include "core/prioritizer.h"
+#include "util/rng.h"
+
+namespace blameit::core {
+
+void BaselineStore::update(net::CloudLocationId location,
+                           net::MiddleSegmentId middle, Baseline baseline) {
+  auto& history = baselines_[middle_issue_key(location, middle)];
+  history.push_back(std::move(baseline));
+  if (history.size() > kHistory) {
+    history.erase(history.begin());
+  }
+}
+
+const Baseline* BaselineStore::get(net::CloudLocationId location,
+                                   net::MiddleSegmentId middle) const {
+  const auto it = baselines_.find(middle_issue_key(location, middle));
+  if (it == baselines_.end() || it->second.empty()) return nullptr;
+  return &it->second.back();
+}
+
+const Baseline* BaselineStore::get_before(net::CloudLocationId location,
+                                          net::MiddleSegmentId middle,
+                                          util::MinuteTime when) const {
+  const auto it = baselines_.find(middle_issue_key(location, middle));
+  if (it == baselines_.end() || it->second.empty()) return nullptr;
+  const Baseline* best = nullptr;
+  for (const auto& baseline : it->second) {  // oldest first
+    if (baseline.when < when) best = &baseline;
+  }
+  return best ? best : &it->second.front();
+}
+
+BackgroundProber::BackgroundProber(const net::Topology* topology,
+                                   sim::TracerouteEngine* engine,
+                                   BaselineStore* store, BlameItConfig config)
+    : topology_(topology), engine_(engine), store_(store), config_(config) {
+  if (!topology_ || !engine_ || !store_) {
+    throw std::invalid_argument{"BackgroundProber: null dependency"};
+  }
+  if (config_.background_period_minutes < util::kBucketMinutes) {
+    throw std::invalid_argument{
+        "BackgroundProber: period shorter than a bucket"};
+  }
+}
+
+void BackgroundProber::rebuild_targets(util::MinuteTime now) {
+  targets_.clear();
+  // One representative client /24 per ⟨location, middle segment⟩ under the
+  // routes currently installed. Phase-staggered by a hash so the fleet's
+  // periodic probes spread across the period instead of spiking together.
+  std::unordered_map<std::uint64_t, bool> seen;
+  for (const auto& loc : topology_->locations()) {
+    for (const auto& block : topology_->blocks()) {
+      const auto* route =
+          topology_->routing().route_for(loc.id, block.block, now);
+      if (!route) continue;
+      const auto key = middle_issue_key(loc.id, route->middle);
+      if (seen.emplace(key, true).second) {
+        targets_.push_back(Target{
+            .location = loc.id,
+            .middle = route->middle,
+            .block = block.block,
+            .phase_minutes = static_cast<int>(
+                util::hash_combine(key, 0x9E3779B9u) %
+                static_cast<std::uint64_t>(
+                    config_.background_period_minutes))});
+      }
+    }
+  }
+  targets_dirty_ = false;
+}
+
+void BackgroundProber::probe(const Target& target, util::MinuteTime now) {
+  const auto result = engine_->trace(target.location, target.block, now);
+  if (!result.reached) return;
+  store_->update(target.location, target.middle,
+                 Baseline{.when = now,
+                          .cloud_ms = result.cloud_ms,
+                          .contributions = result.contributions()});
+}
+
+int BackgroundProber::step(util::MinuteTime prev, util::MinuteTime now) {
+  if (now <= prev) return 0;
+  int probes = 0;
+
+  // Churn-triggered probes first: they also tell us the target list changed.
+  const auto churn = topology_->routing().churn_between(
+      prev.plus_minutes(1), now.plus_minutes(1));
+  if (!churn.empty()) targets_dirty_ = true;
+  if (targets_dirty_) rebuild_targets(now);
+
+  if (config_.churn_triggered_probes) {
+    for (const auto& event : churn) {
+      if (event.kind == net::ChurnKind::Announce &&
+          event.time == util::MinuteTime{0}) {
+        continue;  // initial table load, not real churn
+      }
+      if (!event.new_route) continue;
+      // Probe a /24 inside the affected prefix from the listening location.
+      const net::Slash24 block{event.prefix.network >> 8};
+      const auto result = engine_->trace(event.location, block, now);
+      ++probes;
+      if (result.reached) {
+        store_->update(event.location, event.new_route->middle,
+                       Baseline{.when = now,
+                                .cloud_ms = result.cloud_ms,
+                                .contributions = result.contributions()});
+      }
+    }
+  }
+
+  // Periodic probes whose phase fell inside (prev, now].
+  const int period = config_.background_period_minutes;
+  for (const auto& target : targets_) {
+    // Fire at every time T with T % period == phase, T in (prev, now].
+    std::int64_t t =
+        (prev.minutes / period) * period + target.phase_minutes;
+    while (t <= prev.minutes) t += period;
+    for (; t <= now.minutes; t += period) {
+      probe(target, util::MinuteTime{t});
+      ++probes;
+    }
+  }
+  return probes;
+}
+
+std::uint64_t BackgroundProber::periodic_probes_per_day() const {
+  const auto probes_per_target =
+      static_cast<std::uint64_t>(util::kMinutesPerDay /
+                                 config_.background_period_minutes);
+  return probes_per_target * targets_.size();
+}
+
+}  // namespace blameit::core

@@ -1,0 +1,90 @@
+// Background traceroutes and the per-AS baseline store (§5.4).
+//
+// Baselines — "what does each AS on this path normally contribute" — come
+// from infrequent periodic probes (default 2×/day per ⟨location, BGP path⟩,
+// phase-staggered so the fleet's probes spread over the day) plus probes
+// triggered by BGP churn events from the listener feed. The active phase
+// diffs incident-time traceroutes against these baselines.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "net/topology.h"
+#include "sim/traceroute.h"
+#include "util/time.h"
+
+namespace blameit::core {
+
+/// Last known healthy per-AS contributions for one ⟨location, BGP path⟩.
+struct Baseline {
+  util::MinuteTime when;
+  double cloud_ms = 0.0;
+  std::vector<std::pair<net::AsId, double>> contributions;
+};
+
+class BaselineStore {
+ public:
+  void update(net::CloudLocationId location, net::MiddleSegmentId middle,
+              Baseline baseline);
+
+  /// Most recent baseline for the path.
+  [[nodiscard]] const Baseline* get(net::CloudLocationId location,
+                                    net::MiddleSegmentId middle) const;
+
+  /// Newest baseline captured strictly BEFORE `when` — the §5.2 semantics:
+  /// the comparison point must predate the incident, or a background probe
+  /// taken during the fault would hide the inflation. Falls back to the
+  /// oldest retained baseline when all are newer than `when`.
+  [[nodiscard]] const Baseline* get_before(net::CloudLocationId location,
+                                           net::MiddleSegmentId middle,
+                                           util::MinuteTime when) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return baselines_.size(); }
+
+ private:
+  /// Bounded per-path history, oldest first.
+  static constexpr std::size_t kHistory = 8;
+  std::unordered_map<std::uint64_t, std::vector<Baseline>> baselines_;
+};
+
+class BackgroundProber {
+ public:
+  BackgroundProber(const net::Topology* topology,
+                   sim::TracerouteEngine* engine, BaselineStore* store,
+                   BlameItConfig config = {});
+
+  /// Advances background probing over (prev, now]: issues the periodic
+  /// probes whose phase falls due and, when enabled, probes for every BGP
+  /// churn event in the interval. Returns the number of probes issued.
+  int step(util::MinuteTime prev, util::MinuteTime now);
+
+  /// Number of periodic probes that a full day costs at the configured
+  /// cadence (for the §6.5 overhead accounting).
+  [[nodiscard]] std::uint64_t periodic_probes_per_day() const;
+
+ private:
+  struct Target {
+    net::CloudLocationId location;
+    net::MiddleSegmentId middle;
+    net::Slash24 block;
+    int phase_minutes = 0;  ///< stagger offset within the period
+  };
+
+  /// (Re)builds the per-⟨location, path⟩ representative target list from the
+  /// current routing state.
+  void rebuild_targets(util::MinuteTime now);
+
+  void probe(const Target& target, util::MinuteTime now);
+
+  const net::Topology* topology_;
+  sim::TracerouteEngine* engine_;
+  BaselineStore* store_;
+  BlameItConfig config_;
+  std::vector<Target> targets_;
+  bool targets_dirty_ = true;
+};
+
+}  // namespace blameit::core

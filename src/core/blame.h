@@ -1,0 +1,47 @@
+// Blame categories and per-quartet localization results — the output
+// vocabulary of Algorithm 1.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "analysis/quartet.h"
+#include "net/asn.h"
+
+namespace blameit::core {
+
+/// Coarse blame assigned to a bad quartet (§4.2, Algorithm 1).
+enum class Blame : std::uint8_t {
+  Cloud,         ///< the cloud's own network/servers at that location
+  Middle,        ///< some AS on the BGP path between cloud and client
+  Client,        ///< the client's ISP / last mile
+  Ambiguous,     ///< the /24 saw good RTT to another location simultaneously
+  Insufficient,  ///< too few quartets in the relevant group to decide
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Blame b) noexcept {
+  switch (b) {
+    case Blame::Cloud: return "cloud";
+    case Blame::Middle: return "middle";
+    case Blame::Client: return "client";
+    case Blame::Ambiguous: return "ambiguous";
+    case Blame::Insufficient: return "insufficient";
+  }
+  return "?";
+}
+
+inline constexpr std::array<Blame, 5> kAllBlames = {
+    Blame::Cloud, Blame::Middle, Blame::Client, Blame::Ambiguous,
+    Blame::Insufficient};
+
+/// Localization result for one bad quartet.
+struct BlameResult {
+  analysis::Quartet quartet;
+  Blame blame{};
+  /// The faulty AS when the passive phase alone pins it down: the cloud AS
+  /// for Cloud blames, the client AS for Client blames. Middle blames leave
+  /// this empty until the active phase runs (§5).
+  std::optional<net::AsId> faulty_as;
+};
+
+}  // namespace blameit::core

@@ -1,0 +1,49 @@
+// Tunables of the BlameIt fault localizer, with the paper's deployed values
+// as defaults.
+#pragma once
+
+#include <cstdint>
+
+namespace blameit::core {
+
+struct BlameItConfig {
+  /// Bad-fraction threshold τ for blaming a cloud node or middle segment
+  /// (§4.2: "we set τ = 0.8 and it works well in practice").
+  double tau = 0.8;
+
+  /// Minimum quartets a group needs before its bad fraction is trusted
+  /// (Algorithm 1 lines 10/14: "Num-Quartets[...] <= 5 → insufficient").
+  int min_group_quartets = 5;
+
+  /// Days of history behind each expected-RTT median (§4.3).
+  int expected_rtt_window_days = 14;
+
+  /// How often the passive job runs (§6.1: every 15 minutes).
+  int cadence_minutes = 15;
+
+  /// On-demand traceroutes permitted per cadence interval across the fleet
+  /// (§5.3's probing budget).
+  int probe_budget_per_run = 10;
+
+  /// Background traceroute period per ⟨location, BGP path⟩ (§5.4: two per
+  /// day → 720 minutes).
+  int background_period_minutes = 12 * 60;
+
+  /// Whether BGP-churn events trigger extra background probes (§5.4).
+  bool churn_triggered_probes = true;
+
+  /// Days of per-bucket history for the impacted-client predictor (§5.3:
+  /// "average ... in the same time window in the past 3 days").
+  int client_predictor_days = 3;
+
+  /// Cap (in 5-min buckets) on the duration predictor's expected-remaining
+  /// sum, i.e. T_max in Σ P(T|t)·T (§5.3).
+  int duration_horizon_buckets = 48;  // 4 hours
+
+  /// RTT samples per active client, used to estimate affected users from
+  /// quartet sample volumes (production counts distinct IPs; the sample
+  /// volume is a proportional proxy).
+  double samples_per_client_estimate = 2.5;
+};
+
+}  // namespace blameit::core

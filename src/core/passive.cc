@@ -1,0 +1,145 @@
+#include "core/passive.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace blameit::core {
+
+namespace {
+
+struct GroupStats {
+  int quartets = 0;
+  int bad_vs_expected = 0;  ///< quartets whose mean exceeds the expected RTT
+
+  [[nodiscard]] double bad_fraction() const noexcept {
+    return quartets == 0
+               ? 0.0
+               : static_cast<double>(bad_vs_expected) / quartets;
+  }
+};
+
+std::uint64_t cloud_group(const analysis::Quartet& q) noexcept {
+  return (std::uint64_t{q.key.location.value} << 8) |
+         static_cast<std::uint64_t>(q.key.device);
+}
+
+std::uint64_t middle_group(const analysis::Quartet& q) noexcept {
+  return (std::uint64_t{1} << 62) |
+         (std::uint64_t{q.key.location.value} << 40) |
+         (std::uint64_t{q.middle.value} << 8) |
+         static_cast<std::uint64_t>(q.key.device);
+}
+
+}  // namespace
+
+PassiveLocalizer::PassiveLocalizer(
+    const net::Topology* topology,
+    const analysis::ExpectedRttLearner* learner, BlameItConfig config)
+    : topology_(topology), learner_(learner), config_(config) {
+  if (!topology_ || !learner_) {
+    throw std::invalid_argument{"PassiveLocalizer: null dependency"};
+  }
+  if (config_.tau <= 0.0 || config_.tau > 1.0 ||
+      config_.min_group_quartets < 1) {
+    throw std::invalid_argument{"BlameItConfig: invalid tau or min quartets"};
+  }
+}
+
+double PassiveLocalizer::comparison_rtt(analysis::ExpectedRttKey key, int day,
+                                        net::Region region,
+                                        net::DeviceClass device) const {
+  // Prefer the learned 14-day median; before history accrues, fall back to
+  // the region target (deployment bootstrap; also exercised by the
+  // expected-RTT ablation bench).
+  const auto learned = learner_->expected(key, day);
+  return learned ? *learned : thresholds_.threshold(region, device);
+}
+
+std::vector<BlameResult> PassiveLocalizer::localize(
+    std::span<const analysis::Quartet> quartets, int day) const {
+  // Pass 1: group statistics against the learned expected RTTs, plus the
+  // per-/24 "good somewhere else" sets for the ambiguity rule.
+  std::unordered_map<std::uint64_t, GroupStats> groups;
+  // block -> locations where it saw a *good* (below threshold) quartet.
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint16_t>>
+      good_locations;
+  // Cache comparison RTTs per group so the learner is consulted once.
+  std::unordered_map<std::uint64_t, double> comparison_cache;
+
+  for (const auto& q : quartets) {
+    const auto ck = cloud_group(q);
+    const auto mk = middle_group(q);
+
+    const auto cloud_cmp = [&] {
+      const auto it = comparison_cache.find(ck);
+      if (it != comparison_cache.end()) return it->second;
+      const double v =
+          comparison_rtt(analysis::cloud_key(q.key.location, q.key.device),
+                         day, q.region, q.key.device);
+      comparison_cache.emplace(ck, v);
+      return v;
+    }();
+    const auto middle_cmp = [&] {
+      const auto it = comparison_cache.find(mk);
+      if (it != comparison_cache.end()) return it->second;
+      const double v = comparison_rtt(
+          analysis::middle_key(q.key.location, q.middle, q.key.device), day,
+          q.region, q.key.device);
+      comparison_cache.emplace(mk, v);
+      return v;
+    }();
+
+    // §4.2 subtlety: fractions count quartets, NOT RTT samples — a handful
+    // of high-volume "good" /24s must not mask widespread badness.
+    auto& cg = groups[ck];
+    ++cg.quartets;
+    cg.bad_vs_expected += q.mean_rtt_ms > cloud_cmp;
+
+    auto& mg = groups[mk];
+    ++mg.quartets;
+    mg.bad_vs_expected += q.mean_rtt_ms > middle_cmp;
+
+    if (!q.bad) {
+      good_locations[q.key.block.block].insert(q.key.location.value);
+    }
+  }
+
+  // Pass 2: hierarchical blame per bad quartet.
+  std::vector<BlameResult> results;
+  for (const auto& q : quartets) {
+    if (!q.bad) continue;
+    BlameResult result;
+    result.quartet = q;
+
+    const auto& cg = groups[cloud_group(q)];
+    const auto& mg = groups[middle_group(q)];
+
+    if (cg.quartets <= config_.min_group_quartets) {
+      result.blame = Blame::Insufficient;
+    } else if (cg.bad_fraction() >= config_.tau) {
+      result.blame = Blame::Cloud;
+      result.faulty_as = topology_->cloud_as();
+    } else if (mg.quartets <= config_.min_group_quartets) {
+      result.blame = Blame::Insufficient;
+    } else if (mg.bad_fraction() >= config_.tau) {
+      result.blame = Blame::Middle;  // active phase refines to an AS
+    } else {
+      const auto it = good_locations.find(q.key.block.block);
+      const bool good_elsewhere =
+          it != good_locations.end() &&
+          (it->second.size() > 1 ||
+           !it->second.contains(q.key.location.value));
+      if (good_elsewhere) {
+        result.blame = Blame::Ambiguous;
+      } else {
+        result.blame = Blame::Client;
+        result.faulty_as = q.client_as;
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace blameit::core

@@ -1,0 +1,53 @@
+// Algorithm 1 — coarse-grained fault localization from passive RTT data.
+//
+// Hierarchical elimination over one 5-minute bucket of quartets: start with
+// the cloud node (richest aggregate), fall through to the middle BGP path,
+// then the client, emitting "insufficient" when a group is too thin and
+// "ambiguous" when the same /24 simultaneously saw good RTT at another
+// location. Bad fractions compare against the *learned* expected RTTs
+// (14-day medians), not the badness thresholds — §4.3 explains why.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/expected_rtt.h"
+#include "analysis/quartet.h"
+#include "core/blame.h"
+#include "core/config.h"
+#include "net/topology.h"
+
+namespace blameit::core {
+
+class PassiveLocalizer {
+ public:
+  PassiveLocalizer(const net::Topology* topology,
+                   const analysis::ExpectedRttLearner* learner,
+                   BlameItConfig config = {});
+
+  /// Runs Algorithm 1 over one bucket's quartets (good and bad; the good
+  /// ones shape the group fractions and the ambiguity signal). Returns one
+  /// BlameResult per *bad* quartet. `day` selects the learner's history
+  /// window.
+  [[nodiscard]] std::vector<BlameResult> localize(
+      std::span<const analysis::Quartet> quartets, int day) const;
+
+  /// The comparison value used for group bad-fractions: the learned expected
+  /// RTT when history exists, else the badness threshold (bootstrap
+  /// fallback). Exposed for tests and the ablation bench.
+  [[nodiscard]] double comparison_rtt(analysis::ExpectedRttKey key, int day,
+                                      net::Region region,
+                                      net::DeviceClass device) const;
+
+  [[nodiscard]] const BlameItConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  const net::Topology* topology_;
+  const analysis::ExpectedRttLearner* learner_;
+  BlameItConfig config_;
+  analysis::BadnessThresholds thresholds_;
+};
+
+}  // namespace blameit::core

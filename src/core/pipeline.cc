@@ -1,0 +1,149 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+namespace blameit::core {
+
+BlameItPipeline::BlameItPipeline(const net::Topology* topology,
+                                 sim::TracerouteEngine* engine,
+                                 QuartetSource source, BlameItConfig config)
+    : topology_(topology),
+      engine_(engine),
+      source_(std::move(source)),
+      config_(config),
+      learner_(analysis::ExpectedRttConfig{
+          .window_days = config.expected_rtt_window_days,
+          .reservoir_per_day = 256}),
+      passive_(topology, &learner_, config),
+      durations_(config.duration_horizon_buckets),
+      clients_(config.client_predictor_days),
+      background_(topology, engine, &baselines_, config),
+      active_(topology, engine, &baselines_) {
+  if (!topology_ || !engine_ || !source_) {
+    throw std::invalid_argument{"BlameItPipeline: null dependency"};
+  }
+  if (config_.cadence_minutes < util::kBucketMinutes ||
+      config_.probe_budget_per_run < 0) {
+    throw std::invalid_argument{"BlameItConfig: invalid cadence or budget"};
+  }
+}
+
+void BlameItPipeline::learn_from(
+    const std::vector<analysis::Quartet>& quartets, util::TimeBucket bucket) {
+  const int day = bucket.day();
+  // Expected-RTT learning: every quartet's mean teaches both its cloud-node
+  // group and its BGP-path group.
+  for (const auto& q : quartets) {
+    learner_.observe(analysis::cloud_key(q.key.location, q.key.device), day,
+                     q.mean_rtt_ms);
+    learner_.observe(
+        analysis::middle_key(q.key.location, q.middle, q.key.device), day,
+        q.mean_rtt_ms);
+  }
+  // Client-volume learning per ⟨location, BGP path⟩.
+  std::unordered_map<std::uint64_t, double> users;
+  for (const auto& q : quartets) {
+    users[middle_issue_key(q.key.location, q.middle)] +=
+        q.sample_count / config_.samples_per_client_estimate;
+  }
+  for (const auto& [key, volume] : users) {
+    clients_.observe(key, bucket, volume);
+  }
+  if (day != last_evict_day_) {
+    learner_.evict_stale(day);
+    clients_.evict_stale(day);
+    last_evict_day_ = day;
+  }
+}
+
+void BlameItPipeline::warmup_bucket(util::TimeBucket bucket) {
+  learn_from(source_(bucket), bucket);
+  if (bucket >= next_bucket_) {
+    next_bucket_ = bucket.next();
+    last_step_ = bucket.next().start();
+  }
+}
+
+StepReport BlameItPipeline::step(util::MinuteTime now) {
+  StepReport report;
+  report.now = now;
+
+  std::vector<analysis::Quartet> latest_quartets;
+  std::vector<BlameResult> latest_blames;
+  util::TimeBucket bucket = next_bucket_;
+  for (; bucket.next().start() <= now; bucket = bucket.next()) {
+    auto quartets = source_(bucket);
+    learn_from(quartets, bucket);
+    auto blames = passive_.localize(quartets, bucket.day());
+
+    // Middle-issue run tracking for the duration predictor.
+    std::unordered_map<std::uint64_t, bool> bad_now;
+    for (const auto& b : blames) {
+      if (b.blame == Blame::Middle) {
+        bad_now[middle_issue_key(b.quartet.key.location, b.quartet.middle)] =
+            true;
+      }
+    }
+    for (auto it = open_runs_.begin(); it != open_runs_.end();) {
+      if (bad_now.contains(it->first)) {
+        // Still bad: extend below (erase from bad_now to mark handled).
+        it->second.last = bucket;
+        ++it->second.length;
+        bad_now.erase(it->first);
+        ++it;
+      } else {
+        durations_.record_duration(it->first, it->second.length);
+        it = open_runs_.erase(it);
+      }
+    }
+    for (const auto& [key, flag] : bad_now) {
+      open_runs_.emplace(key, OpenRun{.last = bucket, .length = 1});
+    }
+
+    ++report.buckets_processed;
+    report.blames.insert(report.blames.end(), blames.begin(), blames.end());
+    latest_quartets = std::move(quartets);
+    latest_blames = std::move(blames);
+  }
+  next_bucket_ = bucket;
+
+  // Active phase over the newest bucket's middle issues.
+  if (!latest_blames.empty()) {
+    auto issues = collect_middle_issues(latest_blames,
+                                        config_.samples_per_client_estimate);
+    for (auto& issue : issues) {
+      const auto it =
+          open_runs_.find(middle_issue_key(issue.location, issue.middle));
+      if (it != open_runs_.end()) issue.elapsed_buckets = it->second.length;
+    }
+    const ProbePrioritizer prioritizer{&durations_, &clients_};
+    report.ranked_issues =
+        prioritizer.rank(std::move(issues), bucket.prev());
+    const auto budget =
+        static_cast<std::size_t>(config_.probe_budget_per_run);
+    for (std::size_t i = 0;
+         i < report.ranked_issues.size() && i < budget; ++i) {
+      const auto& issue = report.ranked_issues[i];
+      // The open run tells us when the badness began: the diagnosis must
+      // compare against a baseline predating it.
+      std::optional<util::MinuteTime> issue_start;
+      const auto rit =
+          open_runs_.find(middle_issue_key(issue.location, issue.middle));
+      if (rit != open_runs_.end()) {
+        issue_start = util::TimeBucket{rit->second.last.index -
+                                       rit->second.length + 1}
+                          .start();
+      }
+      report.diagnoses.push_back(
+          active_.diagnose(issue.location, issue.middle,
+                           issue.representative_block, now, issue_start));
+      ++report.on_demand_probes;
+    }
+  }
+
+  report.background_probes = background_.step(last_step_, now);
+  last_step_ = now;
+  return report;
+}
+
+}  // namespace blameit::core

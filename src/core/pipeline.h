@@ -1,0 +1,112 @@
+// The end-to-end BlameIt workflow (§3.3, Fig 7): every cadence interval,
+// pull the new quartets, learn expected RTTs, run Algorithm 1, track
+// middle-segment incident runs, rank them by client-time product, spend the
+// traceroute budget on the top issues, and keep background baselines fresh.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "analysis/expected_rtt.h"
+#include "analysis/quartet.h"
+#include "core/active.h"
+#include "core/background.h"
+#include "core/blame.h"
+#include "core/config.h"
+#include "core/passive.h"
+#include "core/predictors.h"
+#include "core/prioritizer.h"
+#include "net/topology.h"
+#include "sim/traceroute.h"
+
+namespace blameit::core {
+
+/// Everything one pipeline step produced; benches and the ops alerting layer
+/// consume this.
+struct StepReport {
+  util::MinuteTime now;
+  int buckets_processed = 0;
+  /// Per-bad-quartet blame results across the step's buckets.
+  std::vector<BlameResult> blames;
+  /// Middle issues of the newest bucket, ranked by client-time product.
+  std::vector<MiddleIssue> ranked_issues;
+  /// Active diagnoses for the top issues within the probe budget.
+  std::vector<ActiveDiagnosis> diagnoses;
+  int on_demand_probes = 0;
+  int background_probes = 0;
+
+  [[nodiscard]] int count(Blame b) const noexcept {
+    int n = 0;
+    for (const auto& result : blames) n += result.blame == b;
+    return n;
+  }
+};
+
+class BlameItPipeline {
+ public:
+  /// Supplies the finalized quartets of one bucket (the analytics-cluster
+  /// feed). The pipeline owns nothing upstream of this.
+  using QuartetSource =
+      std::function<std::vector<analysis::Quartet>(util::TimeBucket)>;
+
+  BlameItPipeline(const net::Topology* topology,
+                  sim::TracerouteEngine* engine, QuartetSource source,
+                  BlameItConfig config = {});
+
+  /// Processes all buckets whose window closed in (last step, now]. Call at
+  /// the configured cadence (15 min ⇒ 3 buckets per step).
+  StepReport step(util::MinuteTime now);
+
+  // Component access (benches, tests, ablations).
+  [[nodiscard]] const analysis::ExpectedRttLearner& learner() const noexcept {
+    return learner_;
+  }
+  [[nodiscard]] const DurationPredictor& durations() const noexcept {
+    return durations_;
+  }
+  [[nodiscard]] const ClientVolumePredictor& clients() const noexcept {
+    return clients_;
+  }
+  [[nodiscard]] const BaselineStore& baselines() const noexcept {
+    return baselines_;
+  }
+  [[nodiscard]] const BlameItConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Feed a bucket's quartets into the learner/predictors WITHOUT running
+  /// localization or probing — used to warm up history cheaply before the
+  /// evaluation window.
+  void warmup_bucket(util::TimeBucket bucket);
+
+ private:
+  void learn_from(const std::vector<analysis::Quartet>& quartets,
+                  util::TimeBucket bucket);
+
+  const net::Topology* topology_;
+  sim::TracerouteEngine* engine_;
+  QuartetSource source_;
+  BlameItConfig config_;
+
+  analysis::ExpectedRttLearner learner_;
+  PassiveLocalizer passive_;
+  DurationPredictor durations_;
+  ClientVolumePredictor clients_;
+  BaselineStore baselines_;
+  BackgroundProber background_;
+  ActiveLocalizer active_;
+
+  // Open middle-issue runs: key -> (last bucket seen bad, run length).
+  struct OpenRun {
+    util::TimeBucket last;
+    int length = 0;
+  };
+  std::unordered_map<std::uint64_t, OpenRun> open_runs_;
+
+  util::TimeBucket next_bucket_{0};
+  util::MinuteTime last_step_{0};
+  int last_evict_day_ = -1;
+};
+
+}  // namespace blameit::core

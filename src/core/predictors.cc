@@ -1,0 +1,128 @@
+#include "core/predictors.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blameit::core {
+
+DurationPredictor::DurationPredictor(int horizon_buckets)
+    : horizon_(horizon_buckets) {
+  if (horizon_ < 1) {
+    throw std::invalid_argument{"DurationPredictor: horizon must be >= 1"};
+  }
+}
+
+void DurationPredictor::record_duration(std::uint64_t key,
+                                        int duration_buckets) {
+  if (duration_buckets < 1) {
+    throw std::invalid_argument{"DurationPredictor: duration must be >= 1"};
+  }
+  per_key_[key].push_back(duration_buckets);
+  global_.push_back(duration_buckets);
+}
+
+const std::vector<int>& DurationPredictor::pool_for(std::uint64_t key) const {
+  const auto it = per_key_.find(key);
+  if (it != per_key_.end() && it->second.size() >= kMinKeyHistory) {
+    return it->second;
+  }
+  return global_;
+}
+
+double DurationPredictor::expected_remaining_from(
+    const std::vector<int>& durations, int elapsed, int horizon) {
+  // An issue observed bad for `elapsed` buckets is consistent with any total
+  // duration D >= elapsed (it may end exactly now). Then
+  //   E[T_extra | D >= elapsed] = Σ_{T=1..horizon} P(D >= elapsed+T | D >=
+  //   elapsed)
+  // — the paper's Σ P(T|t)·T written as a survival sum.
+  std::size_t alive = 0;
+  for (const int d : durations) alive += d >= elapsed;
+  if (alive == 0) return 1.0;  // outlasted all precedent: assume one more
+  double expected = 0.0;
+  for (int extra = 1; extra <= horizon; ++extra) {
+    std::size_t surviving = 0;
+    for (const int d : durations) surviving += d >= elapsed + extra;
+    expected += static_cast<double>(surviving) / static_cast<double>(alive);
+    if (surviving == 0) break;
+  }
+  return expected;
+}
+
+double DurationPredictor::expected_remaining(std::uint64_t key,
+                                             int elapsed_buckets) const {
+  if (elapsed_buckets < 1) elapsed_buckets = 1;
+  const auto& pool = pool_for(key);
+  if (pool.empty()) return 1.0;
+  return expected_remaining_from(pool, elapsed_buckets, horizon_);
+}
+
+double DurationPredictor::conditional_survival(std::uint64_t key,
+                                               int elapsed_buckets,
+                                               int extra_buckets) const {
+  const auto& pool = pool_for(key);
+  std::size_t alive = 0;
+  std::size_t surviving = 0;
+  for (const int d : pool) {
+    alive += d >= elapsed_buckets;
+    surviving += d >= elapsed_buckets + extra_buckets;
+  }
+  if (alive == 0) return 0.0;
+  return static_cast<double>(surviving) / static_cast<double>(alive);
+}
+
+std::size_t DurationPredictor::history_count(std::uint64_t key) const {
+  const auto it = per_key_.find(key);
+  return it == per_key_.end() ? 0 : it->second.size();
+}
+
+ClientVolumePredictor::ClientVolumePredictor(int window_days)
+    : window_days_(window_days) {
+  if (window_days_ < 1) {
+    throw std::invalid_argument{"ClientVolumePredictor: window must be >= 1"};
+  }
+}
+
+void ClientVolumePredictor::observe(std::uint64_t key, util::TimeBucket bucket,
+                                    double users) {
+  auto& slot = data_[key][bucket.bucket_of_day()];
+  if (!slot.history.empty() && slot.history.back().first == bucket.day()) {
+    // Multiple observations within one bucket (e.g. re-feeds): keep the max.
+    slot.history.back().second = std::max(slot.history.back().second, users);
+    return;
+  }
+  slot.history.emplace_back(bucket.day(), users);
+  while (slot.history.size() >
+         static_cast<std::size_t>(window_days_ + 1)) {
+    slot.history.pop_front();
+  }
+}
+
+double ClientVolumePredictor::predict(std::uint64_t key,
+                                      util::TimeBucket bucket) const {
+  const auto kit = data_.find(key);
+  if (kit == data_.end()) return 0.0;
+  const auto sit = kit->second.find(bucket.bucket_of_day());
+  if (sit == kit->second.end()) return 0.0;
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& [day, users] : sit->second.history) {
+    if (day >= bucket.day() || day < bucket.day() - window_days_) continue;
+    sum += users;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+void ClientVolumePredictor::evict_stale(int current_day) {
+  for (auto& [key, slots] : data_) {
+    for (auto& [bod, slot] : slots) {
+      while (!slot.history.empty() &&
+             slot.history.front().first < current_day - window_days_) {
+        slot.history.pop_front();
+      }
+    }
+  }
+}
+
+}  // namespace blameit::core

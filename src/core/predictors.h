@@ -1,0 +1,82 @@
+// Predictors behind the client-time product (§5.3):
+//  - DurationPredictor: from historical incident durations, the expected
+//    additional duration of an ongoing issue given it has lasted t so far
+//    (Σ_T P(T|t)·T with T in 5-minute increments), and
+//  - ClientVolumePredictor: expected active clients on a BGP path, the mean
+//    of the same 5-minute window over the past few days (which the paper
+//    found beats recent-history extrapolation).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace blameit::core {
+
+class DurationPredictor {
+ public:
+  /// `horizon_buckets` caps the expected-remaining sum (T_max).
+  explicit DurationPredictor(int horizon_buckets = 48);
+
+  /// Records a closed incident's total duration (in 5-min buckets) for an
+  /// aggregate key (packed ⟨location, BGP path⟩).
+  void record_duration(std::uint64_t key, int duration_buckets);
+
+  /// E[T_extra | lasted elapsed_buckets], in buckets. Uses the key's own
+  /// duration history when it has enough closed incidents, else the global
+  /// pool across keys; with no history at all, returns a prior of one
+  /// bucket (optimistically short — most issues are fleeting, §2.3).
+  [[nodiscard]] double expected_remaining(std::uint64_t key,
+                                          int elapsed_buckets) const;
+
+  /// P(duration > elapsed + extra | duration > elapsed) from the pool that
+  /// would be used for `key`. Exposed for tests.
+  [[nodiscard]] double conditional_survival(std::uint64_t key,
+                                            int elapsed_buckets,
+                                            int extra_buckets) const;
+
+  [[nodiscard]] std::size_t history_count(std::uint64_t key) const;
+
+ private:
+  [[nodiscard]] const std::vector<int>& pool_for(std::uint64_t key) const;
+  [[nodiscard]] static double expected_remaining_from(
+      const std::vector<int>& durations, int elapsed, int horizon);
+
+  int horizon_;
+  std::unordered_map<std::uint64_t, std::vector<int>> per_key_;
+  std::vector<int> global_;
+  /// Minimum closed incidents before a key's own history is trusted.
+  static constexpr std::size_t kMinKeyHistory = 8;
+};
+
+class ClientVolumePredictor {
+ public:
+  /// `window_days` is how many past days contribute (§5.3 uses 3).
+  explicit ClientVolumePredictor(int window_days = 3);
+
+  /// Records the observed active clients for `key` in `bucket` (fed every
+  /// bucket, incident or not).
+  void observe(std::uint64_t key, util::TimeBucket bucket, double users);
+
+  /// Mean users for the same bucket-of-day over the past window_days days;
+  /// 0 when no history. Excludes the current day.
+  [[nodiscard]] double predict(std::uint64_t key,
+                               util::TimeBucket bucket) const;
+
+  /// Drops observations older than the window (call once per day).
+  void evict_stale(int current_day);
+
+ private:
+  struct Slot {
+    // (day, users) pairs for one bucket-of-day, most recent last.
+    std::deque<std::pair<int, double>> history;
+  };
+  int window_days_;
+  // key -> bucket_of_day -> history
+  std::unordered_map<std::uint64_t, std::unordered_map<int, Slot>> data_;
+};
+
+}  // namespace blameit::core

@@ -1,0 +1,76 @@
+#include "core/prioritizer.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace blameit::core {
+
+std::vector<MiddleIssue> collect_middle_issues(
+    std::span<const BlameResult> results, double samples_per_client) {
+  if (samples_per_client <= 0.0) {
+    throw std::invalid_argument{
+        "collect_middle_issues: samples_per_client must be > 0"};
+  }
+  std::unordered_map<std::uint64_t, MiddleIssue> issues;
+  for (const auto& result : results) {
+    if (result.blame != Blame::Middle) continue;
+    const auto& q = result.quartet;
+    const auto key = middle_issue_key(q.key.location, q.middle);
+    auto [it, inserted] = issues.try_emplace(key);
+    MiddleIssue& issue = it->second;
+    if (inserted) {
+      issue.location = q.key.location;
+      issue.middle = q.middle;
+      issue.representative_block = q.key.block;
+    }
+    issue.observed_users += q.sample_count / samples_per_client;
+  }
+  std::vector<MiddleIssue> out;
+  out.reserve(issues.size());
+  for (auto& [key, issue] : issues) out.push_back(std::move(issue));
+  // Deterministic order before ranking.
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return middle_issue_key(a.location, a.middle) <
+           middle_issue_key(b.location, b.middle);
+  });
+  return out;
+}
+
+ProbePrioritizer::ProbePrioritizer(const DurationPredictor* durations,
+                                   const ClientVolumePredictor* clients)
+    : durations_(durations), clients_(clients) {
+  if (!durations_ || !clients_) {
+    throw std::invalid_argument{"ProbePrioritizer: null predictor"};
+  }
+}
+
+std::vector<MiddleIssue> ProbePrioritizer::rank(
+    std::vector<MiddleIssue> issues, util::TimeBucket bucket) const {
+  for (auto& issue : issues) {
+    const auto key = middle_issue_key(issue.location, issue.middle);
+    // The issue is live at ranking time, so at least the rest of the
+    // current bucket remains even when history says "ends immediately" —
+    // without this floor, fleeting-history noise zeroes every fresh issue's
+    // priority and the budget can't tie-break them by user impact.
+    issue.predicted_remaining_buckets = std::max(
+        0.5, durations_->expected_remaining(key, issue.elapsed_buckets));
+    const double predicted = clients_->predict(key, bucket);
+    // Fall back to what we see right now when the path has no history.
+    issue.predicted_users =
+        predicted > 0.0 ? predicted : issue.observed_users;
+    issue.client_time_product =
+        issue.predicted_remaining_buckets * issue.predicted_users;
+  }
+  std::sort(issues.begin(), issues.end(), [](const MiddleIssue& a,
+                                             const MiddleIssue& b) {
+    if (a.client_time_product != b.client_time_product) {
+      return a.client_time_product > b.client_time_product;
+    }
+    return middle_issue_key(a.location, a.middle) <
+           middle_issue_key(b.location, b.middle);
+  });
+  return issues;
+}
+
+}  // namespace blameit::core

@@ -1,0 +1,60 @@
+// Impact-proportional probe budgeting (§3.2, §5.3): middle-segment issues
+// are ranked by their predicted client-time product — expected remaining
+// duration × expected clients on the path — and only the top issues within
+// the traceroute budget get on-demand probes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/blame.h"
+#include "core/predictors.h"
+#include "net/bgp.h"
+#include "net/cloud.h"
+
+namespace blameit::core {
+
+/// Packed aggregate key for a ⟨cloud location, BGP path⟩ tuple.
+[[nodiscard]] constexpr std::uint64_t middle_issue_key(
+    net::CloudLocationId location, net::MiddleSegmentId middle) noexcept {
+  return (std::uint64_t{location.value} << 32) | middle.value;
+}
+
+/// One middle-segment issue aggregated from a bucket's Middle blames.
+struct MiddleIssue {
+  net::CloudLocationId location;
+  net::MiddleSegmentId middle;
+  /// A client /24 on the path, used as the traceroute target.
+  net::Slash24 representative_block;
+  /// Users affected in the current bucket (from quartet sample volumes).
+  double observed_users = 0.0;
+  /// How long the issue has been running, in buckets (incident tracking).
+  int elapsed_buckets = 1;
+
+  // Filled by the prioritizer:
+  double predicted_remaining_buckets = 0.0;
+  double predicted_users = 0.0;
+  double client_time_product = 0.0;
+};
+
+/// Groups Middle blame results into per-⟨location, BGP path⟩ issues.
+/// `users_of` converts a quartet to its user estimate.
+[[nodiscard]] std::vector<MiddleIssue> collect_middle_issues(
+    std::span<const BlameResult> results, double samples_per_client);
+
+class ProbePrioritizer {
+ public:
+  ProbePrioritizer(const DurationPredictor* durations,
+                   const ClientVolumePredictor* clients);
+
+  /// Scores every issue's client-time product and returns them ranked
+  /// descending; callers take the top `budget`.
+  [[nodiscard]] std::vector<MiddleIssue> rank(std::vector<MiddleIssue> issues,
+                                              util::TimeBucket bucket) const;
+
+ private:
+  const DurationPredictor* durations_;
+  const ClientVolumePredictor* clients_;
+};
+
+}  // namespace blameit::core

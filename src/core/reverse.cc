@@ -1,0 +1,94 @@
+#include "core/reverse.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace blameit::core {
+
+SimulatedClientProber::SimulatedClientProber(const net::Topology* topology,
+                                             const sim::RttModel* model,
+                                             sim::TracerouteConfig config)
+    : topology_(topology), model_(model), config_(config) {
+  if (!topology_ || !model_) {
+    throw std::invalid_argument{"SimulatedClientProber: null dependency"};
+  }
+}
+
+sim::TracerouteResult SimulatedClientProber::trace(
+    net::Slash24 block, net::CloudLocationId location,
+    util::MinuteTime when) {
+  accountant_.record(location, when);
+
+  sim::TracerouteResult result;
+  result.from = location;
+  result.target = block;
+  result.time = when;
+
+  const auto* cb = topology_->find_block(block);
+  const auto* route =
+      cb ? topology_->routing().route_for(location, block, when) : nullptr;
+  if (!cb || !route) {
+    result.reached = false;
+    return result;
+  }
+
+  // The reverse path re-traverses the same ASes in opposite order (our
+  // simulated internet is symmetric; real asymmetry would come from a
+  // second routing table, which the interface already permits).
+  const auto breakdown = model_->breakdown(
+      location, *route, *cb, net::DeviceClass::NonMobile, when);
+
+  util::Rng rng{util::hash_combine(
+      config_.seed ^ 0x4E5u,
+      util::hash_combine(static_cast<std::uint64_t>(when.minutes),
+                         util::hash_combine(location.value, block.block)))};
+  auto noisy = [&](double ms) {
+    return ms * rng.lognormal(0.0, config_.hop_noise_sigma);
+  };
+
+  // Client-side view: the "cloud_ms" slot holds the client's own access
+  // segment (the part before the first responding external hop), then the
+  // middle ASes appear nearest-first, ending at the cloud AS.
+  result.cloud_ms = noisy(breakdown.client_ms);
+  double cumulative = result.cloud_ms;
+  const auto middle = route->middle_ases();
+  for (std::size_t i = middle.size(); i-- > 0;) {
+    cumulative += noisy(breakdown.middle_ms[i]);
+    result.hops.push_back(sim::TracerouteHop{middle[i], cumulative});
+  }
+  cumulative += noisy(breakdown.cloud_ms);
+  result.hops.push_back(sim::TracerouteHop{route->cloud_as(), cumulative});
+  result.reached = true;
+  return result;
+}
+
+DualViewDiagnosis diagnose_dual(ActiveLocalizer& forward,
+                                ReverseProbeSource& reverse,
+                                net::CloudLocationId location,
+                                net::MiddleSegmentId middle,
+                                net::Slash24 target_block,
+                                util::MinuteTime now,
+                                std::optional<util::MinuteTime> issue_start) {
+  DualViewDiagnosis dual;
+  dual.forward =
+      forward.diagnose(location, middle, target_block, now, issue_start);
+
+  const auto probe = reverse.trace(target_block, location, now);
+  dual.reverse_reached = probe.reached;
+  if (probe.reached) {
+    double best = 0.0;
+    for (const auto& [as, ms] : probe.contributions()) {
+      if (ms > best) {
+        best = ms;
+        dual.reverse_dominant = as;
+      }
+    }
+  }
+  dual.corroborated = dual.forward.culprit && dual.reverse_dominant &&
+                      *dual.forward.culprit == *dual.reverse_dominant;
+  return dual;
+}
+
+}  // namespace blameit::core

@@ -1,0 +1,78 @@
+// Reverse-path probing extension (§5.1).
+//
+// Internet routing is asymmetric: the forward (cloud→client) and reverse
+// (client→cloud) paths can differ, and BlameIt's deployed active phase only
+// probes forward. The paper notes Azure's rich clients (the Odin fleet)
+// could be coordinated to traceroute the reverse direction. This header is
+// that integration point: an abstract ReverseProbeSource, a simulated
+// client-side prober over the same network model, and a corroboration
+// helper that cross-checks a forward diagnosis against the reverse view.
+#pragma once
+
+#include <optional>
+
+#include "core/active.h"
+#include "net/topology.h"
+#include "sim/rtt_model.h"
+#include "sim/traceroute.h"
+
+namespace blameit::core {
+
+/// Source of client→cloud traceroutes. Implementations may be real client
+/// agents (production) or simulators (this repo).
+class ReverseProbeSource {
+ public:
+  virtual ~ReverseProbeSource() = default;
+
+  /// Issues one reverse traceroute from a host in `block` toward
+  /// `location`. Hops are in travel order from the client: first the middle
+  /// ASes nearest the client, last the cloud AS.
+  [[nodiscard]] virtual sim::TracerouteResult trace(
+      net::Slash24 block, net::CloudLocationId location,
+      util::MinuteTime when) = 0;
+};
+
+/// Simulated client-side prober. Reuses the simulation's routing state and
+/// RTT model, so forward and reverse views are consistent up to probe noise
+/// — the controlled stand-in for a client measurement fleet.
+class SimulatedClientProber final : public ReverseProbeSource {
+ public:
+  SimulatedClientProber(const net::Topology* topology,
+                        const sim::RttModel* model,
+                        sim::TracerouteConfig config = {});
+
+  [[nodiscard]] sim::TracerouteResult trace(net::Slash24 block,
+                                            net::CloudLocationId location,
+                                            util::MinuteTime when) override;
+
+  [[nodiscard]] const sim::ProbeAccountant& accountant() const noexcept {
+    return accountant_;
+  }
+
+ private:
+  const net::Topology* topology_;
+  const sim::RttModel* model_;
+  sim::TracerouteConfig config_;
+  sim::ProbeAccountant accountant_;
+};
+
+/// A forward diagnosis cross-checked with one reverse probe.
+struct DualViewDiagnosis {
+  ActiveDiagnosis forward;
+  bool reverse_reached = false;
+  /// Largest absolute contributor seen from the client side (reverse probes
+  /// have no background baselines, so they corroborate rather than diff).
+  std::optional<net::AsId> reverse_dominant;
+  /// True when the reverse view's dominant AS matches the forward culprit —
+  /// strong evidence the fault is not an artifact of forward-path asymmetry.
+  bool corroborated = false;
+};
+
+/// Runs the forward diagnosis and corroborates it with a reverse probe.
+[[nodiscard]] DualViewDiagnosis diagnose_dual(
+    ActiveLocalizer& forward, ReverseProbeSource& reverse,
+    net::CloudLocationId location, net::MiddleSegmentId middle,
+    net::Slash24 target_block, util::MinuteTime now,
+    std::optional<util::MinuteTime> issue_start = std::nullopt);
+
+}  // namespace blameit::core

@@ -1,0 +1,127 @@
+#include "net/as_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blameit::net {
+
+AsGraph::AsGraph(const AsRegistry* registry) : registry_(registry) {
+  if (!registry_) throw std::invalid_argument{"AsGraph: null registry"};
+}
+
+void AsGraph::add_link(const AsLink& link) {
+  if (link.a == link.b) throw std::invalid_argument{"AsGraph: self-loop"};
+  if (!registry_->contains(link.a) || !registry_->contains(link.b)) {
+    throw std::invalid_argument{"AsGraph: link references unknown AS"};
+  }
+  if (link.latency_ms < 0.0) {
+    throw std::invalid_argument{"AsGraph: negative link latency"};
+  }
+  if (link_latency(link.a, link.b)) {
+    throw std::invalid_argument{"AsGraph: duplicate link"};
+  }
+  if (link.kind == LinkKind::Peer) {
+    adj_[link.a].push_back(Neighbor{link.b, Rel::Peer, link.latency_ms});
+    adj_[link.b].push_back(Neighbor{link.a, Rel::Peer, link.latency_ms});
+  } else {  // a is the customer of b
+    adj_[link.a].push_back(Neighbor{link.b, Rel::Customer, link.latency_ms});
+    adj_[link.b].push_back(Neighbor{link.a, Rel::Provider, link.latency_ms});
+  }
+  ++links_;
+}
+
+std::optional<double> AsGraph::link_latency(AsId a, AsId b) const noexcept {
+  const auto it = adj_.find(a);
+  if (it == adj_.end()) return std::nullopt;
+  for (const auto& n : it->second) {
+    if (n.to == b) return n.latency_ms;
+  }
+  return std::nullopt;
+}
+
+const std::vector<AsGraph::Neighbor>& AsGraph::neighbors(AsId a) const {
+  static const std::vector<Neighbor> kEmpty;
+  const auto it = adj_.find(a);
+  return it == adj_.end() ? kEmpty : it->second;
+}
+
+std::vector<AsPath> AsGraph::k_paths(AsId src, AsId dst, std::size_t k) const {
+  std::vector<AsPath> found;
+  if (k == 0 || src == dst) return found;
+
+  // Bounded DFS enumerating simple valley-free paths. Topologies here are
+  // small (tens to low hundreds of ASes), so exhaustive enumeration with a
+  // depth cap is cheap and exact.
+  constexpr std::size_t kMaxNodes = 7;
+
+  // Walk phase: while ascending we may take Customer (uphill) links, one Peer
+  // link, or switch to descending via a Provider (downhill) link. Once
+  // descending, only Provider links are allowed.
+  enum class Phase : std::uint8_t { Ascending, Descending };
+
+  AsPath current{src};
+  std::vector<std::pair<AsPath, double>> candidates;
+
+  auto dfs = [&](auto&& self, AsId node, Phase phase, double latency) -> void {
+    if (node == dst) {
+      candidates.emplace_back(current, latency);
+      return;
+    }
+    if (current.size() >= kMaxNodes) return;
+    for (const auto& n : neighbors(node)) {
+      if (std::find(current.begin(), current.end(), n.to) != current.end()) {
+        continue;  // simple paths only
+      }
+      Phase next_phase = Phase::Descending;
+      if (phase == Phase::Ascending) {
+        if (n.rel == Rel::Customer) next_phase = Phase::Ascending;
+      } else {
+        if (n.rel != Rel::Provider) continue;  // only downhill once past apex
+        next_phase = Phase::Descending;
+      }
+      current.push_back(n.to);
+      self(self, n.to, next_phase, latency + n.latency_ms);
+      current.pop_back();
+    }
+  };
+  dfs(dfs, src, Phase::Ascending, 0.0);
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& x, const auto& y) {
+              if (x.first.size() != y.first.size()) {
+                return x.first.size() < y.first.size();
+              }
+              if (x.second != y.second) return x.second < y.second;
+              return x.first < y.first;  // deterministic tie-break
+            });
+  candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                               [](const auto& x, const auto& y) {
+                                 return x.first == y.first;
+                               }),
+                   candidates.end());
+  for (auto& [path, latency] : candidates) {
+    found.push_back(std::move(path));
+    if (found.size() == k) break;
+  }
+  return found;
+}
+
+std::optional<AsPath> AsGraph::best_path(AsId src, AsId dst) const {
+  auto paths = k_paths(src, dst, 1);
+  if (paths.empty()) return std::nullopt;
+  return std::move(paths.front());
+}
+
+double AsGraph::path_latency(std::span<const AsId> path) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto lat = link_latency(path[i], path[i + 1]);
+    if (!lat) {
+      throw std::invalid_argument{"AsGraph: path crosses missing link"};
+    }
+    total += *lat;
+  }
+  return total;
+}
+
+}  // namespace blameit::net

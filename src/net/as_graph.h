@@ -1,0 +1,85 @@
+// AS-level topology graph with business relationships and per-edge latency.
+//
+// Routes between the cloud AS and eyeball ASes are computed as valley-free
+// paths (Gao-Rexford export rules): a path ascends customer→provider links,
+// crosses at most one peering link, and then descends provider→customer
+// links. Route selection prefers fewer AS hops, then lower latency — enough
+// BGP realism for BlameIt, whose passive phase only consumes the resulting
+// AS-path sets and whose active phase consumes per-AS latency contributions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/asn.h"
+
+namespace blameit::net {
+
+/// Relationship of an edge from `a` to `b`.
+enum class LinkKind : std::uint8_t {
+  CustomerOf,  ///< a is a customer of b (a pays b)
+  Peer,        ///< settlement-free peering
+};
+
+struct AsLink {
+  AsId a;
+  AsId b;
+  LinkKind kind{};          ///< interpreted from a's point of view
+  double latency_ms = 1.0;  ///< one-way contribution of crossing this link
+};
+
+/// An AS-level path: ordered list of ASes from source (cloud) to destination
+/// (eyeball), inclusive of both endpoints.
+using AsPath = std::vector<AsId>;
+
+class AsGraph {
+ public:
+  explicit AsGraph(const AsRegistry* registry);
+
+  /// Adds a bidirectional adjacency. `kind` is from a's point of view:
+  /// CustomerOf means a pays b. Throws on unknown AS, self-loop, or negative
+  /// latency.
+  void add_link(const AsLink& link);
+
+  [[nodiscard]] const AsRegistry& registry() const noexcept {
+    return *registry_;
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_; }
+
+  /// Latency of the direct link a-b; nullopt when not adjacent.
+  [[nodiscard]] std::optional<double> link_latency(AsId a,
+                                                   AsId b) const noexcept;
+
+  /// Up to `k` distinct valley-free paths from src to dst, best first
+  /// (fewest hops, then lowest total latency). Empty when unreachable.
+  [[nodiscard]] std::vector<AsPath> k_paths(AsId src, AsId dst,
+                                            std::size_t k) const;
+
+  /// Best valley-free path (k_paths(...,1)); nullopt when unreachable.
+  [[nodiscard]] std::optional<AsPath> best_path(AsId src, AsId dst) const;
+
+  /// Sum of link latencies along a path. Throws if consecutive ASes are not
+  /// adjacent.
+  [[nodiscard]] double path_latency(std::span<const AsId> path) const;
+
+ private:
+  /// Relationship of a neighbor from the owning node's point of view.
+  enum class Rel : std::uint8_t { Customer, Provider, Peer };
+
+  struct Neighbor {
+    AsId to;
+    Rel rel;  ///< owner's relationship to `to`: Customer = owner pays `to`
+    double latency_ms;
+  };
+
+  [[nodiscard]] const std::vector<Neighbor>& neighbors(AsId a) const;
+
+  const AsRegistry* registry_;
+  std::unordered_map<AsId, std::vector<Neighbor>> adj_;
+  std::size_t links_ = 0;
+};
+
+}  // namespace blameit::net

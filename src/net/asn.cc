@@ -1,0 +1,45 @@
+#include "net/asn.h"
+
+#include <stdexcept>
+
+namespace blameit::net {
+
+std::string_view to_string(AsType t) noexcept {
+  switch (t) {
+    case AsType::Cloud: return "cloud";
+    case AsType::Transit: return "transit";
+    case AsType::Eyeball: return "eyeball";
+  }
+  return "?";
+}
+
+const AsInfo& AsRegistry::add(AsInfo info) {
+  const auto [it, inserted] = index_.emplace(info.id.value, infos_.size());
+  if (!inserted) {
+    throw std::invalid_argument{"AsRegistry: duplicate " +
+                                info.id.to_string()};
+  }
+  infos_.push_back(std::move(info));
+  return infos_.back();
+}
+
+const AsInfo* AsRegistry::find(AsId id) const noexcept {
+  const auto it = index_.find(id.value);
+  return it == index_.end() ? nullptr : &infos_[it->second];
+}
+
+const AsInfo& AsRegistry::at(AsId id) const {
+  const auto* info = find(id);
+  if (!info) throw std::out_of_range{"AsRegistry: unknown " + id.to_string()};
+  return *info;
+}
+
+std::vector<AsId> AsRegistry::ids_of_type(AsType t) const {
+  std::vector<AsId> out;
+  for (const auto& info : infos_) {
+    if (info.type == t) out.push_back(info.id);
+  }
+  return out;
+}
+
+}  // namespace blameit::net

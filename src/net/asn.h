@@ -1,0 +1,72 @@
+// Autonomous systems: identities, roles, and the registry mapping AS numbers
+// to metadata. The fault-localization output of BlameIt is always an AsId.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/geo.h"
+
+namespace blameit::net {
+
+/// An AS number.
+struct AsId {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const AsId&) const = default;
+  [[nodiscard]] std::string to_string() const {
+    return "AS" + std::to_string(value);
+  }
+};
+
+/// Role of an AS in the synthetic topology.
+enum class AsType : std::uint8_t {
+  Cloud,    ///< the cloud provider's own network (one per topology)
+  Transit,  ///< middle / backbone carriers
+  Eyeball,  ///< client-facing access ISPs
+};
+
+[[nodiscard]] std::string_view to_string(AsType t) noexcept;
+
+struct AsInfo {
+  AsId id;
+  AsType type{};
+  Region region{};  ///< home region (transit ASes may span several)
+  std::string name;
+};
+
+/// Registry of all ASes in a topology. Insertion order is stable; lookups are
+/// O(1). The registry owns the AsInfo records.
+class AsRegistry {
+ public:
+  /// Registers a new AS; throws std::invalid_argument on duplicate id.
+  const AsInfo& add(AsInfo info);
+
+  [[nodiscard]] const AsInfo* find(AsId id) const noexcept;
+  /// Throws std::out_of_range when absent.
+  [[nodiscard]] const AsInfo& at(AsId id) const;
+  [[nodiscard]] bool contains(AsId id) const noexcept {
+    return find(id) != nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return infos_.size(); }
+  [[nodiscard]] const std::vector<AsInfo>& all() const noexcept {
+    return infos_;
+  }
+  [[nodiscard]] std::vector<AsId> ids_of_type(AsType t) const;
+
+ private:
+  std::vector<AsInfo> infos_;
+  std::unordered_map<std::uint32_t, std::size_t> index_;
+};
+
+}  // namespace blameit::net
+
+template <>
+struct std::hash<blameit::net::AsId> {
+  std::size_t operator()(const blameit::net::AsId& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};

@@ -1,0 +1,44 @@
+// Cloud edge locations ("cloud nodes" in the paper). Azure serves clients
+// from hundreds of edge locations; each has a home region and metro and a set
+// of egress adjacencies into the transit fabric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/asn.h"
+#include "net/geo.h"
+
+namespace blameit::net {
+
+struct CloudLocationId {
+  std::uint16_t value = 0;
+  constexpr auto operator<=>(const CloudLocationId&) const = default;
+  [[nodiscard]] std::string to_string() const {
+    return "edge-" + std::to_string(value);
+  }
+};
+
+struct CloudLocation {
+  CloudLocationId id;
+  std::string name;
+  Region region{};
+  MetroId metro;
+  /// Transit ASes this location has direct egress links to. Route selection
+  /// for this location only considers paths whose first middle hop is one of
+  /// these.
+  std::vector<AsId> egress_peers;
+  /// Base intra-cloud contribution to the RTT at this location (ms): server
+  /// + cloud-network time before traffic leaves the cloud AS.
+  double cloud_segment_ms = 4.0;
+};
+
+}  // namespace blameit::net
+
+template <>
+struct std::hash<blameit::net::CloudLocationId> {
+  std::size_t operator()(const blameit::net::CloudLocationId& c) const noexcept {
+    return std::hash<std::uint16_t>{}(c.value);
+  }
+};

@@ -1,0 +1,21 @@
+// Client device classes. The paper's quartets key on mobile vs non-mobile
+// because they use different connectivity (cellular vs broadband) and have
+// separate badness thresholds (§2.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace blameit::net {
+
+enum class DeviceClass : std::uint8_t { NonMobile, Mobile };
+
+inline constexpr std::array<DeviceClass, 2> kAllDeviceClasses = {
+    DeviceClass::NonMobile, DeviceClass::Mobile};
+
+[[nodiscard]] constexpr std::string_view to_string(DeviceClass d) noexcept {
+  return d == DeviceClass::Mobile ? "mobile" : "non-mobile";
+}
+
+}  // namespace blameit::net

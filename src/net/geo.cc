@@ -1,0 +1,40 @@
+#include "net/geo.h"
+
+#include <stdexcept>
+
+namespace blameit::net {
+
+std::string_view to_string(Region r) noexcept {
+  switch (r) {
+    case Region::UnitedStates: return "USA";
+    case Region::Europe: return "Europe";
+    case Region::India: return "India";
+    case Region::China: return "China";
+    case Region::Brazil: return "Brazil";
+    case Region::Australia: return "Australia";
+    case Region::EastAsia: return "EastAsia";
+  }
+  return "?";
+}
+
+const RegionProfile& region_profile(Region r) noexcept {
+  // Thresholds (ms) loosely follow public inter-region RTT scales; what
+  // matters for the reproduction is their *relation* to base RTTs:
+  // the USA threshold is deliberately tight (paper §2.2 attributes the high
+  // US bad-quartet fraction to aggressive targets), while India/China/Brazil
+  // have high transit fault rates (Fig 9: middle dominates there).
+  static const std::array<RegionProfile, 7> kProfiles = {{
+      {Region::UnitedStates, /*rtt_target_ms=*/50.0, /*mobile_extra_ms=*/30.0,
+       /*base_rtt_ms=*/28.0, /*transit_fault_rate=*/0.8,
+       /*client_fault_rate=*/1.0},
+      {Region::Europe, 60.0, 30.0, 30.0, 0.7, 0.9},
+      {Region::India, 110.0, 50.0, 55.0, 2.4, 1.6},
+      {Region::China, 120.0, 50.0, 60.0, 2.2, 1.4},
+      {Region::Brazil, 110.0, 50.0, 52.0, 2.0, 1.5},
+      {Region::Australia, 90.0, 40.0, 42.0, 1.0, 1.0},
+      {Region::EastAsia, 80.0, 40.0, 38.0, 1.2, 1.1},
+  }};
+  return kProfiles[static_cast<std::size_t>(r)];
+}
+
+}  // namespace blameit::net

@@ -1,0 +1,80 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace blameit::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  std::uint32_t value = 0;
+  int octets = 0;
+  const char* p = s.data();
+  const char* end = s.data() + s.size();
+  while (octets < 4) {
+    unsigned int octet = 0;
+    const auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255 || next == p) return std::nullopt;
+    value = (value << 8) | octet;
+    ++octets;
+    p = next;
+    if (octets < 4) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr{value};
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xFF,
+                (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF);
+  return buf;
+}
+
+std::string Slash24::to_string() const {
+  return base().to_string().substr(0, base().to_string().rfind('.')) + ".0/24";
+}
+
+Prefix Prefix::of(Ipv4Addr a, std::uint8_t len) noexcept {
+  const std::uint32_t mask =
+      len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+  return Prefix{.network = a.value & mask, .length = len};
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view cidr) {
+  const auto slash = cidr.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(cidr.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned int len = 0;
+  const auto rest = cidr.substr(slash + 1);
+  const auto [next, ec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), len);
+  if (ec != std::errc{} || len > 32 || next != rest.data() + rest.size()) {
+    return std::nullopt;
+  }
+  return Prefix::of(*addr, static_cast<std::uint8_t>(len));
+}
+
+bool Prefix::contains(Ipv4Addr a) const noexcept {
+  const std::uint32_t mask =
+      length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  return (a.value & mask) == network;
+}
+
+bool Prefix::contains(Slash24 b) const noexcept {
+  return length <= 24 ? contains(b.base())
+                      : false;  // a sub-/24 prefix never covers a whole /24
+}
+
+std::uint32_t Prefix::slash24_count() const noexcept {
+  return length >= 24 ? 1u : 1u << (24 - length);
+}
+
+std::string Prefix::to_string() const {
+  return Ipv4Addr{network}.to_string() + "/" + std::to_string(length);
+}
+
+}  // namespace blameit::net

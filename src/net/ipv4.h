@@ -1,0 +1,93 @@
+// IPv4 addresses, CIDR prefixes, and the /24 blocks that quartets aggregate
+// over (§2.1). Addresses are plain value types (host-order uint32) with
+// parsing/formatting; Slash24 is the canonical client aggregation unit.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace blameit::net {
+
+/// An IPv4 address in host byte order.
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  [[nodiscard]] static constexpr Ipv4Addr from_octets(std::uint8_t a,
+                                                      std::uint8_t b,
+                                                      std::uint8_t c,
+                                                      std::uint8_t d) noexcept {
+    return Ipv4Addr{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | d};
+  }
+
+  /// Parses dotted-quad notation; nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(std::string_view s);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A /24 block — the client-side spatial aggregation unit of a quartet.
+struct Slash24 {
+  std::uint32_t block = 0;  ///< top 24 bits of the address, right-aligned
+
+  constexpr auto operator<=>(const Slash24&) const = default;
+
+  [[nodiscard]] static constexpr Slash24 of(Ipv4Addr a) noexcept {
+    return Slash24{a.value >> 8};
+  }
+  /// First address of the block.
+  [[nodiscard]] constexpr Ipv4Addr base() const noexcept {
+    return Ipv4Addr{block << 8};
+  }
+  /// The i-th host inside the block (i in [0, 255]).
+  [[nodiscard]] constexpr Ipv4Addr host(std::uint8_t i) const noexcept {
+    return Ipv4Addr{(block << 8) | i};
+  }
+  [[nodiscard]] std::string to_string() const;  ///< "a.b.c.0/24"
+};
+
+/// A CIDR prefix (BGP-announced block). Prefix length in [0, 32].
+struct Prefix {
+  std::uint32_t network = 0;  ///< masked network address, host order
+  std::uint8_t length = 0;
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+  [[nodiscard]] static Prefix of(Ipv4Addr a, std::uint8_t len) noexcept;
+  [[nodiscard]] static std::optional<Prefix> parse(std::string_view cidr);
+
+  [[nodiscard]] bool contains(Ipv4Addr a) const noexcept;
+  [[nodiscard]] bool contains(Slash24 b) const noexcept;
+  /// Number of /24 blocks covered (1 for length >= 24).
+  [[nodiscard]] std::uint32_t slash24_count() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace blameit::net
+
+template <>
+struct std::hash<blameit::net::Ipv4Addr> {
+  std::size_t operator()(const blameit::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<blameit::net::Slash24> {
+  std::size_t operator()(const blameit::net::Slash24& b) const noexcept {
+    return std::hash<std::uint32_t>{}(b.block ^ 0x9E3779B9u);
+  }
+};
+
+template <>
+struct std::hash<blameit::net::Prefix> {
+  std::size_t operator()(const blameit::net::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.network} << 8) | p.length);
+  }
+};

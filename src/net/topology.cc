@@ -1,0 +1,349 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace blameit::net {
+
+namespace {
+
+constexpr std::uint32_t kCloudAsn = 8075;
+
+// Approximate inter-region backbone one-way latencies (ms) between the
+// regions' international gateway transits. Symmetric.
+double inter_region_ms(Region a, Region b) {
+  static constexpr std::array<std::array<double, 7>, 7> kMatrix = {{
+      //            USA   EU   India China Brazil Austr EAsia
+      /*USA*/ {{0, 40, 110, 75, 60, 75, 55}},
+      /*EU*/ {{40, 0, 60, 90, 95, 130, 95}},
+      /*India*/ {{110, 60, 0, 45, 150, 70, 40}},
+      /*China*/ {{75, 90, 45, 0, 160, 60, 20}},
+      /*Brazil*/ {{60, 95, 150, 160, 0, 140, 130}},
+      /*Austr*/ {{75, 130, 70, 60, 140, 0, 50}},
+      /*EAsia*/ {{55, 95, 40, 20, 130, 50, 0}},
+  }};
+  return kMatrix[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+std::uint64_t loc_prefix_key(CloudLocationId loc, const Prefix& p) noexcept {
+  return (std::uint64_t{loc.value} << 40) | (std::uint64_t{p.network} << 8) |
+         p.length;
+}
+
+}  // namespace
+
+Topology::Topology(const TopologyConfig& config) : config_(config) {
+  if (config_.locations_per_region < 1 || config_.transits_per_region < 2 ||
+      config_.eyeballs_per_region < 1 || config_.blocks_per_eyeball < 1 ||
+      config_.metros_per_region < 1 || config_.blocks_per_prefix < 1) {
+    throw std::invalid_argument{"TopologyConfig: all sizes must be positive"};
+  }
+  if ((config_.blocks_per_prefix & (config_.blocks_per_prefix - 1)) != 0 ||
+      config_.blocks_per_prefix > 256) {
+    throw std::invalid_argument{
+        "TopologyConfig: blocks_per_prefix must be a power of two <= 256"};
+  }
+  util::Rng rng{config_.seed};
+  build_ases_and_links(rng);
+  build_locations(rng);
+  build_blocks(rng);
+  build_routes();
+}
+
+void Topology::build_ases_and_links(util::Rng& rng) {
+  cloud_as_ = AsId{kCloudAsn};
+  registry_.add(AsInfo{cloud_as_, AsType::Cloud, Region::UnitedStates,
+                       "CloudNet"});
+
+  // Per region: one "global" international-gateway transit plus
+  // (transits_per_region - 1) regional transits. Regional transits are
+  // customers of their region's global transit; global transits peer in a
+  // full mesh across regions; the cloud buys transit from every transit AS
+  // it touches (so valley-free paths may climb out of the cloud, cross one
+  // peering link at the top, and descend to the client).
+  for (const Region region : kAllRegions) {
+    const auto r = static_cast<std::uint32_t>(region);
+    std::vector<AsId>& transits = region_transits_[region];
+    const AsId global{1000 + r * 100};
+    registry_.add(AsInfo{global, AsType::Transit, region,
+                         std::string{to_string(region)} + "-GlobalTransit"});
+    transits.push_back(global);
+    for (int i = 1; i < config_.transits_per_region; ++i) {
+      const AsId transit{1000 + r * 100 + static_cast<std::uint32_t>(i)};
+      registry_.add(AsInfo{transit, AsType::Transit, region,
+                           std::string{to_string(region)} + "-Transit" +
+                               std::to_string(i)});
+      transits.push_back(transit);
+    }
+  }
+
+  graph_ = std::make_unique<AsGraph>(&registry_);
+
+  // Global transit full mesh (peering), latency from the region matrix.
+  for (std::size_t i = 0; i < kAllRegions.size(); ++i) {
+    for (std::size_t j = i + 1; j < kAllRegions.size(); ++j) {
+      const AsId gi = region_transits_[kAllRegions[i]].front();
+      const AsId gj = region_transits_[kAllRegions[j]].front();
+      graph_->add_link(AsLink{gi, gj, LinkKind::Peer,
+                              inter_region_ms(kAllRegions[i], kAllRegions[j])});
+    }
+  }
+
+  for (const Region region : kAllRegions) {
+    const auto& transits = region_transits_[region];
+    const AsId global = transits.front();
+    // Regional transits buy transit from the gateway and peer among
+    // themselves.
+    for (std::size_t i = 1; i < transits.size(); ++i) {
+      graph_->add_link(AsLink{transits[i], global, LinkKind::CustomerOf,
+                              rng.uniform(2.5, 6.0)});
+      for (std::size_t j = i + 1; j < transits.size(); ++j) {
+        graph_->add_link(AsLink{transits[i], transits[j], LinkKind::Peer,
+                                rng.uniform(1.5, 4.0)});
+      }
+    }
+    // Cloud buys from every transit in the region (gateway included).
+    for (const AsId transit : transits) {
+      graph_->add_link(AsLink{cloud_as_, transit, LinkKind::CustomerOf,
+                              rng.uniform(1.5, 4.5)});
+    }
+
+    // Eyeball ISPs: customers of 1-2 regional transits; a few also buy from
+    // the gateway directly.
+    const auto r = static_cast<std::uint32_t>(region);
+    std::vector<AsId>& eyeballs = region_eyeballs_[region];
+    for (int i = 0; i < config_.eyeballs_per_region; ++i) {
+      const AsId isp{20000 + r * 1000 + static_cast<std::uint32_t>(i)};
+      registry_.add(AsInfo{isp, AsType::Eyeball, region,
+                           std::string{to_string(region)} + "-ISP" +
+                               std::to_string(i)});
+      eyeballs.push_back(isp);
+      const auto first =
+          transits[1 + static_cast<std::size_t>(rng.uniform_int(
+                      0, static_cast<std::int64_t>(transits.size()) - 2))];
+      graph_->add_link(
+          AsLink{isp, first, LinkKind::CustomerOf, rng.uniform(2.5, 8.0)});
+      if (transits.size() > 2 && rng.chance(0.85)) {
+        // Multihome to a second, distinct regional transit.
+        AsId second = first;
+        while (second == first) {
+          second = transits[1 + static_cast<std::size_t>(rng.uniform_int(
+                       0, static_cast<std::int64_t>(transits.size()) - 2))];
+        }
+        graph_->add_link(
+            AsLink{isp, second, LinkKind::CustomerOf, rng.uniform(2.5, 8.0)});
+      }
+      if (rng.chance(0.25)) {
+        graph_->add_link(
+            AsLink{isp, global, LinkKind::CustomerOf, rng.uniform(3.0, 9.0)});
+      }
+    }
+  }
+}
+
+void Topology::build_locations(util::Rng& rng) {
+  std::uint16_t next_metro = 0;
+  std::uint16_t next_location = 0;
+  for (const Region region : kAllRegions) {
+    for (int m = 0; m < config_.metros_per_region; ++m) {
+      metros_.push_back(Metro{MetroId{next_metro++}, region,
+                              std::string{to_string(region)} + "-metro" +
+                                  std::to_string(m)});
+    }
+    const auto& transits = region_transits_[region];
+    for (int l = 0; l < config_.locations_per_region; ++l) {
+      CloudLocation loc;
+      loc.id = CloudLocationId{next_location++};
+      loc.name = std::string{to_string(region)} + "-edge" + std::to_string(l);
+      loc.region = region;
+      loc.metro = metros_[metros_.size() -
+                          static_cast<std::size_t>(config_.metros_per_region) +
+                          static_cast<std::size_t>(
+                              l % config_.metros_per_region)]
+                      .id;
+      // Every location can egress through every transit in its region; the
+      // gateway is always present so cross-region routes exist everywhere.
+      loc.egress_peers = transits;
+      loc.cloud_segment_ms = rng.uniform(3.0, 6.0);
+      locations_.push_back(std::move(loc));
+    }
+  }
+}
+
+void Topology::build_blocks(util::Rng& rng) {
+  // Address plan: eyeball #g (global index) owns 10.g.0.0/16; its j-th /24 is
+  // 10.g.j.0/24; announced prefixes group blocks_per_prefix consecutive /24s.
+  const auto prefix_len =
+      static_cast<std::uint8_t>(24 - std::countr_zero(
+          static_cast<unsigned>(config_.blocks_per_prefix)));
+  std::uint32_t eyeball_index = 0;
+  std::size_t total_blocks = 0;
+  for (const Region region : kAllRegions) {
+    total_blocks += region_eyeballs_[region].size() *
+                    static_cast<std::size_t>(config_.blocks_per_eyeball);
+  }
+
+  // Zipf-skewed activity weights over a random permutation of blocks (§2.4:
+  // affected clients concentrate in a small number of prefixes).
+  std::vector<double> weights(total_blocks);
+  for (std::size_t i = 0; i < total_blocks; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), 0.9);
+  }
+  for (std::size_t i = weights.size(); i > 1; --i) {
+    std::swap(weights[i - 1], weights[static_cast<std::size_t>(
+                                  rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+  }
+
+  std::size_t weight_idx = 0;
+  for (const Region region : kAllRegions) {
+    const auto& profile = region_profile(region);
+    const auto region_metros = [&] {
+      std::vector<MetroId> ids;
+      for (const auto& metro : metros_) {
+        if (metro.region == region) ids.push_back(metro.id);
+      }
+      return ids;
+    }();
+    for (const AsId isp : region_eyeballs_[region]) {
+      for (int j = 0; j < config_.blocks_per_eyeball; ++j) {
+        ClientBlock cb;
+        cb.block = Slash24{(10u << 16) | (eyeball_index << 8) |
+                           static_cast<std::uint32_t>(j)};
+        cb.client_as = isp;
+        cb.region = region;
+        cb.metro = region_metros[static_cast<std::size_t>(j) %
+                                 region_metros.size()];
+        cb.announced = Prefix::of(
+            cb.block.base(),
+            static_cast<std::uint8_t>(prefix_len));
+        cb.access_latency_ms =
+            profile.base_rtt_ms * rng.uniform(0.35, 0.6);
+        cb.mobile_extra_ms = rng.uniform(15.0, 35.0);
+        cb.activity_weight = weights[weight_idx++];
+        cb.enterprise_fraction = rng.uniform(0.2, 0.8);
+        block_index_.emplace(cb.block, blocks_.size());
+        blocks_.push_back(std::move(cb));
+      }
+      ++eyeball_index;
+    }
+  }
+
+  // Anycast homes: all in-region locations, rotated per block so primaries
+  // are balanced across the region's edges.
+  for (const auto& cb : blocks_) {
+    auto in_region = locations_in(cb.region);
+    if (in_region.empty()) {
+      throw std::logic_error{"Topology: region without cloud locations"};
+    }
+    std::rotate(in_region.begin(),
+                in_region.begin() +
+                    static_cast<std::ptrdiff_t>(cb.block.block %
+                                                in_region.size()),
+                in_region.end());
+    homes_.emplace(cb.block, std::move(in_region));
+  }
+}
+
+void Topology::build_routes() {
+  // Candidate AS paths depend only on the destination eyeball; compute once
+  // per eyeball, then filter per location by permissible first hop.
+  // The candidate pool must be generous: a far-away location's usable paths
+  // (first hop restricted to its own egress transits) are much longer than
+  // the global shortest, so a small k would truncate them away.
+  std::unordered_map<AsId, std::vector<AsPath>> candidates;
+  for (const auto& info : registry_.all()) {
+    if (info.type == AsType::Eyeball) {
+      candidates.emplace(info.id, graph_->k_paths(cloud_as_, info.id, 512));
+    }
+  }
+
+  // Announced prefixes: one per blocks_per_prefix-aligned group; all /24s in
+  // the group share the eyeball, so any block in the group identifies it.
+  std::unordered_map<Prefix, AsId> prefix_owner;
+  for (const auto& cb : blocks_) prefix_owner.emplace(cb.announced, cb.client_as);
+
+  routing_ = std::make_unique<RoutingState>(&interner_);
+  for (const auto& loc : locations_) {
+    for (const auto& [prefix, eyeball] : prefix_owner) {
+      const auto& all_paths = candidates.at(eyeball);
+      std::vector<AsPath> usable;
+      for (const auto& path : all_paths) {
+        if (path.size() < 2) continue;
+        const AsId first_hop = path[1];
+        if (std::find(loc.egress_peers.begin(), loc.egress_peers.end(),
+                      first_hop) != loc.egress_peers.end()) {
+          usable.push_back(path);
+          if (usable.size() ==
+              static_cast<std::size_t>(config_.alternates)) {
+            break;
+          }
+        }
+      }
+      if (usable.empty()) {
+        throw std::logic_error{"Topology: no valley-free route from " +
+                               loc.name + " to " + eyeball.to_string()};
+      }
+      // BGP policy diversity: different prefixes toward the same eyeball
+      // often take different (equally short) paths in practice. Spread the
+      // installed route across the shortest usable candidates by a
+      // deterministic per-(location, prefix) hash, so middle segments do not
+      // collapse onto one transit per region.
+      std::size_t shortest = 0;
+      while (shortest + 1 < usable.size() &&
+             usable[shortest + 1].size() == usable.front().size()) {
+        ++shortest;
+      }
+      const auto pick = static_cast<std::size_t>(
+          util::hash_combine(config_.seed ^ 0xB69u,
+                             loc_prefix_key(loc.id, prefix)) %
+          (shortest + 1));
+      std::swap(usable[0], usable[pick]);
+      routing_->announce(loc.id, prefix, usable.front());
+      alternates_.emplace(loc_prefix_key(loc.id, prefix), std::move(usable));
+    }
+  }
+}
+
+const CloudLocation& Topology::location(CloudLocationId id) const {
+  for (const auto& loc : locations_) {
+    if (loc.id == id) return loc;
+  }
+  throw std::out_of_range{"Topology: unknown " + id.to_string()};
+}
+
+std::vector<CloudLocationId> Topology::locations_in(Region r) const {
+  std::vector<CloudLocationId> out;
+  for (const auto& loc : locations_) {
+    if (loc.region == r) out.push_back(loc.id);
+  }
+  return out;
+}
+
+const ClientBlock* Topology::find_block(Slash24 b) const noexcept {
+  const auto it = block_index_.find(b);
+  return it == block_index_.end() ? nullptr : &blocks_[it->second];
+}
+
+const std::vector<AsPath>& Topology::alternates(CloudLocationId location,
+                                                const Prefix& prefix) const {
+  static const std::vector<AsPath> kEmpty;
+  const auto it = alternates_.find(loc_prefix_key(location, prefix));
+  return it == alternates_.end() ? kEmpty : it->second;
+}
+
+const std::vector<CloudLocationId>& Topology::home_locations(
+    Slash24 block) const {
+  static const std::vector<CloudLocationId> kEmpty;
+  const auto it = homes_.find(block);
+  return it == homes_.end() ? kEmpty : it->second;
+}
+
+std::unique_ptr<Topology> make_topology(const TopologyConfig& config) {
+  return std::make_unique<Topology>(config);
+}
+
+}  // namespace blameit::net

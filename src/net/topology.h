@@ -1,0 +1,146 @@
+// Synthetic Internet generator: one cloud AS with edge locations across all
+// regions, a tiered transit fabric, eyeball (client) ISPs, client /24 blocks
+// with announced BGP prefixes, and the full time-zero routing state.
+//
+// This substrate replaces Azure's production environment (see DESIGN.md §1).
+// Everything is deterministic given TopologyConfig::seed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/as_graph.h"
+#include "net/asn.h"
+#include "net/bgp.h"
+#include "net/cloud.h"
+#include "net/geo.h"
+#include "net/ipv4.h"
+#include "util/rng.h"
+
+namespace blameit::net {
+
+/// One client /24 block with everything the simulator needs to synthesize
+/// its traffic.
+struct ClientBlock {
+  Slash24 block;
+  AsId client_as;
+  Region region{};
+  MetroId metro;
+  Prefix announced;  ///< covering BGP-announced prefix (coarser than /24)
+  /// Last-mile contribution to RTT for non-mobile clients (ms).
+  double access_latency_ms = 12.0;
+  /// Additional last-mile latency for mobile (cellular) clients (ms).
+  double mobile_extra_ms = 25.0;
+  /// Relative client-population weight (Zipf-skewed across blocks, §2.4).
+  double activity_weight = 1.0;
+  /// Fraction of this block's connections coming from enterprise networks
+  /// (daytime-heavy); the rest follow a home-ISP evening pattern (§2.2).
+  double enterprise_fraction = 0.5;
+};
+
+struct TopologyConfig {
+  std::uint64_t seed = 42;
+  int locations_per_region = 2;
+  int transits_per_region = 4;
+  int eyeballs_per_region = 8;
+  int metros_per_region = 4;
+  int blocks_per_eyeball = 8;
+  /// /24 blocks per announced BGP prefix (4 → /22 announcements).
+  int blocks_per_prefix = 4;
+  /// Alternate paths retained per (location, prefix) for churn simulation.
+  int alternates = 3;
+};
+
+/// The generated internet. Non-copyable/non-movable: internal structures
+/// hold pointers into each other, so the object must stay put (create via
+/// make_topology, hold by unique_ptr).
+class Topology {
+ public:
+  explicit Topology(const TopologyConfig& config);
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  [[nodiscard]] const TopologyConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const AsRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const AsGraph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] AsId cloud_as() const noexcept { return cloud_as_; }
+
+  [[nodiscard]] const std::vector<CloudLocation>& locations() const noexcept {
+    return locations_;
+  }
+  [[nodiscard]] const CloudLocation& location(CloudLocationId id) const;
+  [[nodiscard]] std::vector<CloudLocationId> locations_in(Region r) const;
+
+  [[nodiscard]] const std::vector<Metro>& metros() const noexcept {
+    return metros_;
+  }
+  [[nodiscard]] const std::vector<ClientBlock>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] const ClientBlock* find_block(Slash24 b) const noexcept;
+
+  [[nodiscard]] RoutingState& routing() noexcept { return *routing_; }
+  [[nodiscard]] const RoutingState& routing() const noexcept {
+    return *routing_;
+  }
+  [[nodiscard]] const MiddleSegmentInterner& interner() const noexcept {
+    return interner_;
+  }
+
+  /// Valley-free alternates (including the installed best path, first) for a
+  /// (location, announced prefix) pair; used to synthesize BGP churn.
+  [[nodiscard]] const std::vector<AsPath>& alternates(
+      CloudLocationId location, const Prefix& prefix) const;
+
+  /// In-region locations a block's clients are anycast-routed to, nearest
+  /// (primary) first. Never empty for generated blocks.
+  [[nodiscard]] const std::vector<CloudLocationId>& home_locations(
+      Slash24 block) const;
+
+ private:
+  void build_ases_and_links(util::Rng& rng);
+  void build_locations(util::Rng& rng);
+  void build_blocks(util::Rng& rng);
+  void build_routes();
+
+  TopologyConfig config_;
+  AsRegistry registry_;
+  std::unique_ptr<AsGraph> graph_;
+  AsId cloud_as_;
+  std::vector<CloudLocation> locations_;
+  std::vector<Metro> metros_;
+  std::vector<ClientBlock> blocks_;
+  std::unordered_map<Slash24, std::size_t> block_index_;
+  MiddleSegmentInterner interner_;
+  std::unique_ptr<RoutingState> routing_;
+  // Per-region transit/eyeball id pools (used during construction and by
+  // tests that want to poke specific ASes).
+  std::unordered_map<Region, std::vector<AsId>> region_transits_;
+  std::unordered_map<Region, std::vector<AsId>> region_eyeballs_;
+  std::unordered_map<std::uint64_t, std::vector<AsPath>> alternates_;
+  std::unordered_map<Slash24, std::vector<CloudLocationId>> homes_;
+
+ public:
+  [[nodiscard]] const std::vector<AsId>& transits_in(Region r) const {
+    static const std::vector<AsId> kEmpty;
+    const auto it = region_transits_.find(r);
+    return it == region_transits_.end() ? kEmpty : it->second;
+  }
+  [[nodiscard]] const std::vector<AsId>& eyeballs_in(Region r) const {
+    static const std::vector<AsId> kEmpty;
+    const auto it = region_eyeballs_.find(r);
+    return it == region_eyeballs_.end() ? kEmpty : it->second;
+  }
+};
+
+/// Factory: builds the full synthetic internet for a config.
+[[nodiscard]] std::unique_ptr<Topology> make_topology(
+    const TopologyConfig& config = {});
+
+}  // namespace blameit::net

@@ -1,0 +1,115 @@
+#include "ops/alert.h"
+
+#include <algorithm>
+
+#include "core/prioritizer.h"
+
+namespace blameit::ops {
+
+AlertSink::AlertSink(AlertConfig config) : config_(config) {}
+
+Team AlertSink::route(core::Blame category) noexcept {
+  switch (category) {
+    case core::Blame::Cloud: return Team::CloudInfra;
+    case core::Blame::Middle: return Team::Peering;
+    default: return Team::ClientComms;
+  }
+}
+
+std::vector<Ticket> AlertSink::digest(const core::StepReport& report) {
+  // Candidate issues: ranked middle issues (already impact-ordered) plus
+  // aggregated cloud/client blames.
+  struct Candidate {
+    std::uint64_t key;
+    core::Blame category;
+    std::optional<net::AsId> faulty_as;
+    net::CloudLocationId location;
+    double impact;
+    std::string summary;
+  };
+  std::vector<Candidate> candidates;
+
+  for (const auto& issue : report.ranked_issues) {
+    std::optional<net::AsId> culprit;
+    for (const auto& diag : report.diagnoses) {
+      if (diag.location == issue.location && diag.middle == issue.middle) {
+        culprit = diag.culprit;
+      }
+    }
+    candidates.push_back(Candidate{
+        .key = core::middle_issue_key(issue.location, issue.middle),
+        .category = core::Blame::Middle,
+        .faulty_as = culprit,
+        .location = issue.location,
+        .impact = issue.client_time_product,
+        .summary =
+            "middle-segment degradation on " + issue.middle.to_string() +
+            " via " + issue.location.to_string() +
+            (culprit ? " — culprit " + culprit->to_string()
+                     : " — culprit pending probe")});
+  }
+
+  // Cloud / client blames aggregate per (category, location / client AS).
+  struct Agg {
+    double users = 0.0;
+    net::CloudLocationId location;
+    std::optional<net::AsId> faulty_as;
+    core::Blame category{};
+  };
+  std::unordered_map<std::uint64_t, Agg> aggs;
+  for (const auto& blame : report.blames) {
+    if (blame.blame != core::Blame::Cloud &&
+        blame.blame != core::Blame::Client) {
+      continue;
+    }
+    const std::uint64_t key =
+        blame.blame == core::Blame::Cloud
+            ? (std::uint64_t{1} << 62) | blame.quartet.key.location.value
+            : (std::uint64_t{2} << 62) | blame.quartet.client_as.value;
+    auto& agg = aggs[key];
+    agg.users += blame.quartet.sample_count / 2.5;
+    agg.location = blame.quartet.key.location;
+    agg.faulty_as = blame.faulty_as;
+    agg.category = blame.blame;
+  }
+  for (const auto& [key, agg] : aggs) {
+    candidates.push_back(Candidate{
+        .key = key,
+        .category = agg.category,
+        .faulty_as = agg.faulty_as,
+        .location = agg.location,
+        .impact = agg.users,
+        .summary = std::string{to_string(agg.category)} +
+                   " degradation affecting ~" +
+                   std::to_string(static_cast<int>(agg.users)) + " users" +
+                   (agg.faulty_as ? " — " + agg.faulty_as->to_string() : "")});
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.impact != b.impact) return a.impact > b.impact;
+              return a.key < b.key;
+            });
+
+  std::vector<Ticket> opened;
+  for (const auto& candidate : candidates) {
+    if (static_cast<int>(opened.size()) >= config_.max_tickets_per_step) {
+      break;
+    }
+    if (candidate.impact < config_.min_impact_users) continue;
+    if (!open_issues_.insert(candidate.key).second) continue;  // dedup
+    Ticket ticket{.id = "BLM-" + std::to_string(next_id_++),
+                  .team = route(candidate.category),
+                  .category = candidate.category,
+                  .faulty_as = candidate.faulty_as,
+                  .location = candidate.location,
+                  .impact = candidate.impact,
+                  .opened = report.now,
+                  .summary = candidate.summary};
+    tickets_.push_back(ticket);
+    opened.push_back(std::move(ticket));
+  }
+  return opened;
+}
+
+}  // namespace blameit::ops

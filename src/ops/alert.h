@@ -1,0 +1,72 @@
+// Operator-facing alerting (§6.1): pipeline step reports become prioritized,
+// deduplicated tickets routed to the team that can act — server/SRE for
+// cloud blames, peering for middle, support/comms for client — with the
+// highest business-impact issues first.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace blameit::ops {
+
+enum class Team : std::uint8_t {
+  CloudInfra,   ///< server & cloud-network investigations
+  Peering,      ///< transit/peering escalations
+  ClientComms,  ///< client-ISP notifications (not fixable by the cloud)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Team t) noexcept {
+  switch (t) {
+    case Team::CloudInfra: return "cloud-infra";
+    case Team::Peering: return "peering";
+    case Team::ClientComms: return "client-comms";
+  }
+  return "?";
+}
+
+struct Ticket {
+  std::string id;
+  Team team{};
+  core::Blame category{};
+  std::optional<net::AsId> faulty_as;
+  net::CloudLocationId location;
+  double impact = 0.0;  ///< client-time product (or affected users)
+  util::MinuteTime opened;
+  std::string summary;
+};
+
+struct AlertConfig {
+  /// Max tickets opened per pipeline step (the paper: "the top few are
+  /// automatically ticketed").
+  int max_tickets_per_step = 5;
+  /// Minimum affected users before an issue is ticket-worthy.
+  double min_impact_users = 5.0;
+};
+
+/// Builds tickets from pipeline step reports, deduplicating re-fires of the
+/// same ongoing issue.
+class AlertSink {
+ public:
+  explicit AlertSink(AlertConfig config = {});
+
+  /// Digests one step report; returns tickets newly opened by this step.
+  std::vector<Ticket> digest(const core::StepReport& report);
+
+  [[nodiscard]] const std::vector<Ticket>& all_tickets() const noexcept {
+    return tickets_;
+  }
+
+ private:
+  [[nodiscard]] static Team route(core::Blame category) noexcept;
+
+  AlertConfig config_;
+  std::vector<Ticket> tickets_;
+  /// Issue keys already ticketed (dedup across steps).
+  std::unordered_set<std::uint64_t> open_issues_;
+  int next_id_ = 1;
+};
+
+}  // namespace blameit::ops

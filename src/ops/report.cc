@@ -1,0 +1,54 @@
+#include "ops/report.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace blameit::ops {
+
+std::string render_step(const core::StepReport& report,
+                        const net::Topology& topology) {
+  std::ostringstream oss;
+  oss << "[" << util::to_string(report.now) << "] blames:";
+  for (const auto blame : core::kAllBlames) {
+    const int n = report.count(blame);
+    if (n > 0) oss << ' ' << core::to_string(blame) << '=' << n;
+  }
+  if (report.blames.empty()) oss << " none";
+  oss << " | probes: on-demand=" << report.on_demand_probes
+      << " background=" << report.background_probes;
+  if (!report.ranked_issues.empty()) {
+    const auto& top = report.ranked_issues.front();
+    oss << " | top issue: " << topology.location(top.location).name << " via "
+        << topology.interner().describe(top.middle)
+        << " (client-time " << util::fmt(top.client_time_product, 1) << ")";
+  }
+  for (const auto& diag : report.diagnoses) {
+    if (diag.culprit) {
+      const auto* info = topology.registry().find(*diag.culprit);
+      oss << "\n  culprit: " << diag.culprit->to_string();
+      if (info) oss << " (" << info->name << ")";
+      oss << " +" << util::fmt(diag.culprit_increase_ms, 1) << "ms"
+          << (diag.have_baseline ? "" : " [no baseline — low confidence]");
+    }
+  }
+  return oss.str();
+}
+
+std::string render_ticket(const Ticket& ticket,
+                          const net::Topology& topology) {
+  std::ostringstream oss;
+  oss << ticket.id << " [" << to_string(ticket.team) << "] "
+      << core::to_string(ticket.category) << " @ "
+      << topology.location(ticket.location).name
+      << " impact=" << util::fmt(ticket.impact, 1) << " : " << ticket.summary;
+  return oss.str();
+}
+
+void print_step(std::ostream& os, const core::StepReport& report,
+                const net::Topology& topology) {
+  os << render_step(report, topology) << '\n';
+}
+
+}  // namespace blameit::ops

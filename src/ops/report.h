@@ -1,0 +1,24 @@
+// Text rendering of pipeline output for operators, examples, and benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/pipeline.h"
+#include "ops/alert.h"
+
+namespace blameit::ops {
+
+/// One-paragraph summary of a pipeline step: blame counts, top issues,
+/// probes spent.
+[[nodiscard]] std::string render_step(const core::StepReport& report,
+                                      const net::Topology& topology);
+
+/// Renders a ticket as the one-line form an incident queue would show.
+[[nodiscard]] std::string render_ticket(const Ticket& ticket,
+                                        const net::Topology& topology);
+
+void print_step(std::ostream& os, const core::StepReport& report,
+                const net::Topology& topology);
+
+}  // namespace blameit::ops

@@ -1,0 +1,89 @@
+#include "sim/fault.h"
+
+#include <stdexcept>
+
+namespace blameit::sim {
+
+std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::CloudLocation: return "cloud";
+    case FaultKind::MiddleAs: return "middle-as";
+    case FaultKind::ClientAs: return "client-as";
+    case FaultKind::ClientBlock: return "client-block";
+  }
+  return "?";
+}
+
+void FaultInjector::add(Fault fault) {
+  if (fault.added_ms < 0.0 || fault.duration_minutes <= 0) {
+    throw std::invalid_argument{
+        "FaultInjector: fault needs added_ms >= 0 and duration > 0"};
+  }
+  const std::size_t idx = faults_.size();
+  switch (fault.kind) {
+    case FaultKind::CloudLocation:
+      by_location_[fault.cloud_location.value].push_back(idx);
+      break;
+    case FaultKind::MiddleAs:
+      by_middle_as_[fault.as].push_back(idx);
+      break;
+    case FaultKind::ClientAs:
+      by_client_as_[fault.as].push_back(idx);
+      break;
+    case FaultKind::ClientBlock:
+      by_block_[fault.block].push_back(idx);
+      break;
+  }
+  faults_.push_back(std::move(fault));
+}
+
+PathFaultDelays FaultInjector::delays_for(net::CloudLocationId location,
+                                          const net::RouteEntry& route,
+                                          net::Slash24 block,
+                                          net::AsId client_as,
+                                          util::MinuteTime t) const {
+  PathFaultDelays delays;
+  const auto middle = route.middle_ases();
+  delays.middle_ms.assign(middle.size(), 0.0);
+
+  if (const auto it = by_location_.find(location.value);
+      it != by_location_.end()) {
+    for (const std::size_t idx : it->second) {
+      const Fault& f = faults_[idx];
+      if (f.active_at(t)) delays.cloud_ms += f.added_ms;
+    }
+  }
+  for (std::size_t i = 0; i < middle.size(); ++i) {
+    const auto it = by_middle_as_.find(middle[i]);
+    if (it == by_middle_as_.end()) continue;
+    for (const std::size_t idx : it->second) {
+      const Fault& f = faults_[idx];
+      if (!f.active_at(t)) continue;
+      if (f.only_via_location && *f.only_via_location != location) continue;
+      delays.middle_ms[i] += f.added_ms;
+    }
+  }
+  if (const auto it = by_client_as_.find(client_as);
+      it != by_client_as_.end()) {
+    for (const std::size_t idx : it->second) {
+      const Fault& f = faults_[idx];
+      if (f.active_at(t)) delays.client_ms += f.added_ms;
+    }
+  }
+  if (const auto it = by_block_.find(block); it != by_block_.end()) {
+    for (const std::size_t idx : it->second) {
+      const Fault& f = faults_[idx];
+      if (f.active_at(t)) delays.client_ms += f.added_ms;
+    }
+  }
+  return delays;
+}
+
+bool FaultInjector::any_active(util::MinuteTime t) const noexcept {
+  for (const Fault& f : faults_) {
+    if (f.active_at(t)) return true;
+  }
+  return false;
+}
+
+}  // namespace blameit::sim

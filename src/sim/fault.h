@@ -1,0 +1,106 @@
+// Fault model: latency inflations targeted at one network segment, with a
+// start time, duration, magnitude, and optional path scoping.
+//
+// Ground truth is known by construction — each fault names the culprit —
+// which is what lets the benches score BlameIt's localization exactly, the
+// role the paper's 88 manually-investigated incidents play (§6.3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/asn.h"
+#include "net/bgp.h"
+#include "net/cloud.h"
+#include "net/ipv4.h"
+#include "util/time.h"
+
+namespace blameit::sim {
+
+/// Which segment a fault lives in. Mirrors the paper's coarse segmentation
+/// (§3.1); MiddleAs faults name a specific transit AS (the active phase's
+/// localization target), ClientBlock scopes a client fault to one /24.
+enum class FaultKind : std::uint8_t {
+  CloudLocation,  ///< inside the cloud at one edge location (server/network)
+  MiddleAs,       ///< inside one transit AS
+  ClientAs,       ///< inside one eyeball ISP (affects all its blocks)
+  ClientBlock,    ///< one /24 only (e.g., a last-mile issue)
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind k) noexcept;
+
+struct Fault {
+  FaultKind kind{};
+  /// Target identity; which field is meaningful depends on `kind`.
+  net::CloudLocationId cloud_location;  ///< CloudLocation faults
+  net::AsId as;                         ///< MiddleAs / ClientAs faults
+  net::Slash24 block;                   ///< ClientBlock faults
+
+  double added_ms = 0.0;  ///< RTT inflation contributed by the faulty segment
+  util::MinuteTime start;
+  int duration_minutes = 0;
+
+  /// Optional scoping for MiddleAs faults: the paper notes a large AS may be
+  /// degraded on some paths but not others (§3.1). When set, the fault only
+  /// affects traffic observed from this cloud location.
+  std::optional<net::CloudLocationId> only_via_location;
+
+  std::string label;  ///< human-readable tag for reports
+
+  [[nodiscard]] util::MinuteTime end() const noexcept {
+    return start.plus_minutes(duration_minutes);
+  }
+  [[nodiscard]] bool active_at(util::MinuteTime t) const noexcept {
+    return t >= start && t < end();
+  }
+};
+
+/// Per-AS latency additions applying to one path at one instant, produced by
+/// the injector and consumed by the RTT model and traceroute engine.
+struct PathFaultDelays {
+  double cloud_ms = 0.0;
+  /// Parallel to the route's middle ASes: middle_ms[i] is the extra latency
+  /// inside the i-th middle AS.
+  std::vector<double> middle_ms;
+  double client_ms = 0.0;
+
+  [[nodiscard]] double total() const noexcept {
+    double sum = cloud_ms + client_ms;
+    for (const double m : middle_ms) sum += m;
+    return sum;
+  }
+};
+
+/// Holds the fault schedule and answers "what extra latency applies to this
+/// path right now". Indexed by target so per-sample queries stay cheap even
+/// with many scheduled faults.
+class FaultInjector {
+ public:
+  void add(Fault fault);
+
+  [[nodiscard]] const std::vector<Fault>& faults() const noexcept {
+    return faults_;
+  }
+
+  /// Extra latency for traffic from `location` to client `block` (inside
+  /// `client_as`) over `route`, at time `t`.
+  [[nodiscard]] PathFaultDelays delays_for(
+      net::CloudLocationId location, const net::RouteEntry& route,
+      net::Slash24 block, net::AsId client_as, util::MinuteTime t) const;
+
+  /// True when any fault is active at `t` (used by fast paths to skip the
+  /// per-segment scan).
+  [[nodiscard]] bool any_active(util::MinuteTime t) const noexcept;
+
+ private:
+  std::vector<Fault> faults_;
+  // Index: positions into faults_ by target key, so delays_for only scans
+  // faults that could possibly apply to the queried path.
+  std::unordered_map<std::uint16_t, std::vector<std::size_t>> by_location_;
+  std::unordered_map<net::AsId, std::vector<std::size_t>> by_middle_as_;
+  std::unordered_map<net::AsId, std::vector<std::size_t>> by_client_as_;
+  std::unordered_map<net::Slash24, std::vector<std::size_t>> by_block_;
+};
+
+}  // namespace blameit::sim

@@ -1,0 +1,100 @@
+#include "sim/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace blameit::sim {
+
+namespace {
+
+// Work-hours curve: peaks around 11:00-15:00 local, low at night.
+double work_curve(double hour) {
+  const double x = (hour - 13.0) / 5.0;
+  return 0.1 + 0.9 * std::exp(-x * x);
+}
+
+// Home curve: peaks in the evening (~20:30), stays moderate at night —
+// the paper observes badness is consistently higher at night because home
+// ISPs dominate then (§2.2).
+double home_curve(double hour) {
+  const double x = (hour - 20.5) / 4.0;
+  const double evening = std::exp(-x * x);
+  const double late_night = 0.35 * std::exp(-std::pow((hour - 1.5) / 3.0, 2));
+  return 0.15 + 0.85 * std::max(evening, late_night);
+}
+
+}  // namespace
+
+Population::Population(const net::Topology* topology, PopulationConfig config,
+                       std::uint64_t seed)
+    : topology_(topology), config_(config), seed_(seed) {
+  if (!topology_) throw std::invalid_argument{"Population: null topology"};
+  if (config_.peak_clients_per_block <= 0.0 || config_.mobile_share < 0.0 ||
+      config_.mobile_share > 1.0 || config_.samples_per_client <= 0.0) {
+    throw std::invalid_argument{"PopulationConfig: invalid values"};
+  }
+  total_weight_ = 0.0;
+  for (const auto& block : topology_->blocks()) {
+    total_weight_ += block.activity_weight;
+  }
+  if (total_weight_ <= 0.0) {
+    throw std::invalid_argument{"Population: topology has no active blocks"};
+  }
+}
+
+double Population::diurnal_factor(const net::ClientBlock& block,
+                                  util::MinuteTime t) const {
+  const double hour = static_cast<double>(t.minute_of_day()) / 60.0;
+  double work = work_curve(hour);
+  if (t.is_weekend()) work *= 0.35;  // weekends damp enterprise traffic
+  const double home = home_curve(hour);
+  return block.enterprise_fraction * work +
+         (1.0 - block.enterprise_fraction) * home;
+}
+
+double Population::active_clients(const net::ClientBlock& block,
+                                  util::TimeBucket bucket) const {
+  // activity_weight is Zipf-skewed across blocks; normalize so an
+  // average-weight block peaks near peak_clients_per_block.
+  const double base = config_.peak_clients_per_block * block.activity_weight *
+                      static_cast<double>(topology_->blocks().size()) /
+                      total_weight_;
+  return base * diurnal_factor(block, bucket.start());
+}
+
+double Population::active_clients(const net::ClientBlock& block,
+                                  util::TimeBucket bucket,
+                                  DeviceClass device) const {
+  const double all = active_clients(block, bucket);
+  return device == DeviceClass::Mobile ? all * config_.mobile_share
+                                       : all * (1.0 - config_.mobile_share);
+}
+
+int Population::sample_count(const net::ClientBlock& block,
+                             util::TimeBucket bucket,
+                             DeviceClass device) const {
+  const double expected =
+      active_clients(block, bucket, device) * config_.samples_per_client;
+  // Deterministic per-(block, bucket, device) jitter of ±20% around the
+  // expectation, so counts vary realistically but replays are identical.
+  util::Rng rng{util::hash_combine(
+      seed_, util::hash_combine(block.block.block,
+                                util::hash_combine(
+                                    static_cast<std::uint64_t>(bucket.index),
+                                    static_cast<std::uint64_t>(device))))};
+  const double jittered = expected * rng.uniform(0.8, 1.2);
+  return static_cast<int>(std::floor(jittered));
+}
+
+bool Population::connects_to_secondary(const net::ClientBlock& block,
+                                       util::TimeBucket bucket) const {
+  util::Rng rng{util::hash_combine(
+      seed_ ^ 0x5ECu, util::hash_combine(
+                          block.block.block,
+                          static_cast<std::uint64_t>(bucket.index)))};
+  return rng.chance(config_.secondary_connect_probability);
+}
+
+}  // namespace blameit::sim

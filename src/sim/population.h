@@ -1,0 +1,75 @@
+// Client activity model: how many clients in each /24 are active in each
+// 5-minute bucket, and what device class they use.
+//
+// Reproduces the temporal structure the paper observes (§2.2): a diurnal
+// pattern mixing enterprise (work-hours-heavy) and home (evening-heavy)
+// connectivity, damped work activity on weekends, and Zipf-skewed activity
+// across blocks (§2.4: most affected clients concentrate in few prefixes).
+#pragma once
+
+#include "net/device.h"
+#include "net/topology.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace blameit::sim {
+
+using net::DeviceClass;
+using net::kAllDeviceClasses;
+
+struct PopulationConfig {
+  /// Expected active clients in an average block at the daily peak. Sized so
+  /// that (after the Zipf skew) a median block's quartets carry tens of RTT
+  /// samples, as in the paper (§2.1).
+  double peak_clients_per_block = 60.0;
+  /// Fraction of connections made from mobile devices.
+  double mobile_share = 0.35;
+  /// RTT samples (TCP connections) contributed per active client per bucket.
+  double samples_per_client = 2.5;
+  /// Probability that a block also connects to its secondary in-region
+  /// location within the same bucket (gives Algorithm 1 its "good RTT to
+  /// another cloud node" ambiguity signal).
+  double secondary_connect_probability = 0.35;
+};
+
+/// Deterministic activity model over (block, bucket, device).
+class Population {
+ public:
+  Population(const net::Topology* topology, PopulationConfig config,
+             std::uint64_t seed);
+
+  /// Expected number of active clients (before device split).
+  [[nodiscard]] double active_clients(const net::ClientBlock& block,
+                                      util::TimeBucket bucket) const;
+
+  /// Expected active clients of one device class.
+  [[nodiscard]] double active_clients(const net::ClientBlock& block,
+                                      util::TimeBucket bucket,
+                                      DeviceClass device) const;
+
+  /// Number of RTT samples a quartet collects (integer draw, deterministic
+  /// for a given (block, bucket, device)).
+  [[nodiscard]] int sample_count(const net::ClientBlock& block,
+                                 util::TimeBucket bucket,
+                                 DeviceClass device) const;
+
+  /// Whether the block also connects to its secondary location this bucket.
+  [[nodiscard]] bool connects_to_secondary(const net::ClientBlock& block,
+                                           util::TimeBucket bucket) const;
+
+  /// Diurnal multiplier in (0, 1]; exposed for tests and the Fig 3 bench.
+  [[nodiscard]] double diurnal_factor(const net::ClientBlock& block,
+                                      util::MinuteTime t) const;
+
+  [[nodiscard]] const PopulationConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  const net::Topology* topology_;
+  PopulationConfig config_;
+  std::uint64_t seed_;
+  double total_weight_ = 1.0;
+};
+
+}  // namespace blameit::sim

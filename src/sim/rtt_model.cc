@@ -1,0 +1,108 @@
+#include "sim/rtt_model.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace blameit::sim {
+
+RttModel::RttModel(const net::Topology* topology, const FaultInjector* faults,
+                   RttModelConfig config)
+    : topology_(topology), faults_(faults), config_(config) {
+  if (!topology_ || !faults_) {
+    throw std::invalid_argument{"RttModel: null topology or fault injector"};
+  }
+  if (config_.jitter_sigma < 0.0 || config_.outlier_probability < 0.0 ||
+      config_.outlier_probability > 1.0) {
+    throw std::invalid_argument{"RttModelConfig: invalid noise parameters"};
+  }
+}
+
+double RttModel::congestion_factor(util::MinuteTime t) const {
+  // Smooth evening peak (~21:00) used to modulate client/middle congestion.
+  const double hour = static_cast<double>(t.minute_of_day()) / 60.0;
+  const double x = (hour - 21.0) / 3.5;
+  return std::exp(-x * x);
+}
+
+SegmentBreakdown RttModel::breakdown(net::CloudLocationId location,
+                                     const net::ClientBlock& block,
+                                     DeviceClass device,
+                                     util::MinuteTime t) const {
+  const auto* route = topology_->routing().route_for(location, block.block, t);
+  if (!route) {
+    throw std::invalid_argument{"RttModel: no route from " +
+                                location.to_string() + " to " +
+                                block.block.to_string()};
+  }
+  return breakdown(location, *route, block, device, t);
+}
+
+SegmentBreakdown RttModel::breakdown(net::CloudLocationId location,
+                                     const net::RouteEntry& route,
+                                     const net::ClientBlock& block,
+                                     DeviceClass device,
+                                     util::MinuteTime t) const {
+  const auto& loc = topology_->location(location);
+  const auto middle = route.middle_ases();
+  const auto delays =
+      faults_->delays_for(location, route, block.block, block.client_as, t);
+
+  const double congestion = congestion_factor(t);
+
+  SegmentBreakdown out;
+  out.cloud_ms = loc.cloud_segment_ms + delays.cloud_ms;
+
+  // Middle AS i's contribution: the link that reaches it from the previous
+  // AS on the path, congestion, and any injected fault inside it.
+  out.middle_ms.reserve(middle.size());
+  const auto& graph = topology_->graph();
+  for (std::size_t i = 0; i < middle.size(); ++i) {
+    const net::AsId prev = route.full_path[i];  // full_path[0] is the cloud
+    const auto link = graph.link_latency(prev, middle[i]);
+    if (!link) {
+      throw std::logic_error{"RttModel: route crosses missing link"};
+    }
+    const double base =
+        *link * (1.0 + config_.middle_congestion_amplitude * congestion);
+    out.middle_ms.push_back(base + delays.middle_ms[i]);
+  }
+
+  // Client segment: the final link into the eyeball AS, the last-mile access
+  // latency (device-dependent), congestion, and client-side faults.
+  double client = block.access_latency_ms;
+  if (device == DeviceClass::Mobile) client += block.mobile_extra_ms;
+  if (route.full_path.size() >= 2) {
+    const net::AsId last_middle =
+        route.full_path[route.full_path.size() - 2];
+    const auto link = graph.link_latency(last_middle, route.client_as());
+    if (!link) {
+      throw std::logic_error{"RttModel: missing final link into client AS"};
+    }
+    client += *link;
+  }
+  client *= 1.0 + config_.client_congestion_amplitude * congestion *
+                      (1.0 - block.enterprise_fraction);
+  out.client_ms = client + delays.client_ms;
+  return out;
+}
+
+double RttModel::sample(const SegmentBreakdown& breakdown,
+                        util::Rng& rng) const {
+  double rtt = breakdown.total() *
+               rng.lognormal(0.0, config_.jitter_sigma);
+  if (rng.chance(config_.outlier_probability)) {
+    rtt *= rng.uniform(config_.outlier_min_factor, config_.outlier_max_factor);
+  }
+  return rtt;
+}
+
+double RttModel::sample_mean(const SegmentBreakdown& breakdown, int n,
+                             util::Rng& rng) const {
+  if (n <= 0) return 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += sample(breakdown, rng);
+  return sum / n;
+}
+
+}  // namespace blameit::sim

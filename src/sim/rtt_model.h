@@ -1,0 +1,96 @@
+// RTT composition model: how a single TCP-handshake RTT (or a traceroute's
+// per-hop cumulative latency) is assembled from the cloud, middle, and client
+// segment contributions, plus congestion and measurement noise.
+//
+// The telemetry generator and the traceroute engine both consume this model,
+// so passive RTTs and active probe measurements are mutually consistent —
+// the property BlameIt's active phase relies on when it compares traceroute
+// contributions before and during an incident (§5.2).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/fault.h"
+#include "sim/population.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace blameit::sim {
+
+/// Deterministic per-segment breakdown of one path's RTT at one instant
+/// (before measurement noise).
+struct SegmentBreakdown {
+  double cloud_ms = 0.0;
+  /// Contribution of each middle AS, parallel to the route's middle_ases():
+  /// cost of reaching/traversing that AS (link + internal + fault).
+  std::vector<double> middle_ms;
+  double client_ms = 0.0;
+
+  [[nodiscard]] double total() const noexcept {
+    double sum = cloud_ms + client_ms;
+    for (const double m : middle_ms) sum += m;
+    return sum;
+  }
+};
+
+struct RttModelConfig {
+  /// Lognormal sigma of multiplicative measurement noise on each sample.
+  double jitter_sigma = 0.06;
+  /// Probability of an outlier sample (retransmission/delayed SYN-ACK).
+  double outlier_probability = 0.01;
+  /// Outlier multiplier range.
+  double outlier_min_factor = 2.0;
+  double outlier_max_factor = 5.0;
+  /// Peak-hour congestion adds up to this fraction on the client segment
+  /// (home ISP evening congestion; §2.2).
+  double client_congestion_amplitude = 0.10;
+  /// And up to this fraction on middle links.
+  double middle_congestion_amplitude = 0.03;
+};
+
+class RttModel {
+ public:
+  RttModel(const net::Topology* topology, const FaultInjector* faults,
+           RttModelConfig config = {});
+
+  /// Deterministic breakdown for traffic from `location` to `block` over the
+  /// route installed at time `t`. Throws std::invalid_argument when no route
+  /// exists.
+  [[nodiscard]] SegmentBreakdown breakdown(net::CloudLocationId location,
+                                           const net::ClientBlock& block,
+                                           DeviceClass device,
+                                           util::MinuteTime t) const;
+
+  /// Same, against an explicit route (used when the caller already resolved
+  /// it, e.g. the traceroute engine).
+  [[nodiscard]] SegmentBreakdown breakdown(net::CloudLocationId location,
+                                           const net::RouteEntry& route,
+                                           const net::ClientBlock& block,
+                                           DeviceClass device,
+                                           util::MinuteTime t) const;
+
+  /// One noisy RTT sample on top of a breakdown.
+  [[nodiscard]] double sample(const SegmentBreakdown& breakdown,
+                              util::Rng& rng) const;
+
+  /// Mean of `n` noisy samples (streaming; what a quartet's average RTT is).
+  [[nodiscard]] double sample_mean(const SegmentBreakdown& breakdown, int n,
+                                   util::Rng& rng) const;
+
+  [[nodiscard]] const RttModelConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const net::Topology& topology() const noexcept {
+    return *topology_;
+  }
+
+ private:
+  [[nodiscard]] double congestion_factor(util::MinuteTime t) const;
+
+  const net::Topology* topology_;
+  const FaultInjector* faults_;
+  RttModelConfig config_;
+};
+
+}  // namespace blameit::sim

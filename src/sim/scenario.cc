@@ -1,0 +1,279 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace blameit::sim {
+
+namespace {
+
+Fault fault_from(const Incident& incident) {
+  Fault f;
+  f.added_ms = incident.added_ms;
+  f.start = incident.start;
+  f.duration_minutes = incident.duration_minutes;
+  f.label = incident.name;
+  switch (incident.kind) {
+    case FaultKind::CloudLocation:
+      f.kind = FaultKind::CloudLocation;
+      f.cloud_location = incident.cloud_location;
+      break;
+    case FaultKind::MiddleAs:
+      f.kind = FaultKind::MiddleAs;
+      f.as = incident.target_as;
+      break;
+    case FaultKind::ClientAs:
+      f.kind = FaultKind::ClientAs;
+      f.as = incident.target_as;
+      break;
+    case FaultKind::ClientBlock:
+      f.kind = FaultKind::ClientBlock;
+      f.block = incident.block;
+      break;
+  }
+  return f;
+}
+
+}  // namespace
+
+void apply_incident(const Incident& incident, FaultInjector& injector,
+                    TelemetryGenerator* generator) {
+  if (incident.via_override) {
+    if (!generator) {
+      throw std::invalid_argument{
+          "apply_incident: override incident needs a telemetry generator"};
+    }
+    generator->add_override(
+        TrafficOverride{.start = incident.start,
+                        .duration_minutes = incident.duration_minutes,
+                        .client_region = incident.region,
+                        .to_location = incident.override_to});
+    return;
+  }
+  injector.add(fault_from(incident));
+}
+
+void apply_incidents(const std::vector<Incident>& incidents,
+                     FaultInjector& injector, TelemetryGenerator* generator) {
+  for (const auto& incident : incidents) {
+    apply_incident(incident, injector, generator);
+  }
+}
+
+std::vector<Incident> make_case_studies(const net::Topology& topology,
+                                        util::MinuteTime first_start) {
+  std::vector<Incident> out;
+  auto start = first_start;
+  const auto cloud = topology.cloud_as();
+
+  // 1) Maintenance in Brazil: unfinished maintenance inside the cloud's
+  //    Brazil edge; southern-American clients see inflated RTTs for a long
+  //    stretch (§6.3 case 1 lasted days; we use 8 hours).
+  {
+    Incident inc;
+    inc.name = "brazil-maintenance";
+    inc.kind = FaultKind::CloudLocation;
+    inc.region = net::Region::Brazil;
+    inc.cloud_location = topology.locations_in(net::Region::Brazil).front();
+    inc.culprit_as = cloud;
+    inc.start = start;
+    inc.duration_minutes = 8 * 60;
+    inc.added_ms = 70.0;
+    out.push_back(inc);
+    start = start.plus_minutes(inc.duration_minutes + 120);
+  }
+
+  // 2) Peering fault in the USA: a change inside a peering (transit) AS
+  //    degrades many paths countrywide; middle-segment issue.
+  {
+    Incident inc;
+    inc.name = "us-peering-fault";
+    inc.kind = FaultKind::MiddleAs;
+    inc.region = net::Region::UnitedStates;
+    const auto& transits = topology.transits_in(net::Region::UnitedStates);
+    inc.target_as = transits.at(1);  // a regional (non-gateway) transit
+    inc.culprit_as = inc.target_as;
+    inc.start = start;
+    inc.duration_minutes = 3 * 60;
+    inc.added_ms = 45.0;
+    out.push_back(inc);
+    start = start.plus_minutes(inc.duration_minutes + 120);
+  }
+
+  // 3) Cloud overload in Australia: server CPU overload at one location
+  //    (median RTT 25ms -> 82ms in the paper).
+  {
+    Incident inc;
+    inc.name = "australia-overload";
+    inc.kind = FaultKind::CloudLocation;
+    inc.region = net::Region::Australia;
+    inc.cloud_location = topology.locations_in(net::Region::Australia).front();
+    inc.culprit_as = cloud;
+    inc.start = start;
+    inc.duration_minutes = 90;
+    inc.added_ms = 57.0;
+    out.push_back(inc);
+    start = start.plus_minutes(inc.duration_minutes + 120);
+  }
+
+  // 4) Traffic shift from East Asia to the US West coast: BGP announcement
+  //    side-effects re-steer east-Asian clients to US edges; their paths now
+  //    cross the transpacific backbone and the middle segment dominates the
+  //    inflation. No single AS failed, so only the category is validated.
+  {
+    Incident inc;
+    inc.name = "east-asia-traffic-shift";
+    inc.kind = FaultKind::MiddleAs;
+    inc.culprit_as = std::nullopt;
+    inc.region = net::Region::EastAsia;
+    inc.via_override = true;
+    inc.override_to =
+        topology.locations_in(net::Region::UnitedStates).front();
+    inc.start = start;
+    inc.duration_minutes = 2 * 60;
+    inc.added_ms = 0.0;  // inflation comes from the longer path itself
+    out.push_back(inc);
+    start = start.plus_minutes(inc.duration_minutes + 120);
+  }
+
+  // 5) Client ISP maintenance in Italy: unannounced maintenance inside a
+  //    European eyeball ISP (median 9ms -> 161ms in the paper).
+  {
+    Incident inc;
+    inc.name = "italy-client-isp";
+    inc.kind = FaultKind::ClientAs;
+    inc.region = net::Region::Europe;
+    inc.target_as = topology.eyeballs_in(net::Region::Europe).front();
+    inc.culprit_as = inc.target_as;
+    inc.start = start;
+    inc.duration_minutes = 4 * 60;
+    inc.added_ms = 150.0;
+    out.push_back(inc);
+  }
+  return out;
+}
+
+std::vector<Incident> make_incident_suite(const net::Topology& topology,
+                                          const IncidentSuiteConfig& config) {
+  if (config.count < 1 || config.min_duration_minutes < util::kBucketMinutes ||
+      config.max_duration_minutes < config.min_duration_minutes) {
+    throw std::invalid_argument{"IncidentSuiteConfig: invalid sizes"};
+  }
+  util::Rng rng{config.seed};
+  std::vector<Incident> out;
+  out.reserve(static_cast<std::size_t>(config.count));
+
+  const double total_weight = config.cloud_weight + config.middle_weight +
+                              config.client_as_weight +
+                              config.client_block_weight;
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument{"IncidentSuiteConfig: zero category weights"};
+  }
+
+  // Per-region cursor so concurrent incidents never share a region (keeps
+  // the ground truth of each incident unambiguous when scoring).
+  std::unordered_map<net::Region, util::MinuteTime> next_free;
+  for (const auto region : net::kAllRegions) {
+    next_free[region] = config.first_start;
+  }
+
+  for (int i = 0; i < config.count; ++i) {
+    // Category draw.
+    const double pick = rng.uniform(0.0, total_weight);
+    FaultKind kind;
+    if (pick < config.cloud_weight) {
+      kind = FaultKind::CloudLocation;
+    } else if (pick < config.cloud_weight + config.middle_weight) {
+      kind = FaultKind::MiddleAs;
+    } else if (pick <
+               config.cloud_weight + config.middle_weight +
+                   config.client_as_weight) {
+      kind = FaultKind::ClientAs;
+    } else {
+      kind = FaultKind::ClientBlock;
+    }
+
+    // Region: least-busy first so the suite spreads worldwide.
+    net::Region region = net::kAllRegions[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(net::kAllRegions.size()) -
+                               1))];
+    for (const auto candidate : net::kAllRegions) {
+      if (next_free[candidate] < next_free[region]) region = candidate;
+    }
+
+    Incident inc;
+    inc.kind = kind;
+    inc.region = region;
+    inc.start = next_free[region];
+    // Log-uniform duration: long-tailed mix of fleeting and long issues
+    // (§2.3), quantized to whole buckets.
+    const double log_lo = std::log(config.min_duration_minutes);
+    const double log_hi = std::log(config.max_duration_minutes);
+    const int raw = static_cast<int>(std::exp(rng.uniform(log_lo, log_hi)));
+    inc.duration_minutes =
+        (raw / util::kBucketMinutes) * util::kBucketMinutes;
+    inc.duration_minutes =
+        std::max(inc.duration_minutes, config.min_duration_minutes);
+
+    const auto& profile = net::region_profile(region);
+    // Magnitude comfortably above the region target so badness triggers.
+    inc.added_ms = profile.rtt_target_ms * rng.uniform(0.9, 2.5);
+
+    switch (kind) {
+      case FaultKind::CloudLocation: {
+        const auto locs = topology.locations_in(region);
+        inc.cloud_location = locs[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(locs.size()) - 1))];
+        inc.culprit_as = topology.cloud_as();
+        inc.name = "suite-cloud-" + std::to_string(i);
+        break;
+      }
+      case FaultKind::MiddleAs: {
+        const auto& transits = topology.transits_in(region);
+        // Any transit, gateway included, may fault.
+        inc.target_as = transits[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(transits.size()) - 1))];
+        inc.culprit_as = inc.target_as;
+        inc.name = "suite-middle-" + std::to_string(i);
+        break;
+      }
+      case FaultKind::ClientAs: {
+        const auto& eyeballs = topology.eyeballs_in(region);
+        inc.target_as = eyeballs[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(eyeballs.size()) - 1))];
+        inc.culprit_as = inc.target_as;
+        inc.name = "suite-client-as-" + std::to_string(i);
+        break;
+      }
+      case FaultKind::ClientBlock: {
+        // Pick one of the region's blocks.
+        std::vector<const net::ClientBlock*> region_blocks;
+        for (const auto& block : topology.blocks()) {
+          if (block.region == region) region_blocks.push_back(&block);
+        }
+        const auto* block = region_blocks[static_cast<std::size_t>(
+            rng.uniform_int(0,
+                            static_cast<std::int64_t>(region_blocks.size()) -
+                                1))];
+        inc.block = block->block;
+        inc.culprit_as = block->client_as;
+        inc.name = "suite-client-block-" + std::to_string(i);
+        break;
+      }
+    }
+
+    next_free[region] =
+        inc.end().plus_minutes(config.min_gap_minutes);
+    out.push_back(std::move(inc));
+  }
+
+  std::sort(out.begin(), out.end(), [](const Incident& a, const Incident& b) {
+    return a.start < b.start;
+  });
+  return out;
+}
+
+}  // namespace blameit::sim

@@ -1,0 +1,86 @@
+// Incident scenarios with ground truth: the five §6.3 case studies and a
+// generated suite mirroring the paper's 88 manually-investigated incidents.
+//
+// Each Incident knows which segment (and which AS) is truly at fault, so
+// localization accuracy can be scored exactly — the role the network
+// engineers' manual reports play in the paper's validation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/fault.h"
+#include "sim/telemetry.h"
+
+namespace blameit::sim {
+
+struct Incident {
+  std::string name;
+  FaultKind kind{};  ///< ground-truth segment category
+  /// Ground-truth culprit AS. The cloud AS for cloud faults, the faulty
+  /// transit for middle faults, the eyeball for client faults. Empty for
+  /// incidents where only the category is well-defined (e.g. anycast
+  /// re-steering, where no single AS "failed").
+  std::optional<net::AsId> culprit_as;
+
+  net::Region region{};                  ///< where the impact lands
+  net::CloudLocationId cloud_location;   ///< kind == CloudLocation
+  net::AsId target_as;                   ///< kind == MiddleAs / ClientAs
+  net::Slash24 block;                    ///< kind == ClientBlock
+
+  util::MinuteTime start;
+  int duration_minutes = 0;
+  double added_ms = 0.0;
+
+  /// When true the incident is realized as a TrafficOverride (anycast
+  /// re-steering) instead of a latency fault (§6.3 case 4).
+  bool via_override = false;
+  net::CloudLocationId override_to;  ///< destination edge when via_override
+
+  [[nodiscard]] util::MinuteTime end() const noexcept {
+    return start.plus_minutes(duration_minutes);
+  }
+};
+
+/// Installs an incident into the fault injector (and, for re-steering
+/// incidents, the telemetry generator). `generator` may be null when the
+/// suite contains no override incidents.
+void apply_incident(const Incident& incident, FaultInjector& injector,
+                    TelemetryGenerator* generator);
+
+void apply_incidents(const std::vector<Incident>& incidents,
+                     FaultInjector& injector, TelemetryGenerator* generator);
+
+/// The five real-world case studies of §6.3, transplanted onto the synthetic
+/// topology: Brazil cloud maintenance, US peering (middle) fault, Australia
+/// cloud overload, East Asia → US West anycast shift, Italy client-ISP
+/// maintenance. `first_start` is when the first incident begins; they are
+/// spaced out so each can be judged in isolation.
+[[nodiscard]] std::vector<Incident> make_case_studies(
+    const net::Topology& topology, util::MinuteTime first_start);
+
+struct IncidentSuiteConfig {
+  int count = 88;
+  std::uint64_t seed = 2019;
+  util::MinuteTime first_start;
+  /// Idle gap between consecutive incident starts in the same region.
+  int min_gap_minutes = 30;
+  /// Duration range (minutes); drawn log-uniformly for a long-tailed mix.
+  int min_duration_minutes = 45;
+  int max_duration_minutes = 360;
+  /// Category mix (normalized internally).
+  double cloud_weight = 0.10;
+  double middle_weight = 0.45;
+  double client_as_weight = 0.30;
+  double client_block_weight = 0.15;
+};
+
+/// Generates a deterministic validation suite of `count` incidents with the
+/// configured category mix; concurrent incidents never share a region, so
+/// ground truth stays unambiguous.
+[[nodiscard]] std::vector<Incident> make_incident_suite(
+    const net::Topology& topology, const IncidentSuiteConfig& config);
+
+}  // namespace blameit::sim

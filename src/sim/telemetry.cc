@@ -1,0 +1,140 @@
+#include "sim/telemetry.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace blameit::sim {
+
+TelemetryGenerator::TelemetryGenerator(const net::Topology* topology,
+                                       const FaultInjector* faults,
+                                       TelemetryConfig config)
+    : topology_(topology),
+      config_(config),
+      population_(topology, config.population, config.seed),
+      model_(topology, faults, config.rtt) {
+  if (config_.secondary_volume_fraction < 0.0 ||
+      config_.secondary_volume_fraction > 1.0) {
+    throw std::invalid_argument{
+        "TelemetryConfig: secondary_volume_fraction out of range"};
+  }
+}
+
+void TelemetryGenerator::add_override(TrafficOverride override_event) {
+  if (override_event.duration_minutes <= 0) {
+    throw std::invalid_argument{"TrafficOverride: duration must be > 0"};
+  }
+  overrides_.push_back(override_event);
+}
+
+std::vector<net::CloudLocationId> TelemetryGenerator::connected_locations(
+    const net::ClientBlock& block, util::TimeBucket bucket) const {
+  const auto t = bucket.start();
+  for (const auto& ov : overrides_) {
+    if (ov.client_region == block.region && ov.active_at(t)) {
+      return {ov.to_location};
+    }
+  }
+  const auto& homes = topology_->home_locations(block.block);
+  std::vector<net::CloudLocationId> out{homes.front()};
+  if (homes.size() > 1 && population_.connects_to_secondary(block, bucket)) {
+    out.push_back(homes[1]);
+  }
+  return out;
+}
+
+util::Rng TelemetryGenerator::quartet_rng(const net::ClientBlock& block,
+                                          util::TimeBucket bucket,
+                                          net::CloudLocationId location,
+                                          DeviceClass device) const {
+  std::uint64_t h = util::hash_combine(config_.seed, block.block.block);
+  h = util::hash_combine(h, static_cast<std::uint64_t>(bucket.index));
+  h = util::hash_combine(h, location.value);
+  h = util::hash_combine(h, static_cast<std::uint64_t>(device));
+  return util::Rng{h};
+}
+
+const net::RouteEntry* TelemetryGenerator::route_for(
+    net::CloudLocationId location, const net::ClientBlock& block,
+    util::MinuteTime t) const {
+  const std::uint64_t key = (std::uint64_t{location.value} << 40) |
+                            (std::uint64_t{block.announced.network} << 8) |
+                            block.announced.length;
+  auto it = timeline_cache_.find(key);
+  if (it == timeline_cache_.end()) {
+    it = timeline_cache_
+             .emplace(key,
+                      topology_->routing().timeline(location, block.announced))
+             .first;
+  }
+  return it->second ? it->second->route_at(t) : nullptr;
+}
+
+void TelemetryGenerator::generate_aggregates(
+    util::TimeBucket bucket,
+    const std::function<void(const analysis::QuartetKey&, int, double)>& sink)
+    const {
+  const auto t = bucket.start();
+  for (const auto& block : topology_->blocks()) {
+    const auto locations = connected_locations(block, bucket);
+    for (std::size_t li = 0; li < locations.size(); ++li) {
+      const auto location = locations[li];
+      const auto* route = route_for(location, block, t);
+      if (!route) continue;
+      for (const DeviceClass device : kAllDeviceClasses) {
+        int n = population_.sample_count(block, bucket, device);
+        if (li > 0) {
+          n = static_cast<int>(
+              std::floor(n * config_.secondary_volume_fraction));
+        }
+        if (n <= 0) continue;
+        auto rng = quartet_rng(block, bucket, location, device);
+        const auto breakdown =
+            model_.breakdown(location, *route, block, device, t);
+        const double mean = model_.sample_mean(breakdown, n, rng);
+        sink(analysis::QuartetKey{.block = block.block,
+                                  .location = location,
+                                  .device = device,
+                                  .bucket = bucket},
+             n, mean);
+      }
+    }
+  }
+}
+
+void TelemetryGenerator::generate_records(
+    util::TimeBucket bucket,
+    const std::function<void(const analysis::RttRecord&)>& sink) const {
+  const auto t = bucket.start();
+  for (const auto& block : topology_->blocks()) {
+    const auto locations = connected_locations(block, bucket);
+    for (std::size_t li = 0; li < locations.size(); ++li) {
+      const auto location = locations[li];
+      const auto* route = route_for(location, block, t);
+      if (!route) continue;
+      for (const DeviceClass device : kAllDeviceClasses) {
+        int n = population_.sample_count(block, bucket, device);
+        if (li > 0) {
+          n = static_cast<int>(
+              std::floor(n * config_.secondary_volume_fraction));
+        }
+        if (n <= 0) continue;
+        auto rng = quartet_rng(block, bucket, location, device);
+        const auto breakdown =
+            model_.breakdown(location, *route, block, device, t);
+        for (int i = 0; i < n; ++i) {
+          analysis::RttRecord record;
+          record.time =
+              t.plus_minutes(rng.uniform_int(0, util::kBucketMinutes - 1));
+          record.location = location;
+          record.client_ip = block.block.host(
+              static_cast<std::uint8_t>(rng.uniform_int(1, 254)));
+          record.device = device;
+          record.rtt_ms = model_.sample(breakdown, rng);
+          sink(record);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace blameit::sim

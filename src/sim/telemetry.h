@@ -1,0 +1,104 @@
+// TCP-handshake telemetry generation: the synthetic stand-in for Azure's
+// per-connection RTT stream (Table 2 / Fig 7).
+//
+// Two emission modes share one RTT model:
+//  - generate_records: individual RttRecords (full fidelity; small scales,
+//    tests, and the storage-bucket pipeline emulation), and
+//  - generate_aggregates: per-quartet (count, mean) aggregates — the fast
+//    path month-long benches use. Both see the same routes, faults, diurnal
+//    congestion and client populations.
+//
+// Traffic overrides model anycast re-steering events (the §6.3 "traffic
+// shift from East Asia to US West" case): while active, an override sends a
+// region's clients to an explicit cloud location instead of their home edge.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "analysis/quartet.h"
+#include "analysis/record.h"
+#include "net/topology.h"
+#include "sim/fault.h"
+#include "sim/population.h"
+#include "sim/rtt_model.h"
+
+namespace blameit::sim {
+
+struct TrafficOverride {
+  util::MinuteTime start;
+  int duration_minutes = 0;
+  net::Region client_region{};       ///< whose clients are re-steered
+  net::CloudLocationId to_location;  ///< where they now connect
+
+  [[nodiscard]] bool active_at(util::MinuteTime t) const noexcept {
+    return t >= start && t < start.plus_minutes(duration_minutes);
+  }
+};
+
+struct TelemetryConfig {
+  std::uint64_t seed = 7;
+  PopulationConfig population{};
+  RttModelConfig rtt{};
+  /// Fraction of a block's primary sample volume that goes to the secondary
+  /// location when it also connects there in a bucket.
+  double secondary_volume_fraction = 0.5;
+};
+
+class TelemetryGenerator {
+ public:
+  TelemetryGenerator(const net::Topology* topology,
+                     const FaultInjector* faults, TelemetryConfig config = {});
+
+  /// Emits individual RTT records for one 5-minute bucket.
+  void generate_records(
+      util::TimeBucket bucket,
+      const std::function<void(const analysis::RttRecord&)>& sink) const;
+
+  /// Emits per-quartet aggregates for one bucket: (key, sample count, mean
+  /// RTT). Equivalent in distribution to averaging generate_records output.
+  void generate_aggregates(
+      util::TimeBucket bucket,
+      const std::function<void(const analysis::QuartetKey&, int, double)>&
+          sink) const;
+
+  /// Locations the block's clients connect to in this bucket, primary first
+  /// (override-aware).
+  [[nodiscard]] std::vector<net::CloudLocationId> connected_locations(
+      const net::ClientBlock& block, util::TimeBucket bucket) const;
+
+  void add_override(TrafficOverride override_event);
+
+  [[nodiscard]] const Population& population() const noexcept {
+    return population_;
+  }
+  [[nodiscard]] const RttModel& model() const noexcept { return model_; }
+  [[nodiscard]] const net::Topology& topology() const noexcept {
+    return *topology_;
+  }
+
+ private:
+  /// Per-quartet deterministic RNG so any bucket can be regenerated
+  /// independently and identically.
+  [[nodiscard]] util::Rng quartet_rng(const net::ClientBlock& block,
+                                      util::TimeBucket bucket,
+                                      net::CloudLocationId location,
+                                      DeviceClass device) const;
+
+  /// Resolves the route via a cached timeline handle; null if unannounced.
+  [[nodiscard]] const net::RouteEntry* route_for(net::CloudLocationId location,
+                                                 const net::ClientBlock& block,
+                                                 util::MinuteTime t) const;
+
+  const net::Topology* topology_;
+  TelemetryConfig config_;
+  Population population_;
+  RttModel model_;
+  std::vector<TrafficOverride> overrides_;
+  // (location, announced prefix) -> timeline handle, filled lazily.
+  mutable std::unordered_map<std::uint64_t, const net::RouteTimeline*>
+      timeline_cache_;
+};
+
+}  // namespace blameit::sim

@@ -1,0 +1,97 @@
+#include "sim/traceroute.h"
+
+#include <stdexcept>
+
+namespace blameit::sim {
+
+std::vector<std::pair<net::AsId, double>> TracerouteResult::contributions()
+    const {
+  std::vector<std::pair<net::AsId, double>> out;
+  out.reserve(hops.size());
+  double prev = cloud_ms;
+  for (const auto& hop : hops) {
+    out.emplace_back(hop.as, hop.cumulative_rtt_ms - prev);
+    prev = hop.cumulative_rtt_ms;
+  }
+  return out;
+}
+
+void ProbeAccountant::record(net::CloudLocationId from,
+                             util::MinuteTime t) noexcept {
+  ++total_;
+  ++by_day_[t.day()];
+  ++by_location_[from.value];
+}
+
+std::uint64_t ProbeAccountant::on_day(int day) const {
+  const auto it = by_day_.find(day);
+  return it == by_day_.end() ? 0 : it->second;
+}
+
+std::uint64_t ProbeAccountant::at_location(net::CloudLocationId loc) const {
+  const auto it = by_location_.find(loc.value);
+  return it == by_location_.end() ? 0 : it->second;
+}
+
+void ProbeAccountant::reset() noexcept {
+  total_ = 0;
+  by_day_.clear();
+  by_location_.clear();
+}
+
+TracerouteEngine::TracerouteEngine(const net::Topology* topology,
+                                   const RttModel* model,
+                                   TracerouteConfig config)
+    : topology_(topology), model_(model), config_(config) {
+  if (!topology_ || !model_) {
+    throw std::invalid_argument{"TracerouteEngine: null dependency"};
+  }
+}
+
+TracerouteResult TracerouteEngine::trace(net::CloudLocationId from,
+                                         net::Slash24 target,
+                                         util::MinuteTime t) {
+  accountant_.record(from, t);
+
+  TracerouteResult result;
+  result.from = from;
+  result.target = target;
+  result.time = t;
+
+  const auto* block = topology_->find_block(target);
+  const auto* route =
+      block ? topology_->routing().route_for(from, target, t) : nullptr;
+  if (!block || !route) {
+    result.reached = false;
+    return result;
+  }
+
+  // Probes measure the same breakdown the passive RTT model uses for
+  // non-mobile clients (traceroutes run from servers over the same path).
+  const auto breakdown =
+      model_->breakdown(from, *route, *block, DeviceClass::NonMobile, t);
+
+  // Per-probe deterministic noise stream.
+  util::Rng rng{util::hash_combine(
+      config_.seed,
+      util::hash_combine(static_cast<std::uint64_t>(t.minutes),
+                         util::hash_combine(from.value, target.block)))};
+
+  auto noisy = [&](double ms) {
+    return ms * rng.lognormal(0.0, config_.hop_noise_sigma);
+  };
+
+  result.cloud_ms = noisy(breakdown.cloud_ms);
+  double cumulative = result.cloud_ms;
+  const auto middle = route->middle_ases();
+  for (std::size_t i = 0; i < middle.size(); ++i) {
+    cumulative += noisy(breakdown.middle_ms[i]);
+    result.hops.push_back(TracerouteHop{middle[i], cumulative});
+  }
+  cumulative += noisy(breakdown.client_ms);
+  result.hops.push_back(TracerouteHop{route->client_as(), cumulative});
+  result.reached = true;
+  return result;
+}
+
+}  // namespace blameit::sim

@@ -1,0 +1,87 @@
+// Simulated traceroute: AS-level per-hop RTT snapshots of the same network
+// state the telemetry generator samples, plus probe-cost accounting.
+//
+// Replaces the paper's `tracert` runs from cloud locations (§5, §6.1). Hops
+// are reported at AS granularity — the level BlameIt compares at (§5.2) —
+// with cumulative RTTs whose final value matches the non-mobile RTT model
+// for the same path and instant (modulo probe noise).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/rtt_model.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace blameit::sim {
+
+struct TracerouteHop {
+  net::AsId as;
+  double cumulative_rtt_ms = 0.0;  ///< RTT to this AS's last responding hop
+};
+
+struct TracerouteResult {
+  net::CloudLocationId from;
+  net::Slash24 target;
+  util::MinuteTime time;
+  /// Hops in path order: first middle AS ... client AS. The cloud's own
+  /// contribution is hops[0].cumulative minus the first link (reported
+  /// separately as cloud_ms to keep the arithmetic explicit).
+  std::vector<TracerouteHop> hops;
+  double cloud_ms = 0.0;  ///< cumulative RTT when leaving the cloud AS
+  bool reached = false;   ///< false when no route exists (probe lost)
+
+  /// Per-AS contributions: difference of consecutive cumulative RTTs, the
+  /// quantity the active phase compares against baselines (§5.2's example).
+  [[nodiscard]] std::vector<std::pair<net::AsId, double>> contributions()
+      const;
+};
+
+/// Counts probes per (location, day) — the overhead currency of §6.5.
+class ProbeAccountant {
+ public:
+  void record(net::CloudLocationId from, util::MinuteTime t) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t on_day(int day) const;
+  [[nodiscard]] std::uint64_t at_location(net::CloudLocationId loc) const;
+  void reset() noexcept;
+
+ private:
+  std::uint64_t total_ = 0;
+  std::unordered_map<int, std::uint64_t> by_day_;
+  std::unordered_map<std::uint16_t, std::uint64_t> by_location_;
+};
+
+struct TracerouteConfig {
+  std::uint64_t seed = 99;
+  /// Lognormal sigma of per-hop probe noise (single-packet measurements are
+  /// noisier than averaged handshake RTTs).
+  double hop_noise_sigma = 0.04;
+};
+
+class TracerouteEngine {
+ public:
+  TracerouteEngine(const net::Topology* topology, const RttModel* model,
+                   TracerouteConfig config = {});
+
+  /// Issues one traceroute and charges the accountant.
+  [[nodiscard]] TracerouteResult trace(net::CloudLocationId from,
+                                       net::Slash24 target,
+                                       util::MinuteTime t);
+
+  [[nodiscard]] const ProbeAccountant& accountant() const noexcept {
+    return accountant_;
+  }
+  [[nodiscard]] ProbeAccountant& accountant() noexcept { return accountant_; }
+
+ private:
+  const net::Topology* topology_;
+  const RttModel* model_;
+  TracerouteConfig config_;
+  ProbeAccountant accountant_;
+};
+
+}  // namespace blameit::sim

@@ -1,0 +1,73 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace blameit::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument{"Histogram: need bins > 0 and hi > lo"};
+  }
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::cumulative_fraction(std::size_t i) const noexcept {
+  if (total_ <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t j = 0; j <= i && j < counts_.size(); ++j) acc += counts_[j];
+  return acc / total_;
+}
+
+std::vector<CdfPoint> cdf_series(std::span<const double> sample,
+                                 std::size_t points) {
+  std::vector<CdfPoint> out;
+  if (sample.empty() || points < 2) return out;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q =
+        static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back(CdfPoint{.x = quantile_sorted(sorted, q), .fraction = q});
+  }
+  return out;
+}
+
+std::string sparkline(std::span<const double> values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (values.empty()) return {};
+  const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  const double span = mx - mn;
+  std::string out;
+  for (double v : values) {
+    const double norm = span > 0.0 ? (v - mn) / span : 0.5;
+    const auto level = std::min<std::size_t>(
+        7, static_cast<std::size_t>(norm * 8.0));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace blameit::util

@@ -1,0 +1,50 @@
+// Fixed-bin histogram plus helpers for rendering paper-style CDF series.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace blameit::util {
+
+/// Equal-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  [[nodiscard]] double count(std::size_t i) const noexcept {
+    return counts_[i];
+  }
+  [[nodiscard]] double total() const noexcept { return total_; }
+  /// Fraction of mass at or below the upper edge of bin i.
+  [[nodiscard]] double cumulative_fraction(std::size_t i) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// One (x, F(x)) point of a rendered CDF series.
+struct CdfPoint {
+  double x = 0.0;
+  double fraction = 0.0;
+};
+
+/// Downsamples a sample's empirical CDF to at most `points` evenly spaced
+/// quantiles — the series the figure benches print.
+[[nodiscard]] std::vector<CdfPoint> cdf_series(std::span<const double> sample,
+                                               std::size_t points = 21);
+
+/// Renders a one-line unicode sparkline of a series (for terminal output).
+[[nodiscard]] std::string sparkline(std::span<const double> values);
+
+}  // namespace blameit::util

@@ -1,0 +1,88 @@
+// Descriptive statistics used throughout the analysis pipeline: streaming
+// summaries, quantiles, empirical CDFs (the paper reports most results as
+// CDFs), and the two-sample Kolmogorov-Smirnov test used to validate quartet
+// homogeneity (§2.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace blameit::util {
+
+/// Streaming count/mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a sample; 0 for an empty sample.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Quantile q in [0,1] via linear interpolation on the sorted copy of xs.
+/// Returns 0 for an empty sample.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Median = quantile(0.5). The expected-RTT learner (§4.3) uses this.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Quantile over data already sorted ascending (no copy).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Immutable empirical CDF of a sample.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> sample);
+
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const noexcept;
+
+  /// Inverse CDF (quantile function), q in [0,1].
+  [[nodiscard]] double inverse(double q) const;
+
+  /// P(X > x) — survival function; used by the duration predictor (§5.3).
+  [[nodiscard]] double survival(double x) const noexcept { return 1.0 - at(x); }
+
+  [[nodiscard]] const std::vector<double>& sorted_values() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Result of a two-sample Kolmogorov-Smirnov test.
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F1 - F2|
+  double p_value = 1.0;    ///< asymptotic Kolmogorov distribution approximation
+  [[nodiscard]] bool same_distribution(double alpha = 0.05) const noexcept {
+    return p_value >= alpha;
+  }
+};
+
+/// Two-sample KS test. The paper splits each quartet's RTT samples in half and
+/// checks both halves come from the same distribution (§2.1); we reuse the
+/// test for that purpose and in the trace generator's self-checks.
+[[nodiscard]] KsResult ks_test(std::span<const double> a,
+                               std::span<const double> b);
+
+}  // namespace blameit::util

@@ -1,0 +1,39 @@
+// Fixed-width text tables and CSV output for the benchmark harnesses. Every
+// figure/table bench renders its series through this so the output format is
+// uniform and machine-parsable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace blameit::util {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Renders with column separators and a rule under the header.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Same data as CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt(double v, int decimals = 2);
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 1);
+[[nodiscard]] std::string fmt_count(std::uint64_t n);
+
+}  // namespace blameit::util

@@ -1,0 +1,16 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace blameit::util {
+
+std::string to_string(MinuteTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "d%d %02d:%02d", t.day(), t.hour_of_day(),
+                t.minute_of_day() % kMinutesPerHour);
+  return buf;
+}
+
+std::string to_string(TimeBucket b) { return to_string(b.start()); }
+
+}  // namespace blameit::util

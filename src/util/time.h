@@ -1,0 +1,99 @@
+// Simulation time: minute-resolution timestamps and the 5-minute buckets the
+// paper's quartets are keyed on (§2.1).
+//
+// All telemetry is stamped with a MinuteTime (minutes since simulation epoch).
+// TimeBucket quantizes to the paper's 5-minute analysis window. Helpers expose
+// calendar structure (hour-of-day, day index, weekend) for the diurnal client
+// population model and the "same 5-minute window in previous days" client
+// predictor (§5.3).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace blameit::util {
+
+inline constexpr int kMinutesPerHour = 60;
+inline constexpr int kMinutesPerDay = 24 * kMinutesPerHour;
+inline constexpr int kBucketMinutes = 5;  // quartet time granularity (§2.1)
+inline constexpr int kBucketsPerDay = kMinutesPerDay / kBucketMinutes;
+
+/// A point in simulated time, minutes since the simulation epoch (day 0,
+/// 00:00). The epoch is defined to fall on a Monday so weekday/weekend
+/// structure is deterministic.
+struct MinuteTime {
+  std::int64_t minutes = 0;
+
+  constexpr auto operator<=>(const MinuteTime&) const = default;
+
+  [[nodiscard]] constexpr int day() const noexcept {
+    return static_cast<int>(minutes / kMinutesPerDay);
+  }
+  [[nodiscard]] constexpr int minute_of_day() const noexcept {
+    return static_cast<int>(minutes % kMinutesPerDay);
+  }
+  [[nodiscard]] constexpr int hour_of_day() const noexcept {
+    return minute_of_day() / kMinutesPerHour;
+  }
+  /// 0 = Monday ... 6 = Sunday.
+  [[nodiscard]] constexpr int day_of_week() const noexcept {
+    return day() % 7;
+  }
+  [[nodiscard]] constexpr bool is_weekend() const noexcept {
+    return day_of_week() >= 5;
+  }
+
+  [[nodiscard]] constexpr MinuteTime plus_minutes(std::int64_t m) const noexcept {
+    return MinuteTime{minutes + m};
+  }
+  [[nodiscard]] constexpr MinuteTime plus_days(std::int64_t d) const noexcept {
+    return MinuteTime{minutes + d * kMinutesPerDay};
+  }
+
+  static constexpr MinuteTime from_days(std::int64_t d) noexcept {
+    return MinuteTime{d * kMinutesPerDay};
+  }
+  static constexpr MinuteTime from_day_hour(std::int64_t d, int h,
+                                            int m = 0) noexcept {
+    return MinuteTime{d * kMinutesPerDay + h * kMinutesPerHour + m};
+  }
+};
+
+/// Index of a 5-minute bucket since the epoch. Quartets are keyed on this.
+struct TimeBucket {
+  std::int64_t index = 0;
+
+  constexpr auto operator<=>(const TimeBucket&) const = default;
+
+  [[nodiscard]] constexpr MinuteTime start() const noexcept {
+    return MinuteTime{index * kBucketMinutes};
+  }
+  [[nodiscard]] constexpr int day() const noexcept {
+    return static_cast<int>(index / kBucketsPerDay);
+  }
+  /// Bucket position within its day, [0, kBucketsPerDay). The client
+  /// predictor matches this across days ("same 5-minute window", §5.3).
+  [[nodiscard]] constexpr int bucket_of_day() const noexcept {
+    return static_cast<int>(index % kBucketsPerDay);
+  }
+  [[nodiscard]] constexpr TimeBucket next() const noexcept {
+    return TimeBucket{index + 1};
+  }
+  [[nodiscard]] constexpr TimeBucket prev() const noexcept {
+    return TimeBucket{index - 1};
+  }
+  [[nodiscard]] constexpr TimeBucket plus_days(std::int64_t d) const noexcept {
+    return TimeBucket{index + d * kBucketsPerDay};
+  }
+
+  static constexpr TimeBucket of(MinuteTime t) noexcept {
+    return TimeBucket{t.minutes / kBucketMinutes};
+  }
+};
+
+/// "d3 14:05" style rendering for logs and reports.
+[[nodiscard]] std::string to_string(MinuteTime t);
+[[nodiscard]] std::string to_string(TimeBucket b);
+
+}  // namespace blameit::util

@@ -1,0 +1,153 @@
+#include "analysis/expected_rtt.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace blameit::analysis {
+namespace {
+
+const auto kLoc = net::CloudLocationId{3};
+const auto kKey = cloud_key(kLoc, net::DeviceClass::NonMobile);
+
+TEST(ExpectedRttKeys, DistinctNamespaces) {
+  const auto ck = cloud_key(kLoc, net::DeviceClass::NonMobile);
+  const auto mk =
+      middle_key(kLoc, net::MiddleSegmentId{0}, net::DeviceClass::NonMobile);
+  EXPECT_NE(ck, mk);
+  EXPECT_NE(cloud_key(kLoc, net::DeviceClass::Mobile), ck);
+  EXPECT_NE(middle_key(kLoc, net::MiddleSegmentId{1},
+                       net::DeviceClass::NonMobile),
+            mk);
+  EXPECT_NE(middle_key(net::CloudLocationId{4}, net::MiddleSegmentId{0},
+                       net::DeviceClass::NonMobile),
+            mk);
+}
+
+TEST(ExpectedRttLearner, MedianOverWindow) {
+  ExpectedRttLearner learner;
+  for (int day = 0; day < 14; ++day) {
+    for (int i = 0; i < 20; ++i) {
+      learner.observe(kKey, day, 40.0 + day * 0.1);
+    }
+  }
+  const auto expected = learner.expected(kKey, 14);
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_NEAR(*expected, 40.65, 0.1);  // median across days 0..13
+}
+
+TEST(ExpectedRttLearner, NoHistoryGivesNullopt) {
+  ExpectedRttLearner learner;
+  EXPECT_FALSE(learner.expected(kKey, 5).has_value());
+  learner.observe(kKey, 5, 40.0);
+  // Day 5 itself is excluded when asking about day 5.
+  EXPECT_FALSE(learner.expected(kKey, 5).has_value());
+  EXPECT_TRUE(learner.expected(kKey, 6).has_value());
+}
+
+TEST(ExpectedRttLearner, CurrentDayExcluded) {
+  // An ongoing incident must not teach the learner its own inflation.
+  ExpectedRttLearner learner;
+  for (int i = 0; i < 50; ++i) learner.observe(kKey, 0, 40.0);
+  for (int i = 0; i < 50; ++i) learner.observe(kKey, 1, 400.0);  // incident
+  const auto expected = learner.expected(kKey, 1);
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_DOUBLE_EQ(*expected, 40.0);
+}
+
+TEST(ExpectedRttLearner, WindowSlidesForward) {
+  ExpectedRttConfig cfg;
+  cfg.window_days = 3;
+  ExpectedRttLearner learner{cfg};
+  for (int i = 0; i < 10; ++i) learner.observe(kKey, 0, 10.0);
+  for (int i = 0; i < 10; ++i) learner.observe(kKey, 5, 90.0);
+  // At day 6, only day 5 is inside the 3-day window.
+  EXPECT_DOUBLE_EQ(learner.expected(kKey, 6).value(), 90.0);
+  // At day 2, only day 0 is inside.
+  EXPECT_DOUBLE_EQ(learner.expected(kKey, 2).value(), 10.0);
+  // At day 9, nothing is inside.
+  EXPECT_FALSE(learner.expected(kKey, 9).has_value());
+}
+
+TEST(ExpectedRttLearner, ReservoirBoundsMemory) {
+  ExpectedRttConfig cfg;
+  cfg.reservoir_per_day = 32;
+  ExpectedRttLearner learner{cfg};
+  for (int i = 0; i < 10000; ++i) learner.observe(kKey, 0, 40.0 + i % 7);
+  EXPECT_EQ(learner.history_size(kKey, 1), 32u);
+  const auto expected = learner.expected(kKey, 1);
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_GT(*expected, 39.0);
+  EXPECT_LT(*expected, 47.0);
+}
+
+TEST(ExpectedRttLearner, ReservoirKeepsRepresentativeMedian) {
+  ExpectedRttConfig cfg;
+  cfg.reservoir_per_day = 64;
+  ExpectedRttLearner learner{cfg};
+  // Stream with true median 50.
+  for (int i = 0; i < 5000; ++i) {
+    learner.observe(kKey, 0, static_cast<double>(i % 101));
+  }
+  EXPECT_NEAR(learner.expected(kKey, 1).value(), 50.0, 12.0);
+}
+
+TEST(ExpectedRttLearner, EvictStaleFreesOldDays) {
+  ExpectedRttConfig cfg;
+  cfg.window_days = 2;
+  ExpectedRttLearner learner{cfg};
+  learner.observe(kKey, 0, 1.0);
+  learner.observe(kKey, 1, 2.0);
+  learner.observe(kKey, 5, 3.0);
+  learner.evict_stale(5);
+  EXPECT_EQ(learner.history_size(kKey, 2), 0u);  // day 0/1 evicted
+  EXPECT_EQ(learner.history_size(kKey, 6), 1u);  // day 5 kept
+}
+
+TEST(ExpectedRttLearner, RejectsDisorderedAndInvalid) {
+  ExpectedRttLearner learner;
+  learner.observe(kKey, 5, 1.0);
+  EXPECT_THROW(learner.observe(kKey, 4, 1.0), std::invalid_argument);
+  EXPECT_THROW(learner.observe(kKey, 6, -1.0), std::invalid_argument);
+  EXPECT_THROW(learner.observe(kKey, -1, 1.0), std::invalid_argument);
+}
+
+TEST(ExpectedRttLearner, KeysAreIndependent) {
+  ExpectedRttLearner learner;
+  const auto other = cloud_key(net::CloudLocationId{9},
+                               net::DeviceClass::NonMobile);
+  learner.observe(kKey, 0, 10.0);
+  learner.observe(other, 0, 99.0);
+  EXPECT_DOUBLE_EQ(learner.expected(kKey, 1).value(), 10.0);
+  EXPECT_DOUBLE_EQ(learner.expected(other, 1).value(), 99.0);
+}
+
+// Paper §4.3 worked example: historical RTTs uniform in [35,45] (median
+// ~40); after a cloud fault the distribution moves to [40,70]. With τ=0.8,
+// comparing against the *learned* 40 ms flags every quartet; comparing
+// against the 50 ms region target would flag only ~1/3.
+TEST(ExpectedRttLearner, WorkedExampleFromPaper) {
+  ExpectedRttLearner learner;
+  util::Rng rng{7};
+  for (int day = 0; day < 14; ++day) {
+    for (int i = 0; i < 100; ++i) {
+      learner.observe(kKey, day, rng.uniform(35.0, 45.0));
+    }
+  }
+  const double learned = learner.expected(kKey, 14).value();
+  EXPECT_NEAR(learned, 40.0, 1.0);
+
+  int bad_by_learned = 0;
+  int bad_by_target = 0;
+  const double target = 50.0;
+  for (int i = 0; i < 3000; ++i) {
+    const double rtt = rng.uniform(40.0, 70.0);
+    bad_by_learned += rtt > learned;
+    bad_by_target += rtt > target;
+  }
+  EXPECT_GT(bad_by_learned / 3000.0, 0.95);  // everything above 40
+  EXPECT_NEAR(bad_by_target / 3000.0, 2.0 / 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace blameit::analysis

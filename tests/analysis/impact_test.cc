@@ -1,0 +1,121 @@
+#include "analysis/impact.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace blameit::analysis {
+namespace {
+
+using util::TimeBucket;
+
+TEST(IncidentTracker, SingleRun) {
+  IncidentTracker tracker;
+  tracker.observe(1, TimeBucket{10}, true, 5.0);
+  tracker.observe(1, TimeBucket{11}, true, 7.0);
+  tracker.observe(1, TimeBucket{12}, false, 0.0);
+  const auto incidents = tracker.finish(TimeBucket{13});
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].start, TimeBucket{10});
+  EXPECT_EQ(incidents[0].duration_buckets, 2);
+  EXPECT_EQ(incidents[0].duration_minutes(), 10);
+  EXPECT_DOUBLE_EQ(incidents[0].peak_users, 7.0);
+  EXPECT_DOUBLE_EQ(incidents[0].user_time_product, 12.0);
+}
+
+TEST(IncidentTracker, GapBreaksRun) {
+  IncidentTracker tracker;
+  tracker.observe(1, TimeBucket{10}, true, 1.0);
+  tracker.observe(1, TimeBucket{12}, true, 1.0);  // bucket 11 missing
+  const auto incidents = tracker.finish(TimeBucket{20});
+  ASSERT_EQ(incidents.size(), 2u);
+  EXPECT_EQ(incidents[0].duration_buckets, 1);
+  EXPECT_EQ(incidents[1].duration_buckets, 1);
+}
+
+TEST(IncidentTracker, KeysIndependent) {
+  IncidentTracker tracker;
+  tracker.observe(1, TimeBucket{10}, true, 1.0);
+  tracker.observe(2, TimeBucket{10}, true, 2.0);
+  tracker.observe(1, TimeBucket{11}, false, 0.0);
+  tracker.observe(2, TimeBucket{11}, true, 2.0);
+  const auto incidents = tracker.finish(TimeBucket{12});
+  ASSERT_EQ(incidents.size(), 2u);
+  // Sorted by start then key.
+  EXPECT_EQ(incidents[0].key, 1u);
+  EXPECT_EQ(incidents[0].duration_buckets, 1);
+  EXPECT_EQ(incidents[1].key, 2u);
+  EXPECT_EQ(incidents[1].duration_buckets, 2);
+}
+
+TEST(IncidentTracker, OpenRunLength) {
+  IncidentTracker tracker;
+  EXPECT_FALSE(tracker.open_run_length(1).has_value());
+  tracker.observe(1, TimeBucket{5}, true, 1.0);
+  EXPECT_EQ(tracker.open_run_length(1).value(), 1);
+  tracker.observe(1, TimeBucket{6}, true, 1.0);
+  EXPECT_EQ(tracker.open_run_length(1).value(), 2);
+  tracker.observe(1, TimeBucket{7}, false, 0.0);
+  EXPECT_FALSE(tracker.open_run_length(1).has_value());
+}
+
+TEST(IncidentTracker, FinishClosesOpenRuns) {
+  IncidentTracker tracker;
+  tracker.observe(1, TimeBucket{5}, true, 3.0);
+  const auto incidents = tracker.finish(TimeBucket{6});
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].duration_buckets, 1);
+}
+
+TEST(IncidentTracker, NonAdvancingBucketThrows) {
+  IncidentTracker tracker;
+  tracker.observe(1, TimeBucket{5}, true, 1.0);
+  EXPECT_THROW(tracker.observe(1, TimeBucket{5}, true, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(tracker.observe(1, TimeBucket{4}, false, 0.0),
+               std::invalid_argument);
+}
+
+TEST(IncidentTracker, GoodObservationsForUnknownKeyAreNoops) {
+  IncidentTracker tracker;
+  tracker.observe(7, TimeBucket{3}, false, 0.0);
+  EXPECT_TRUE(tracker.finish(TimeBucket{4}).empty());
+}
+
+TEST(ImpactCoverage, ImpactRankingDominatesPrefixRanking) {
+  // Fig 4b's point: ranking by true impact reaches cumulative coverage much
+  // faster than ranking by problematic-prefix counts when they disagree.
+  std::vector<RankedAggregate> aggs;
+  // One aggregate with few prefixes but huge impact (like tuple #2 in
+  // Fig 5), many aggregates with many prefixes and small impact.
+  aggs.push_back({.key = 0, .impact = 2000.0, .prefix_count = 1.0});
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    aggs.push_back({.key = i, .impact = 50.0, .prefix_count = 3.0});
+  }
+  const auto by_impact = impact_coverage_curve(aggs, /*rank_by_impact=*/true);
+  const auto by_prefix =
+      impact_coverage_curve(aggs, /*rank_by_impact=*/false);
+  ASSERT_EQ(by_impact.size(), aggs.size());
+  // Top-1 coverage: 2000/2500 = 80% vs 50/2500 = 2%.
+  EXPECT_NEAR(by_impact[0], 0.8, 1e-9);
+  EXPECT_NEAR(by_prefix[0], 0.02, 1e-9);
+  // Both curves end at 100%.
+  EXPECT_NEAR(by_impact.back(), 1.0, 1e-9);
+  EXPECT_NEAR(by_prefix.back(), 1.0, 1e-9);
+  // Monotone non-decreasing.
+  for (std::size_t i = 1; i < by_impact.size(); ++i) {
+    EXPECT_GE(by_impact[i], by_impact[i - 1]);
+  }
+}
+
+TEST(ImpactCoverage, EmptyAndZeroTotals) {
+  EXPECT_TRUE(impact_coverage_curve({}, true).empty());
+  std::vector<RankedAggregate> zeros{{.key = 1, .impact = 0.0,
+                                      .prefix_count = 2.0}};
+  const auto curve = impact_coverage_curve(zeros, true);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0], 0.0);
+}
+
+}  // namespace
+}  // namespace blameit::analysis

@@ -1,0 +1,199 @@
+#include "analysis/quartet.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/rng.h"
+
+namespace blameit::analysis {
+namespace {
+
+class QuartetBuilderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 1;
+    cfg.eyeballs_per_region = 2;
+    cfg.blocks_per_eyeball = 4;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  [[nodiscard]] QuartetBuilder make_builder(int min_samples = 10) const {
+    QuartetBuilderConfig cfg;
+    cfg.min_samples = min_samples;
+    return QuartetBuilder{topo_, BadnessThresholds{}, cfg};
+  }
+
+  [[nodiscard]] RttRecord record(const net::ClientBlock& block,
+                                 net::CloudLocationId loc, double rtt,
+                                 std::int64_t minute = 2,
+                                 net::DeviceClass device =
+                                     net::DeviceClass::NonMobile) const {
+    return RttRecord{.time = util::MinuteTime{minute},
+                     .location = loc,
+                     .client_ip = block.block.host(10),
+                     .device = device,
+                     .rtt_ms = rtt};
+  }
+
+  static const net::Topology* topo_;
+};
+
+const net::Topology* QuartetBuilderTest::topo_ = nullptr;
+
+TEST_F(QuartetBuilderTest, AggregatesRecordsIntoQuartet) {
+  auto builder = make_builder();
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  for (int i = 0; i < 12; ++i) {
+    builder.add(record(block, loc, 20.0 + i));
+  }
+  const auto quartets = builder.take_bucket(util::TimeBucket{0});
+  ASSERT_EQ(quartets.size(), 1u);
+  EXPECT_EQ(quartets[0].sample_count, 12);
+  EXPECT_NEAR(quartets[0].mean_rtt_ms, 25.5, 1e-9);
+  EXPECT_EQ(quartets[0].key.block, block.block);
+  EXPECT_EQ(quartets[0].client_as, block.client_as);
+  EXPECT_EQ(quartets[0].region, block.region);
+}
+
+TEST_F(QuartetBuilderTest, MinSamplesGate) {
+  auto builder = make_builder(10);
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  for (int i = 0; i < 9; ++i) builder.add(record(block, loc, 20.0));
+  EXPECT_TRUE(builder.take_bucket(util::TimeBucket{0}).empty());
+}
+
+TEST_F(QuartetBuilderTest, ResolvesMiddleSegmentFromRouting) {
+  auto builder = make_builder();
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  for (int i = 0; i < 10; ++i) builder.add(record(block, loc, 20.0));
+  const auto quartets = builder.take_bucket(util::TimeBucket{0});
+  ASSERT_EQ(quartets.size(), 1u);
+  const auto* route =
+      topo_->routing().route_for(loc, block.block, util::MinuteTime{0});
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(quartets[0].middle, route->middle);
+}
+
+TEST_F(QuartetBuilderTest, BadClassificationUsesRegionDeviceThreshold) {
+  auto builder = make_builder();
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  const auto& thresholds = builder.thresholds();
+  const double limit =
+      thresholds.threshold(block.region, net::DeviceClass::NonMobile);
+  for (int i = 0; i < 10; ++i) builder.add(record(block, loc, limit + 5.0));
+  auto quartets = builder.take_bucket(util::TimeBucket{0});
+  ASSERT_EQ(quartets.size(), 1u);
+  EXPECT_TRUE(quartets[0].bad);
+
+  for (int i = 0; i < 10; ++i) builder.add(record(block, loc, limit - 5.0));
+  quartets = builder.take_bucket(util::TimeBucket{0});
+  ASSERT_EQ(quartets.size(), 1u);
+  EXPECT_FALSE(quartets[0].bad);
+}
+
+TEST_F(QuartetBuilderTest, MobileGetsHigherThreshold) {
+  const BadnessThresholds thresholds;
+  for (const auto region : net::kAllRegions) {
+    EXPECT_GT(thresholds.threshold(region, net::DeviceClass::Mobile),
+              thresholds.threshold(region, net::DeviceClass::NonMobile));
+  }
+}
+
+TEST_F(QuartetBuilderTest, SeparateQuartetsPerDeviceAndBucket) {
+  auto builder = make_builder();
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  for (int i = 0; i < 10; ++i) {
+    builder.add(record(block, loc, 20.0, 2, net::DeviceClass::NonMobile));
+    builder.add(record(block, loc, 60.0, 2, net::DeviceClass::Mobile));
+    builder.add(record(block, loc, 30.0, 7, net::DeviceClass::NonMobile));
+  }
+  const auto b0 = builder.take_bucket(util::TimeBucket{0});
+  EXPECT_EQ(b0.size(), 2u);  // two devices in bucket 0
+  const auto b1 = builder.take_bucket(util::TimeBucket{1});
+  EXPECT_EQ(b1.size(), 1u);
+}
+
+TEST_F(QuartetBuilderTest, UnknownBlocksAreDroppedAndCounted) {
+  auto builder = make_builder();
+  RttRecord stray{.time = util::MinuteTime{0},
+                  .location = topo_->locations().front().id,
+                  .client_ip = *net::Ipv4Addr::parse("203.0.113.7"),
+                  .device = net::DeviceClass::NonMobile,
+                  .rtt_ms = 10.0};
+  builder.add(stray);
+  EXPECT_EQ(builder.dropped_unknown_blocks(), 1u);
+  EXPECT_TRUE(builder.take_bucket(util::TimeBucket{0}).empty());
+}
+
+TEST_F(QuartetBuilderTest, AddAggregateMatchesRecordPath) {
+  auto by_records = make_builder();
+  auto by_aggregate = make_builder();
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  double sum = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    by_records.add(record(block, loc, 20.0 + i));
+    sum += 20.0 + i;
+  }
+  by_aggregate.add_aggregate(
+      QuartetKey{.block = block.block,
+                 .location = loc,
+                 .device = net::DeviceClass::NonMobile,
+                 .bucket = util::TimeBucket{0}},
+      20, sum / 20.0);
+  const auto qa = by_records.take_bucket(util::TimeBucket{0});
+  const auto qb = by_aggregate.take_bucket(util::TimeBucket{0});
+  ASSERT_EQ(qa.size(), 1u);
+  ASSERT_EQ(qb.size(), 1u);
+  EXPECT_EQ(qa[0].sample_count, qb[0].sample_count);
+  EXPECT_NEAR(qa[0].mean_rtt_ms, qb[0].mean_rtt_ms, 1e-9);
+  EXPECT_EQ(qa[0].middle, qb[0].middle);
+}
+
+TEST_F(QuartetBuilderTest, ThresholdOverride) {
+  BadnessThresholds thresholds;
+  thresholds.set(net::Region::Europe, net::DeviceClass::NonMobile, 33.0);
+  EXPECT_DOUBLE_EQ(
+      thresholds.threshold(net::Region::Europe, net::DeviceClass::NonMobile),
+      33.0);
+  EXPECT_THROW(
+      thresholds.set(net::Region::Europe, net::DeviceClass::Mobile, -1.0),
+      std::invalid_argument);
+}
+
+TEST(QuartetHomogeneity, AcceptsIidSamples) {
+  util::Rng rng{3};
+  std::vector<double> samples;
+  for (int i = 0; i < 60; ++i) samples.push_back(rng.normal(30.0, 3.0));
+  EXPECT_TRUE(quartet_samples_homogeneous(samples));
+}
+
+TEST(QuartetHomogeneity, RejectsRegimeChange) {
+  // First half at 30 ms, second half at 90 ms — interleaved split still
+  // mixes both regimes into each half... so use an alternating pattern that
+  // puts the regimes into different halves: even indices low, odd high.
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back(i % 2 == 0 ? 30.0 + 0.01 * i : 90.0 + 0.01 * i);
+  }
+  EXPECT_FALSE(quartet_samples_homogeneous(samples));
+}
+
+TEST(QuartetHomogeneity, TinySamplesPass) {
+  EXPECT_TRUE(quartet_samples_homogeneous(std::vector<double>{1.0, 2.0}));
+  EXPECT_TRUE(quartet_samples_homogeneous(std::vector<double>{}));
+}
+
+}  // namespace
+}  // namespace blameit::analysis

@@ -1,0 +1,162 @@
+#include "analysis/record.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/quartet.h"
+#include "net/topology.h"
+
+namespace blameit::analysis {
+namespace {
+
+RttRecord rec(std::int64_t minute, std::uint32_t ip, double rtt) {
+  return RttRecord{.time = util::MinuteTime{minute},
+                   .location = net::CloudLocationId{1},
+                   .client_ip = net::Ipv4Addr{ip},
+                   .device = net::DeviceClass::NonMobile,
+                   .rtt_ms = rtt};
+}
+
+TEST(HourlyBucketStore, StoresAndReadsBack) {
+  HourlyBucketStore store{16};
+  for (int i = 0; i < 100; ++i) {
+    store.add(rec(i % 60, static_cast<std::uint32_t>(i), 10.0 + i));
+  }
+  EXPECT_EQ(store.size(), 100u);
+  const auto all = store.read_window(util::MinuteTime{0}, util::MinuteTime{60});
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(HourlyBucketStore, WindowFiltersWithinHour) {
+  HourlyBucketStore store{16};
+  store.add(rec(10, 1, 5.0));
+  store.add(rec(20, 2, 6.0));
+  store.add(rec(30, 3, 7.0));
+  const auto window =
+      store.read_window(util::MinuteTime{15}, util::MinuteTime{25});
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_DOUBLE_EQ(window[0].rtt_ms, 6.0);
+}
+
+TEST(HourlyBucketStore, ScansAllBucketsOfTouchedHours) {
+  // The §6.1 quirk: a 15-minute read must scan every bucket of the hour.
+  HourlyBucketStore store{32};
+  for (int i = 0; i < 200; ++i) {
+    store.add(rec(i % 60, static_cast<std::uint32_t>(i), 1.0));
+  }
+  (void)store.read_window(util::MinuteTime{45}, util::MinuteTime{60});
+  EXPECT_EQ(store.last_scan_bucket_count(), 32u);
+}
+
+TEST(HourlyBucketStore, CrossHourWindow) {
+  HourlyBucketStore store{8};
+  store.add(rec(59, 1, 1.0));
+  store.add(rec(60, 2, 2.0));
+  store.add(rec(61, 3, 3.0));
+  const auto window =
+      store.read_window(util::MinuteTime{59}, util::MinuteTime{61});
+  EXPECT_EQ(window.size(), 2u);
+  EXPECT_EQ(store.last_scan_bucket_count(), 16u);  // two hours scanned
+}
+
+TEST(HourlyBucketStore, EmptyAndInvertedWindows) {
+  HourlyBucketStore store{8};
+  store.add(rec(5, 1, 1.0));
+  EXPECT_TRUE(
+      store.read_window(util::MinuteTime{100}, util::MinuteTime{200}).empty());
+  EXPECT_TRUE(
+      store.read_window(util::MinuteTime{10}, util::MinuteTime{10}).empty());
+  EXPECT_TRUE(
+      store.read_window(util::MinuteTime{10}, util::MinuteTime{5}).empty());
+}
+
+TEST(HourlyBucketStore, EvictionDropsOldHours) {
+  HourlyBucketStore store{8};
+  store.add(rec(30, 1, 1.0));    // hour 0
+  store.add(rec(90, 2, 2.0));    // hour 1
+  store.add(rec(150, 3, 3.0));   // hour 2
+  store.evict_before_hour(2);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(
+      store.read_window(util::MinuteTime{0}, util::MinuteTime{120}).empty());
+  EXPECT_EQ(
+      store.read_window(util::MinuteTime{120}, util::MinuteTime{180}).size(),
+      1u);
+}
+
+TEST(HourlyBucketStore, DeterministicPlacement) {
+  HourlyBucketStore a{16, 42};
+  HourlyBucketStore b{16, 42};
+  for (int i = 0; i < 50; ++i) {
+    a.add(rec(i, static_cast<std::uint32_t>(i), 1.0));
+    b.add(rec(i, static_cast<std::uint32_t>(i), 1.0));
+  }
+  const auto ra = a.read_window(util::MinuteTime{0}, util::MinuteTime{60});
+  const auto rb = b.read_window(util::MinuteTime{0}, util::MinuteTime{60});
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].client_ip, rb[i].client_ip);
+  }
+}
+
+TEST(HourlyBucketStore, InvalidConfigThrows) {
+  EXPECT_THROW(HourlyBucketStore{0}, std::invalid_argument);
+  EXPECT_THROW(HourlyBucketStore{-3}, std::invalid_argument);
+}
+
+
+TEST(HourlyBucketStore, QuartetsIdenticalToDirectFeed) {
+  // §6.1 equivalence: routing records through the randomized hourly storage
+  // buckets must yield exactly the same quartets as a direct feed — the
+  // bucket layout loses ordering, not information.
+  net::TopologyConfig cfg;
+  cfg.locations_per_region = 1;
+  cfg.eyeballs_per_region = 2;
+  cfg.blocks_per_eyeball = 2;
+  const auto topo = net::make_topology(cfg);
+  const auto& block = topo->blocks().front();
+  const auto loc = topo->home_locations(block.block).front();
+
+  std::vector<RttRecord> records;
+  for (int i = 0; i < 200; ++i) {
+    records.push_back(RttRecord{
+        .time = util::MinuteTime{i % 10},
+        .location = loc,
+        .client_ip = block.block.host(static_cast<std::uint8_t>(1 + i % 200)),
+        .device = i % 3 == 0 ? net::DeviceClass::Mobile
+                             : net::DeviceClass::NonMobile,
+        .rtt_ms = 20.0 + i % 17});
+  }
+
+  QuartetBuilder direct{topo.get(), BadnessThresholds{}};
+  for (const auto& r : records) direct.add(r);
+
+  HourlyBucketStore store{64};
+  for (const auto& r : records) store.add(r);
+  QuartetBuilder via_store{topo.get(), BadnessThresholds{}};
+  for (const auto& r :
+       store.read_window(util::MinuteTime{0}, util::MinuteTime{60})) {
+    via_store.add(r);
+  }
+
+  for (int b = 0; b < 2; ++b) {
+    auto a = direct.take_bucket(util::TimeBucket{b});
+    auto c = via_store.take_bucket(util::TimeBucket{b});
+    auto order = [](const Quartet& x, const Quartet& y) {
+      return QuartetKeyHash{}(x.key) < QuartetKeyHash{}(y.key);
+    };
+    std::sort(a.begin(), a.end(), order);
+    std::sort(c.begin(), c.end(), order);
+    ASSERT_EQ(a.size(), c.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(a[i].key == c[i].key);
+      EXPECT_EQ(a[i].sample_count, c[i].sample_count);
+      EXPECT_NEAR(a[i].mean_rtt_ms, c[i].mean_rtt_ms, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blameit::analysis

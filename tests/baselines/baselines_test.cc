@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "baselines/active_only.h"
+#include "baselines/as_metro.h"
+#include "baselines/tomography.h"
+#include "baselines/trinocular.h"
+#include "core/passive.h"
+#include "sim/telemetry.h"
+
+namespace blameit::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 1;
+    cfg.eyeballs_per_region = 3;
+    cfg.blocks_per_eyeball = 8;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  BaselinesTest() : model_(topo_, &faults_), engine_(topo_, &model_) {}
+
+  static const net::Topology* topo_;
+  sim::FaultInjector faults_;
+  sim::RttModel model_;
+  sim::TracerouteEngine engine_;
+};
+
+const net::Topology* BaselinesTest::topo_ = nullptr;
+
+TEST_F(BaselinesTest, ActiveOnlyProbesEveryPathEveryPeriod) {
+  ActiveOnlyMonitor monitor{topo_, &engine_, ActiveOnlyConfig{.period_minutes = 10}};
+  const int probes = monitor.step(util::MinuteTime{0}, util::MinuteTime{30});
+  // 3 rounds × #paths.
+  EXPECT_EQ(static_cast<std::uint64_t>(probes) * (1440 / 10) / 3,
+            monitor.probes_per_day());
+  EXPECT_GT(probes, 0);
+}
+
+TEST_F(BaselinesTest, ActiveOnlyLocalizesMiddleFault) {
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  const auto* route =
+      topo_->routing().route_for(loc, block.block, util::MinuteTime{0});
+  const auto victim = route->middle_ases()[0];
+
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = victim,
+                        .added_ms = 60.0,
+                        .start = util::MinuteTime{25},
+                        .duration_minutes = 60});
+  sim::RttModel model{topo_, &faults};
+  sim::TracerouteEngine engine{topo_, &model};
+  ActiveOnlyMonitor monitor{topo_, &engine,
+                            ActiveOnlyConfig{.period_minutes = 10}};
+  (void)monitor.step(util::MinuteTime{0}, util::MinuteTime{30});
+  const auto culprit = monitor.culprit(loc, route->middle);
+  ASSERT_TRUE(culprit.has_value());
+  EXPECT_EQ(*culprit, victim);
+}
+
+TEST_F(BaselinesTest, ActiveOnlyCulpritNeedsTwoProbes) {
+  ActiveOnlyMonitor monitor{topo_, &engine_};
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  const auto* route =
+      topo_->routing().route_for(loc, block.block, util::MinuteTime{0});
+  EXPECT_FALSE(monitor.culprit(loc, route->middle).has_value());
+  (void)monitor.step(util::MinuteTime{0}, util::MinuteTime{10});
+  EXPECT_FALSE(monitor.culprit(loc, route->middle).has_value());
+  (void)monitor.step(util::MinuteTime{10}, util::MinuteTime{20});
+  EXPECT_TRUE(monitor.culprit(loc, route->middle).has_value());
+}
+
+TEST_F(BaselinesTest, TrinocularDetectsDegradationAdaptively) {
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  const auto* route =
+      topo_->routing().route_for(loc, block.block, util::MinuteTime{0});
+  const auto victim = route->middle_ases()[0];
+
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = victim,
+                        .added_ms = 100.0,
+                        .start = util::MinuteTime{60},
+                        .duration_minutes = 120});
+  sim::RttModel model{topo_, &faults};
+  sim::TracerouteEngine engine{topo_, &model};
+  TrinocularMonitor monitor{topo_, &engine};
+
+  (void)monitor.step(util::MinuteTime{0}, util::MinuteTime{55});
+  EXPECT_FALSE(monitor.believes_degraded(loc, route->middle));
+  (void)monitor.step(util::MinuteTime{55}, util::MinuteTime{90});
+  EXPECT_TRUE(monitor.believes_degraded(loc, route->middle));
+  // After the fault clears, belief reverts.
+  (void)monitor.step(util::MinuteTime{90}, util::MinuteTime{240});
+  EXPECT_FALSE(monitor.believes_degraded(loc, route->middle));
+}
+
+TEST_F(BaselinesTest, TrinocularCostsMoreThanTwiceDailyBackground) {
+  TrinocularMonitor trinocular{topo_, &engine_};
+  // 11-minute cycling vs 2/day: the probe bill ratio is ~65x per path.
+  const auto daily = trinocular.probes_per_day();
+  std::uint64_t paths = daily / (1440 / 11);
+  EXPECT_GT(daily, paths * 2 * 20);  // at least 20x the background bill
+}
+
+TEST_F(BaselinesTest, TomographyCleanBucketIsTriviallyConsistent) {
+  std::vector<analysis::Quartet> quartets(3);
+  for (auto& q : quartets) q.bad = false;
+  const auto result = boolean_tomography(quartets);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_TRUE(result.unique);
+  EXPECT_TRUE(result.blamed.empty());
+}
+
+TEST_F(BaselinesTest, TomographyIdentifiesIsolatedClientFault) {
+  // Two locations; client AS 9 bad everywhere, others good: the client
+  // segment is the unique explanation.
+  std::vector<analysis::Quartet> quartets;
+  for (std::uint16_t loc = 1; loc <= 2; ++loc) {
+    for (std::uint32_t as = 8; as <= 10; ++as) {
+      analysis::Quartet q;
+      q.key.location = net::CloudLocationId{loc};
+      q.key.block = net::Slash24{as * 256};
+      q.middle = net::MiddleSegmentId{loc};  // distinct middles per loc
+      q.client_as = net::AsId{as};
+      q.bad = as == 9;
+      quartets.push_back(q);
+    }
+  }
+  const auto result = boolean_tomography(quartets);
+  ASSERT_TRUE(result.consistent);
+  EXPECT_TRUE(result.unique);
+  ASSERT_EQ(result.blamed.size(), 1u);
+  EXPECT_EQ(result.blamed[0].kind, TomographySegment::Kind::Client);
+  EXPECT_EQ(result.blamed[0].id, 9u);
+}
+
+TEST_F(BaselinesTest, TomographyAmbiguousWhenSegmentsConfound) {
+  // One bad path, and none of its segments appear on any good path: the
+  // cloud, middle, and client explanations are all minimal — §4.1's
+  // under-determination.
+  std::vector<analysis::Quartet> quartets;
+  analysis::Quartet q;
+  q.key.location = net::CloudLocationId{1};
+  q.key.block = net::Slash24{1 * 256};
+  q.middle = net::MiddleSegmentId{1};
+  q.client_as = net::AsId{1};
+  q.bad = true;
+  quartets.push_back(q);
+  const auto result = boolean_tomography(quartets);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_FALSE(result.unique);
+  EXPECT_EQ(result.solutions, 3);
+}
+
+TEST_F(BaselinesTest, TomographyInconsistentWhenNoiseContradicts) {
+  // The same segment triple appears both good and bad (measurement noise):
+  // no boolean explanation exists.
+  std::vector<analysis::Quartet> quartets(2);
+  for (auto& q : quartets) {
+    q.key.location = net::CloudLocationId{1};
+    q.key.block = net::Slash24{256};
+    q.middle = net::MiddleSegmentId{1};
+    q.client_as = net::AsId{1};
+  }
+  quartets[0].bad = true;
+  quartets[1].bad = false;
+  const auto result = boolean_tomography(quartets);
+  EXPECT_FALSE(result.consistent);
+}
+
+TEST_F(BaselinesTest, AsMetroGroupKeyDistinct) {
+  const auto a = AsMetroLocalizer::group_key(
+      net::CloudLocationId{1}, net::AsId{100}, net::MetroId{1},
+      net::DeviceClass::NonMobile);
+  const auto b = AsMetroLocalizer::group_key(
+      net::CloudLocationId{1}, net::AsId{100}, net::MetroId{2},
+      net::DeviceClass::NonMobile);
+  const auto c = AsMetroLocalizer::group_key(
+      net::CloudLocationId{1}, net::AsId{101}, net::MetroId{1},
+      net::DeviceClass::NonMobile);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  // Distinct from the BGP-path namespace.
+  EXPECT_NE(a, analysis::middle_key(net::CloudLocationId{1},
+                                    net::MiddleSegmentId{0},
+                                    net::DeviceClass::NonMobile));
+}
+
+TEST_F(BaselinesTest, AsMetroLocalizerRunsAndBlamesSameCloudFaults) {
+  // Cloud-step behaviour is shared with BlameIt: a cloud fault must be
+  // blamed Cloud under both groupings.
+  sim::FaultInjector faults;
+  const auto loc = topo_->locations_in(net::Region::Europe).front();
+  faults.add(sim::Fault{.kind = sim::FaultKind::CloudLocation,
+                        .cloud_location = loc,
+                        .added_ms = 90.0,
+                        .start = util::MinuteTime::from_days(0),
+                        .duration_minutes = util::kMinutesPerDay});
+  const sim::TelemetryGenerator gen{topo_, &faults};
+  analysis::QuartetBuilder builder{topo_, analysis::BadnessThresholds{}};
+  const auto bucket =
+      util::TimeBucket::of(util::MinuteTime::from_day_hour(0, 12));
+  gen.generate_aggregates(bucket,
+                          [&](const analysis::QuartetKey& k, int n,
+                              double m) { builder.add_aggregate(k, n, m); });
+  const auto quartets = builder.take_bucket(bucket);
+
+  analysis::ExpectedRttLearner learner;  // empty: threshold fallback
+  const AsMetroLocalizer metro{topo_, &learner};
+  const core::PassiveLocalizer blameit{topo_, &learner};
+  const auto metro_results = metro.localize(quartets, 0);
+  const auto blameit_results = blameit.localize(quartets, 0);
+
+  auto cloud_count = [&](const std::vector<core::BlameResult>& results) {
+    int n = 0;
+    for (const auto& r : results) {
+      n += r.blame == core::Blame::Cloud && r.quartet.key.location == loc;
+    }
+    return n;
+  };
+  EXPECT_GT(cloud_count(metro_results), 0);
+  EXPECT_EQ(cloud_count(metro_results), cloud_count(blameit_results));
+}
+
+}  // namespace
+}  // namespace blameit::baselines

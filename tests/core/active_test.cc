@@ -1,0 +1,158 @@
+#include "core/active.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace blameit::core {
+namespace {
+
+class ActiveTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 1;
+    cfg.eyeballs_per_region = 2;
+    cfg.blocks_per_eyeball = 4;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  [[nodiscard]] static const net::ClientBlock& block() {
+    return topo_->blocks().front();
+  }
+  [[nodiscard]] static net::CloudLocationId home() {
+    return topo_->home_locations(block().block).front();
+  }
+  [[nodiscard]] static const net::RouteEntry& route(util::MinuteTime t) {
+    return *topo_->routing().route_for(home(), block().block, t);
+  }
+
+  /// Records a clean baseline for the block's path at `t`.
+  void capture_baseline(util::MinuteTime t) {
+    sim::FaultInjector no_faults;
+    sim::RttModel clean{topo_, &no_faults};
+    sim::TracerouteEngine probe{topo_, &clean};
+    const auto result = probe.trace(home(), block().block, t);
+    ASSERT_TRUE(result.reached);
+    store_.update(home(), route(t).middle,
+                  Baseline{.when = t,
+                           .cloud_ms = result.cloud_ms,
+                           .contributions = result.contributions()});
+  }
+
+  static const net::Topology* topo_;
+  BaselineStore store_;
+};
+
+const net::Topology* ActiveTest::topo_ = nullptr;
+
+TEST_F(ActiveTest, LocalizesFaultyMiddleAs) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  capture_baseline(t0);
+
+  const auto victim = route(t0).middle_ases()[0];
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = victim,
+                        .added_ms = 54.0,
+                        .start = t0.plus_minutes(30),
+                        .duration_minutes = 120});
+  sim::RttModel faulty{topo_, &faults};
+  sim::TracerouteEngine engine{topo_, &faulty};
+  ActiveLocalizer localizer{topo_, &engine, &store_};
+
+  const auto diag = localizer.diagnose(home(), route(t0).middle,
+                                       block().block, t0.plus_minutes(60));
+  ASSERT_TRUE(diag.probe_reached);
+  ASSERT_TRUE(diag.have_baseline);
+  ASSERT_TRUE(diag.culprit.has_value());
+  EXPECT_EQ(*diag.culprit, victim);
+  EXPECT_NEAR(diag.culprit_increase_ms, 54.0, 10.0);
+}
+
+TEST_F(ActiveTest, CloudIncreaseImplicatesCloudAs) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  capture_baseline(t0);
+
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::CloudLocation,
+                        .cloud_location = home(),
+                        .added_ms = 60.0,
+                        .start = t0.plus_minutes(30),
+                        .duration_minutes = 120});
+  sim::RttModel faulty{topo_, &faults};
+  sim::TracerouteEngine engine{topo_, &faulty};
+  ActiveLocalizer localizer{topo_, &engine, &store_};
+
+  const auto diag = localizer.diagnose(home(), route(t0).middle,
+                                       block().block, t0.plus_minutes(60));
+  ASSERT_TRUE(diag.culprit.has_value());
+  EXPECT_EQ(*diag.culprit, topo_->cloud_as());
+}
+
+TEST_F(ActiveTest, ClientFaultImplicatesClientAs) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  capture_baseline(t0);
+
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::ClientAs,
+                        .as = block().client_as,
+                        .added_ms = 90.0,
+                        .start = t0.plus_minutes(30),
+                        .duration_minutes = 120});
+  sim::RttModel faulty{topo_, &faults};
+  sim::TracerouteEngine engine{topo_, &faulty};
+  ActiveLocalizer localizer{topo_, &engine, &store_};
+
+  const auto diag = localizer.diagnose(home(), route(t0).middle,
+                                       block().block, t0.plus_minutes(60));
+  ASSERT_TRUE(diag.culprit.has_value());
+  EXPECT_EQ(*diag.culprit, block().client_as);
+}
+
+TEST_F(ActiveTest, NoBaselineFallsBackToAbsoluteContribution) {
+  sim::FaultInjector no_faults;
+  sim::RttModel model{topo_, &no_faults};
+  sim::TracerouteEngine engine{topo_, &model};
+  ActiveLocalizer localizer{topo_, &engine, &store_};  // empty store
+  const auto t = util::MinuteTime::from_day_hour(0, 3);
+  const auto diag =
+      localizer.diagnose(home(), route(t).middle, block().block, t);
+  ASSERT_TRUE(diag.probe_reached);
+  EXPECT_FALSE(diag.have_baseline);
+  ASSERT_TRUE(diag.culprit.has_value());
+  // Without a baseline, the largest absolute contributor is named — the
+  // client AS (access latency dominates healthy paths).
+  EXPECT_EQ(*diag.culprit, block().client_as);
+}
+
+TEST_F(ActiveTest, UnreachableTargetYieldsNoCulprit) {
+  sim::FaultInjector no_faults;
+  sim::RttModel model{topo_, &no_faults};
+  sim::TracerouteEngine engine{topo_, &model};
+  ActiveLocalizer localizer{topo_, &engine, &store_};
+  const auto diag = localizer.diagnose(home(), net::MiddleSegmentId{0},
+                                       net::Slash24{0xFFFFFF},
+                                       util::MinuteTime{0});
+  EXPECT_FALSE(diag.probe_reached);
+  EXPECT_FALSE(diag.culprit.has_value());
+}
+
+TEST_F(ActiveTest, NullDependenciesThrow) {
+  sim::FaultInjector no_faults;
+  sim::RttModel model{topo_, &no_faults};
+  sim::TracerouteEngine engine{topo_, &model};
+  EXPECT_THROW((ActiveLocalizer{nullptr, &engine, &store_}),
+               std::invalid_argument);
+  EXPECT_THROW((ActiveLocalizer{topo_, nullptr, &store_}),
+               std::invalid_argument);
+  EXPECT_THROW((ActiveLocalizer{topo_, &engine, nullptr}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blameit::core

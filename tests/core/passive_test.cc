@@ -1,0 +1,451 @@
+#include "core/passive.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/fault.h"
+#include "sim/scenario.h"
+#include "sim/telemetry.h"
+
+namespace blameit::core {
+namespace {
+
+// Shared environment: a small topology plus helpers that run the full
+// telemetry -> quartets -> Algorithm 1 chain for a bucket, with the learner
+// warmed up on fault-free history.
+class PassiveTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 2;
+    cfg.eyeballs_per_region = 6;
+    // Middle groups need comfortably more than min_group_quartets (5)
+    // co-located /24s per ⟨location, BGP path⟩, drawn from several client
+    // ASes, for Algorithm 1's fractions to behave as at production scale.
+    cfg.blocks_per_eyeball = 12;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  /// Generates the quartets of `bucket` under `faults`.
+  static std::vector<analysis::Quartet> quartets_for(
+      const sim::FaultInjector& faults, util::TimeBucket bucket) {
+    const sim::TelemetryGenerator gen{topo_, &faults};
+    analysis::QuartetBuilder builder{topo_, analysis::BadnessThresholds{}};
+    gen.generate_aggregates(bucket,
+                            [&](const analysis::QuartetKey& k, int n,
+                                double mean) {
+                              builder.add_aggregate(k, n, mean);
+                            });
+    return builder.take_bucket(bucket);
+  }
+
+  /// Warms a learner with `days` of fault-free history for every group.
+  static void warm(analysis::ExpectedRttLearner& learner, int days) {
+    const sim::FaultInjector no_faults;
+    for (int day = 0; day < days; ++day) {
+      // A few buckets per day keep the cost low while covering diurnal
+      // variation.
+      for (const int hour : {3, 9, 15, 21}) {
+        const auto bucket = util::TimeBucket::of(
+            util::MinuteTime::from_day_hour(day, hour));
+        for (const auto& q : quartets_for(no_faults, bucket)) {
+          learner.observe(
+              analysis::cloud_key(q.key.location, q.key.device), day,
+              q.mean_rtt_ms);
+          learner.observe(analysis::middle_key(q.key.location, q.middle,
+                                               q.key.device),
+                          day, q.mean_rtt_ms);
+        }
+      }
+    }
+  }
+
+  /// Majority blame for bad quartets matching a predicate.
+  template <typename Pred>
+  static std::map<Blame, int> blame_histogram(
+      std::span<const BlameResult> results, Pred pred) {
+    std::map<Blame, int> hist;
+    for (const auto& r : results) {
+      if (pred(r)) ++hist[r.blame];
+    }
+    return hist;
+  }
+
+  static const net::Topology* topo_;
+};
+
+const net::Topology* PassiveTest::topo_ = nullptr;
+
+// The evaluation bucket: day 14 at noon (after learner warmup window).
+util::TimeBucket eval_bucket() {
+  return util::TimeBucket::of(util::MinuteTime::from_day_hour(14, 12));
+}
+
+// A transit AS that in-region primary routes actually cross, but that does
+// not dominate any location (per-location path share <= 0.6): a transit
+// carrying more than τ of a location's paths is passively indistinguishable
+// from a cloud fault, which is not what this test exercises.
+net::AsId most_used_transit(const net::Topology& topo, net::Region region) {
+  std::map<std::uint32_t, std::map<std::uint32_t, int>> usage;
+  std::map<std::uint32_t, int> loc_totals;
+  for (const auto& block : topo.blocks()) {
+    if (block.region != region) continue;
+    const auto loc = topo.home_locations(block.block).front();
+    const auto* route =
+        topo.routing().route_for(loc, block.block, util::MinuteTime{0});
+    ++loc_totals[loc.value];
+    for (const auto as : route->middle_ases()) ++usage[as.value][loc.value];
+  }
+  std::uint32_t best = 0;
+  int best_total = -1;
+  for (const auto& [as, per_loc] : usage) {
+    int total = 0;
+    double max_share = 0.0;
+    for (const auto& [loc, n] : per_loc) {
+      total += n;
+      max_share =
+          std::max(max_share, static_cast<double>(n) / loc_totals[loc]);
+    }
+    if (max_share <= 0.6 && total > best_total) {
+      best = as;
+      best_total = total;
+    }
+  }
+  if (best_total < 0) {
+    for (const auto& [as, per_loc] : usage) {
+      int total = 0;
+      for (const auto& [loc, n] : per_loc) total += n;
+      if (total > best_total) {
+        best = as;
+        best_total = total;
+      }
+    }
+  }
+  return net::AsId{best};
+}
+
+TEST_F(PassiveTest, NoFaultsFewBadQuartets) {
+  analysis::ExpectedRttLearner learner;
+  warm(learner, 14);
+  const sim::FaultInjector no_faults;
+  const auto quartets = quartets_for(no_faults, eval_bucket());
+  const PassiveLocalizer localizer{topo_, &learner};
+  const auto results = localizer.localize(quartets, 14);
+  // Healthy network: only noise-driven badness; must be a tiny fraction.
+  EXPECT_LT(results.size(), quartets.size() / 10);
+}
+
+TEST_F(PassiveTest, CloudFaultBlamedOnCloud) {
+  analysis::ExpectedRttLearner learner;
+  warm(learner, 14);
+  const auto loc = topo_->locations_in(net::Region::Europe).front();
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::CloudLocation,
+                        .cloud_location = loc,
+                        .added_ms = 80.0,
+                        .start = util::MinuteTime::from_days(14),
+                        .duration_minutes = util::kMinutesPerDay});
+  const auto quartets = quartets_for(faults, eval_bucket());
+  const PassiveLocalizer localizer{topo_, &learner};
+  const auto results = localizer.localize(quartets, 14);
+
+  const auto hist = blame_histogram(results, [&](const BlameResult& r) {
+    return r.quartet.key.location == loc;
+  });
+  int total = 0;
+  for (const auto& [blame, n] : hist) total += n;
+  ASSERT_GT(total, 10);
+  EXPECT_GT(hist.at(Blame::Cloud), total * 9 / 10);
+  // Cloud blames carry the cloud AS.
+  for (const auto& r : results) {
+    if (r.blame == Blame::Cloud) {
+      ASSERT_TRUE(r.faulty_as.has_value());
+      EXPECT_EQ(*r.faulty_as, topo_->cloud_as());
+    }
+  }
+}
+
+TEST_F(PassiveTest, MiddleFaultBlamedOnMiddle) {
+  analysis::ExpectedRttLearner learner;
+  warm(learner, 14);
+  const auto region = net::Region::India;
+  const auto victim = most_used_transit(*topo_, region);
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = victim,
+                        .added_ms = 130.0,
+                        .start = util::MinuteTime::from_days(14),
+                        .duration_minutes = util::kMinutesPerDay});
+  const auto quartets = quartets_for(faults, eval_bucket());
+  const PassiveLocalizer localizer{topo_, &learner};
+  const auto results = localizer.localize(quartets, 14);
+
+  // Bad quartets whose path crosses the victim must be blamed Middle.
+  const auto hist = blame_histogram(results, [&](const BlameResult& r) {
+    const auto& mids = topo_->interner().ases(r.quartet.middle);
+    return std::find(mids.begin(), mids.end(), victim) != mids.end();
+  });
+  int total = 0;
+  for (const auto& [blame, n] : hist) total += n;
+  ASSERT_GT(total, 5);
+  EXPECT_GT(hist.at(Blame::Middle), total * 3 / 4);
+}
+
+// Picks an eyeball that never dominates a ⟨location, BGP path⟩ group: its
+// /24s must stay under ~55% of every middle group they appear in, mirroring
+// the production-scale structural property (§4.1) that a client-AS fault
+// cannot saturate a middle group (which serves many client ASes).
+net::AsId shared_middle_eyeball(const net::Topology& topo, net::Region region) {
+  struct Group {
+    int total = 0;
+    std::map<std::uint32_t, int> per_as;
+  };
+  std::map<std::pair<std::uint16_t, std::uint32_t>, Group> groups;
+  for (const auto& block : topo.blocks()) {
+    if (block.region != region) continue;
+    // Every home location matters: secondary-location quartets also feed
+    // Algorithm 1's middle groups.
+    for (const auto loc : topo.home_locations(block.block)) {
+      const auto* route =
+          topo.routing().route_for(loc, block.block, util::MinuteTime{0});
+      auto& group = groups[{loc.value, route->middle.value}];
+      ++group.total;
+      ++group.per_as[block.client_as.value];
+    }
+  }
+  for (const auto candidate : topo.eyeballs_in(region)) {
+    bool dominates = false;
+    for (const auto& [key, group] : groups) {
+      const auto it = group.per_as.find(candidate.value);
+      if (it != group.per_as.end() &&
+          it->second > 0.55 * group.total) {
+        dominates = true;
+        break;
+      }
+    }
+    if (!dominates) return candidate;
+  }
+  return topo.eyeballs_in(region).front();
+}
+
+TEST_F(PassiveTest, ClientAsFaultBlamedOnClient) {
+  analysis::ExpectedRttLearner learner;
+  warm(learner, 14);
+  const auto victim = shared_middle_eyeball(*topo_, net::Region::Europe);
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::ClientAs,
+                        .as = victim,
+                        .added_ms = 150.0,
+                        .start = util::MinuteTime::from_days(14),
+                        .duration_minutes = util::kMinutesPerDay});
+  const auto quartets = quartets_for(faults, eval_bucket());
+  const PassiveLocalizer localizer{topo_, &learner};
+  const auto results = localizer.localize(quartets, 14);
+
+  // Assert on non-mobile quartets: mobile volumes are sparse enough that
+  // some of their groups fall under the min-quartet gate (the same data-
+  // density limits behind the paper's "insufficient" fractions, Fig 9).
+  const auto hist = blame_histogram(results, [&](const BlameResult& r) {
+    return r.quartet.client_as == victim &&
+           r.quartet.key.device == net::DeviceClass::NonMobile;
+  });
+  int total = 0;
+  for (const auto& [blame, n] : hist) total += n;
+  ASSERT_GT(total, 5);
+  EXPECT_GT(hist.at(Blame::Client), total * 3 / 4);
+  for (const auto& r : results) {
+    if (r.blame == Blame::Client && r.quartet.client_as == victim) {
+      ASSERT_TRUE(r.faulty_as.has_value());
+      EXPECT_EQ(*r.faulty_as, victim);
+    }
+  }
+}
+
+TEST_F(PassiveTest, AustraliaOverloadNotBlamedOnSharedPaths) {
+  // §6.3 case 3 / Insight-2: a cloud fault at one location must be blamed on
+  // the cloud even though every BGP path into that location is "bad" — the
+  // hierarchical order (cloud first) resolves the ambiguity.
+  analysis::ExpectedRttLearner learner;
+  warm(learner, 14);
+  const auto locs = topo_->locations_in(net::Region::Australia);
+  ASSERT_GE(locs.size(), 2u);
+  sim::FaultInjector faults;
+  // The paper's incident took the median 25 ms -> 82 ms; our synthetic
+  // Australia has a higher healthy base, so the same story needs a larger
+  // inflation to breach the (roomier) regional target.
+  faults.add(sim::Fault{.kind = sim::FaultKind::CloudLocation,
+                        .cloud_location = locs[0],
+                        .added_ms = 80.0,
+                        .start = util::MinuteTime::from_days(14),
+                        .duration_minutes = util::kMinutesPerDay});
+  const auto quartets = quartets_for(faults, eval_bucket());
+  const PassiveLocalizer localizer{topo_, &learner};
+  const auto results = localizer.localize(quartets, 14);
+  int cloud = 0;
+  int middle = 0;
+  for (const auto& r : results) {
+    if (r.quartet.key.location != locs[0]) continue;
+    cloud += r.blame == Blame::Cloud;
+    middle += r.blame == Blame::Middle;
+  }
+  ASSERT_GT(cloud + middle, 5);
+  EXPECT_GT(cloud, middle * 5);
+  // Clients of the same region connecting to the *other* location stay good,
+  // so no blame lands there.
+  for (const auto& r : results) {
+    EXPECT_NE(r.quartet.key.location, locs[1]);
+  }
+}
+
+TEST_F(PassiveTest, SingleBlockIssueBlamedOnClientNotMiddle) {
+  analysis::ExpectedRttLearner learner;
+  warm(learner, 14);
+  // Use the most active block so its quartets comfortably clear the 10
+  // RTT-sample floor at the evaluation bucket.
+  const auto& block = *std::max_element(
+      topo_->blocks().begin(), topo_->blocks().end(),
+      [](const auto& a, const auto& b) {
+        return a.activity_weight < b.activity_weight;
+      });
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::ClientBlock,
+                        .block = block.block,
+                        .added_ms = 200.0,
+                        .start = util::MinuteTime::from_days(14),
+                        .duration_minutes = util::kMinutesPerDay});
+  const auto quartets = quartets_for(faults, eval_bucket());
+  const PassiveLocalizer localizer{topo_, &learner};
+  const auto results = localizer.localize(quartets, 14);
+  int client = 0;
+  int other = 0;
+  for (const auto& r : results) {
+    if (r.quartet.key.block != block.block) continue;
+    client += r.blame == Blame::Client;
+    other += r.blame != Blame::Client;
+  }
+  ASSERT_GT(client + other, 0);
+  EXPECT_GE(client, other);
+}
+
+TEST_F(PassiveTest, InsufficientWhenGroupTooThin) {
+  analysis::ExpectedRttLearner learner;
+  // Hand-build a bucket with a single bad quartet at a location: the cloud
+  // group has 1 quartet <= 5 → insufficient.
+  analysis::Quartet q;
+  q.key = analysis::QuartetKey{.block = topo_->blocks().front().block,
+                               .location = topo_->locations().front().id,
+                               .device = net::DeviceClass::NonMobile,
+                               .bucket = util::TimeBucket{100}};
+  q.sample_count = 20;
+  q.mean_rtt_ms = 500.0;
+  q.middle = topo_->routing()
+                 .route_for(q.key.location, q.key.block, util::MinuteTime{0})
+                 ->middle;
+  q.client_as = topo_->blocks().front().client_as;
+  q.region = topo_->blocks().front().region;
+  q.bad = true;
+  const PassiveLocalizer localizer{topo_, &learner};
+  const auto results = localizer.localize(std::vector<analysis::Quartet>{q},
+                                          0);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].blame, Blame::Insufficient);
+}
+
+TEST_F(PassiveTest, AmbiguousWhenGoodElsewhere) {
+  analysis::ExpectedRttLearner learner;
+  warm(learner, 14);
+  // Synthetic bucket: one block bad at location A but good at location B,
+  // with enough healthy co-located quartets that neither the cloud nor the
+  // middle group crosses τ.
+  const sim::FaultInjector no_faults;
+  auto quartets = quartets_for(no_faults, eval_bucket());
+  ASSERT_FALSE(quartets.empty());
+  // Find a block with quartets at two locations in this bucket.
+  std::map<std::uint32_t, std::vector<std::size_t>> by_block;
+  for (std::size_t i = 0; i < quartets.size(); ++i) {
+    if (quartets[i].key.device == net::DeviceClass::NonMobile) {
+      by_block[quartets[i].key.block.block].push_back(i);
+    }
+  }
+  std::size_t victim_idx = quartets.size();
+  for (const auto& [block, indices] : by_block) {
+    if (indices.size() >= 2 &&
+        quartets[indices[0]].key.location !=
+            quartets[indices[1]].key.location) {
+      victim_idx = indices[0];
+      break;
+    }
+  }
+  ASSERT_LT(victim_idx, quartets.size()) << "need a dual-homed bucket";
+  quartets[victim_idx].mean_rtt_ms += 300.0;  // only this quartet goes bad
+  quartets[victim_idx].bad = true;
+
+  const PassiveLocalizer localizer{topo_, &learner};
+  const auto results = localizer.localize(quartets, 14);
+  bool found = false;
+  for (const auto& r : results) {
+    if (r.quartet.key == quartets[victim_idx].key) {
+      EXPECT_EQ(r.blame, Blame::Ambiguous);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PassiveTest, ComparisonRttFallsBackToThreshold) {
+  analysis::ExpectedRttLearner learner;  // empty
+  const PassiveLocalizer localizer{topo_, &learner};
+  const auto key = analysis::cloud_key(topo_->locations().front().id,
+                                       net::DeviceClass::NonMobile);
+  const double cmp = localizer.comparison_rtt(
+      key, 0, net::Region::Europe, net::DeviceClass::NonMobile);
+  EXPECT_DOUBLE_EQ(
+      cmp, analysis::BadnessThresholds{}.threshold(
+               net::Region::Europe, net::DeviceClass::NonMobile));
+}
+
+TEST_F(PassiveTest, LearnedExpectedRttCatchesSubThresholdShift) {
+  // §4.3 worked example at system level: a +15 ms cloud shift that keeps
+  // many RTTs below the 50 ms badness threshold is still caught because the
+  // group fraction compares against the learned ~40 ms median.
+  analysis::ExpectedRttLearner learner;
+  const auto loc = net::CloudLocationId{77};
+  const auto key = analysis::cloud_key(loc, net::DeviceClass::NonMobile);
+  util::Rng rng{5};
+  for (int day = 0; day < 14; ++day) {
+    for (int i = 0; i < 50; ++i) {
+      learner.observe(key, day, rng.uniform(35.0, 45.0));
+    }
+  }
+  const PassiveLocalizer localizer{topo_, &learner};
+  const double cmp = localizer.comparison_rtt(
+      key, 14, net::Region::UnitedStates, net::DeviceClass::NonMobile);
+  EXPECT_NEAR(cmp, 40.0, 1.5);
+  // Post-fault distribution [40, 70]: fraction above cmp clears τ=0.8.
+  int above = 0;
+  for (int i = 0; i < 1000; ++i) above += rng.uniform(40.0, 70.0) > cmp;
+  EXPECT_GT(above, 950);
+}
+
+TEST_F(PassiveTest, InvalidConfigRejected) {
+  analysis::ExpectedRttLearner learner;
+  BlameItConfig bad;
+  bad.tau = 0.0;
+  EXPECT_THROW((PassiveLocalizer{topo_, &learner, bad}),
+               std::invalid_argument);
+  bad = {};
+  bad.min_group_quartets = 0;
+  EXPECT_THROW((PassiveLocalizer{topo_, &learner, bad}),
+               std::invalid_argument);
+  EXPECT_THROW((PassiveLocalizer{nullptr, &learner}), std::invalid_argument);
+  EXPECT_THROW((PassiveLocalizer{topo_, nullptr}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blameit::core

@@ -1,0 +1,138 @@
+#include "core/prioritizer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace blameit::core {
+namespace {
+
+BlameResult middle_result(std::uint16_t loc, std::uint32_t middle,
+                          std::uint32_t block, int samples) {
+  BlameResult r;
+  r.blame = Blame::Middle;
+  r.quartet.key.location = net::CloudLocationId{loc};
+  r.quartet.key.block = net::Slash24{block};
+  r.quartet.middle = net::MiddleSegmentId{middle};
+  r.quartet.sample_count = samples;
+  return r;
+}
+
+TEST(MiddleIssueKey, PacksUniquely) {
+  const auto a = middle_issue_key(net::CloudLocationId{1},
+                                  net::MiddleSegmentId{2});
+  const auto b = middle_issue_key(net::CloudLocationId{2},
+                                  net::MiddleSegmentId{1});
+  const auto c = middle_issue_key(net::CloudLocationId{1},
+                                  net::MiddleSegmentId{3});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(CollectMiddleIssues, GroupsByLocationAndPath) {
+  std::vector<BlameResult> results;
+  results.push_back(middle_result(1, 10, 100, 16));
+  results.push_back(middle_result(1, 10, 101, 16));  // same issue
+  results.push_back(middle_result(2, 10, 102, 32));  // other location
+  results.push_back(middle_result(1, 11, 103, 8));   // other path
+  // Non-middle blames are ignored.
+  BlameResult cloud = middle_result(1, 10, 104, 99);
+  cloud.blame = Blame::Cloud;
+  results.push_back(cloud);
+
+  const auto issues = collect_middle_issues(results, 1.6);
+  ASSERT_EQ(issues.size(), 3u);
+  const auto& first = issues[0];  // (loc1, mid10)
+  EXPECT_EQ(first.location, net::CloudLocationId{1});
+  EXPECT_EQ(first.middle, net::MiddleSegmentId{10});
+  EXPECT_NEAR(first.observed_users, 32 / 1.6, 1e-9);
+  EXPECT_EQ(first.representative_block, net::Slash24{100});
+}
+
+TEST(CollectMiddleIssues, InvalidSamplesPerClient) {
+  EXPECT_THROW((void)collect_middle_issues({}, 0.0), std::invalid_argument);
+}
+
+class PrioritizerTest : public ::testing::Test {
+ protected:
+  PrioritizerTest() : prioritizer_(&durations_, &clients_) {}
+
+  static MiddleIssue issue(std::uint16_t loc, std::uint32_t middle,
+                           double users, int elapsed = 1) {
+    MiddleIssue i;
+    i.location = net::CloudLocationId{loc};
+    i.middle = net::MiddleSegmentId{middle};
+    i.observed_users = users;
+    i.elapsed_buckets = elapsed;
+    return i;
+  }
+
+  DurationPredictor durations_;
+  ClientVolumePredictor clients_;
+  ProbePrioritizer prioritizer_;
+};
+
+TEST_F(PrioritizerTest, RanksByClientTimeProduct) {
+  // Key A: long-lived history, many predicted clients. Key B: short-lived.
+  const auto key_a = middle_issue_key(net::CloudLocationId{1},
+                                      net::MiddleSegmentId{1});
+  const auto key_b = middle_issue_key(net::CloudLocationId{2},
+                                      net::MiddleSegmentId{2});
+  for (int i = 0; i < 20; ++i) durations_.record_duration(key_a, 24);
+  for (int i = 0; i < 20; ++i) durations_.record_duration(key_b, 1);
+  const util::TimeBucket now{3 * util::kBucketsPerDay + 100};
+  for (int day = 0; day < 3; ++day) {
+    const util::TimeBucket past{day * util::kBucketsPerDay + 100};
+    clients_.observe(key_a, past, 1000.0);
+    clients_.observe(key_b, past, 10.0);
+  }
+
+  auto ranked = prioritizer_.rank({issue(2, 2, 10.0), issue(1, 1, 1000.0)},
+                                  now);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].middle, net::MiddleSegmentId{1});
+  EXPECT_GT(ranked[0].client_time_product,
+            ranked[1].client_time_product * 10.0);
+  EXPECT_DOUBLE_EQ(ranked[0].predicted_users, 1000.0);
+}
+
+TEST_F(PrioritizerTest, FallsBackToObservedUsersWithoutHistory) {
+  const util::TimeBucket now{100};
+  auto ranked = prioritizer_.rank({issue(1, 1, 42.0)}, now);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_DOUBLE_EQ(ranked[0].predicted_users, 42.0);
+  // No duration history → prior of 1 bucket remaining.
+  EXPECT_DOUBLE_EQ(ranked[0].predicted_remaining_buckets, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[0].client_time_product, 42.0);
+}
+
+TEST_F(PrioritizerTest, ElapsedTimeBoostsLongTailIssues) {
+  const auto key = middle_issue_key(net::CloudLocationId{1},
+                                    net::MiddleSegmentId{1});
+  for (int i = 0; i < 45; ++i) durations_.record_duration(key, 1);
+  for (int i = 0; i < 5; ++i) durations_.record_duration(key, 40);
+  const util::TimeBucket now{100};
+  const auto fresh = prioritizer_.rank({issue(1, 1, 10.0, 1)}, now);
+  const auto seasoned = prioritizer_.rank({issue(1, 1, 10.0, 12)}, now);
+  EXPECT_GT(seasoned[0].client_time_product,
+            fresh[0].client_time_product * 3.0);
+}
+
+TEST_F(PrioritizerTest, DeterministicTieBreak) {
+  const util::TimeBucket now{100};
+  const auto a = prioritizer_.rank({issue(2, 2, 5.0), issue(1, 1, 5.0)}, now);
+  const auto b = prioritizer_.rank({issue(1, 1, 5.0), issue(2, 2, 5.0)}, now);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].middle, b[i].middle);
+  }
+}
+
+TEST_F(PrioritizerTest, NullPredictorsThrow) {
+  EXPECT_THROW((ProbePrioritizer{nullptr, &clients_}), std::invalid_argument);
+  EXPECT_THROW((ProbePrioritizer{&durations_, nullptr}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blameit::core

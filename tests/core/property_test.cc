@@ -1,0 +1,294 @@
+// Parameterized property sweeps over Algorithm 1 and the end-to-end chain:
+// localization must behave correctly across regions, fault magnitudes, and
+// τ settings — not just at the defaults the other suites pin down.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/passive.h"
+#include "sim/telemetry.h"
+
+namespace blameit::core {
+namespace {
+
+class PropertyWorld {
+ public:
+  PropertyWorld() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 2;
+    cfg.eyeballs_per_region = 6;
+    cfg.blocks_per_eyeball = 12;
+    topo_ = net::make_topology(cfg);
+    warm();
+  }
+
+  [[nodiscard]] const net::Topology& topo() const { return *topo_; }
+  [[nodiscard]] const analysis::ExpectedRttLearner& learner() const {
+    return learner_;
+  }
+
+  [[nodiscard]] std::vector<analysis::Quartet> quartets(
+      const sim::FaultInjector& faults, util::TimeBucket bucket) const {
+    const sim::TelemetryGenerator gen{topo_.get(), &faults};
+    analysis::QuartetBuilder builder{topo_.get(),
+                                     analysis::BadnessThresholds{}};
+    gen.generate_aggregates(bucket,
+                            [&](const analysis::QuartetKey& k, int n,
+                                double mean) {
+                              builder.add_aggregate(k, n, mean);
+                            });
+    return builder.take_bucket(bucket);
+  }
+
+  /// An eyeball in `region` whose /24s never dominate a ⟨location, middle⟩
+  /// group (so a fault inside it cannot saturate a BGP path's fraction).
+  [[nodiscard]] net::AsId non_dominant_eyeball(net::Region region) const {
+    struct Group {
+      int total = 0;
+      std::map<std::uint32_t, int> per_as;
+    };
+    std::map<std::pair<std::uint16_t, std::uint32_t>, Group> groups;
+    for (const auto& block : topo_->blocks()) {
+      if (block.region != region) continue;
+      for (const auto loc : topo_->home_locations(block.block)) {
+        const auto* route =
+            topo_->routing().route_for(loc, block.block, util::MinuteTime{0});
+        auto& group = groups[{loc.value, route->middle.value}];
+        ++group.total;
+        ++group.per_as[block.client_as.value];
+      }
+    }
+    for (const auto candidate : topo_->eyeballs_in(region)) {
+      bool dominates = false;
+      for (const auto& [key, group] : groups) {
+        const auto it = group.per_as.find(candidate.value);
+        if (it != group.per_as.end() && it->second > 0.5 * group.total) {
+          dominates = true;
+          break;
+        }
+      }
+      if (!dominates) return candidate;
+    }
+    return topo_->eyeballs_in(region).front();
+  }
+
+  /// A transit AS in `region` that live routes cross but that does not
+  /// dominate any location's path mix.
+  [[nodiscard]] net::AsId visible_transit(net::Region region) const {
+    std::map<std::uint32_t, std::map<std::uint16_t, int>> usage;
+    std::map<std::uint16_t, int> totals;
+    for (const auto& block : topo_->blocks()) {
+      if (block.region != region) continue;
+      const auto loc = topo_->home_locations(block.block).front();
+      const auto* route =
+          topo_->routing().route_for(loc, block.block, util::MinuteTime{0});
+      ++totals[loc.value];
+      for (const auto as : route->middle_ases()) ++usage[as.value][loc.value];
+    }
+    std::uint32_t best = 0;
+    int best_total = -1;
+    for (const auto& [as, per_loc] : usage) {
+      int total = 0;
+      double max_share = 0.0;
+      for (const auto& [loc, n] : per_loc) {
+        total += n;
+        max_share = std::max(max_share,
+                             static_cast<double>(n) / totals[loc]);
+      }
+      if (max_share <= 0.6 && total > best_total) {
+        best = as;
+        best_total = total;
+      }
+    }
+    return net::AsId{best};
+  }
+
+ private:
+  void warm() {
+    const sim::FaultInjector no_faults;
+    for (int day = 0; day < 3; ++day) {
+      for (const int hour : {3, 9, 15, 21}) {
+        const auto bucket =
+            util::TimeBucket::of(util::MinuteTime::from_day_hour(day, hour));
+        for (const auto& q : quartets(no_faults, bucket)) {
+          learner_.observe(
+              analysis::cloud_key(q.key.location, q.key.device), day,
+              q.mean_rtt_ms);
+          learner_.observe(analysis::middle_key(q.key.location, q.middle,
+                                                q.key.device),
+                           day, q.mean_rtt_ms);
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<net::Topology> topo_;
+  analysis::ExpectedRttLearner learner_{analysis::ExpectedRttConfig{
+      .window_days = 3, .reservoir_per_day = 128}};
+};
+
+PropertyWorld& world() {
+  static PropertyWorld instance;
+  return instance;
+}
+
+util::TimeBucket eval_bucket() {
+  return util::TimeBucket::of(util::MinuteTime::from_day_hour(3, 12));
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: a client-AS fault in ANY region localizes to the client
+// segment for the majority of that AS's dense quartets.
+class ClientFaultPerRegion : public ::testing::TestWithParam<net::Region> {};
+
+TEST_P(ClientFaultPerRegion, LocalizesToClient) {
+  auto& w = world();
+  const auto region = GetParam();
+  const auto victim = w.non_dominant_eyeball(region);
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::ClientAs,
+                        .as = victim,
+                        .added_ms = net::region_profile(region).rtt_target_ms *
+                                    2.0,
+                        .start = util::MinuteTime::from_days(3),
+                        .duration_minutes = util::kMinutesPerDay});
+  const auto quartets = w.quartets(faults, eval_bucket());
+  const PassiveLocalizer localizer{&w.topo(), &w.learner()};
+  const auto results = localizer.localize(quartets, 3);
+  int client = 0;
+  int wrong_segment = 0;
+  for (const auto& r : results) {
+    if (r.quartet.client_as != victim ||
+        r.quartet.key.device != net::DeviceClass::NonMobile) {
+      continue;
+    }
+    if (r.blame == Blame::Client) {
+      ++client;
+    } else if (r.blame == Blame::Cloud || r.blame == Blame::Middle) {
+      ++wrong_segment;
+    }
+  }
+  EXPECT_GT(client, 0) << net::to_string(region);
+  EXPECT_GE(client, wrong_segment * 2) << net::to_string(region);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegions, ClientFaultPerRegion,
+    ::testing::ValuesIn(net::kAllRegions.begin(), net::kAllRegions.end()),
+    [](const auto& info) {
+      return std::string{net::to_string(info.param)};
+    });
+
+// ---------------------------------------------------------------------------
+// Property 2: middle-fault blame count grows monotonically (weakly) with
+// fault magnitude, and no magnitude produces cloud misblames for a
+// non-dominant transit.
+class MiddleFaultMagnitude : public ::testing::TestWithParam<double> {};
+
+TEST_P(MiddleFaultMagnitude, NoCloudMisblame) {
+  auto& w = world();
+  const auto victim = w.visible_transit(net::Region::Europe);
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = victim,
+                        .added_ms = GetParam(),
+                        .start = util::MinuteTime::from_days(3),
+                        .duration_minutes = util::kMinutesPerDay});
+  const auto quartets = w.quartets(faults, eval_bucket());
+  const PassiveLocalizer localizer{&w.topo(), &w.learner()};
+  const auto results = localizer.localize(quartets, 3);
+  int cloud = 0;
+  for (const auto& r : results) {
+    if (r.quartet.region == net::Region::Europe && r.blame == Blame::Cloud) {
+      ++cloud;
+    }
+  }
+  EXPECT_EQ(cloud, 0) << "magnitude " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, MiddleFaultMagnitude,
+                         ::testing::Values(40.0, 80.0, 160.0, 320.0));
+
+// ---------------------------------------------------------------------------
+// Property 3: raising τ can only move blame away from cloud/middle (the
+// group rules fire less often), never toward them.
+class TauMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(TauMonotonicity, GroupBlamesShrinkWithTau) {
+  auto& w = world();
+  const auto victim = w.visible_transit(net::Region::India);
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = victim,
+                        .added_ms = 180.0,
+                        .start = util::MinuteTime::from_days(3),
+                        .duration_minutes = util::kMinutesPerDay});
+  const auto quartets = w.quartets(faults, eval_bucket());
+
+  auto group_blames = [&](double tau) {
+    BlameItConfig cfg;
+    cfg.tau = tau;
+    cfg.expected_rtt_window_days = 3;
+    const PassiveLocalizer localizer{&w.topo(), &w.learner(), cfg};
+    int n = 0;
+    for (const auto& r : localizer.localize(quartets, 3)) {
+      n += r.blame == Blame::Cloud || r.blame == Blame::Middle;
+    }
+    return n;
+  };
+  const double tau = GetParam();
+  EXPECT_GE(group_blames(tau), group_blames(std::min(1.0, tau + 0.15)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, TauMonotonicity,
+                         ::testing::Values(0.5, 0.65, 0.8, 0.85));
+
+// ---------------------------------------------------------------------------
+// Property 4: every blame result's category is consistent with its payload —
+// cloud blames carry the cloud AS, client blames the quartet's client AS,
+// middle blames no AS (until the active phase).
+class ResultInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResultInvariants, PayloadMatchesCategory) {
+  auto& w = world();
+  sim::FaultInjector faults;
+  util::Rng rng{GetParam()};
+  // Random mixed fault.
+  const auto region =
+      net::kAllRegions[rng.zipf(net::kAllRegions.size(), 0.5)];
+  faults.add(sim::Fault{.kind = sim::FaultKind::ClientAs,
+                        .as = w.topo().eyeballs_in(region).front(),
+                        .added_ms = 150.0,
+                        .start = util::MinuteTime::from_days(3),
+                        .duration_minutes = util::kMinutesPerDay});
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = w.visible_transit(region),
+                        .added_ms = 120.0,
+                        .start = util::MinuteTime::from_days(3),
+                        .duration_minutes = util::kMinutesPerDay});
+  const auto quartets = w.quartets(faults, eval_bucket());
+  const PassiveLocalizer localizer{&w.topo(), &w.learner()};
+  for (const auto& r : localizer.localize(quartets, 3)) {
+    switch (r.blame) {
+      case Blame::Cloud:
+        ASSERT_TRUE(r.faulty_as.has_value());
+        EXPECT_EQ(*r.faulty_as, w.topo().cloud_as());
+        break;
+      case Blame::Client:
+        ASSERT_TRUE(r.faulty_as.has_value());
+        EXPECT_EQ(*r.faulty_as, r.quartet.client_as);
+        break;
+      default:
+        EXPECT_FALSE(r.faulty_as.has_value());
+        break;
+    }
+    EXPECT_TRUE(r.quartet.bad);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResultInvariants,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace blameit::core

@@ -1,0 +1,173 @@
+#include "core/reverse.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/background.h"
+
+namespace blameit::core {
+namespace {
+
+class ReverseTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 1;
+    cfg.eyeballs_per_region = 2;
+    cfg.blocks_per_eyeball = 4;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  [[nodiscard]] static const net::ClientBlock& block() {
+    return topo_->blocks().front();
+  }
+  [[nodiscard]] static net::CloudLocationId home() {
+    return topo_->home_locations(block().block).front();
+  }
+  [[nodiscard]] static const net::RouteEntry& route(util::MinuteTime t) {
+    return *topo_->routing().route_for(home(), block().block, t);
+  }
+
+  static const net::Topology* topo_;
+};
+
+const net::Topology* ReverseTest::topo_ = nullptr;
+
+TEST_F(ReverseTest, ReverseHopsMirrorForwardPath) {
+  sim::FaultInjector no_faults;
+  const sim::RttModel model{topo_, &no_faults};
+  SimulatedClientProber prober{topo_, &model};
+  const auto t = util::MinuteTime::from_day_hour(0, 4);
+  const auto result = prober.trace(block().block, home(), t);
+  ASSERT_TRUE(result.reached);
+
+  const auto middle = route(t).middle_ases();
+  ASSERT_EQ(result.hops.size(), middle.size() + 1);
+  // Nearest-to-client middle AS first, cloud AS last.
+  for (std::size_t i = 0; i < middle.size(); ++i) {
+    EXPECT_EQ(result.hops[i].as, middle[middle.size() - 1 - i]);
+  }
+  EXPECT_EQ(result.hops.back().as, topo_->cloud_as());
+  // Cumulative RTTs monotone.
+  double prev = result.cloud_ms;
+  for (const auto& hop : result.hops) {
+    EXPECT_GT(hop.cumulative_rtt_ms, prev);
+    prev = hop.cumulative_rtt_ms;
+  }
+}
+
+TEST_F(ReverseTest, ForwardAndReverseEndToEndAgree) {
+  sim::FaultInjector no_faults;
+  const sim::RttModel model{topo_, &no_faults};
+  sim::TracerouteEngine forward{topo_, &model};
+  SimulatedClientProber reverse{topo_, &model};
+  const auto t = util::MinuteTime::from_day_hour(0, 4);
+  const auto f = forward.trace(home(), block().block, t);
+  const auto r = reverse.trace(block().block, home(), t);
+  ASSERT_TRUE(f.reached);
+  ASSERT_TRUE(r.reached);
+  EXPECT_NEAR(f.hops.back().cumulative_rtt_ms,
+              r.hops.back().cumulative_rtt_ms,
+              f.hops.back().cumulative_rtt_ms * 0.2);
+}
+
+TEST_F(ReverseTest, DualViewCorroboratesMiddleFault) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  const auto victim = route(t0).middle_ases()[0];
+
+  // Healthy baseline for the forward localizer.
+  BaselineStore store;
+  {
+    sim::FaultInjector no_faults;
+    sim::RttModel clean{topo_, &no_faults};
+    sim::TracerouteEngine probe{topo_, &clean};
+    const auto result = probe.trace(home(), block().block, t0);
+    store.update(home(), route(t0).middle,
+                 Baseline{.when = t0,
+                          .cloud_ms = result.cloud_ms,
+                          .contributions = result.contributions()});
+  }
+
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = victim,
+                        .added_ms = 80.0,
+                        .start = t0.plus_minutes(30),
+                        .duration_minutes = 120});
+  sim::RttModel faulty{topo_, &faults};
+  sim::TracerouteEngine engine{topo_, &faulty};
+  ActiveLocalizer forward{topo_, &engine, &store};
+  SimulatedClientProber reverse{topo_, &faulty};
+
+  const auto dual =
+      diagnose_dual(forward, reverse, home(), route(t0).middle,
+                    block().block, t0.plus_minutes(60));
+  ASSERT_TRUE(dual.forward.culprit.has_value());
+  EXPECT_EQ(*dual.forward.culprit, victim);
+  ASSERT_TRUE(dual.reverse_dominant.has_value());
+  EXPECT_EQ(*dual.reverse_dominant, victim);
+  EXPECT_TRUE(dual.corroborated);
+}
+
+TEST_F(ReverseTest, DualViewNotCorroboratedWithoutReverseSignal) {
+  // Cloud fault: the forward diff implicates the cloud AS, but from the
+  // client side the dominant contributor is usually still the access
+  // segment unless the cloud inflation dominates absolutely.
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  BaselineStore store;
+  {
+    sim::FaultInjector no_faults;
+    sim::RttModel clean{topo_, &no_faults};
+    sim::TracerouteEngine probe{topo_, &clean};
+    const auto result = probe.trace(home(), block().block, t0);
+    store.update(home(), route(t0).middle,
+                 Baseline{.when = t0,
+                          .cloud_ms = result.cloud_ms,
+                          .contributions = result.contributions()});
+  }
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::CloudLocation,
+                        .cloud_location = home(),
+                        .added_ms = 200.0,
+                        .start = t0.plus_minutes(30),
+                        .duration_minutes = 120});
+  sim::RttModel faulty{topo_, &faults};
+  sim::TracerouteEngine engine{topo_, &faulty};
+  ActiveLocalizer forward{topo_, &engine, &store};
+  SimulatedClientProber reverse{topo_, &faulty};
+  const auto dual =
+      diagnose_dual(forward, reverse, home(), route(t0).middle,
+                    block().block, t0.plus_minutes(60));
+  ASSERT_TRUE(dual.forward.culprit.has_value());
+  EXPECT_EQ(*dual.forward.culprit, topo_->cloud_as());
+  // With a +200ms cloud inflation the reverse view also sees the cloud AS
+  // as dominant — corroboration succeeds even client-side.
+  EXPECT_TRUE(dual.corroborated);
+}
+
+TEST_F(ReverseTest, UnknownBlockUnreached) {
+  sim::FaultInjector no_faults;
+  const sim::RttModel model{topo_, &no_faults};
+  SimulatedClientProber prober{topo_, &model};
+  const auto result =
+      prober.trace(net::Slash24{0xFFFFFF}, home(), util::MinuteTime{0});
+  EXPECT_FALSE(result.reached);
+  EXPECT_EQ(prober.accountant().total(), 1u);
+}
+
+TEST_F(ReverseTest, NullDependenciesThrow) {
+  sim::FaultInjector no_faults;
+  const sim::RttModel model{topo_, &no_faults};
+  EXPECT_THROW((SimulatedClientProber{nullptr, &model}),
+               std::invalid_argument);
+  EXPECT_THROW((SimulatedClientProber{topo_, nullptr}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blameit::core

@@ -1,0 +1,128 @@
+#include "net/as_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blameit::net {
+namespace {
+
+// Small fixture: cloud buys from two regional transits T1, T2; both are
+// customers of global G; eyeball E is a customer of T2; eyeball F is a
+// customer of G only. T1 and T2 peer.
+class AsGraphTest : public ::testing::Test {
+ protected:
+  AsGraphTest() : graph_(&reg_) {
+    reg_.add(AsInfo{kCloud, AsType::Cloud, Region::UnitedStates, "cloud"});
+    reg_.add(AsInfo{kT1, AsType::Transit, Region::UnitedStates, "t1"});
+    reg_.add(AsInfo{kT2, AsType::Transit, Region::UnitedStates, "t2"});
+    reg_.add(AsInfo{kG, AsType::Transit, Region::UnitedStates, "g"});
+    reg_.add(AsInfo{kE, AsType::Eyeball, Region::UnitedStates, "e"});
+    reg_.add(AsInfo{kF, AsType::Eyeball, Region::UnitedStates, "f"});
+    graph_.add_link({kCloud, kT1, LinkKind::CustomerOf, 2.0});
+    graph_.add_link({kCloud, kT2, LinkKind::CustomerOf, 3.0});
+    graph_.add_link({kT1, kG, LinkKind::CustomerOf, 4.0});
+    graph_.add_link({kT2, kG, LinkKind::CustomerOf, 5.0});
+    graph_.add_link({kT1, kT2, LinkKind::Peer, 1.0});
+    graph_.add_link({kE, kT2, LinkKind::CustomerOf, 6.0});
+    graph_.add_link({kF, kG, LinkKind::CustomerOf, 7.0});
+  }
+
+  static constexpr AsId kCloud{1};
+  static constexpr AsId kT1{2};
+  static constexpr AsId kT2{3};
+  static constexpr AsId kG{4};
+  static constexpr AsId kE{5};
+  static constexpr AsId kF{6};
+
+  AsRegistry reg_;
+  AsGraph graph_;
+};
+
+TEST_F(AsGraphTest, BestPathPrefersFewestHops) {
+  const auto path = graph_.best_path(kCloud, kE);
+  ASSERT_TRUE(path.has_value());
+  // cloud -> T2 -> E is the 3-node path.
+  EXPECT_EQ(*path, (AsPath{kCloud, kT2, kE}));
+}
+
+TEST_F(AsGraphTest, KPathsReturnsAlternatives) {
+  const auto paths = graph_.k_paths(kCloud, kE, 5);
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (AsPath{kCloud, kT2, kE}));
+  // The alternate via T1 peering: cloud -up-> T1 -peer-> T2 -down-> E.
+  EXPECT_TRUE(std::find(paths.begin(), paths.end(),
+                        AsPath{kCloud, kT1, kT2, kE}) != paths.end());
+  // All returned paths must be simple and start/end correctly.
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), kCloud);
+    EXPECT_EQ(p.back(), kE);
+  }
+}
+
+TEST_F(AsGraphTest, ValleyFreeRejectsPeerThenUphill) {
+  // Path cloud -> T1 -peer-> T2 -up-> G -down-> F would cross a peer link and
+  // then ascend; it must NOT be returned. The only valid routes to F climb
+  // to G directly.
+  const auto paths = graph_.k_paths(kCloud, kF, 10);
+  for (const auto& p : paths) {
+    EXPECT_TRUE(std::find(p.begin(), p.end(), kG) != p.end());
+    // After any T1->T2 peer step, G must not follow.
+    for (std::size_t i = 0; i + 2 < p.size(); ++i) {
+      const bool peer_step = (p[i] == kT1 && p[i + 1] == kT2) ||
+                             (p[i] == kT2 && p[i + 1] == kT1);
+      if (peer_step) {
+        EXPECT_NE(p[i + 2], kG);
+      }
+    }
+  }
+  ASSERT_FALSE(paths.empty());
+  // Shortest legal route is cloud -> T1/T2 -> G -> F (4 nodes).
+  EXPECT_EQ(paths[0].size(), 4u);
+}
+
+TEST_F(AsGraphTest, PathLatencySumsLinks) {
+  EXPECT_DOUBLE_EQ(graph_.path_latency(AsPath{kCloud, kT2, kE}), 9.0);
+  EXPECT_DOUBLE_EQ(graph_.path_latency(AsPath{kCloud, kT1, kT2, kE}), 9.0);
+}
+
+TEST_F(AsGraphTest, PathLatencyThrowsOnMissingLink) {
+  EXPECT_THROW((void)graph_.path_latency(AsPath{kCloud, kE}),
+               std::invalid_argument);
+}
+
+TEST_F(AsGraphTest, LinkLatencyLookup) {
+  EXPECT_DOUBLE_EQ(graph_.link_latency(kCloud, kT1).value(), 2.0);
+  EXPECT_DOUBLE_EQ(graph_.link_latency(kT1, kCloud).value(), 2.0);
+  EXPECT_FALSE(graph_.link_latency(kCloud, kE).has_value());
+}
+
+TEST_F(AsGraphTest, UnreachableReturnsEmpty) {
+  reg_.add(AsInfo{AsId{99}, AsType::Eyeball, Region::Europe, "island"});
+  EXPECT_TRUE(graph_.k_paths(kCloud, AsId{99}, 3).empty());
+  EXPECT_FALSE(graph_.best_path(kCloud, AsId{99}).has_value());
+}
+
+TEST_F(AsGraphTest, InvalidLinksThrow) {
+  EXPECT_THROW(graph_.add_link({kCloud, kCloud, LinkKind::Peer, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(graph_.add_link({kCloud, AsId{404}, LinkKind::Peer, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(graph_.add_link({kCloud, kT1, LinkKind::Peer, 1.0}),
+               std::invalid_argument);  // duplicate
+  EXPECT_THROW(graph_.add_link({kE, kF, LinkKind::Peer, -1.0}),
+               std::invalid_argument);
+}
+
+TEST_F(AsGraphTest, KZeroAndSelfPathEmpty) {
+  EXPECT_TRUE(graph_.k_paths(kCloud, kE, 0).empty());
+  EXPECT_TRUE(graph_.k_paths(kCloud, kCloud, 3).empty());
+}
+
+TEST(AsGraphStandalone, NullRegistryThrows) {
+  EXPECT_THROW(AsGraph{nullptr}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blameit::net

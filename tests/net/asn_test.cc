@@ -1,0 +1,75 @@
+#include "net/asn.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace blameit::net {
+namespace {
+
+TEST(AsRegistry, AddAndLookup) {
+  AsRegistry reg;
+  reg.add(AsInfo{AsId{100}, AsType::Transit, Region::Europe, "T1"});
+  ASSERT_TRUE(reg.contains(AsId{100}));
+  EXPECT_EQ(reg.at(AsId{100}).name, "T1");
+  EXPECT_EQ(reg.at(AsId{100}).type, AsType::Transit);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(AsRegistry, DuplicateThrows) {
+  AsRegistry reg;
+  reg.add(AsInfo{AsId{1}, AsType::Cloud, Region::UnitedStates, "c"});
+  EXPECT_THROW(
+      reg.add(AsInfo{AsId{1}, AsType::Transit, Region::Europe, "dup"}),
+      std::invalid_argument);
+}
+
+TEST(AsRegistry, MissingLookup) {
+  AsRegistry reg;
+  EXPECT_EQ(reg.find(AsId{9}), nullptr);
+  EXPECT_THROW((void)reg.at(AsId{9}), std::out_of_range);
+}
+
+TEST(AsRegistry, IdsOfTypeFilters) {
+  AsRegistry reg;
+  reg.add(AsInfo{AsId{1}, AsType::Cloud, Region::UnitedStates, "c"});
+  reg.add(AsInfo{AsId{2}, AsType::Eyeball, Region::Europe, "e1"});
+  reg.add(AsInfo{AsId{3}, AsType::Eyeball, Region::Europe, "e2"});
+  const auto eyeballs = reg.ids_of_type(AsType::Eyeball);
+  ASSERT_EQ(eyeballs.size(), 2u);
+  EXPECT_EQ(eyeballs[0], AsId{2});
+  EXPECT_EQ(eyeballs[1], AsId{3});
+}
+
+TEST(AsId, Formatting) {
+  EXPECT_EQ(AsId{8075}.to_string(), "AS8075");
+}
+
+TEST(Geo, RegionNamesAndProfiles) {
+  for (const Region r : kAllRegions) {
+    EXPECT_FALSE(to_string(r).empty());
+    const auto& profile = region_profile(r);
+    EXPECT_EQ(profile.region, r);
+    EXPECT_GT(profile.rtt_target_ms, 0.0);
+    EXPECT_GT(profile.base_rtt_ms, 0.0);
+    // Targets must leave headroom above the typical good RTT, or everything
+    // would classify as bad.
+    EXPECT_GT(profile.rtt_target_ms, profile.base_rtt_ms);
+  }
+}
+
+TEST(Geo, UsaTargetIsAggressive) {
+  // The paper attributes the USA's high bad-quartet share to aggressive
+  // targets: the US threshold/base ratio must be the tightest of all regions.
+  const auto& us = region_profile(Region::UnitedStates);
+  const double us_headroom = us.rtt_target_ms / us.base_rtt_ms;
+  for (const Region r : kAllRegions) {
+    if (r == Region::UnitedStates) continue;
+    const auto& other = region_profile(r);
+    EXPECT_LE(us_headroom, other.rtt_target_ms / other.base_rtt_ms)
+        << to_string(r);
+  }
+}
+
+}  // namespace
+}  // namespace blameit::net

@@ -1,0 +1,191 @@
+#include "net/bgp.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace blameit::net {
+namespace {
+
+using util::MinuteTime;
+
+AsPath path3(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  return AsPath{AsId{a}, AsId{b}, AsId{c}};
+}
+
+TEST(MiddleSegmentInterner, InternIsIdempotent) {
+  MiddleSegmentInterner interner;
+  const AsPath mid{AsId{10}, AsId{20}};
+  const auto id1 = interner.intern(mid);
+  const auto id2 = interner.intern(mid);
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(interner.size(), 1u);
+  EXPECT_EQ(interner.ases(id1), mid);
+}
+
+TEST(MiddleSegmentInterner, DistinctSequencesGetDistinctIds) {
+  MiddleSegmentInterner interner;
+  const auto a = interner.intern(AsPath{AsId{1}, AsId{2}});
+  const auto b = interner.intern(AsPath{AsId{2}, AsId{1}});  // order matters
+  const auto c = interner.intern(AsPath{AsId{1}});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(MiddleSegmentInterner, EmptyMiddleIsValid) {
+  // Direct cloud-to-client-AS paths (no middle ASes) occur when the cloud
+  // peers directly with the eyeball.
+  MiddleSegmentInterner interner;
+  const auto id = interner.intern(AsPath{});
+  EXPECT_TRUE(interner.ases(id).empty());
+}
+
+TEST(MiddleSegmentInterner, FindDoesNotCreate) {
+  MiddleSegmentInterner interner;
+  EXPECT_FALSE(interner.find(AsPath{AsId{5}}).has_value());
+  const auto id = interner.intern(AsPath{AsId{5}});
+  ASSERT_TRUE(interner.find(AsPath{AsId{5}}).has_value());
+  EXPECT_EQ(*interner.find(AsPath{AsId{5}}), id);
+}
+
+TEST(MiddleSegmentInterner, UnknownIdThrows) {
+  MiddleSegmentInterner interner;
+  EXPECT_THROW((void)interner.ases(MiddleSegmentId{3}), std::out_of_range);
+}
+
+TEST(RouteTimeline, RouteAtPicksLatestChange) {
+  MiddleSegmentInterner interner;
+  RouteTimeline timeline;
+  RouteEntry r1{.announced = *Prefix::parse("10.0.0.0/22"),
+                .full_path = path3(1, 2, 3),
+                .middle = interner.intern(AsPath{AsId{2}})};
+  RouteEntry r2 = r1;
+  r2.full_path = path3(1, 4, 3);
+  r2.middle = interner.intern(AsPath{AsId{4}});
+
+  timeline.set_route(MinuteTime{0}, r1);
+  timeline.set_route(MinuteTime{100}, r2);
+
+  EXPECT_EQ(timeline.route_at(MinuteTime{0})->middle, r1.middle);
+  EXPECT_EQ(timeline.route_at(MinuteTime{99})->middle, r1.middle);
+  EXPECT_EQ(timeline.route_at(MinuteTime{100})->middle, r2.middle);
+  EXPECT_EQ(timeline.route_at(MinuteTime{5000})->middle, r2.middle);
+  EXPECT_EQ(timeline.route_at(MinuteTime{-1}), nullptr);
+}
+
+TEST(RouteTimeline, OutOfOrderChangeThrows) {
+  MiddleSegmentInterner interner;
+  RouteTimeline timeline;
+  RouteEntry r{.announced = *Prefix::parse("10.0.0.0/22"),
+               .full_path = path3(1, 2, 3),
+               .middle = interner.intern(AsPath{AsId{2}})};
+  timeline.set_route(MinuteTime{50}, r);
+  EXPECT_THROW(timeline.set_route(MinuteTime{49}, r), std::invalid_argument);
+}
+
+TEST(RouteEntry, MiddleAsesExcludesEndpoints) {
+  MiddleSegmentInterner interner;
+  RouteEntry r{.announced = *Prefix::parse("10.0.0.0/22"),
+               .full_path = AsPath{AsId{1}, AsId{2}, AsId{3}, AsId{4}},
+               .middle = interner.intern(AsPath{AsId{2}, AsId{3}})};
+  const auto mid = r.middle_ases();
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0], AsId{2});
+  EXPECT_EQ(mid[1], AsId{3});
+  EXPECT_EQ(r.cloud_as(), AsId{1});
+  EXPECT_EQ(r.client_as(), AsId{4});
+}
+
+class RoutingStateTest : public ::testing::Test {
+ protected:
+  RoutingStateTest() : state_(&interner_) {}
+
+  MiddleSegmentInterner interner_;
+  RoutingState state_;
+  const CloudLocationId loc_{CloudLocationId{1}};
+  const Prefix prefix_ = *Prefix::parse("10.1.4.0/22");
+};
+
+TEST_F(RoutingStateTest, AnnounceThenRouteFor) {
+  state_.announce(loc_, prefix_, path3(1, 2, 3));
+  const auto client = Slash24::of(*Ipv4Addr::parse("10.1.5.0"));
+  const auto* route = state_.route_for(loc_, client, MinuteTime{10});
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->announced, prefix_);
+  EXPECT_EQ(route->client_as(), AsId{3});
+}
+
+TEST_F(RoutingStateTest, RouteForMissesOutsidePrefix) {
+  state_.announce(loc_, prefix_, path3(1, 2, 3));
+  const auto outside = Slash24::of(*Ipv4Addr::parse("10.1.8.0"));
+  EXPECT_EQ(state_.route_for(loc_, outside, MinuteTime{10}), nullptr);
+}
+
+TEST_F(RoutingStateTest, LongestPrefixMatchWins) {
+  state_.announce(loc_, *Prefix::parse("10.1.0.0/16"), path3(1, 9, 3));
+  state_.announce(loc_, prefix_, path3(1, 2, 3));
+  const auto client = Slash24::of(*Ipv4Addr::parse("10.1.5.0"));
+  const auto* route = state_.route_for(loc_, client, MinuteTime{10});
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->announced.length, 22);
+  const auto other = Slash24::of(*Ipv4Addr::parse("10.1.200.0"));
+  const auto* fallback = state_.route_for(loc_, other, MinuteTime{10});
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(fallback->announced.length, 16);
+}
+
+TEST_F(RoutingStateTest, ChangePathRecordsChurnAndUpdatesRoute) {
+  state_.announce(loc_, prefix_, path3(1, 2, 3));
+  state_.change_path(loc_, prefix_, MinuteTime{500}, path3(1, 7, 3));
+
+  const auto client = Slash24::of(*Ipv4Addr::parse("10.1.4.0"));
+  EXPECT_EQ(state_.route_for(loc_, client, MinuteTime{499})->full_path[1],
+            AsId{2});
+  EXPECT_EQ(state_.route_for(loc_, client, MinuteTime{500})->full_path[1],
+            AsId{7});
+
+  const auto churn = state_.churn_between(MinuteTime{1}, MinuteTime{1000});
+  ASSERT_EQ(churn.size(), 1u);
+  EXPECT_EQ(churn[0].kind, ChurnKind::PathChange);
+  ASSERT_TRUE(churn[0].old_route.has_value());
+  ASSERT_TRUE(churn[0].new_route.has_value());
+  EXPECT_EQ(churn[0].old_route->full_path[1], AsId{2});
+  EXPECT_EQ(churn[0].new_route->full_path[1], AsId{7});
+}
+
+TEST_F(RoutingStateTest, AnnounceEventsAtTimeZero) {
+  state_.announce(loc_, prefix_, path3(1, 2, 3));
+  const auto churn = state_.churn_between(MinuteTime{0}, MinuteTime{1});
+  ASSERT_EQ(churn.size(), 1u);
+  EXPECT_EQ(churn[0].kind, ChurnKind::Announce);
+}
+
+TEST_F(RoutingStateTest, DoubleAnnounceThrows) {
+  state_.announce(loc_, prefix_, path3(1, 2, 3));
+  EXPECT_THROW(state_.announce(loc_, prefix_, path3(1, 2, 3)),
+               std::invalid_argument);
+}
+
+TEST_F(RoutingStateTest, ChangeOnUnannouncedThrows) {
+  EXPECT_THROW(
+      state_.change_path(loc_, prefix_, MinuteTime{5}, path3(1, 2, 3)),
+      std::invalid_argument);
+}
+
+TEST_F(RoutingStateTest, TooShortPathThrows) {
+  EXPECT_THROW(state_.announce(loc_, prefix_, AsPath{AsId{1}}),
+               std::invalid_argument);
+}
+
+TEST_F(RoutingStateTest, PerLocationIsolation) {
+  const CloudLocationId other{CloudLocationId{2}};
+  state_.announce(loc_, prefix_, path3(1, 2, 3));
+  const auto client = Slash24::of(*Ipv4Addr::parse("10.1.4.0"));
+  EXPECT_EQ(state_.route_for(other, client, MinuteTime{10}), nullptr);
+  EXPECT_TRUE(state_.prefixes_at(other).empty());
+  EXPECT_EQ(state_.prefixes_at(loc_).size(), 1u);
+}
+
+}  // namespace
+}  // namespace blameit::net

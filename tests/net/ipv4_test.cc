@@ -1,0 +1,92 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace blameit::net {
+namespace {
+
+TEST(Ipv4Addr, ParseValid) {
+  const auto a = Ipv4Addr::parse("192.168.1.2");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value, 0xC0A80102u);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4Addr, RoundTrip) {
+  for (const char* s : {"0.0.0.0", "255.255.255.255", "10.1.2.3"}) {
+    const auto a = Ipv4Addr::parse(s);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->to_string(), s);
+  }
+}
+
+TEST(Ipv4Addr, FromOctets) {
+  EXPECT_EQ(Ipv4Addr::from_octets(1, 2, 3, 4).to_string(), "1.2.3.4");
+}
+
+TEST(Slash24, OfAddressDropsLastOctet) {
+  const auto a = *Ipv4Addr::parse("10.5.7.200");
+  const auto b = Slash24::of(a);
+  EXPECT_EQ(b.base().to_string(), "10.5.7.0");
+  EXPECT_EQ(b.host(9).to_string(), "10.5.7.9");
+  EXPECT_EQ(b.to_string(), "10.5.7.0/24");
+}
+
+TEST(Slash24, SameBlockForAllHosts) {
+  const auto b = Slash24::of(*Ipv4Addr::parse("10.5.7.0"));
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(Slash24::of(b.host(static_cast<std::uint8_t>(i))), b);
+  }
+}
+
+TEST(Prefix, OfMasksHostBits) {
+  const auto p = Prefix::of(*Ipv4Addr::parse("10.5.7.200"), 22);
+  EXPECT_EQ(p.to_string(), "10.5.4.0/22");
+}
+
+TEST(Prefix, ParseAndContains) {
+  const auto p = Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(*Ipv4Addr::parse("10.255.1.2")));
+  EXPECT_FALSE(p->contains(*Ipv4Addr::parse("11.0.0.0")));
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0/8").has_value());
+}
+
+TEST(Prefix, ContainsSlash24) {
+  const auto p = *Prefix::parse("10.1.4.0/22");
+  EXPECT_TRUE(p.contains(Slash24::of(*Ipv4Addr::parse("10.1.5.0"))));
+  EXPECT_FALSE(p.contains(Slash24::of(*Ipv4Addr::parse("10.1.8.0"))));
+  // A /25 can never cover a whole /24.
+  const auto sub = *Prefix::parse("10.1.5.0/25");
+  EXPECT_FALSE(sub.contains(Slash24::of(*Ipv4Addr::parse("10.1.5.0"))));
+}
+
+TEST(Prefix, Slash24Count) {
+  EXPECT_EQ(Prefix::parse("10.0.0.0/24")->slash24_count(), 1u);
+  EXPECT_EQ(Prefix::parse("10.0.0.0/22")->slash24_count(), 4u);
+  EXPECT_EQ(Prefix::parse("10.0.0.0/16")->slash24_count(), 256u);
+  EXPECT_EQ(Prefix::parse("10.0.0.0/25")->slash24_count(), 1u);
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  const auto p = *Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(p.contains(*Ipv4Addr::parse("255.255.255.255")));
+  EXPECT_TRUE(p.contains(*Ipv4Addr::parse("0.0.0.1")));
+}
+
+}  // namespace
+}  // namespace blameit::net

@@ -1,0 +1,228 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace blameit::net {
+namespace {
+
+// One shared default topology: generation is the expensive part, so the suite
+// builds it once and asserts many invariants against it.
+class TopologyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { topo_ = make_topology().release(); }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  static const Topology* topo_;
+};
+
+const Topology* TopologyTest::topo_ = nullptr;
+
+TEST_F(TopologyTest, ExpectedEntityCounts) {
+  const auto& cfg = topo_->config();
+  EXPECT_EQ(topo_->locations().size(),
+            kAllRegions.size() *
+                static_cast<std::size_t>(cfg.locations_per_region));
+  EXPECT_EQ(topo_->metros().size(),
+            kAllRegions.size() *
+                static_cast<std::size_t>(cfg.metros_per_region));
+  EXPECT_EQ(topo_->blocks().size(),
+            kAllRegions.size() *
+                static_cast<std::size_t>(cfg.eyeballs_per_region) *
+                static_cast<std::size_t>(cfg.blocks_per_eyeball));
+  // 1 cloud + per-region transits + per-region eyeballs.
+  EXPECT_EQ(topo_->registry().size(),
+            1 + kAllRegions.size() *
+                    static_cast<std::size_t>(cfg.transits_per_region +
+                                             cfg.eyeballs_per_region));
+}
+
+TEST_F(TopologyTest, EveryRegionHasLocations) {
+  for (const Region r : kAllRegions) {
+    EXPECT_FALSE(topo_->locations_in(r).empty()) << to_string(r);
+  }
+}
+
+TEST_F(TopologyTest, EveryLocationHasRoutesToAllPrefixes) {
+  std::unordered_set<std::uint64_t> prefixes;
+  for (const auto& block : topo_->blocks()) {
+    prefixes.insert((std::uint64_t{block.announced.network} << 8) |
+                    block.announced.length);
+  }
+  for (const auto& loc : topo_->locations()) {
+    EXPECT_EQ(topo_->routing().prefixes_at(loc.id).size(), prefixes.size())
+        << loc.name;
+  }
+}
+
+TEST_F(TopologyTest, RoutesStartAtCloudAndEndAtClientAs) {
+  const util::MinuteTime t0{0};
+  for (const auto& loc : topo_->locations()) {
+    for (const auto& block : topo_->blocks()) {
+      const auto* route = topo_->routing().route_for(loc.id, block.block, t0);
+      ASSERT_NE(route, nullptr) << loc.name;
+      EXPECT_EQ(route->cloud_as(), topo_->cloud_as());
+      EXPECT_EQ(route->client_as(), block.client_as);
+      EXPECT_FALSE(route->middle_ases().empty());
+    }
+  }
+}
+
+TEST_F(TopologyTest, FirstHopRespectsEgressPeers) {
+  const util::MinuteTime t0{0};
+  for (const auto& loc : topo_->locations()) {
+    for (const auto& block : topo_->blocks()) {
+      const auto* route = topo_->routing().route_for(loc.id, block.block, t0);
+      ASSERT_NE(route, nullptr);
+      const AsId first_hop = route->full_path[1];
+      EXPECT_TRUE(std::find(loc.egress_peers.begin(), loc.egress_peers.end(),
+                            first_hop) != loc.egress_peers.end())
+          << loc.name << " -> " << first_hop.to_string();
+    }
+  }
+}
+
+TEST_F(TopologyTest, AlternatesIncludeInstalledRoute) {
+  const util::MinuteTime t0{0};
+  for (const auto& loc : topo_->locations()) {
+    for (const auto& prefix : topo_->routing().prefixes_at(loc.id)) {
+      const auto& alts = topo_->alternates(loc.id, prefix);
+      ASSERT_FALSE(alts.empty());
+      // The installed route is the first alternate.
+      const auto* route = topo_->routing().route_for(
+          loc.id, Slash24{prefix.network >> 8}, t0);
+      ASSERT_NE(route, nullptr);
+      EXPECT_EQ(alts.front(), route->full_path);
+    }
+  }
+}
+
+TEST_F(TopologyTest, BlocksHaveValidGeography) {
+  for (const auto& block : topo_->blocks()) {
+    const auto& as_info = topo_->registry().at(block.client_as);
+    EXPECT_EQ(as_info.type, AsType::Eyeball);
+    EXPECT_EQ(as_info.region, block.region);
+    EXPECT_TRUE(block.announced.contains(block.block));
+    EXPECT_GT(block.access_latency_ms, 0.0);
+    EXPECT_GT(block.activity_weight, 0.0);
+    EXPECT_GE(block.enterprise_fraction, 0.0);
+    EXPECT_LE(block.enterprise_fraction, 1.0);
+  }
+}
+
+TEST_F(TopologyTest, HomeLocationsAreInRegion) {
+  for (const auto& block : topo_->blocks()) {
+    const auto& homes = topo_->home_locations(block.block);
+    ASSERT_FALSE(homes.empty());
+    for (const auto id : homes) {
+      EXPECT_EQ(topo_->location(id).region, block.region);
+    }
+  }
+}
+
+TEST_F(TopologyTest, PrimariesAreBalancedAcrossRegionEdges) {
+  // Rotation by block index must spread primary locations within each region.
+  std::unordered_map<std::uint16_t, int> primary_counts;
+  for (const auto& block : topo_->blocks()) {
+    ++primary_counts[topo_->home_locations(block.block).front().value];
+  }
+  for (const auto& loc : topo_->locations()) {
+    EXPECT_GT(primary_counts[loc.id.value], 0) << loc.name;
+  }
+}
+
+TEST_F(TopologyTest, FindBlockRoundTrip) {
+  for (const auto& block : topo_->blocks()) {
+    const auto* found = topo_->find_block(block.block);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->client_as, block.client_as);
+  }
+  EXPECT_EQ(topo_->find_block(Slash24{0xFFFFFF}), nullptr);
+}
+
+TEST_F(TopologyTest, MiddleSegmentsShareAcrossClientAses) {
+  // Fig 6 requires "BGP path" grouping to be coarser than per-prefix
+  // grouping: at least one middle segment must serve multiple client ASes.
+  const util::MinuteTime t0{0};
+  std::unordered_map<std::uint32_t, std::set<std::uint32_t>> middle_to_ases;
+  const auto loc = topo_->locations().front().id;
+  for (const auto& block : topo_->blocks()) {
+    const auto* route = topo_->routing().route_for(loc, block.block, t0);
+    ASSERT_NE(route, nullptr);
+    middle_to_ases[route->middle.value].insert(block.client_as.value);
+  }
+  bool some_shared = false;
+  for (const auto& [mid, ases] : middle_to_ases) {
+    if (ases.size() > 1) some_shared = true;
+  }
+  EXPECT_TRUE(some_shared);
+}
+
+TEST_F(TopologyTest, DeterministicForSameSeed) {
+  const auto again = make_topology();
+  ASSERT_EQ(again->blocks().size(), topo_->blocks().size());
+  for (std::size_t i = 0; i < again->blocks().size(); ++i) {
+    EXPECT_EQ(again->blocks()[i].block, topo_->blocks()[i].block);
+    EXPECT_DOUBLE_EQ(again->blocks()[i].access_latency_ms,
+                     topo_->blocks()[i].access_latency_ms);
+  }
+  const util::MinuteTime t0{0};
+  for (const auto& loc : topo_->locations()) {
+    for (const auto& block : topo_->blocks()) {
+      EXPECT_EQ(
+          again->routing().route_for(loc.id, block.block, t0)->full_path,
+          topo_->routing().route_for(loc.id, block.block, t0)->full_path);
+    }
+  }
+}
+
+TEST(TopologyConfigValidation, RejectsBadSizes) {
+  TopologyConfig bad;
+  bad.locations_per_region = 0;
+  EXPECT_THROW(make_topology(bad), std::invalid_argument);
+  bad = {};
+  bad.blocks_per_prefix = 3;  // not a power of two
+  EXPECT_THROW(make_topology(bad), std::invalid_argument);
+  bad = {};
+  bad.transits_per_region = 1;  // need at least gateway + one regional
+  EXPECT_THROW(make_topology(bad), std::invalid_argument);
+}
+
+TEST(TopologyConfigValidation, SmallConfigWorks) {
+  TopologyConfig small;
+  small.locations_per_region = 1;
+  small.transits_per_region = 2;
+  small.eyeballs_per_region = 2;
+  small.metros_per_region = 1;
+  small.blocks_per_eyeball = 2;
+  small.blocks_per_prefix = 2;
+  const auto topo = make_topology(small);
+  EXPECT_EQ(topo->locations().size(), kAllRegions.size());
+  EXPECT_EQ(topo->blocks().size(), kAllRegions.size() * 4);
+}
+
+TEST(TopologyConfigValidation, DifferentSeedsChangeLatencies) {
+  TopologyConfig a;
+  a.seed = 1;
+  TopologyConfig b;
+  b.seed = 2;
+  const auto ta = make_topology(a);
+  const auto tb = make_topology(b);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < ta->blocks().size(); ++i) {
+    if (ta->blocks()[i].access_latency_ms != tb->blocks()[i].access_latency_ms) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace blameit::net

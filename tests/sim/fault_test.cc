@@ -1,0 +1,165 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace blameit::sim {
+namespace {
+
+using util::MinuteTime;
+
+net::RouteEntry make_route(net::MiddleSegmentInterner& interner) {
+  net::AsPath full{net::AsId{1}, net::AsId{10}, net::AsId{20}, net::AsId{30}};
+  return net::RouteEntry{
+      .announced = *net::Prefix::parse("10.0.0.0/22"),
+      .full_path = full,
+      .middle = interner.intern(
+          std::vector<net::AsId>{net::AsId{10}, net::AsId{20}})};
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest() : route_(make_route(interner_)) {}
+
+  [[nodiscard]] PathFaultDelays query(MinuteTime t) const {
+    return injector_.delays_for(net::CloudLocationId{1}, route_,
+                                net::Slash24{0x0A0000}, net::AsId{30}, t);
+  }
+
+  net::MiddleSegmentInterner interner_;
+  net::RouteEntry route_;
+  FaultInjector injector_;
+};
+
+TEST_F(FaultInjectorTest, NoFaultsMeansZeroDelays) {
+  const auto delays = query(MinuteTime{10});
+  EXPECT_DOUBLE_EQ(delays.total(), 0.0);
+  EXPECT_EQ(delays.middle_ms.size(), 2u);
+  EXPECT_FALSE(injector_.any_active(MinuteTime{10}));
+}
+
+TEST_F(FaultInjectorTest, CloudFaultAppliesToLocationOnly) {
+  injector_.add(Fault{.kind = FaultKind::CloudLocation,
+                      .cloud_location = net::CloudLocationId{1},
+                      .added_ms = 40.0,
+                      .start = MinuteTime{100},
+                      .duration_minutes = 60});
+  EXPECT_DOUBLE_EQ(query(MinuteTime{120}).cloud_ms, 40.0);
+  EXPECT_DOUBLE_EQ(query(MinuteTime{99}).cloud_ms, 0.0);
+  EXPECT_DOUBLE_EQ(query(MinuteTime{160}).cloud_ms, 0.0);  // end exclusive
+  // A different location is untouched.
+  const auto other = injector_.delays_for(net::CloudLocationId{2}, route_,
+                                          net::Slash24{0x0A0000},
+                                          net::AsId{30}, MinuteTime{120});
+  EXPECT_DOUBLE_EQ(other.cloud_ms, 0.0);
+}
+
+TEST_F(FaultInjectorTest, MiddleFaultLandsOnRightAs) {
+  injector_.add(Fault{.kind = FaultKind::MiddleAs,
+                      .as = net::AsId{20},
+                      .added_ms = 25.0,
+                      .start = MinuteTime{0},
+                      .duration_minutes = 100});
+  const auto delays = query(MinuteTime{50});
+  EXPECT_DOUBLE_EQ(delays.middle_ms[0], 0.0);
+  EXPECT_DOUBLE_EQ(delays.middle_ms[1], 25.0);
+  EXPECT_DOUBLE_EQ(delays.cloud_ms, 0.0);
+  EXPECT_DOUBLE_EQ(delays.client_ms, 0.0);
+}
+
+TEST_F(FaultInjectorTest, MiddleFaultScopedToLocation) {
+  injector_.add(Fault{.kind = FaultKind::MiddleAs,
+                      .as = net::AsId{10},
+                      .added_ms = 30.0,
+                      .start = MinuteTime{0},
+                      .duration_minutes = 100,
+                      .only_via_location = net::CloudLocationId{7}});
+  // Queried from location 1: the scoped fault must not apply.
+  EXPECT_DOUBLE_EQ(query(MinuteTime{50}).middle_ms[0], 0.0);
+  const auto scoped = injector_.delays_for(net::CloudLocationId{7}, route_,
+                                           net::Slash24{0x0A0000},
+                                           net::AsId{30}, MinuteTime{50});
+  EXPECT_DOUBLE_EQ(scoped.middle_ms[0], 30.0);
+}
+
+TEST_F(FaultInjectorTest, ClientAsFaultHitsClientSegment) {
+  injector_.add(Fault{.kind = FaultKind::ClientAs,
+                      .as = net::AsId{30},
+                      .added_ms = 80.0,
+                      .start = MinuteTime{0},
+                      .duration_minutes = 10});
+  EXPECT_DOUBLE_EQ(query(MinuteTime{5}).client_ms, 80.0);
+  EXPECT_DOUBLE_EQ(query(MinuteTime{15}).client_ms, 0.0);
+}
+
+TEST_F(FaultInjectorTest, ClientBlockFaultScopedToBlock) {
+  injector_.add(Fault{.kind = FaultKind::ClientBlock,
+                      .block = net::Slash24{0x0A0000},
+                      .added_ms = 15.0,
+                      .start = MinuteTime{0},
+                      .duration_minutes = 10});
+  EXPECT_DOUBLE_EQ(query(MinuteTime{5}).client_ms, 15.0);
+  const auto other = injector_.delays_for(net::CloudLocationId{1}, route_,
+                                          net::Slash24{0x0A0001},
+                                          net::AsId{30}, MinuteTime{5});
+  EXPECT_DOUBLE_EQ(other.client_ms, 0.0);
+}
+
+TEST_F(FaultInjectorTest, OverlappingFaultsAccumulate) {
+  injector_.add(Fault{.kind = FaultKind::MiddleAs,
+                      .as = net::AsId{10},
+                      .added_ms = 10.0,
+                      .start = MinuteTime{0},
+                      .duration_minutes = 100});
+  injector_.add(Fault{.kind = FaultKind::MiddleAs,
+                      .as = net::AsId{10},
+                      .added_ms = 5.0,
+                      .start = MinuteTime{40},
+                      .duration_minutes = 10});
+  EXPECT_DOUBLE_EQ(query(MinuteTime{45}).middle_ms[0], 15.0);
+  EXPECT_DOUBLE_EQ(query(MinuteTime{60}).middle_ms[0], 10.0);
+}
+
+TEST_F(FaultInjectorTest, Insight1SingleSegmentDominance) {
+  // Generated faults target exactly one segment (the paper's Insight-1);
+  // a middle fault must leave the other segments' delays untouched.
+  injector_.add(Fault{.kind = FaultKind::MiddleAs,
+                      .as = net::AsId{20},
+                      .added_ms = 100.0,
+                      .start = MinuteTime{0},
+                      .duration_minutes = 50});
+  const auto delays = query(MinuteTime{25});
+  const double middle_total = delays.middle_ms[0] + delays.middle_ms[1];
+  EXPECT_DOUBLE_EQ(delays.total(), middle_total);
+}
+
+TEST_F(FaultInjectorTest, InvalidFaultsRejected) {
+  EXPECT_THROW(injector_.add(Fault{.kind = FaultKind::MiddleAs,
+                                   .as = net::AsId{1},
+                                   .added_ms = -1.0,
+                                   .start = MinuteTime{0},
+                                   .duration_minutes = 10}),
+               std::invalid_argument);
+  EXPECT_THROW(injector_.add(Fault{.kind = FaultKind::MiddleAs,
+                                   .as = net::AsId{1},
+                                   .added_ms = 5.0,
+                                   .start = MinuteTime{0},
+                                   .duration_minutes = 0}),
+               std::invalid_argument);
+}
+
+TEST_F(FaultInjectorTest, AnyActiveWindow) {
+  injector_.add(Fault{.kind = FaultKind::ClientAs,
+                      .as = net::AsId{30},
+                      .added_ms = 1.0,
+                      .start = MinuteTime{50},
+                      .duration_minutes = 10});
+  EXPECT_FALSE(injector_.any_active(MinuteTime{49}));
+  EXPECT_TRUE(injector_.any_active(MinuteTime{50}));
+  EXPECT_TRUE(injector_.any_active(MinuteTime{59}));
+  EXPECT_FALSE(injector_.any_active(MinuteTime{60}));
+}
+
+}  // namespace
+}  // namespace blameit::sim

@@ -1,0 +1,132 @@
+#include "sim/population.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace blameit::sim {
+namespace {
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 1;
+    cfg.eyeballs_per_region = 2;
+    cfg.blocks_per_eyeball = 4;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  static const net::Topology* topo_;
+};
+
+const net::Topology* PopulationTest::topo_ = nullptr;
+
+TEST_F(PopulationTest, DiurnalFactorInUnitRange) {
+  const Population pop{topo_, {}, 1};
+  const auto& block = topo_->blocks().front();
+  for (int minute = 0; minute < util::kMinutesPerDay; minute += 30) {
+    const double f = pop.diurnal_factor(block, util::MinuteTime{minute});
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST_F(PopulationTest, EnterpriseBlocksPeakMidday) {
+  PopulationConfig cfg;
+  const Population pop{topo_, cfg, 1};
+  net::ClientBlock enterprise = topo_->blocks().front();
+  enterprise.enterprise_fraction = 1.0;
+  const double midday =
+      pop.diurnal_factor(enterprise, util::MinuteTime::from_day_hour(0, 13));
+  const double late_evening =
+      pop.diurnal_factor(enterprise, util::MinuteTime::from_day_hour(0, 22));
+  EXPECT_GT(midday, late_evening);
+}
+
+TEST_F(PopulationTest, HomeBlocksPeakEvening) {
+  const Population pop{topo_, {}, 1};
+  net::ClientBlock home = topo_->blocks().front();
+  home.enterprise_fraction = 0.0;
+  const double midday =
+      pop.diurnal_factor(home, util::MinuteTime::from_day_hour(0, 13));
+  const double evening =
+      pop.diurnal_factor(home, util::MinuteTime::from_day_hour(0, 21));
+  EXPECT_GT(evening, midday);
+}
+
+TEST_F(PopulationTest, WeekendDampsEnterprise) {
+  const Population pop{topo_, {}, 1};
+  net::ClientBlock enterprise = topo_->blocks().front();
+  enterprise.enterprise_fraction = 1.0;
+  const double weekday =
+      pop.diurnal_factor(enterprise, util::MinuteTime::from_day_hour(0, 13));
+  const double weekend =
+      pop.diurnal_factor(enterprise, util::MinuteTime::from_day_hour(5, 13));
+  EXPECT_GT(weekday, weekend * 2.0);
+}
+
+TEST_F(PopulationTest, DeviceSplitSumsToTotal) {
+  const Population pop{topo_, {}, 1};
+  const auto& block = topo_->blocks().front();
+  const util::TimeBucket bucket{100};
+  const double total = pop.active_clients(block, bucket);
+  const double mobile =
+      pop.active_clients(block, bucket, DeviceClass::Mobile);
+  const double nonmobile =
+      pop.active_clients(block, bucket, DeviceClass::NonMobile);
+  EXPECT_NEAR(mobile + nonmobile, total, 1e-9);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST_F(PopulationTest, SampleCountsDeterministic) {
+  const Population a{topo_, {}, 9};
+  const Population b{topo_, {}, 9};
+  const auto& block = topo_->blocks().front();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.sample_count(block, util::TimeBucket{i}, DeviceClass::Mobile),
+              b.sample_count(block, util::TimeBucket{i}, DeviceClass::Mobile));
+  }
+}
+
+TEST_F(PopulationTest, SampleCountsScaleWithActivityWeight) {
+  const Population pop{topo_, {}, 1};
+  net::ClientBlock heavy = topo_->blocks().front();
+  net::ClientBlock light = heavy;
+  heavy.activity_weight = 10.0;
+  light.activity_weight = 0.1;
+  const util::TimeBucket noon{
+      util::TimeBucket::of(util::MinuteTime::from_day_hour(0, 12))};
+  EXPECT_GT(pop.sample_count(heavy, noon, DeviceClass::NonMobile),
+            pop.sample_count(light, noon, DeviceClass::NonMobile));
+}
+
+TEST_F(PopulationTest, SecondaryConnectionRateNearConfig) {
+  PopulationConfig cfg;
+  cfg.secondary_connect_probability = 0.3;
+  const Population pop{topo_, cfg, 4};
+  const auto& block = topo_->blocks().front();
+  int connects = 0;
+  constexpr int kBuckets = 2000;
+  for (int i = 0; i < kBuckets; ++i) {
+    connects += pop.connects_to_secondary(block, util::TimeBucket{i});
+  }
+  EXPECT_NEAR(connects / static_cast<double>(kBuckets), 0.3, 0.05);
+}
+
+TEST_F(PopulationTest, InvalidConfigsThrow) {
+  PopulationConfig bad;
+  bad.peak_clients_per_block = 0.0;
+  EXPECT_THROW((Population{topo_, bad, 1}), std::invalid_argument);
+  bad = {};
+  bad.mobile_share = 1.5;
+  EXPECT_THROW((Population{topo_, bad, 1}), std::invalid_argument);
+  EXPECT_THROW((Population{nullptr, {}, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blameit::sim

@@ -1,0 +1,142 @@
+#include "sim/rtt_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace blameit::sim {
+namespace {
+
+class RttModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 1;
+    cfg.eyeballs_per_region = 2;
+    cfg.blocks_per_eyeball = 4;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  [[nodiscard]] const net::ClientBlock& block() const {
+    return topo_->blocks().front();
+  }
+  [[nodiscard]] net::CloudLocationId home() const {
+    return topo_->home_locations(block().block).front();
+  }
+
+  static const net::Topology* topo_;
+  FaultInjector faults_;
+};
+
+const net::Topology* RttModelTest::topo_ = nullptr;
+
+TEST_F(RttModelTest, BreakdownStructureMatchesRoute) {
+  const RttModel model{topo_, &faults_};
+  const auto t = util::MinuteTime::from_day_hour(0, 4);
+  const auto bd = model.breakdown(home(), block(), DeviceClass::NonMobile, t);
+  const auto* route = topo_->routing().route_for(home(), block().block, t);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(bd.middle_ms.size(), route->middle_ases().size());
+  EXPECT_GT(bd.cloud_ms, 0.0);
+  EXPECT_GT(bd.client_ms, 0.0);
+  for (const double m : bd.middle_ms) EXPECT_GT(m, 0.0);
+}
+
+TEST_F(RttModelTest, HealthyRttBelowRegionTarget) {
+  // Without faults, typical (early-morning) RTTs must sit below the region
+  // badness threshold — otherwise everything would always be "bad".
+  const RttModel model{topo_, &faults_};
+  const auto t = util::MinuteTime::from_day_hour(0, 4);
+  for (const auto& cb : topo_->blocks()) {
+    const auto loc = topo_->home_locations(cb.block).front();
+    const auto bd = model.breakdown(loc, cb, DeviceClass::NonMobile, t);
+    const auto& profile = net::region_profile(cb.region);
+    EXPECT_LT(bd.total(), profile.rtt_target_ms)
+        << cb.block.to_string() << " in " << net::to_string(cb.region);
+  }
+}
+
+TEST_F(RttModelTest, MobileAddsAccessLatency) {
+  const RttModel model{topo_, &faults_};
+  const auto t = util::MinuteTime::from_day_hour(0, 4);
+  const auto nm = model.breakdown(home(), block(), DeviceClass::NonMobile, t);
+  const auto mo = model.breakdown(home(), block(), DeviceClass::Mobile, t);
+  EXPECT_GT(mo.client_ms, nm.client_ms + 10.0);
+  EXPECT_DOUBLE_EQ(mo.cloud_ms, nm.cloud_ms);
+}
+
+TEST_F(RttModelTest, FaultShowsUpInRightSegment) {
+  FaultInjector faults;
+  const auto t = util::MinuteTime::from_day_hour(0, 4);
+  const auto* route = topo_->routing().route_for(home(), block().block, t);
+  ASSERT_NE(route, nullptr);
+  const auto victim = route->middle_ases()[0];
+  faults.add(Fault{.kind = FaultKind::MiddleAs,
+                   .as = victim,
+                   .added_ms = 33.0,
+                   .start = util::MinuteTime{0},
+                   .duration_minutes = util::kMinutesPerDay});
+  const RttModel faulty{topo_, &faults};
+  const RttModel clean{topo_, &faults_};
+  const auto bd_faulty =
+      faulty.breakdown(home(), block(), DeviceClass::NonMobile, t);
+  const auto bd_clean =
+      clean.breakdown(home(), block(), DeviceClass::NonMobile, t);
+  EXPECT_NEAR(bd_faulty.middle_ms[0] - bd_clean.middle_ms[0], 33.0, 1e-9);
+  EXPECT_DOUBLE_EQ(bd_faulty.cloud_ms, bd_clean.cloud_ms);
+  EXPECT_DOUBLE_EQ(bd_faulty.client_ms, bd_clean.client_ms);
+}
+
+TEST_F(RttModelTest, EveningCongestionRaisesClientSegment) {
+  const RttModel model{topo_, &faults_};
+  net::ClientBlock home_block = block();
+  home_block.enterprise_fraction = 0.0;  // pure home ISP
+  const auto morning = model.breakdown(
+      home(), home_block, DeviceClass::NonMobile,
+      util::MinuteTime::from_day_hour(0, 4));
+  const auto evening = model.breakdown(
+      home(), home_block, DeviceClass::NonMobile,
+      util::MinuteTime::from_day_hour(0, 21));
+  // Default amplitude is modest (10% on a pure home block at peak).
+  EXPECT_GT(evening.client_ms, morning.client_ms * 1.05);
+}
+
+TEST_F(RttModelTest, SamplesCenterOnBreakdownTotal) {
+  const RttModel model{topo_, &faults_};
+  const auto t = util::MinuteTime::from_day_hour(0, 4);
+  const auto bd = model.breakdown(home(), block(), DeviceClass::NonMobile, t);
+  util::Rng rng{17};
+  const double mean = model.sample_mean(bd, 20000, rng);
+  // Lognormal jitter is mean-preserving only approximately; outliers add a
+  // small upward bias. Allow a few percent.
+  EXPECT_NEAR(mean, bd.total(), bd.total() * 0.06);
+}
+
+TEST_F(RttModelTest, SampleMeanOfZeroCountIsZero) {
+  const RttModel model{topo_, &faults_};
+  util::Rng rng{17};
+  const auto bd = model.breakdown(home(), block(), DeviceClass::NonMobile,
+                                  util::MinuteTime{0});
+  EXPECT_DOUBLE_EQ(model.sample_mean(bd, 0, rng), 0.0);
+}
+
+TEST_F(RttModelTest, TotalsAreAdditive) {
+  const RttModel model{topo_, &faults_};
+  const auto bd = model.breakdown(home(), block(), DeviceClass::NonMobile,
+                                  util::MinuteTime{0});
+  double manual = bd.cloud_ms + bd.client_ms;
+  for (const double m : bd.middle_ms) manual += m;
+  EXPECT_DOUBLE_EQ(bd.total(), manual);
+}
+
+TEST_F(RttModelTest, NullDependenciesThrow) {
+  EXPECT_THROW((RttModel{nullptr, &faults_}), std::invalid_argument);
+  EXPECT_THROW((RttModel{topo_, nullptr}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blameit::sim

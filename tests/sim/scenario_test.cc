@@ -1,0 +1,187 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace blameit::sim {
+namespace {
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { topo_ = net::make_topology().release(); }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  static const net::Topology* topo_;
+};
+
+const net::Topology* ScenarioTest::topo_ = nullptr;
+
+TEST_F(ScenarioTest, CaseStudiesMatchThePaper) {
+  const auto incidents =
+      make_case_studies(*topo_, util::MinuteTime::from_days(1));
+  ASSERT_EQ(incidents.size(), 5u);
+
+  EXPECT_EQ(incidents[0].name, "brazil-maintenance");
+  EXPECT_EQ(incidents[0].kind, FaultKind::CloudLocation);
+  EXPECT_EQ(incidents[0].culprit_as, topo_->cloud_as());
+  EXPECT_EQ(topo_->location(incidents[0].cloud_location).region,
+            net::Region::Brazil);
+
+  EXPECT_EQ(incidents[1].name, "us-peering-fault");
+  EXPECT_EQ(incidents[1].kind, FaultKind::MiddleAs);
+  EXPECT_EQ(topo_->registry().at(incidents[1].target_as).type,
+            net::AsType::Transit);
+
+  EXPECT_EQ(incidents[2].name, "australia-overload");
+  EXPECT_EQ(incidents[2].kind, FaultKind::CloudLocation);
+
+  EXPECT_EQ(incidents[3].name, "east-asia-traffic-shift");
+  EXPECT_TRUE(incidents[3].via_override);
+  EXPECT_FALSE(incidents[3].culprit_as.has_value());
+  EXPECT_EQ(topo_->location(incidents[3].override_to).region,
+            net::Region::UnitedStates);
+
+  EXPECT_EQ(incidents[4].name, "italy-client-isp");
+  EXPECT_EQ(incidents[4].kind, FaultKind::ClientAs);
+  EXPECT_EQ(topo_->registry().at(incidents[4].target_as).type,
+            net::AsType::Eyeball);
+
+  // Sequential, non-overlapping schedule.
+  for (std::size_t i = 1; i < incidents.size(); ++i) {
+    EXPECT_GE(incidents[i].start, incidents[i - 1].end());
+  }
+}
+
+TEST_F(ScenarioTest, ApplyIncidentInstallsFault) {
+  const auto incidents =
+      make_case_studies(*topo_, util::MinuteTime::from_days(1));
+  FaultInjector injector;
+  TelemetryGenerator generator{topo_, &injector};
+  apply_incidents(incidents, injector, &generator);
+  // 4 fault-based incidents installed; the override one went to the
+  // generator.
+  EXPECT_EQ(injector.faults().size(), 4u);
+  const auto mid = incidents[1].start.plus_minutes(30);
+  EXPECT_TRUE(injector.any_active(mid));
+}
+
+TEST_F(ScenarioTest, OverrideIncidentNeedsGenerator) {
+  const auto incidents =
+      make_case_studies(*topo_, util::MinuteTime::from_days(1));
+  FaultInjector injector;
+  EXPECT_THROW(apply_incident(incidents[3], injector, nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(ScenarioTest, SuiteHasRequestedCountAndMix) {
+  IncidentSuiteConfig cfg;
+  cfg.count = 88;
+  cfg.first_start = util::MinuteTime::from_days(1);
+  const auto suite = make_incident_suite(*topo_, cfg);
+  ASSERT_EQ(suite.size(), 88u);
+
+  std::map<FaultKind, int> mix;
+  for (const auto& inc : suite) ++mix[inc.kind];
+  // All four categories present, middle the most common (cfg weights).
+  EXPECT_GT(mix[FaultKind::CloudLocation], 0);
+  EXPECT_GT(mix[FaultKind::MiddleAs], mix[FaultKind::CloudLocation]);
+  EXPECT_GT(mix[FaultKind::ClientAs], 0);
+  EXPECT_GT(mix[FaultKind::ClientBlock], 0);
+}
+
+TEST_F(ScenarioTest, SuiteIncidentsNeverOverlapWithinRegion) {
+  IncidentSuiteConfig cfg;
+  cfg.count = 60;
+  cfg.first_start = util::MinuteTime::from_days(1);
+  const auto suite = make_incident_suite(*topo_, cfg);
+  std::map<net::Region, util::MinuteTime> last_end;
+  for (const auto& inc : suite) {
+    const auto it = last_end.find(inc.region);
+    if (it != last_end.end()) {
+      EXPECT_GE(inc.start, it->second) << inc.name;
+    }
+    const auto end = inc.end();
+    if (!last_end.contains(inc.region) || end > last_end[inc.region]) {
+      last_end[inc.region] = end;
+    }
+  }
+}
+
+TEST_F(ScenarioTest, SuiteGroundTruthConsistent) {
+  IncidentSuiteConfig cfg;
+  cfg.count = 40;
+  cfg.first_start = util::MinuteTime::from_days(1);
+  const auto suite = make_incident_suite(*topo_, cfg);
+  for (const auto& inc : suite) {
+    ASSERT_TRUE(inc.culprit_as.has_value()) << inc.name;
+    switch (inc.kind) {
+      case FaultKind::CloudLocation:
+        EXPECT_EQ(*inc.culprit_as, topo_->cloud_as());
+        EXPECT_EQ(topo_->location(inc.cloud_location).region, inc.region);
+        break;
+      case FaultKind::MiddleAs:
+        EXPECT_EQ(topo_->registry().at(*inc.culprit_as).type,
+                  net::AsType::Transit);
+        break;
+      case FaultKind::ClientAs:
+        EXPECT_EQ(topo_->registry().at(*inc.culprit_as).type,
+                  net::AsType::Eyeball);
+        break;
+      case FaultKind::ClientBlock: {
+        const auto* block = topo_->find_block(inc.block);
+        ASSERT_NE(block, nullptr);
+        EXPECT_EQ(*inc.culprit_as, block->client_as);
+        break;
+      }
+    }
+    EXPECT_GE(inc.duration_minutes, cfg.min_duration_minutes);
+    EXPECT_LE(inc.duration_minutes, cfg.max_duration_minutes);
+    // Magnitude clears the region target so badness triggers.
+    EXPECT_GT(inc.added_ms,
+              net::region_profile(inc.region).rtt_target_ms * 0.8);
+  }
+}
+
+TEST_F(ScenarioTest, SuiteDeterministicPerSeed) {
+  IncidentSuiteConfig cfg;
+  cfg.count = 20;
+  cfg.first_start = util::MinuteTime::from_days(1);
+  const auto a = make_incident_suite(*topo_, cfg);
+  const auto b = make_incident_suite(*topo_, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_DOUBLE_EQ(a[i].added_ms, b[i].added_ms);
+  }
+  cfg.seed = 777;
+  const auto c = make_incident_suite(*topo_, cfg);
+  bool different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != c[i].kind || a[i].added_ms != c[i].added_ms) {
+      different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST_F(ScenarioTest, SuiteConfigValidation) {
+  IncidentSuiteConfig bad;
+  bad.count = 0;
+  EXPECT_THROW((void)make_incident_suite(*topo_, bad), std::invalid_argument);
+  bad = {};
+  bad.min_duration_minutes = 1;  // below bucket size
+  EXPECT_THROW((void)make_incident_suite(*topo_, bad), std::invalid_argument);
+  bad = {};
+  bad.cloud_weight = bad.middle_weight = bad.client_as_weight =
+      bad.client_block_weight = 0.0;
+  EXPECT_THROW((void)make_incident_suite(*topo_, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blameit::sim

@@ -1,0 +1,206 @@
+#include "sim/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "analysis/quartet.h"
+
+namespace blameit::sim {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 2;
+    cfg.eyeballs_per_region = 2;
+    cfg.blocks_per_eyeball = 4;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  static util::TimeBucket noon_bucket() {
+    return util::TimeBucket::of(util::MinuteTime::from_day_hour(0, 12));
+  }
+
+  static const net::Topology* topo_;
+  FaultInjector faults_;
+};
+
+const net::Topology* TelemetryTest::topo_ = nullptr;
+
+TEST_F(TelemetryTest, AggregatesCoverActiveBlocks) {
+  const TelemetryGenerator gen{topo_, &faults_};
+  std::unordered_map<std::uint32_t, int> per_block;
+  gen.generate_aggregates(noon_bucket(),
+                          [&](const analysis::QuartetKey& key, int n,
+                              double mean) {
+                            EXPECT_GT(n, 0);
+                            EXPECT_GT(mean, 0.0);
+                            ++per_block[key.block.block];
+                          });
+  // At midday nearly every block should produce at least one quartet.
+  EXPECT_GT(per_block.size(), topo_->blocks().size() * 3 / 4);
+}
+
+TEST_F(TelemetryTest, AggregatesDeterministic) {
+  const TelemetryGenerator a{topo_, &faults_};
+  const TelemetryGenerator b{topo_, &faults_};
+  std::vector<std::tuple<std::uint32_t, int, double>> ra;
+  std::vector<std::tuple<std::uint32_t, int, double>> rb;
+  a.generate_aggregates(noon_bucket(),
+                        [&](const analysis::QuartetKey& k, int n, double m) {
+                          ra.emplace_back(k.block.block, n, m);
+                        });
+  b.generate_aggregates(noon_bucket(),
+                        [&](const analysis::QuartetKey& k, int n, double m) {
+                          rb.emplace_back(k.block.block, n, m);
+                        });
+  EXPECT_EQ(ra, rb);
+}
+
+TEST_F(TelemetryTest, RecordsMatchAggregateCounts) {
+  const TelemetryGenerator gen{topo_, &faults_};
+  const auto bucket = noon_bucket();
+  std::unordered_map<std::uint64_t, int> record_counts;
+  gen.generate_records(bucket, [&](const analysis::RttRecord& r) {
+    EXPECT_GE(r.time, bucket.start());
+    EXPECT_LT(r.time.minutes, bucket.start().minutes + util::kBucketMinutes);
+    const auto key =
+        (std::uint64_t{net::Slash24::of(r.client_ip).block} << 24) |
+        (std::uint64_t{r.location.value} << 8) |
+        static_cast<std::uint64_t>(r.device);
+    ++record_counts[key];
+  });
+  std::unordered_map<std::uint64_t, int> agg_counts;
+  gen.generate_aggregates(bucket, [&](const analysis::QuartetKey& k, int n,
+                                      double) {
+    const auto key = (std::uint64_t{k.block.block} << 24) |
+                     (std::uint64_t{k.location.value} << 8) |
+                     static_cast<std::uint64_t>(k.device);
+    agg_counts[key] = n;
+  });
+  EXPECT_EQ(record_counts.size(), agg_counts.size());
+  for (const auto& [key, n] : agg_counts) {
+    EXPECT_EQ(record_counts[key], n);
+  }
+}
+
+TEST_F(TelemetryTest, RecordsFeedQuartetBuilderConsistently) {
+  // Record path -> QuartetBuilder must give means close to the aggregate
+  // path (same model, different noise draws).
+  const TelemetryGenerator gen{topo_, &faults_};
+  const auto bucket = noon_bucket();
+  analysis::QuartetBuilder builder{topo_, analysis::BadnessThresholds{}};
+  gen.generate_records(bucket, [&](const analysis::RttRecord& r) {
+    builder.add(r);
+  });
+  std::unordered_map<std::uint64_t, double> agg_means;
+  gen.generate_aggregates(bucket, [&](const analysis::QuartetKey& k, int n,
+                                      double mean) {
+    if (n >= 40) {  // high-sample quartets: outlier draws wash out
+      agg_means[analysis::QuartetKeyHash{}(k)] = mean;
+    }
+  });
+  const auto quartets = builder.take_bucket(bucket);
+  ASSERT_FALSE(quartets.empty());
+  int compared = 0;
+  for (const auto& q : quartets) {
+    const auto it = agg_means.find(analysis::QuartetKeyHash{}(q.key));
+    if (it == agg_means.end()) continue;
+    // The two paths draw independent noise (including rare 2-5x outliers),
+    // so means of ~40 samples can differ by tens of percent.
+    EXPECT_NEAR(q.mean_rtt_ms, it->second,
+                std::max(q.mean_rtt_ms * 0.4, 15.0));
+    ++compared;
+  }
+  EXPECT_GT(compared, 3);
+}
+
+TEST_F(TelemetryTest, OverrideRedirectsRegion) {
+  TelemetryGenerator gen{topo_, &faults_};
+  const auto us_loc = topo_->locations_in(net::Region::UnitedStates).front();
+  const auto bucket = noon_bucket();
+  gen.add_override(TrafficOverride{.start = bucket.start(),
+                                   .duration_minutes = 60,
+                                   .client_region = net::Region::EastAsia,
+                                   .to_location = us_loc});
+  for (const auto& block : topo_->blocks()) {
+    const auto locs = gen.connected_locations(block, bucket);
+    if (block.region == net::Region::EastAsia) {
+      ASSERT_EQ(locs.size(), 1u);
+      EXPECT_EQ(locs[0], us_loc);
+    } else {
+      EXPECT_EQ(topo_->location(locs[0]).region, block.region);
+    }
+  }
+  // Outside the override window, East Asia goes home again.
+  const auto later =
+      util::TimeBucket::of(util::MinuteTime::from_day_hour(0, 14));
+  for (const auto& block : topo_->blocks()) {
+    if (block.region != net::Region::EastAsia) continue;
+    EXPECT_EQ(topo_->location(gen.connected_locations(block, later)[0]).region,
+              net::Region::EastAsia);
+  }
+}
+
+TEST_F(TelemetryTest, OverrideInflatesRtt) {
+  TelemetryGenerator gen{topo_, &faults_};
+  const auto us_loc = topo_->locations_in(net::Region::UnitedStates).front();
+  const auto bucket = noon_bucket();
+  gen.add_override(TrafficOverride{.start = bucket.start(),
+                                   .duration_minutes = 60,
+                                   .client_region = net::Region::EastAsia,
+                                   .to_location = us_loc});
+  const TelemetryGenerator plain{topo_, &faults_};
+  double shifted_sum = 0.0;
+  int shifted_n = 0;
+  double home_sum = 0.0;
+  int home_n = 0;
+  auto collect = [&](const TelemetryGenerator& g, double& sum, int& n) {
+    g.generate_aggregates(bucket, [&](const analysis::QuartetKey& k, int cnt,
+                                      double mean) {
+      const auto* cb = topo_->find_block(k.block);
+      if (cb && cb->region == net::Region::EastAsia &&
+          k.device == net::DeviceClass::NonMobile) {
+        sum += mean * cnt;
+        n += cnt;
+      }
+    });
+  };
+  collect(gen, shifted_sum, shifted_n);
+  collect(plain, home_sum, home_n);
+  ASSERT_GT(shifted_n, 0);
+  ASSERT_GT(home_n, 0);
+  // Transpacific detour must add tens of milliseconds.
+  EXPECT_GT(shifted_sum / shifted_n, home_sum / home_n + 30.0);
+}
+
+TEST_F(TelemetryTest, NightVolumeLowerThanNoon) {
+  const TelemetryGenerator gen{topo_, &faults_};
+  auto volume = [&](util::TimeBucket b) {
+    long total = 0;
+    gen.generate_aggregates(
+        b, [&](const analysis::QuartetKey&, int n, double) { total += n; });
+    return total;
+  };
+  const auto night =
+      util::TimeBucket::of(util::MinuteTime::from_day_hour(0, 4));
+  EXPECT_GT(volume(noon_bucket()), volume(night));
+}
+
+TEST_F(TelemetryTest, InvalidConfigThrows) {
+  TelemetryConfig bad;
+  bad.secondary_volume_fraction = 2.0;
+  EXPECT_THROW((TelemetryGenerator{topo_, &faults_, bad}),
+               std::invalid_argument);
+  TelemetryGenerator gen{topo_, &faults_};
+  EXPECT_THROW(gen.add_override(TrafficOverride{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blameit::sim

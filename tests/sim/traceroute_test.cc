@@ -1,0 +1,170 @@
+#include "sim/traceroute.h"
+
+#include <gtest/gtest.h>
+
+namespace blameit::sim {
+namespace {
+
+class TracerouteTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 1;
+    cfg.eyeballs_per_region = 2;
+    cfg.blocks_per_eyeball = 4;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  TracerouteTest() : model_(topo_, &faults_) {}
+
+  [[nodiscard]] const net::ClientBlock& block() const {
+    return topo_->blocks().front();
+  }
+  [[nodiscard]] net::CloudLocationId home() const {
+    return topo_->home_locations(block().block).front();
+  }
+
+  static const net::Topology* topo_;
+  FaultInjector faults_;
+  RttModel model_;
+};
+
+const net::Topology* TracerouteTest::topo_ = nullptr;
+
+TEST_F(TracerouteTest, HopsFollowRoute) {
+  TracerouteEngine engine{topo_, &model_};
+  const auto t = util::MinuteTime::from_day_hour(0, 4);
+  const auto result = engine.trace(home(), block().block, t);
+  ASSERT_TRUE(result.reached);
+  const auto* route = topo_->routing().route_for(home(), block().block, t);
+  ASSERT_NE(route, nullptr);
+  ASSERT_EQ(result.hops.size(), route->middle_ases().size() + 1);
+  for (std::size_t i = 0; i < route->middle_ases().size(); ++i) {
+    EXPECT_EQ(result.hops[i].as, route->middle_ases()[i]);
+  }
+  EXPECT_EQ(result.hops.back().as, route->client_as());
+}
+
+TEST_F(TracerouteTest, CumulativeRttsMonotone) {
+  TracerouteEngine engine{topo_, &model_};
+  const auto result = engine.trace(home(), block().block,
+                                   util::MinuteTime::from_day_hour(0, 4));
+  double prev = result.cloud_ms;
+  EXPECT_GT(prev, 0.0);
+  for (const auto& hop : result.hops) {
+    EXPECT_GT(hop.cumulative_rtt_ms, prev);
+    prev = hop.cumulative_rtt_ms;
+  }
+}
+
+TEST_F(TracerouteTest, FinalHopMatchesPassiveModel) {
+  TracerouteEngine engine{topo_, &model_};
+  const auto t = util::MinuteTime::from_day_hour(0, 4);
+  const auto result = engine.trace(home(), block().block, t);
+  const auto bd = model_.breakdown(home(), block(), DeviceClass::NonMobile, t);
+  EXPECT_NEAR(result.hops.back().cumulative_rtt_ms, bd.total(),
+              bd.total() * 0.2);
+}
+
+TEST_F(TracerouteTest, ContributionsSumToTotal) {
+  TracerouteEngine engine{topo_, &model_};
+  const auto result = engine.trace(home(), block().block,
+                                   util::MinuteTime::from_day_hour(0, 4));
+  const auto contribs = result.contributions();
+  double sum = result.cloud_ms;
+  for (const auto& [as, ms] : contribs) {
+    EXPECT_GE(ms, 0.0);
+    sum += ms;
+  }
+  EXPECT_NEAR(sum, result.hops.back().cumulative_rtt_ms, 1e-9);
+}
+
+TEST_F(TracerouteTest, FaultVisibleInCulpritContribution) {
+  // The §5.2 worked example: after a middle fault, that AS's contribution
+  // jumps while others stay put.
+  const auto t = util::MinuteTime::from_day_hour(0, 4);
+  const auto* route = topo_->routing().route_for(home(), block().block, t);
+  ASSERT_NE(route, nullptr);
+  ASSERT_GE(route->middle_ases().size(), 1u);
+  const auto victim = route->middle_ases()[0];
+
+  FaultInjector faults;
+  faults.add(Fault{.kind = FaultKind::MiddleAs,
+                   .as = victim,
+                   .added_ms = 54.0,
+                   .start = t,
+                   .duration_minutes = 60});
+  const RttModel faulty_model{topo_, &faults};
+  TracerouteEngine baseline_engine{topo_, &model_};
+  TracerouteEngine incident_engine{topo_, &faulty_model};
+
+  const auto before = baseline_engine.trace(home(), block().block,
+                                            t.plus_minutes(-60));
+  const auto during = incident_engine.trace(home(), block().block,
+                                            t.plus_minutes(10));
+  const auto cb = before.contributions();
+  const auto cd = during.contributions();
+  ASSERT_EQ(cb.size(), cd.size());
+  // The victim's delta dominates everything else.
+  double victim_delta = 0.0;
+  double max_other_delta = 0.0;
+  for (std::size_t i = 0; i < cb.size(); ++i) {
+    const double delta = cd[i].second - cb[i].second;
+    if (cb[i].first == victim) {
+      victim_delta = delta;
+    } else {
+      max_other_delta = std::max(max_other_delta, std::abs(delta));
+    }
+  }
+  EXPECT_GT(victim_delta, 40.0);
+  EXPECT_LT(max_other_delta, 10.0);
+}
+
+TEST_F(TracerouteTest, UnknownTargetUnreached) {
+  TracerouteEngine engine{topo_, &model_};
+  const auto result =
+      engine.trace(home(), net::Slash24{0xFFFFFF}, util::MinuteTime{0});
+  EXPECT_FALSE(result.reached);
+  EXPECT_TRUE(result.hops.empty());
+  // Probe still counted (the packet was sent).
+  EXPECT_EQ(engine.accountant().total(), 1u);
+}
+
+TEST_F(TracerouteTest, AccountantTracksLocationAndDay) {
+  TracerouteEngine engine{topo_, &model_};
+  const auto loc = home();
+  (void)engine.trace(loc, block().block, util::MinuteTime::from_days(0));
+  (void)engine.trace(loc, block().block, util::MinuteTime::from_days(1));
+  (void)engine.trace(loc, block().block, util::MinuteTime::from_days(1));
+  EXPECT_EQ(engine.accountant().total(), 3u);
+  EXPECT_EQ(engine.accountant().on_day(0), 1u);
+  EXPECT_EQ(engine.accountant().on_day(1), 2u);
+  EXPECT_EQ(engine.accountant().on_day(2), 0u);
+  EXPECT_EQ(engine.accountant().at_location(loc), 3u);
+  engine.accountant().reset();
+  EXPECT_EQ(engine.accountant().total(), 0u);
+}
+
+TEST_F(TracerouteTest, DeterministicPerProbe) {
+  TracerouteEngine a{topo_, &model_};
+  TracerouteEngine b{topo_, &model_};
+  const auto ra = a.trace(home(), block().block, util::MinuteTime{500});
+  const auto rb = b.trace(home(), block().block, util::MinuteTime{500});
+  ASSERT_EQ(ra.hops.size(), rb.hops.size());
+  for (std::size_t i = 0; i < ra.hops.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.hops[i].cumulative_rtt_ms,
+                     rb.hops[i].cumulative_rtt_ms);
+  }
+}
+
+TEST_F(TracerouteTest, NullDependenciesThrow) {
+  EXPECT_THROW((TracerouteEngine{nullptr, &model_}), std::invalid_argument);
+  EXPECT_THROW((TracerouteEngine{topo_, nullptr}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blameit::sim

@@ -1,0 +1,79 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace blameit::util {
+namespace {
+
+TEST(Histogram, BinEdges) {
+  Histogram h{0.0, 10.0, 5};
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(1.0);
+  h.add(3.0);
+  h.add(-5.0);   // clamps into first bin
+  h.add(99.0);   // clamps into last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(0.1, 3.0);
+  h.add(0.9, 1.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 1.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+  EXPECT_THROW((Histogram{1.0, 1.0, 4}), std::invalid_argument);
+  EXPECT_THROW((Histogram{2.0, 1.0, 4}), std::invalid_argument);
+}
+
+TEST(CdfSeries, EndpointsAndMonotonicity) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto series = cdf_series(xs, 5);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(series.front().fraction, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().x, 5.0);
+  EXPECT_DOUBLE_EQ(series.back().fraction, 1.0);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].x, series[i - 1].x);
+    EXPECT_GT(series[i].fraction, series[i - 1].fraction);
+  }
+}
+
+TEST(CdfSeries, EmptyInput) {
+  EXPECT_TRUE(cdf_series(std::vector<double>{}, 10).empty());
+}
+
+TEST(Sparkline, RendersOneGlyphPerValue) {
+  const std::vector<double> xs{0.0, 0.5, 1.0};
+  const auto line = sparkline(xs);
+  EXPECT_FALSE(line.empty());
+  // Each glyph is a 3-byte UTF-8 block character.
+  EXPECT_EQ(line.size(), 9u);
+}
+
+TEST(Sparkline, ConstantSeriesDoesNotCrash) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  EXPECT_EQ(sparkline(xs).size(), 9u);
+}
+
+}  // namespace
+}  // namespace blameit::util

@@ -1,0 +1,180 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace blameit::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{11};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng{11};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng rng{13};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{17};
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.15);
+}
+
+TEST(Rng, ParetoIsLongTailedAboveScale) {
+  Rng rng{19};
+  int above_10x = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.pareto(1.0, 1.2);
+    EXPECT_GE(x, 1.0);
+    above_10x += x > 10.0;
+  }
+  // P(X > 10) = 10^-1.2 ≈ 6.3% for Pareto(1, 1.2).
+  EXPECT_GT(above_10x, kN / 40);
+  EXPECT_LT(above_10x, kN / 8);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng{23};
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.zipf(100, 1.0)];
+  EXPECT_GT(counts[0], counts[50] * 3);
+  EXPECT_GT(counts[0], 0);
+  // All draws must land in range (guaranteed by counts indexing not crashing).
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{29};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent{31};
+  Rng child1 = parent.fork(7);
+  (void)parent();  // advancing the parent must not change future forks' seeds
+  Rng child2 = Rng{31}.fork(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(Rng, ForksWithDifferentKeysDiffer) {
+  Rng parent{31};
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, StringForkMatchesHash) {
+  Rng parent{37};
+  Rng a = parent.fork("telemetry");
+  Rng b = parent.fork(fnv1a("telemetry"));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Hashing, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+}
+
+TEST(Hashing, HashCombineSpreads) {
+  const auto h1 = hash_combine(1, 1);
+  const auto h2 = hash_combine(1, 2);
+  const auto h3 = hash_combine(2, 1);
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, h3);
+  EXPECT_NE(h2, h3);
+}
+
+// Property sweep: uniform_int stays in bounds for varied ranges.
+class UniformIntRange
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(UniformIntRange, StaysInBounds) {
+  const auto [lo, hi] = GetParam();
+  Rng rng{99};
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformIntRange,
+    ::testing::Values(std::pair<std::int64_t, std::int64_t>{0, 1},
+                      std::pair<std::int64_t, std::int64_t>{-1000, 1000},
+                      std::pair<std::int64_t, std::int64_t>{0, 0},
+                      std::pair<std::int64_t, std::int64_t>{1, 1000000000},
+                      std::pair<std::int64_t, std::int64_t>{-5, -5}));
+
+}  // namespace
+}  // namespace blameit::util

@@ -1,0 +1,161 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace blameit::util {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng{5};
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 7.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Quantiles, MedianOddEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Quantiles, EdgesAndInterpolation) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.125), 15.0);  // interpolated
+}
+
+TEST(Quantiles, EmptySampleYieldsZero) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(EmpiricalCdf, StepFunction) {
+  EmpiricalCdf cdf{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.survival(2.5), 0.5);
+}
+
+TEST(EmpiricalCdf, InverseRoundTrip) {
+  EmpiricalCdf cdf{{5.0, 10.0, 15.0, 20.0, 25.0}};
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 25.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.5), 15.0);
+}
+
+TEST(EmpiricalCdf, EmptyIsSafe) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+}
+
+TEST(KsTest, SameDistributionHighPValue) {
+  Rng rng{41};
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.0, 1.0));
+  }
+  const auto result = ks_test(a, b);
+  EXPECT_TRUE(result.same_distribution());
+  EXPECT_LT(result.statistic, 0.15);
+}
+
+TEST(KsTest, ShiftedDistributionRejected) {
+  Rng rng{43};
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(1.5, 1.0));
+  }
+  const auto result = ks_test(a, b);
+  EXPECT_FALSE(result.same_distribution());
+  EXPECT_GT(result.statistic, 0.4);
+}
+
+TEST(KsTest, IdenticalSamplesStatZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const auto result = ks_test(a, a);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(KsTest, ThrowsOnEmpty) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW((void)ks_test(a, empty), std::invalid_argument);
+  EXPECT_THROW((void)ks_test(empty, a), std::invalid_argument);
+}
+
+// Property: quantiles are monotone in q for arbitrary samples.
+class QuantileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotone, MonotoneInQ) {
+  Rng rng{GetParam()};
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.lognormal(2.0, 1.0));
+  double prev = quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(xs, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace blameit::util

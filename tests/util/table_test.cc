@@ -1,0 +1,53 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace blameit::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t{{"name", "value"}};
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "23"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 23    |"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(TextTable, CsvEscapesSpecialCells) {
+  TextTable t{{"k", "v"}};
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "k,v\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Formatting, FloatsAndPercents) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt_pct(0.1234, 1), "12.3%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Formatting, CountsGroupDigits) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(123456789012ull), "123,456,789,012");
+}
+
+}  // namespace
+}  // namespace blameit::util

@@ -1,0 +1,74 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace blameit::util {
+namespace {
+
+TEST(MinuteTime, CalendarDecomposition) {
+  const auto t = MinuteTime::from_day_hour(3, 14, 25);
+  EXPECT_EQ(t.day(), 3);
+  EXPECT_EQ(t.hour_of_day(), 14);
+  EXPECT_EQ(t.minute_of_day(), 14 * 60 + 25);
+}
+
+TEST(MinuteTime, EpochIsMonday) {
+  EXPECT_EQ(MinuteTime{0}.day_of_week(), 0);
+  EXPECT_FALSE(MinuteTime{0}.is_weekend());
+}
+
+TEST(MinuteTime, WeekendDetection) {
+  EXPECT_TRUE(MinuteTime::from_days(5).is_weekend());   // Saturday
+  EXPECT_TRUE(MinuteTime::from_days(6).is_weekend());   // Sunday
+  EXPECT_FALSE(MinuteTime::from_days(7).is_weekend());  // next Monday
+}
+
+TEST(MinuteTime, Arithmetic) {
+  const auto t = MinuteTime::from_day_hour(1, 23, 50);
+  EXPECT_EQ(t.plus_minutes(15).day(), 2);
+  EXPECT_EQ(t.plus_minutes(15).hour_of_day(), 0);
+  EXPECT_EQ(t.plus_days(2).day(), 3);
+}
+
+TEST(MinuteTime, Ordering) {
+  EXPECT_LT(MinuteTime{5}, MinuteTime{6});
+  EXPECT_EQ(MinuteTime{5}, MinuteTime{5});
+}
+
+TEST(TimeBucket, QuantizesToFiveMinutes) {
+  EXPECT_EQ(TimeBucket::of(MinuteTime{0}).index, 0);
+  EXPECT_EQ(TimeBucket::of(MinuteTime{4}).index, 0);
+  EXPECT_EQ(TimeBucket::of(MinuteTime{5}).index, 1);
+  EXPECT_EQ(TimeBucket::of(MinuteTime{7}).index, 1);
+}
+
+TEST(TimeBucket, StartIsBucketLowerEdge) {
+  const auto b = TimeBucket::of(MinuteTime{17});
+  EXPECT_EQ(b.start().minutes, 15);
+}
+
+TEST(TimeBucket, BucketOfDayMatchesAcrossDays) {
+  const auto b = TimeBucket::of(MinuteTime::from_day_hour(0, 9, 15));
+  const auto same_window_next_day = b.plus_days(1);
+  EXPECT_EQ(b.bucket_of_day(), same_window_next_day.bucket_of_day());
+  EXPECT_EQ(same_window_next_day.day(), 1);
+}
+
+TEST(TimeBucket, BucketsPerDayConstant) {
+  EXPECT_EQ(kBucketsPerDay, 288);
+  const auto last = TimeBucket::of(MinuteTime::from_day_hour(0, 23, 59));
+  EXPECT_EQ(last.bucket_of_day(), kBucketsPerDay - 1);
+}
+
+TEST(TimeBucket, NextPrevRoundTrip) {
+  const TimeBucket b{100};
+  EXPECT_EQ(b.next().prev(), b);
+}
+
+TEST(TimeFormatting, RendersDayHourMinute) {
+  EXPECT_EQ(to_string(MinuteTime::from_day_hour(2, 7, 5)), "d2 07:05");
+  EXPECT_EQ(to_string(TimeBucket{0}), "d0 00:00");
+}
+
+}  // namespace
+}  // namespace blameit::util

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_expected_rtt.dir/bench_ablation_expected_rtt.cc.o"
+  "CMakeFiles/bench_ablation_expected_rtt.dir/bench_ablation_expected_rtt.cc.o.d"
+  "bench_ablation_expected_rtt"
+  "bench_ablation_expected_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_expected_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_duration_by_category.dir/bench_fig10_duration_by_category.cc.o"
+  "CMakeFiles/bench_fig10_duration_by_category.dir/bench_fig10_duration_by_category.cc.o.d"
+  "bench_fig10_duration_by_category"
+  "bench_fig10_duration_by_category.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_duration_by_category.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

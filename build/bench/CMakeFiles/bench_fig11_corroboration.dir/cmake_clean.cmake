@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_corroboration.dir/bench_fig11_corroboration.cc.o"
+  "CMakeFiles/bench_fig11_corroboration.dir/bench_fig11_corroboration.cc.o.d"
+  "bench_fig11_corroboration"
+  "bench_fig11_corroboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_corroboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

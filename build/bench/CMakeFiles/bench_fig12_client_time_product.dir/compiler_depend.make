@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig12_client_time_product.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_persistence.dir/bench_fig4a_persistence.cc.o"
+  "CMakeFiles/bench_fig4a_persistence.dir/bench_fig4a_persistence.cc.o.d"
+  "bench_fig4a_persistence"
+  "bench_fig4a_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4b_impact_skew.cc" "bench/CMakeFiles/bench_fig4b_impact_skew.dir/bench_fig4b_impact_skew.cc.o" "gcc" "bench/CMakeFiles/bench_fig4b_impact_skew.dir/bench_fig4b_impact_skew.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/blameit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/blameit_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/blameit_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/blameit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/blameit_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/blameit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blameit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_impact_skew.dir/bench_fig4b_impact_skew.cc.o"
+  "CMakeFiles/bench_fig4b_impact_skew.dir/bench_fig4b_impact_skew.cc.o.d"
+  "bench_fig4b_impact_skew"
+  "bench_fig4b_impact_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_impact_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

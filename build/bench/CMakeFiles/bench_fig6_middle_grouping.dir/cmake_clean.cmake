@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_middle_grouping.dir/bench_fig6_middle_grouping.cc.o"
+  "CMakeFiles/bench_fig6_middle_grouping.dir/bench_fig6_middle_grouping.cc.o.d"
+  "bench_fig6_middle_grouping"
+  "bench_fig6_middle_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_middle_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_blame_month.dir/bench_fig8_blame_month.cc.o"
+  "CMakeFiles/bench_fig8_blame_month.dir/bench_fig8_blame_month.cc.o.d"
+  "bench_fig8_blame_month"
+  "bench_fig8_blame_month.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_blame_month.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

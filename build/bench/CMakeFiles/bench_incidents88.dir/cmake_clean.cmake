@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incidents88.dir/bench_incidents88.cc.o"
+  "CMakeFiles/bench_incidents88.dir/bench_incidents88.cc.o.d"
+  "bench_incidents88"
+  "bench_incidents88.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incidents88.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

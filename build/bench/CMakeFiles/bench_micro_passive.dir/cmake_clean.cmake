@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_passive.dir/bench_micro_passive.cc.o"
+  "CMakeFiles/bench_micro_passive.dir/bench_micro_passive.cc.o.d"
+  "bench_micro_passive"
+  "bench_micro_passive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

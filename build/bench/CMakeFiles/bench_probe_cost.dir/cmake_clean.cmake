@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_probe_cost.dir/bench_probe_cost.cc.o"
+  "CMakeFiles/bench_probe_cost.dir/bench_probe_cost.cc.o.d"
+  "bench_probe_cost"
+  "bench_probe_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probe_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

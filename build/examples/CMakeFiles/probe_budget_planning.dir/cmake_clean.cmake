@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_budget_planning.dir/probe_budget_planning.cpp.o"
+  "CMakeFiles/probe_budget_planning.dir/probe_budget_planning.cpp.o.d"
+  "probe_budget_planning"
+  "probe_budget_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_budget_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

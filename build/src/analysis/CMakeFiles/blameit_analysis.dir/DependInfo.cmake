@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/expected_rtt.cc" "src/analysis/CMakeFiles/blameit_analysis.dir/expected_rtt.cc.o" "gcc" "src/analysis/CMakeFiles/blameit_analysis.dir/expected_rtt.cc.o.d"
+  "/root/repo/src/analysis/impact.cc" "src/analysis/CMakeFiles/blameit_analysis.dir/impact.cc.o" "gcc" "src/analysis/CMakeFiles/blameit_analysis.dir/impact.cc.o.d"
+  "/root/repo/src/analysis/quartet.cc" "src/analysis/CMakeFiles/blameit_analysis.dir/quartet.cc.o" "gcc" "src/analysis/CMakeFiles/blameit_analysis.dir/quartet.cc.o.d"
+  "/root/repo/src/analysis/record.cc" "src/analysis/CMakeFiles/blameit_analysis.dir/record.cc.o" "gcc" "src/analysis/CMakeFiles/blameit_analysis.dir/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/blameit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blameit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

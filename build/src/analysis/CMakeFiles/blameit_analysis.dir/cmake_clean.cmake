@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blameit_analysis.dir/expected_rtt.cc.o"
+  "CMakeFiles/blameit_analysis.dir/expected_rtt.cc.o.d"
+  "CMakeFiles/blameit_analysis.dir/impact.cc.o"
+  "CMakeFiles/blameit_analysis.dir/impact.cc.o.d"
+  "CMakeFiles/blameit_analysis.dir/quartet.cc.o"
+  "CMakeFiles/blameit_analysis.dir/quartet.cc.o.d"
+  "CMakeFiles/blameit_analysis.dir/record.cc.o"
+  "CMakeFiles/blameit_analysis.dir/record.cc.o.d"
+  "libblameit_analysis.a"
+  "libblameit_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blameit_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

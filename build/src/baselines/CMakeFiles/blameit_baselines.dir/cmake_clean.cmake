@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blameit_baselines.dir/active_only.cc.o"
+  "CMakeFiles/blameit_baselines.dir/active_only.cc.o.d"
+  "CMakeFiles/blameit_baselines.dir/as_metro.cc.o"
+  "CMakeFiles/blameit_baselines.dir/as_metro.cc.o.d"
+  "CMakeFiles/blameit_baselines.dir/tomography.cc.o"
+  "CMakeFiles/blameit_baselines.dir/tomography.cc.o.d"
+  "CMakeFiles/blameit_baselines.dir/trinocular.cc.o"
+  "CMakeFiles/blameit_baselines.dir/trinocular.cc.o.d"
+  "libblameit_baselines.a"
+  "libblameit_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blameit_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

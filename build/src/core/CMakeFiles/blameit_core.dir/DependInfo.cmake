@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active.cc" "src/core/CMakeFiles/blameit_core.dir/active.cc.o" "gcc" "src/core/CMakeFiles/blameit_core.dir/active.cc.o.d"
+  "/root/repo/src/core/background.cc" "src/core/CMakeFiles/blameit_core.dir/background.cc.o" "gcc" "src/core/CMakeFiles/blameit_core.dir/background.cc.o.d"
+  "/root/repo/src/core/passive.cc" "src/core/CMakeFiles/blameit_core.dir/passive.cc.o" "gcc" "src/core/CMakeFiles/blameit_core.dir/passive.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/blameit_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/blameit_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/predictors.cc" "src/core/CMakeFiles/blameit_core.dir/predictors.cc.o" "gcc" "src/core/CMakeFiles/blameit_core.dir/predictors.cc.o.d"
+  "/root/repo/src/core/prioritizer.cc" "src/core/CMakeFiles/blameit_core.dir/prioritizer.cc.o" "gcc" "src/core/CMakeFiles/blameit_core.dir/prioritizer.cc.o.d"
+  "/root/repo/src/core/reverse.cc" "src/core/CMakeFiles/blameit_core.dir/reverse.cc.o" "gcc" "src/core/CMakeFiles/blameit_core.dir/reverse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/blameit_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/blameit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/blameit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blameit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blameit_core.dir/active.cc.o"
+  "CMakeFiles/blameit_core.dir/active.cc.o.d"
+  "CMakeFiles/blameit_core.dir/background.cc.o"
+  "CMakeFiles/blameit_core.dir/background.cc.o.d"
+  "CMakeFiles/blameit_core.dir/passive.cc.o"
+  "CMakeFiles/blameit_core.dir/passive.cc.o.d"
+  "CMakeFiles/blameit_core.dir/pipeline.cc.o"
+  "CMakeFiles/blameit_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/blameit_core.dir/predictors.cc.o"
+  "CMakeFiles/blameit_core.dir/predictors.cc.o.d"
+  "CMakeFiles/blameit_core.dir/prioritizer.cc.o"
+  "CMakeFiles/blameit_core.dir/prioritizer.cc.o.d"
+  "CMakeFiles/blameit_core.dir/reverse.cc.o"
+  "CMakeFiles/blameit_core.dir/reverse.cc.o.d"
+  "libblameit_core.a"
+  "libblameit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blameit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/as_graph.cc" "src/net/CMakeFiles/blameit_net.dir/as_graph.cc.o" "gcc" "src/net/CMakeFiles/blameit_net.dir/as_graph.cc.o.d"
+  "/root/repo/src/net/asn.cc" "src/net/CMakeFiles/blameit_net.dir/asn.cc.o" "gcc" "src/net/CMakeFiles/blameit_net.dir/asn.cc.o.d"
+  "/root/repo/src/net/bgp.cc" "src/net/CMakeFiles/blameit_net.dir/bgp.cc.o" "gcc" "src/net/CMakeFiles/blameit_net.dir/bgp.cc.o.d"
+  "/root/repo/src/net/geo.cc" "src/net/CMakeFiles/blameit_net.dir/geo.cc.o" "gcc" "src/net/CMakeFiles/blameit_net.dir/geo.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/blameit_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/blameit_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/blameit_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/blameit_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/blameit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

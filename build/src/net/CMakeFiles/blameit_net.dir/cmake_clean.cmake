@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blameit_net.dir/as_graph.cc.o"
+  "CMakeFiles/blameit_net.dir/as_graph.cc.o.d"
+  "CMakeFiles/blameit_net.dir/asn.cc.o"
+  "CMakeFiles/blameit_net.dir/asn.cc.o.d"
+  "CMakeFiles/blameit_net.dir/bgp.cc.o"
+  "CMakeFiles/blameit_net.dir/bgp.cc.o.d"
+  "CMakeFiles/blameit_net.dir/geo.cc.o"
+  "CMakeFiles/blameit_net.dir/geo.cc.o.d"
+  "CMakeFiles/blameit_net.dir/ipv4.cc.o"
+  "CMakeFiles/blameit_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/blameit_net.dir/topology.cc.o"
+  "CMakeFiles/blameit_net.dir/topology.cc.o.d"
+  "libblameit_net.a"
+  "libblameit_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blameit_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

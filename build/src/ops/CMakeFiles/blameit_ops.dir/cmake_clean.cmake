@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blameit_ops.dir/alert.cc.o"
+  "CMakeFiles/blameit_ops.dir/alert.cc.o.d"
+  "CMakeFiles/blameit_ops.dir/report.cc.o"
+  "CMakeFiles/blameit_ops.dir/report.cc.o.d"
+  "libblameit_ops.a"
+  "libblameit_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blameit_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

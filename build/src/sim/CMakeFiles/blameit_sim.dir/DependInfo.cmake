@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fault.cc" "src/sim/CMakeFiles/blameit_sim.dir/fault.cc.o" "gcc" "src/sim/CMakeFiles/blameit_sim.dir/fault.cc.o.d"
+  "/root/repo/src/sim/population.cc" "src/sim/CMakeFiles/blameit_sim.dir/population.cc.o" "gcc" "src/sim/CMakeFiles/blameit_sim.dir/population.cc.o.d"
+  "/root/repo/src/sim/rtt_model.cc" "src/sim/CMakeFiles/blameit_sim.dir/rtt_model.cc.o" "gcc" "src/sim/CMakeFiles/blameit_sim.dir/rtt_model.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/blameit_sim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/blameit_sim.dir/scenario.cc.o.d"
+  "/root/repo/src/sim/telemetry.cc" "src/sim/CMakeFiles/blameit_sim.dir/telemetry.cc.o" "gcc" "src/sim/CMakeFiles/blameit_sim.dir/telemetry.cc.o.d"
+  "/root/repo/src/sim/traceroute.cc" "src/sim/CMakeFiles/blameit_sim.dir/traceroute.cc.o" "gcc" "src/sim/CMakeFiles/blameit_sim.dir/traceroute.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/blameit_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/blameit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blameit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

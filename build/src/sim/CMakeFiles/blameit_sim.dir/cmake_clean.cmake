@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blameit_sim.dir/fault.cc.o"
+  "CMakeFiles/blameit_sim.dir/fault.cc.o.d"
+  "CMakeFiles/blameit_sim.dir/population.cc.o"
+  "CMakeFiles/blameit_sim.dir/population.cc.o.d"
+  "CMakeFiles/blameit_sim.dir/rtt_model.cc.o"
+  "CMakeFiles/blameit_sim.dir/rtt_model.cc.o.d"
+  "CMakeFiles/blameit_sim.dir/scenario.cc.o"
+  "CMakeFiles/blameit_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/blameit_sim.dir/telemetry.cc.o"
+  "CMakeFiles/blameit_sim.dir/telemetry.cc.o.d"
+  "CMakeFiles/blameit_sim.dir/traceroute.cc.o"
+  "CMakeFiles/blameit_sim.dir/traceroute.cc.o.d"
+  "libblameit_sim.a"
+  "libblameit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blameit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libblameit_sim.a"
+)

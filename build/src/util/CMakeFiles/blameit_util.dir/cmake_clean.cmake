@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blameit_util.dir/histogram.cc.o"
+  "CMakeFiles/blameit_util.dir/histogram.cc.o.d"
+  "CMakeFiles/blameit_util.dir/rng.cc.o"
+  "CMakeFiles/blameit_util.dir/rng.cc.o.d"
+  "CMakeFiles/blameit_util.dir/stats.cc.o"
+  "CMakeFiles/blameit_util.dir/stats.cc.o.d"
+  "CMakeFiles/blameit_util.dir/table.cc.o"
+  "CMakeFiles/blameit_util.dir/table.cc.o.d"
+  "CMakeFiles/blameit_util.dir/time.cc.o"
+  "CMakeFiles/blameit_util.dir/time.cc.o.d"
+  "libblameit_util.a"
+  "libblameit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blameit_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

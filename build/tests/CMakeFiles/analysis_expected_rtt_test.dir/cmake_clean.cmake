@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_expected_rtt_test.dir/analysis/expected_rtt_test.cc.o"
+  "CMakeFiles/analysis_expected_rtt_test.dir/analysis/expected_rtt_test.cc.o.d"
+  "analysis_expected_rtt_test"
+  "analysis_expected_rtt_test.pdb"
+  "analysis_expected_rtt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_expected_rtt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

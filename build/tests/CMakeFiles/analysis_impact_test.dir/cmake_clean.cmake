@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_impact_test.dir/analysis/impact_test.cc.o"
+  "CMakeFiles/analysis_impact_test.dir/analysis/impact_test.cc.o.d"
+  "analysis_impact_test"
+  "analysis_impact_test.pdb"
+  "analysis_impact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_impact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

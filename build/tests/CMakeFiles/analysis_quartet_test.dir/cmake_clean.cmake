@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_quartet_test.dir/analysis/quartet_test.cc.o"
+  "CMakeFiles/analysis_quartet_test.dir/analysis/quartet_test.cc.o.d"
+  "analysis_quartet_test"
+  "analysis_quartet_test.pdb"
+  "analysis_quartet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_quartet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

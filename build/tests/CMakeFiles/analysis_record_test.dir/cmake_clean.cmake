@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_record_test.dir/analysis/record_test.cc.o"
+  "CMakeFiles/analysis_record_test.dir/analysis/record_test.cc.o.d"
+  "analysis_record_test"
+  "analysis_record_test.pdb"
+  "analysis_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

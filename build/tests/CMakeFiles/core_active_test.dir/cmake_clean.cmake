@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_active_test.dir/core/active_test.cc.o"
+  "CMakeFiles/core_active_test.dir/core/active_test.cc.o.d"
+  "core_active_test"
+  "core_active_test.pdb"
+  "core_active_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_active_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_background_test.dir/core/background_test.cc.o"
+  "CMakeFiles/core_background_test.dir/core/background_test.cc.o.d"
+  "core_background_test"
+  "core_background_test.pdb"
+  "core_background_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_background_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_passive_test.dir/core/passive_test.cc.o"
+  "CMakeFiles/core_passive_test.dir/core/passive_test.cc.o.d"
+  "core_passive_test"
+  "core_passive_test.pdb"
+  "core_passive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_passive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

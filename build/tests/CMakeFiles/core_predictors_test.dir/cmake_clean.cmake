@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_predictors_test.dir/core/predictors_test.cc.o"
+  "CMakeFiles/core_predictors_test.dir/core/predictors_test.cc.o.d"
+  "core_predictors_test"
+  "core_predictors_test.pdb"
+  "core_predictors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_predictors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

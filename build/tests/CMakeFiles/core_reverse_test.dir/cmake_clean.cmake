@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_reverse_test.dir/core/reverse_test.cc.o"
+  "CMakeFiles/core_reverse_test.dir/core/reverse_test.cc.o.d"
+  "core_reverse_test"
+  "core_reverse_test.pdb"
+  "core_reverse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_reverse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

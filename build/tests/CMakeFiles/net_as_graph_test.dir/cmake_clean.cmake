@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_as_graph_test.dir/net/as_graph_test.cc.o"
+  "CMakeFiles/net_as_graph_test.dir/net/as_graph_test.cc.o.d"
+  "net_as_graph_test"
+  "net_as_graph_test.pdb"
+  "net_as_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_as_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_asn_test.dir/net/asn_test.cc.o"
+  "CMakeFiles/net_asn_test.dir/net/asn_test.cc.o.d"
+  "net_asn_test"
+  "net_asn_test.pdb"
+  "net_asn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_asn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

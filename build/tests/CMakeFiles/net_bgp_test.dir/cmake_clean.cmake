@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_bgp_test.dir/net/bgp_test.cc.o"
+  "CMakeFiles/net_bgp_test.dir/net/bgp_test.cc.o.d"
+  "net_bgp_test"
+  "net_bgp_test.pdb"
+  "net_bgp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_bgp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

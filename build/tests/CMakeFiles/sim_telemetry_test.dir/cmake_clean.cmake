@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_telemetry_test.dir/sim/telemetry_test.cc.o"
+  "CMakeFiles/sim_telemetry_test.dir/sim/telemetry_test.cc.o.d"
+  "sim_telemetry_test"
+  "sim_telemetry_test.pdb"
+  "sim_telemetry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_telemetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_traceroute_test.dir/sim/traceroute_test.cc.o"
+  "CMakeFiles/sim_traceroute_test.dir/sim/traceroute_test.cc.o.d"
+  "sim_traceroute_test"
+  "sim_traceroute_test.pdb"
+  "sim_traceroute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_traceroute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

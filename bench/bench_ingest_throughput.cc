@@ -1,0 +1,117 @@
+// Ingestion throughput: records/sec through the sharded streaming engine at
+// 1/2/4/8 shards, against the single-threaded QuartetBuilder as baseline.
+//
+// The record set (a midday hour of shuffled raw RTTs) is materialized once
+// up front so the measurement covers only ingestion — partitioning, queue
+// transfer, accumulation, and watermark finalization — not the telemetry
+// generator. On a multi-core host >= 2 shards should beat 1; on a single
+// core the sharded path shows its queue-transfer overhead instead.
+//
+//   $ ./bench_ingest_throughput [minutes=60]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "analysis/quartet.h"
+#include "bench/common.h"
+#include "ingest/engine.h"
+#include "ops/report.h"
+#include "util/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blameit;
+
+  const int minutes = argc > 1 ? std::atoi(argv[1]) : 60;
+  const int buckets = std::max(1, minutes / util::kBucketMinutes);
+  bench::header("ingest throughput: sharded streaming aggregation",
+                "Fig 7 analytics cluster — raw RTT stream -> quartets");
+
+  auto stack = bench::make_stack();
+  const auto first =
+      util::TimeBucket::of(util::MinuteTime::from_day_hour(0, 12));
+
+  std::printf("materializing %d buckets of shuffled records...\n", buckets);
+  std::vector<std::vector<analysis::RttRecord>> stream(
+      static_cast<std::size_t>(buckets));
+  std::size_t total_records = 0;
+  for (int b = 0; b < buckets; ++b) {
+    auto& records = stream[static_cast<std::size_t>(b)];
+    stack->generator->generate_records_shuffled(
+        util::TimeBucket{first.index + b},
+        [&](const analysis::RttRecord& r) { records.push_back(r); });
+    total_records += records.size();
+  }
+  std::printf("stream: %s records\n\n",
+              util::fmt_count(total_records).c_str());
+
+  util::TextTable table{{"config", "records/sec", "elapsed ms", "quartets",
+                         "high-water", "bp-waits"}};
+
+  // Baseline: the single-threaded QuartetBuilder the pipeline used before.
+  {
+    analysis::QuartetBuilder builder{stack->topology.get(),
+                                     analysis::BadnessThresholds{}};
+    std::size_t quartets = 0;
+    const auto t0 = Clock::now();
+    for (int b = 0; b < buckets; ++b) {
+      for (const auto& r : stream[static_cast<std::size_t>(b)]) {
+        builder.add(r);
+      }
+      quartets += builder.take_bucket(util::TimeBucket{first.index + b}).size();
+    }
+    const double secs = seconds_since(t0);
+    table.add_row({"builder (no threads)",
+                   util::fmt_count(static_cast<std::uint64_t>(
+                       static_cast<double>(total_records) / secs)),
+                   util::fmt(secs * 1e3, 1), util::fmt_count(quartets), "-",
+                   "-"});
+  }
+
+  for (const int shards : {1, 2, 4, 8}) {
+    ingest::IngestConfig cfg;
+    cfg.shards = shards;
+    ingest::IngestEngine engine{stack->topology.get(),
+                                analysis::BadnessThresholds{}, cfg};
+    std::size_t quartets = 0;
+    const auto t0 = Clock::now();
+    for (int b = 0; b < buckets; ++b) {
+      const auto bucket = util::TimeBucket{first.index + b};
+      for (const auto& r : stream[static_cast<std::size_t>(b)]) {
+        engine.submit(r);
+      }
+      engine.advance_watermark(engine.watermark_to_finalize(bucket));
+    }
+    engine.flush();
+    const double secs = seconds_since(t0);
+    for (int b = 0; b < buckets; ++b) {
+      quartets += engine.take_bucket(util::TimeBucket{first.index + b}).size();
+    }
+    const auto stats = engine.stats();
+    char label[32];
+    std::snprintf(label, sizeof label, "%d shard%s", shards,
+                  shards == 1 ? "" : "s");
+    table.add_row({label,
+                   util::fmt_count(static_cast<std::uint64_t>(
+                       static_cast<double>(total_records) / secs)),
+                   util::fmt(secs * 1e3, 1), util::fmt_count(quartets),
+                   std::to_string(stats.queue_high_water),
+                   std::to_string(stats.backpressure_waits)});
+    if (shards == 8) {
+      std::printf("%s\n", ops::render_ingest(stats).c_str());
+    }
+  }
+
+  std::printf("\n%s", table.to_string().c_str());
+  return 0;
+}

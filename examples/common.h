@@ -7,6 +7,8 @@
 
 #include "analysis/quartet.h"
 #include "core/pipeline.h"
+#include "ingest/engine.h"
+#include "ingest/source.h"
 #include "net/topology.h"
 #include "sim/telemetry.h"
 #include "sim/traceroute.h"
@@ -20,6 +22,9 @@ struct Stack {
   std::unique_ptr<sim::TelemetryGenerator> generator;
   std::unique_ptr<sim::RttModel> model;
   std::unique_ptr<sim::TracerouteEngine> engine;
+  /// Set only by make_streaming_stack: the pipeline's quartets then come
+  /// from the sharded streaming engine instead of the synchronous builder.
+  std::unique_ptr<ingest::IngestEngine> ingest_engine;
   std::unique_ptr<core::BlameItPipeline> pipeline;
 
   /// Builds the quartets of one 5-minute bucket, as the analytics cluster
@@ -61,6 +66,47 @@ inline std::unique_ptr<Stack> make_stack(
   stack->pipeline = std::make_unique<core::BlameItPipeline>(
       stack->topology.get(), stack->engine.get(),
       [raw](util::TimeBucket bucket) { return raw->quartets(bucket); },
+      config);
+  return stack;
+}
+
+/// Like make_stack, but the pipeline consumes finalized quartets from the
+/// sharded streaming IngestEngine fed with shuffled raw records — the
+/// production-shaped (Fig 7) front end. stack->ingest_engine->stats()
+/// exposes the ingestion counters.
+inline std::unique_ptr<Stack> make_streaming_stack(
+    ingest::IngestConfig ingest_config = {},
+    core::BlameItConfig config = [] {
+      core::BlameItConfig cfg;
+      cfg.expected_rtt_window_days = 2;  // short demo warmup
+      return cfg;
+    }(),
+    net::TopologyConfig topo_config = [] {
+      net::TopologyConfig cfg;
+      cfg.locations_per_region = 1;
+      cfg.eyeballs_per_region = 4;
+      cfg.blocks_per_eyeball = 8;
+      return cfg;
+    }()) {
+  auto stack = std::make_unique<Stack>();
+  stack->topology = net::make_topology(topo_config);
+  stack->generator = std::make_unique<sim::TelemetryGenerator>(
+      stack->topology.get(), &stack->faults);
+  stack->model = std::make_unique<sim::RttModel>(stack->topology.get(),
+                                                 &stack->faults);
+  stack->engine = std::make_unique<sim::TracerouteEngine>(
+      stack->topology.get(), stack->model.get());
+  stack->ingest_engine = std::make_unique<ingest::IngestEngine>(
+      stack->topology.get(), analysis::BadnessThresholds{}, ingest_config);
+  Stack* raw = stack.get();
+  stack->pipeline = std::make_unique<core::BlameItPipeline>(
+      stack->topology.get(), stack->engine.get(),
+      ingest::StreamingQuartetSource{
+          raw->ingest_engine.get(),
+          [raw](util::TimeBucket bucket,
+                const std::function<void(const analysis::RttRecord&)>& sink) {
+            raw->generator->generate_records_shuffled(bucket, sink);
+          }},
       config);
   return stack;
 }

@@ -93,6 +93,9 @@ std::vector<Quartet> QuartetBuilder::take_bucket(util::TimeBucket bucket) {
                 thresholds_.threshold(block->region, key.device);
         out.push_back(q);
       }
+    } else {
+      ++dropped_min_samples_;
+      dropped_min_samples_records_ += static_cast<std::uint64_t>(acc.count);
     }
     it = acc_.erase(it);
   }

@@ -91,6 +91,14 @@ class QuartetBuilder {
   [[nodiscard]] std::uint64_t dropped_unknown_blocks() const noexcept {
     return dropped_unknown_;
   }
+  /// Quartets discarded at take_bucket time for having fewer than
+  /// min_samples records (and the records they carried).
+  [[nodiscard]] std::uint64_t dropped_min_samples() const noexcept {
+    return dropped_min_samples_;
+  }
+  [[nodiscard]] std::uint64_t dropped_min_samples_records() const noexcept {
+    return dropped_min_samples_records_;
+  }
   [[nodiscard]] const BadnessThresholds& thresholds() const noexcept {
     return thresholds_;
   }
@@ -106,6 +114,8 @@ class QuartetBuilder {
   QuartetBuilderConfig config_;
   std::unordered_map<QuartetKey, Accumulator, QuartetKeyHash> acc_;
   std::uint64_t dropped_unknown_ = 0;
+  std::uint64_t dropped_min_samples_ = 0;
+  std::uint64_t dropped_min_samples_records_ = 0;
 };
 
 /// Splits a quartet's samples in two halves and checks they are drawn from

@@ -1,0 +1,263 @@
+#include "ingest/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <stdexcept>
+
+namespace blameit::ingest {
+
+namespace {
+
+/// Very distant future: close() uses it to flush every open bucket.
+constexpr util::MinuteTime kEndOfTime{std::int64_t{1} << 40};
+
+[[nodiscard]] bool key_less(const analysis::QuartetKey& a,
+                            const analysis::QuartetKey& b) noexcept {
+  if (a.block != b.block) return a.block < b.block;
+  if (a.location.value != b.location.value) {
+    return a.location.value < b.location.value;
+  }
+  if (a.device != b.device) return a.device < b.device;
+  return a.bucket < b.bucket;
+}
+
+}  // namespace
+
+/// Countdown fence: each shard decrements on consuming it; the producer
+/// waits for zero.
+struct IngestEngine::SyncPoint {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int remaining = 0;
+
+  void arrive() {
+    std::lock_guard lock{mutex};
+    if (--remaining == 0) cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock lock{mutex};
+    cv.wait(lock, [&] { return remaining == 0; });
+  }
+};
+
+IngestEngine::IngestEngine(const net::Topology* topology,
+                           analysis::BadnessThresholds thresholds,
+                           IngestConfig config)
+    : config_(config),
+      builder_(topology, thresholds, config.shards, config.builder) {
+  if (config_.shards < 1 || config_.batch_records < 1 ||
+      config_.queue_batches < 1 || config_.lateness_minutes < 0) {
+    throw std::invalid_argument{"IngestConfig: invalid values"};
+  }
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.queue_batches));
+    shards_.back()->pending.reserve(config_.batch_records);
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->worker = std::thread{[this, i] { worker_loop(i); }};
+  }
+}
+
+IngestEngine::~IngestEngine() { close(); }
+
+void IngestEngine::submit(const analysis::RttRecord& record) {
+  const std::size_t shard =
+      builder_.shard_of(net::Slash24::of(record.client_ip));
+  auto& pending = shards_[shard]->pending;
+  pending.push_back(record);
+  records_in_.fetch_add(1, std::memory_order_relaxed);
+  if (pending.size() >= config_.batch_records) push_pending(shard);
+}
+
+void IngestEngine::push_pending(std::size_t shard_index) {
+  auto& shard = *shards_[shard_index];
+  if (shard.pending.empty()) return;
+  Message msg{.kind = Message::Kind::Batch,
+              .records = std::move(shard.pending)};
+  shard.pending = {};
+  shard.pending.reserve(config_.batch_records);
+  shard.queue.push(std::move(msg));
+  batches_submitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IngestEngine::advance_watermark(util::MinuteTime watermark) {
+  if (watermark <= producer_watermark_) return;
+  producer_watermark_ = watermark;
+  // Partial batches must go first so no record is ordered after the
+  // watermark that covers it.
+  for (std::size_t i = 0; i < shards_.size(); ++i) push_pending(i);
+  for (auto& shard : shards_) {
+    shard->queue.push(
+        Message{.kind = Message::Kind::Watermark, .watermark = watermark});
+  }
+}
+
+void IngestEngine::fence() {
+  auto sync = std::make_shared<SyncPoint>();
+  sync->remaining = static_cast<int>(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    push_pending(i);
+    // A watermark message that does not move the watermark, but carries the
+    // fence: processed strictly after everything queued before it.
+    shards_[i]->queue.push(Message{.kind = Message::Kind::Watermark,
+                                   .watermark = producer_watermark_,
+                                   .sync = sync});
+  }
+  sync->wait();
+}
+
+void IngestEngine::flush() { fence(); }
+
+void IngestEngine::close() {
+  if (closed_) return;
+  closed_ = true;
+  advance_watermark(kEndOfTime);
+  for (auto& shard : shards_) {
+    shard->queue.push(Message{.kind = Message::Kind::Stop});
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void IngestEngine::worker_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  for (;;) {
+    Message msg = shard.queue.pop();
+    switch (msg.kind) {
+      case Message::Kind::Batch: {
+        std::uint64_t accepted = 0;
+        std::uint64_t late = 0;
+        for (const auto& record : msg.records) {
+          if (util::TimeBucket::of(record.time).index <
+              shard.finalized_before) {
+            ++late;  // its bucket was already finalized — count, drop
+            continue;
+          }
+          builder_.add(shard_index, record);
+          ++accepted;
+        }
+        shard.records.fetch_add(accepted, std::memory_order_relaxed);
+        shard.late_dropped.fetch_add(late, std::memory_order_relaxed);
+        break;
+      }
+      case Message::Kind::Watermark:
+        process_watermark(shard, shard_index, msg.watermark);
+        if (msg.sync) msg.sync->arrive();
+        break;
+      case Message::Kind::Stop:
+        return;
+    }
+  }
+}
+
+void IngestEngine::process_watermark(Shard& shard, std::size_t shard_index,
+                                     util::MinuteTime watermark) {
+  if (watermark <= shard.watermark) return;
+  shard.watermark = watermark;
+  // Buckets whose window end + lateness allowance the watermark passed.
+  const util::MinuteTime closed_through =
+      watermark.plus_minutes(-config_.lateness_minutes);
+  const auto ready = builder_.ready_buckets(shard_index, closed_through);
+  for (const auto bucket : ready) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto quartets = builder_.take_bucket(shard_index, bucket);
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    shard.finalize_ns_total.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t prev = shard.finalize_ns_max.load(std::memory_order_relaxed);
+    while (prev < ns && !shard.finalize_ns_max.compare_exchange_weak(
+                            prev, ns, std::memory_order_relaxed)) {
+    }
+    shard.buckets_finalized.fetch_add(1, std::memory_order_relaxed);
+    shard.quartets.fetch_add(quartets.size(), std::memory_order_relaxed);
+    std::uint64_t out_records = 0;
+    for (const auto& q : quartets) {
+      out_records += static_cast<std::uint64_t>(q.sample_count);
+    }
+    shard.records_out.fetch_add(out_records, std::memory_order_relaxed);
+    if (!quartets.empty()) {
+      std::lock_guard lock{shard.out_mutex};
+      auto& slot = shard.out[bucket.index];
+      slot.insert(slot.end(), std::make_move_iterator(quartets.begin()),
+                  std::make_move_iterator(quartets.end()));
+    }
+  }
+  // Every bucket ending at or before closed_through is now immutable, even
+  // ones this shard never saw a record for: anything older is late. Bucket
+  // b is closed iff (b.index + 1) * kBucketMinutes <= closed_through, so
+  // the first still-open bucket is floor(closed_through / kBucketMinutes)
+  // — the same predicate ready_buckets() used above.
+  if (closed_through.minutes > 0) {
+    shard.finalized_before =
+        std::max(shard.finalized_before,
+                 closed_through.minutes / util::kBucketMinutes);
+  }
+}
+
+std::vector<analysis::Quartet> IngestEngine::take_bucket(
+    util::TimeBucket bucket) {
+  std::vector<analysis::Quartet> out;
+  for (auto& shard : shards_) {
+    std::lock_guard lock{shard->out_mutex};
+    auto it = shard->out.find(bucket.index);
+    if (it == shard->out.end()) continue;
+    out.insert(out.end(), std::make_move_iterator(it->second.begin()),
+               std::make_move_iterator(it->second.end()));
+    shard->out.erase(it);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const analysis::Quartet& a, const analysis::Quartet& b) {
+              return key_less(a.key, b.key);
+            });
+  return out;
+}
+
+std::vector<util::TimeBucket> IngestEngine::finalized_buckets() const {
+  std::vector<util::TimeBucket> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock{shard->out_mutex};
+    for (const auto& [index, quartets] : shard->out) {
+      out.push_back(util::TimeBucket{index});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+IngestStats IngestEngine::stats() const {
+  IngestStats s;
+  s.records_in = records_in_.load(std::memory_order_relaxed);
+  s.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
+  s.unknown_dropped = builder_.dropped_unknown_blocks();
+  s.min_samples_dropped = builder_.dropped_min_samples();
+  s.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats slice;
+    slice.records = shard->records.load(std::memory_order_relaxed);
+    slice.late_dropped = shard->late_dropped.load(std::memory_order_relaxed);
+    slice.buckets_finalized =
+        shard->buckets_finalized.load(std::memory_order_relaxed);
+    slice.quartets = shard->quartets.load(std::memory_order_relaxed);
+    slice.queue_high_water = shard->queue.high_water();
+    slice.backpressure_waits = shard->queue.blocked_pushes();
+    slice.finalize_ns_total =
+        shard->finalize_ns_total.load(std::memory_order_relaxed);
+    slice.finalize_ns_max =
+        shard->finalize_ns_max.load(std::memory_order_relaxed);
+    s.late_dropped += slice.late_dropped;
+    s.quartets_finalized += slice.quartets;
+    s.records_out += shard->records_out.load(std::memory_order_relaxed);
+    s.backpressure_waits += slice.backpressure_waits;
+    s.queue_high_water = std::max(s.queue_high_water, slice.queue_high_water);
+    s.shards.push_back(slice);
+  }
+  return s;
+}
+
+}  // namespace blameit::ingest

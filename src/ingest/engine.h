@@ -1,0 +1,154 @@
+// Sharded streaming ingestion engine (the paper's Fig 7 analytics cluster,
+// front of the pipeline): consumes the raw TCP-handshake RttRecord stream
+// and emits finalized ⟨/24, location, device, 5-min bucket⟩ quartets.
+//
+// Architecture:
+//   producer ──hash(/24)──▶ [bounded queue]──▶ shard worker 0 ─┐
+//             (batched)     [bounded queue]──▶ shard worker 1 ─┼─▶ finalized
+//                              ...                             │    quartets
+//                           [bounded queue]──▶ shard worker N ─┘  (per bucket)
+//
+//  - Records are hash-partitioned by client /24, so each worker owns its
+//    accumulators lock-free (see ShardedQuartetBuilder).
+//  - Queues are bounded; a full queue blocks submit() — backpressure — and
+//    the engine counts every such stall plus per-queue high-water marks.
+//  - Bucket finalization is watermark-driven: advance_watermark(w) promises
+//    "no record with time < w will arrive". A bucket finalizes once the
+//    watermark passes its end by the configured lateness allowance;
+//    out-of-order records within the allowance are accepted, records for
+//    already-finalized buckets are counted as late and dropped — never
+//    silently lost.
+//
+// Determinism guarantee (tested): for a fixed record sequence from ONE
+// producer thread, the finalized quartet set — keys, sample counts, and
+// bit-exact means — is identical for any shard count, and identical to the
+// single-threaded QuartetBuilder fed the same sequence. This holds because
+// per-/24 ordering survives batching and the FIFO queues, so every
+// quartet's RTT sum is accumulated in the same order on every path.
+//
+// Threading contract: submit/advance_watermark/flush/close must be called
+// from one producer thread (or externally serialized). stats() and
+// take_bucket() may be called from any thread at any time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/quartet.h"
+#include "analysis/record.h"
+#include "ingest/queue.h"
+#include "ingest/sharded_builder.h"
+#include "ingest/stats.h"
+#include "util/time.h"
+
+namespace blameit::ingest {
+
+struct IngestConfig {
+  int shards = 4;
+  /// Records per batch handed to a shard queue (amortizes queue locking).
+  std::size_t batch_records = 256;
+  /// Batches a shard queue holds before submit() blocks (backpressure).
+  std::size_t queue_batches = 64;
+  /// Out-of-order tolerance: a bucket finalizes only once the watermark is
+  /// this many minutes past its end; records older than that are late.
+  int lateness_minutes = util::kBucketMinutes;
+  analysis::QuartetBuilderConfig builder{};
+};
+
+class IngestEngine {
+ public:
+  IngestEngine(const net::Topology* topology,
+               analysis::BadnessThresholds thresholds,
+               IngestConfig config = {});
+  ~IngestEngine();
+
+  IngestEngine(const IngestEngine&) = delete;
+  IngestEngine& operator=(const IngestEngine&) = delete;
+
+  /// Enqueues one raw record (producer side; may block under backpressure).
+  void submit(const analysis::RttRecord& record);
+
+  /// Promises that no record with time < `watermark` will be submitted.
+  /// Triggers finalization of every bucket whose end + lateness allowance
+  /// is <= watermark. Monotonic; regressions are ignored.
+  void advance_watermark(util::MinuteTime watermark);
+
+  /// Blocks until every record and watermark submitted so far has been
+  /// processed by its shard (a full fence; finalized output is then stable).
+  void flush();
+
+  /// Finalizes everything regardless of watermark, fences, and joins the
+  /// workers. Called by the destructor; idempotent.
+  void close();
+
+  /// Removes and returns the finalized quartets of `bucket`, merged across
+  /// shards and sorted by key (deterministic order for any shard count).
+  /// Empty if the bucket was not finalized yet (watermark not there) or was
+  /// already taken.
+  [[nodiscard]] std::vector<analysis::Quartet> take_bucket(
+      util::TimeBucket bucket);
+
+  /// Buckets finalized and not yet taken, ascending.
+  [[nodiscard]] std::vector<util::TimeBucket> finalized_buckets() const;
+
+  /// Watermark that take_bucket(bucket) requires (bucket end + lateness).
+  [[nodiscard]] util::MinuteTime watermark_to_finalize(
+      util::TimeBucket bucket) const noexcept {
+    return bucket.next().start().plus_minutes(config_.lateness_minutes);
+  }
+
+  [[nodiscard]] IngestStats stats() const;
+  [[nodiscard]] const IngestConfig& config() const noexcept { return config_; }
+
+ private:
+  struct SyncPoint;
+  struct Message {
+    enum class Kind : std::uint8_t { Batch, Watermark, Stop } kind;
+    std::vector<analysis::RttRecord> records;  // Kind::Batch
+    util::MinuteTime watermark{};              // Kind::Watermark
+    std::shared_ptr<SyncPoint> sync;           // optional fence
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t queue_batches) : queue(queue_batches) {}
+    BoundedQueue<Message> queue;
+    std::thread worker;
+    // Producer-side partial batch (owned by the producer thread).
+    std::vector<analysis::RttRecord> pending;
+
+    // Worker-owned state.
+    util::MinuteTime watermark{std::int64_t{-1} << 40};
+    std::int64_t finalized_before = std::int64_t{-1} << 40;  // bucket index
+
+    // Finalized output + stats, shared worker/reader.
+    mutable std::mutex out_mutex;
+    std::unordered_map<std::int64_t, std::vector<analysis::Quartet>> out;
+    std::atomic<std::uint64_t> records{0};
+    std::atomic<std::uint64_t> late_dropped{0};
+    std::atomic<std::uint64_t> buckets_finalized{0};
+    std::atomic<std::uint64_t> quartets{0};
+    std::atomic<std::uint64_t> records_out{0};
+    std::atomic<std::uint64_t> finalize_ns_total{0};
+    std::atomic<std::uint64_t> finalize_ns_max{0};
+  };
+
+  void worker_loop(std::size_t shard_index);
+  void process_watermark(Shard& shard, std::size_t shard_index,
+                         util::MinuteTime watermark);
+  void push_pending(std::size_t shard_index);
+  void fence();
+
+  IngestConfig config_;
+  ShardedQuartetBuilder builder_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  util::MinuteTime producer_watermark_{std::int64_t{-1} << 40};
+  std::atomic<std::uint64_t> records_in_{0};
+  std::atomic<std::uint64_t> batches_submitted_{0};
+  bool closed_ = false;
+};
+
+}  // namespace blameit::ingest

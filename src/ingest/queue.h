@@ -1,0 +1,76 @@
+// Bounded FIFO queue connecting the ingest producer to one shard worker.
+//
+// Deliberately simple: one mutex and two condition variables. The queue
+// carries record *batches* (hundreds of records each), so lock traffic is
+// amortized far below per-record cost and a lock-free ring would buy
+// nothing measurable here. What matters for the engine is the contract:
+//  - push() blocks while the queue is at capacity — that is the
+//    backpressure mechanism, and every blocking push is counted;
+//  - FIFO order is preserved per producer, which is what makes the
+//    N-shard output bit-identical to the single-threaded path (records of
+//    one quartet key are summed in submission order on both paths).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace blameit::ingest {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full (backpressure); counts the waits it incurred.
+  void push(T item) {
+    std::unique_lock lock{mutex_};
+    if (queue_.size() >= capacity_) {
+      ++blocked_pushes_;
+      not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    }
+    queue_.push_back(std::move(item));
+    if (queue_.size() > high_water_) high_water_ = queue_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Blocks while empty.
+  [[nodiscard]] T pop() {
+    std::unique_lock lock{mutex_};
+    not_empty_.wait(lock, [&] { return !queue_.empty(); });
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  [[nodiscard]] std::size_t high_water() const {
+    std::lock_guard lock{mutex_};
+    return high_water_;
+  }
+  [[nodiscard]] std::uint64_t blocked_pushes() const {
+    std::lock_guard lock{mutex_};
+    return blocked_pushes_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock{mutex_};
+    return queue_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  std::size_t high_water_ = 0;
+  std::uint64_t blocked_pushes_ = 0;
+};
+
+}  // namespace blameit::ingest

@@ -1,0 +1,68 @@
+#include "ingest/sharded_builder.h"
+
+#include <stdexcept>
+
+namespace blameit::ingest {
+
+ShardedQuartetBuilder::ShardedQuartetBuilder(
+    const net::Topology* topology, analysis::BadnessThresholds thresholds,
+    int shards, analysis::QuartetBuilderConfig config) {
+  if (shards < 1) {
+    throw std::invalid_argument{"ShardedQuartetBuilder: shards must be >= 1"};
+  }
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.emplace_back(
+        analysis::QuartetBuilder{topology, thresholds, config});
+  }
+}
+
+void ShardedQuartetBuilder::add(std::size_t shard,
+                                const analysis::RttRecord& record) {
+  Shard& s = shards_[shard];
+  s.builder.add(record);
+  ++s.open_buckets[util::TimeBucket::of(record.time)];
+}
+
+std::vector<util::TimeBucket> ShardedQuartetBuilder::ready_buckets(
+    std::size_t shard, util::MinuteTime closed_through) const {
+  std::vector<util::TimeBucket> out;
+  for (const auto& [bucket, count] : shards_[shard].open_buckets) {
+    if (bucket.next().start() > closed_through) break;  // map is ordered
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+std::vector<analysis::Quartet> ShardedQuartetBuilder::take_bucket(
+    std::size_t shard, util::TimeBucket bucket) {
+  Shard& s = shards_[shard];
+  s.open_buckets.erase(bucket);
+  return s.builder.take_bucket(bucket);
+}
+
+std::size_t ShardedQuartetBuilder::pending() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s.builder.pending();
+  return n;
+}
+
+std::uint64_t ShardedQuartetBuilder::dropped_unknown_blocks() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s.builder.dropped_unknown_blocks();
+  return n;
+}
+
+std::uint64_t ShardedQuartetBuilder::dropped_min_samples() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s.builder.dropped_min_samples();
+  return n;
+}
+
+std::uint64_t ShardedQuartetBuilder::dropped_min_samples_records() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s.builder.dropped_min_samples_records();
+  return n;
+}
+
+}  // namespace blameit::ingest

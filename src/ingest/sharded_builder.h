@@ -1,0 +1,79 @@
+// Shard-partitioned quartet accumulation: the Fig 7 analytics cluster's
+// "aggregate trillions of raw RTTs into quartets" stage, split so that N
+// workers can accumulate concurrently without a single lock.
+//
+// Partitioning is by client /24. The quartet key is ⟨/24, location, device,
+// bucket⟩, so hashing on the /24 alone guarantees every record of a given
+// quartet lands on the same shard — each shard owns a disjoint slice of the
+// key space and wraps a plain (single-threaded) QuartetBuilder for it.
+//
+// Concurrency contract: distinct shards may be driven from distinct threads
+// with no synchronization; calls for the SAME shard must be serialized by
+// the caller (the IngestEngine gives each shard one worker thread).
+//
+// Determinism: a record sequence fed to shard_of()-selected shards in order
+// produces, per quartet key, the exact accumulation order of the
+// single-threaded QuartetBuilder fed the same sequence — so means are
+// bit-identical, not merely close (floating-point addition order matches).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analysis/quartet.h"
+#include "analysis/record.h"
+#include "util/rng.h"
+
+namespace blameit::ingest {
+
+class ShardedQuartetBuilder {
+ public:
+  ShardedQuartetBuilder(const net::Topology* topology,
+                        analysis::BadnessThresholds thresholds, int shards,
+                        analysis::QuartetBuilderConfig config = {});
+
+  [[nodiscard]] int shards() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+
+  /// Shard owning a /24. Stable across runs and shard-count-independent
+  /// modulo reduction, so tests can predict placement.
+  [[nodiscard]] std::size_t shard_of(net::Slash24 block) const noexcept {
+    // splitmix-style mix so consecutive /24s (common in synthetic and real
+    // allocations) spread instead of striping.
+    return static_cast<std::size_t>(
+        util::hash_combine(0x1465E57B1E5Eull, block.block) % shards_.size());
+  }
+
+  /// Adds one record to `shard` (must equal shard_of(record's /24)).
+  void add(std::size_t shard, const analysis::RttRecord& record);
+
+  /// Buckets of `shard` holding pending accumulators, oldest first, whose
+  /// window closed at or before `closed_through` (bucket end <= it).
+  [[nodiscard]] std::vector<util::TimeBucket> ready_buckets(
+      std::size_t shard, util::MinuteTime closed_through) const;
+
+  /// Finalizes and removes one bucket of one shard.
+  [[nodiscard]] std::vector<analysis::Quartet> take_bucket(
+      std::size_t shard, util::TimeBucket bucket);
+
+  // Aggregated over shards. Safe to call only when shard owners are
+  // quiescent (the engine reads them behind a flush fence).
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::uint64_t dropped_unknown_blocks() const;
+  [[nodiscard]] std::uint64_t dropped_min_samples() const;
+  [[nodiscard]] std::uint64_t dropped_min_samples_records() const;
+
+ private:
+  struct Shard {
+    explicit Shard(analysis::QuartetBuilder builder)
+        : builder(std::move(builder)) {}
+    analysis::QuartetBuilder builder;
+    /// Buckets with records accumulated and not yet taken -> record count.
+    std::map<util::TimeBucket, std::uint64_t> open_buckets;
+  };
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace blameit::ingest

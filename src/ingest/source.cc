@@ -1,0 +1,27 @@
+#include "ingest/source.h"
+
+#include <stdexcept>
+
+namespace blameit::ingest {
+
+StreamingQuartetSource::StreamingQuartetSource(IngestEngine* engine,
+                                               RecordFeed feed,
+                                               util::TimeBucket first_bucket)
+    : engine_(engine), feed_(std::move(feed)), next_unfed_(first_bucket) {
+  if (!engine_ || !feed_) {
+    throw std::invalid_argument{"StreamingQuartetSource: null dependency"};
+  }
+}
+
+std::vector<analysis::Quartet> StreamingQuartetSource::operator()(
+    util::TimeBucket bucket) {
+  for (auto b = next_unfed_; b <= bucket; b = b.next()) {
+    feed_(b, [this](const analysis::RttRecord& r) { engine_->submit(r); });
+  }
+  if (bucket >= next_unfed_) next_unfed_ = bucket.next();
+  engine_->advance_watermark(engine_->watermark_to_finalize(bucket));
+  engine_->flush();
+  return engine_->take_bucket(bucket);
+}
+
+}  // namespace blameit::ingest

@@ -1,0 +1,44 @@
+// Adapter from the streaming IngestEngine to the pull-based QuartetSource
+// interface BlameItPipeline consumes — the pipeline runs unchanged on top
+// of the sharded engine.
+//
+// The pipeline asks for buckets in non-decreasing order (warmup, then the
+// 15-minute step loop). For each request the source feeds every not-yet-fed
+// bucket's raw records into the engine, advances the watermark far enough
+// to finalize the requested bucket, fences, and returns that bucket's
+// finalized quartets (sorted by key, so downstream behavior is independent
+// of the shard count).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/quartet.h"
+#include "analysis/record.h"
+#include "ingest/engine.h"
+#include "util/time.h"
+
+namespace blameit::ingest {
+
+class StreamingQuartetSource {
+ public:
+  /// Produces the raw records of one bucket into the sink — e.g.
+  /// sim::TelemetryGenerator::generate_records or its shuffled variant.
+  using RecordFeed = std::function<void(
+      util::TimeBucket,
+      const std::function<void(const analysis::RttRecord&)>&)>;
+
+  StreamingQuartetSource(IngestEngine* engine, RecordFeed feed,
+                         util::TimeBucket first_bucket = util::TimeBucket{0});
+
+  /// The QuartetSource signature. Buckets before `first_bucket` or before a
+  /// bucket already served return empty (they were never fed / are gone).
+  std::vector<analysis::Quartet> operator()(util::TimeBucket bucket);
+
+ private:
+  IngestEngine* engine_;
+  RecordFeed feed_;
+  util::TimeBucket next_unfed_;
+};
+
+}  // namespace blameit::ingest

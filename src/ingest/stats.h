@@ -1,0 +1,41 @@
+// Counters for the streaming ingestion engine: what came in, what was
+// finalized, what was dropped and why, and how hard the queues were pushed.
+// A snapshot is cheap to take while the engine runs (all counters are
+// relaxed atomics mirrored into plain integers) and is rendered for
+// operators by ops::render_ingest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace blameit::ingest {
+
+/// Per-shard slice of the engine counters.
+struct ShardStats {
+  std::uint64_t records = 0;         ///< records accepted by this shard
+  std::uint64_t late_dropped = 0;    ///< records behind the watermark
+  std::uint64_t buckets_finalized = 0;
+  std::uint64_t quartets = 0;        ///< finalized quartets emitted
+  std::size_t queue_high_water = 0;  ///< max batches ever queued
+  std::uint64_t backpressure_waits = 0;  ///< producer blocked on full queue
+  /// Wall time spent finalizing buckets (take_bucket + classification).
+  std::uint64_t finalize_ns_total = 0;
+  std::uint64_t finalize_ns_max = 0;
+};
+
+/// Engine-wide snapshot; sums of the per-shard slices plus producer-side
+/// counters. Consumed by ops::report and the ingest bench.
+struct IngestStats {
+  std::uint64_t records_in = 0;   ///< records submitted to the engine
+  std::uint64_t records_out = 0;  ///< records represented in emitted quartets
+  std::uint64_t quartets_finalized = 0;
+  std::uint64_t late_dropped = 0;     ///< behind the watermark (per shard)
+  std::uint64_t unknown_dropped = 0;  ///< client /24 not in the topology
+  std::uint64_t min_samples_dropped = 0;  ///< quartets under min_samples
+  std::uint64_t batches_submitted = 0;
+  std::uint64_t backpressure_waits = 0;
+  std::size_t queue_high_water = 0;  ///< max over all shard queues
+  std::vector<ShardStats> shards;
+};
+
+}  // namespace blameit::ingest

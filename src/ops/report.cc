@@ -36,6 +36,32 @@ std::string render_step(const core::StepReport& report,
   return oss.str();
 }
 
+std::string render_ingest(const ingest::IngestStats& stats) {
+  std::ostringstream oss;
+  oss << "ingest: in=" << stats.records_in << " out=" << stats.records_out
+      << " quartets=" << stats.quartets_finalized;
+  oss << " | dropped: late=" << stats.late_dropped
+      << " unknown=" << stats.unknown_dropped
+      << " min-samples=" << stats.min_samples_dropped;
+  oss << " | queues: shards=" << stats.shards.size()
+      << " high-water=" << stats.queue_high_water
+      << " backpressure-waits=" << stats.backpressure_waits;
+  std::uint64_t finalize_ns = 0;
+  std::uint64_t buckets = 0;
+  for (const auto& shard : stats.shards) {
+    finalize_ns += shard.finalize_ns_total;
+    buckets += shard.buckets_finalized;
+  }
+  if (buckets > 0) {
+    oss << " | finalize: " << util::fmt(
+               static_cast<double>(finalize_ns) /
+                   static_cast<double>(buckets) / 1e3,
+               1)
+        << "us/bucket";
+  }
+  return oss.str();
+}
+
 std::string render_ticket(const Ticket& ticket,
                           const net::Topology& topology) {
   std::ostringstream oss;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/pipeline.h"
+#include "ingest/stats.h"
 #include "ops/alert.h"
 
 namespace blameit::ops {
@@ -13,6 +14,10 @@ namespace blameit::ops {
 /// probes spent.
 [[nodiscard]] std::string render_step(const core::StepReport& report,
                                       const net::Topology& topology);
+
+/// One-line summary of the streaming ingestion counters: throughput so far,
+/// drop accounting (late / unknown / under-sampled), and queue pressure.
+[[nodiscard]] std::string render_ingest(const ingest::IngestStats& stats);
 
 /// Renders a ticket as the one-line form an incident queue would show.
 [[nodiscard]] std::string render_ticket(const Ticket& ticket,

@@ -2,8 +2,20 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
 
 namespace blameit::sim {
+
+namespace {
+
+std::uint64_t timeline_key(net::CloudLocationId location,
+                           const net::Prefix& prefix) noexcept {
+  return (std::uint64_t{location.value} << 40) |
+         (std::uint64_t{prefix.network} << 8) | prefix.length;
+}
+
+}  // namespace
 
 TelemetryGenerator::TelemetryGenerator(const net::Topology* topology,
                                        const FaultInjector* faults,
@@ -16,6 +28,25 @@ TelemetryGenerator::TelemetryGenerator(const net::Topology* topology,
       config_.secondary_volume_fraction > 1.0) {
     throw std::invalid_argument{
         "TelemetryConfig: secondary_volume_fraction out of range"};
+  }
+  // Pre-warm the route-timeline cache for every (location, announced
+  // prefix) pair so generation is read-only afterwards and therefore safe
+  // to run from multiple threads (see the header's concurrency contract).
+  // Overrides can steer any region to any location, hence the full cross
+  // product rather than just home locations.
+  std::unordered_set<std::uint64_t> prefixes_seen;
+  std::vector<net::Prefix> prefixes;
+  for (const auto& block : topology_->blocks()) {
+    const std::uint64_t pk = (std::uint64_t{block.announced.network} << 8) |
+                             block.announced.length;
+    if (prefixes_seen.insert(pk).second) prefixes.push_back(block.announced);
+  }
+  for (const auto& location : topology_->locations()) {
+    for (const auto& prefix : prefixes) {
+      timeline_cache_.emplace(
+          timeline_key(location.id, prefix),
+          topology_->routing().timeline(location.id, prefix));
+    }
   }
 }
 
@@ -56,15 +87,15 @@ util::Rng TelemetryGenerator::quartet_rng(const net::ClientBlock& block,
 const net::RouteEntry* TelemetryGenerator::route_for(
     net::CloudLocationId location, const net::ClientBlock& block,
     util::MinuteTime t) const {
-  const std::uint64_t key = (std::uint64_t{location.value} << 40) |
-                            (std::uint64_t{block.announced.network} << 8) |
-                            block.announced.length;
-  auto it = timeline_cache_.find(key);
+  const auto it =
+      timeline_cache_.find(timeline_key(location, block.announced));
   if (it == timeline_cache_.end()) {
-    it = timeline_cache_
-             .emplace(key,
-                      topology_->routing().timeline(location, block.announced))
-             .first;
+    // Unreachable for topology-owned blocks (the constructor covered the
+    // full cross product); resolve directly — without caching — to stay
+    // read-only under concurrent generation.
+    const auto* timeline =
+        topology_->routing().timeline(location, block.announced);
+    return timeline ? timeline->route_at(t) : nullptr;
   }
   return it->second ? it->second->route_at(t) : nullptr;
 }
@@ -135,6 +166,26 @@ void TelemetryGenerator::generate_records(
       }
     }
   }
+}
+
+void TelemetryGenerator::generate_records_shuffled(
+    util::TimeBucket bucket,
+    const std::function<void(const analysis::RttRecord&)>& sink) const {
+  std::vector<analysis::RttRecord> records;
+  generate_records(bucket, [&](const analysis::RttRecord& r) {
+    records.push_back(r);
+  });
+  // Deterministic Fisher–Yates keyed on (seed, bucket): same multiset as
+  // generate_records, but arrival order is scrambled the way the hourly
+  // storage buckets scramble it (§6.1).
+  util::Rng rng{util::hash_combine(config_.seed ^ 0x5817FFull,
+                                   static_cast<std::uint64_t>(bucket.index))};
+  for (std::size_t i = records.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(records[i - 1], records[j]);
+  }
+  for (const auto& r : records) sink(r);
 }
 
 }  // namespace blameit::sim

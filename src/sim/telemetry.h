@@ -11,6 +11,12 @@
 // Traffic overrides model anycast re-steering events (the §6.3 "traffic
 // shift from East Asia to US West" case): while active, an override sends a
 // region's clients to an explicit cloud location instead of their home edge.
+//
+// Concurrency contract: after construction (and after any add_override
+// calls complete), all const methods are safe to call concurrently from
+// multiple threads — the route-timeline cache is filled eagerly in the
+// constructor, so generation never mutates shared state. Mutating methods
+// (add_override) must not run concurrently with generation.
 #pragma once
 
 #include <functional>
@@ -56,6 +62,14 @@ class TelemetryGenerator {
       util::TimeBucket bucket,
       const std::function<void(const analysis::RttRecord&)>& sink) const;
 
+  /// Emits the records of `bucket` in a deterministically shuffled order —
+  /// the same multiset as generate_records, arriving out of order the way
+  /// the production storage buckets lose intra-hour ordering (§6.1). This
+  /// is the input mode that exercises the ingest watermark logic.
+  void generate_records_shuffled(
+      util::TimeBucket bucket,
+      const std::function<void(const analysis::RttRecord&)>& sink) const;
+
   /// Emits per-quartet aggregates for one bucket: (key, sample count, mean
   /// RTT). Equivalent in distribution to averaging generate_records output.
   void generate_aggregates(
@@ -96,8 +110,11 @@ class TelemetryGenerator {
   Population population_;
   RttModel model_;
   std::vector<TrafficOverride> overrides_;
-  // (location, announced prefix) -> timeline handle, filled lazily.
-  mutable std::unordered_map<std::uint64_t, const net::RouteTimeline*>
+  // (location, announced prefix) -> timeline handle. Filled EAGERLY for
+  // every pair in the constructor — a lazily-filled mutable cache would
+  // race once ingest shards generate records concurrently. Read-only after
+  // construction.
+  std::unordered_map<std::uint64_t, const net::RouteTimeline*>
       timeline_cache_;
 };
 

@@ -172,6 +172,86 @@ TEST_F(QuartetBuilderTest, ThresholdOverride) {
       std::invalid_argument);
 }
 
+TEST_F(QuartetBuilderTest, RecordsStraddlingBucketBoundary) {
+  auto builder = make_builder(1);
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  // Minute 4 is the last minute of bucket 0; minute 5 opens bucket 1.
+  builder.add(record(block, loc, 20.0, util::kBucketMinutes - 1));
+  builder.add(record(block, loc, 40.0, util::kBucketMinutes));
+  const auto b0 = builder.take_bucket(util::TimeBucket{0});
+  ASSERT_EQ(b0.size(), 1u);
+  EXPECT_EQ(b0[0].sample_count, 1);
+  EXPECT_NEAR(b0[0].mean_rtt_ms, 20.0, 1e-9);
+  const auto b1 = builder.take_bucket(util::TimeBucket{1});
+  ASSERT_EQ(b1.size(), 1u);
+  EXPECT_EQ(b1[0].sample_count, 1);
+  EXPECT_NEAR(b1[0].mean_rtt_ms, 40.0, 1e-9);
+}
+
+TEST_F(QuartetBuilderTest, TakeBucketOnEmptyOrUnknownBucket) {
+  auto builder = make_builder();
+  // Nothing accumulated at all.
+  EXPECT_TRUE(builder.take_bucket(util::TimeBucket{0}).empty());
+  // Records exist, but only in bucket 0: other buckets yield nothing and
+  // leave the pending accumulators untouched.
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  for (int i = 0; i < 12; ++i) builder.add(record(block, loc, 20.0));
+  EXPECT_TRUE(builder.take_bucket(util::TimeBucket{99}).empty());
+  EXPECT_TRUE(builder.take_bucket(util::TimeBucket{-3}).empty());
+  EXPECT_EQ(builder.pending(), 1u);
+  EXPECT_EQ(builder.take_bucket(util::TimeBucket{0}).size(), 1u);
+  EXPECT_EQ(builder.pending(), 0u);
+}
+
+TEST_F(QuartetBuilderTest, MinSamplesDropAccounting) {
+  auto builder = make_builder(10);
+  const auto& block_a = topo_->blocks()[0];
+  const auto& block_b = topo_->blocks()[1];
+  const auto loc_a = topo_->home_locations(block_a.block).front();
+  const auto loc_b = topo_->home_locations(block_b.block).front();
+  for (int i = 0; i < 4; ++i) builder.add(record(block_a, loc_a, 20.0));
+  for (int i = 0; i < 12; ++i) builder.add(record(block_b, loc_b, 30.0));
+  EXPECT_EQ(builder.dropped_min_samples(), 0u);  // counted at take time
+  const auto quartets = builder.take_bucket(util::TimeBucket{0});
+  EXPECT_EQ(quartets.size(), 1u);
+  EXPECT_EQ(builder.dropped_min_samples(), 1u);
+  EXPECT_EQ(builder.dropped_min_samples_records(), 4u);
+  // Dropped means dropped: re-taking the bucket finds nothing.
+  EXPECT_TRUE(builder.take_bucket(util::TimeBucket{0}).empty());
+  EXPECT_EQ(builder.dropped_min_samples(), 1u);
+}
+
+TEST_F(QuartetBuilderTest, AddAggregateMixedWithAddForSameKey) {
+  auto by_mixed = make_builder(1);
+  auto by_records = make_builder(1);
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  const QuartetKey key{.block = block.block,
+                       .location = loc,
+                       .device = net::DeviceClass::NonMobile,
+                       .bucket = util::TimeBucket{0}};
+  // Mixed path: 3 raw records + an aggregate of 5 more.
+  for (int i = 0; i < 3; ++i) by_mixed.add(record(block, loc, 20.0));
+  by_mixed.add_aggregate(key, 5, 44.0);
+  // Reference: the same 8 samples all as records.
+  for (int i = 0; i < 3; ++i) by_records.add(record(block, loc, 20.0));
+  for (int i = 0; i < 5; ++i) by_records.add(record(block, loc, 44.0));
+  const auto qa = by_mixed.take_bucket(util::TimeBucket{0});
+  const auto qb = by_records.take_bucket(util::TimeBucket{0});
+  ASSERT_EQ(qa.size(), 1u);
+  ASSERT_EQ(qb.size(), 1u);
+  EXPECT_EQ(qa[0].sample_count, 8);
+  EXPECT_EQ(qb[0].sample_count, 8);
+  EXPECT_NEAR(qa[0].mean_rtt_ms, qb[0].mean_rtt_ms, 1e-9);
+  // Zero- and negative-count aggregates are ignored outright.
+  by_mixed.add_aggregate(key, 0, 99.0);
+  by_mixed.add_aggregate(key, -2, 99.0);
+  EXPECT_TRUE(by_mixed.take_bucket(util::TimeBucket{0}).empty());
+  EXPECT_EQ(by_mixed.pending(), 0u);
+}
+
 TEST(QuartetHomogeneity, AcceptsIidSamples) {
   util::Rng rng{3};
   std::vector<double> samples;

@@ -1,0 +1,289 @@
+#include "ingest/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "analysis/quartet.h"
+#include "ingest/sharded_builder.h"
+#include "sim/fault.h"
+#include "sim/telemetry.h"
+
+namespace blameit::ingest {
+namespace {
+
+class IngestEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 1;
+    cfg.eyeballs_per_region = 2;
+    cfg.blocks_per_eyeball = 4;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  static util::TimeBucket noon_bucket() {
+    return util::TimeBucket::of(util::MinuteTime::from_day_hour(0, 12));
+  }
+
+  /// Canonical comparable form of a finalized quartet set.
+  static std::vector<std::tuple<std::uint32_t, std::uint16_t, int,
+                                std::int64_t, int, double, bool>>
+  canonical(std::vector<analysis::Quartet> quartets) {
+    std::vector<std::tuple<std::uint32_t, std::uint16_t, int, std::int64_t,
+                           int, double, bool>>
+        out;
+    out.reserve(quartets.size());
+    for (const auto& q : quartets) {
+      out.emplace_back(q.key.block.block, q.key.location.value,
+                       static_cast<int>(q.key.device), q.key.bucket.index,
+                       q.sample_count, q.mean_rtt_ms, q.bad);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  static const net::Topology* topo_;
+  sim::FaultInjector faults_;
+};
+
+const net::Topology* IngestEngineTest::topo_ = nullptr;
+
+// The ISSUE's key acceptance test: 4 shards fed shuffled records produce
+// the same finalized quartet set — keys, counts, and bit-exact means — as
+// the single-threaded QuartetBuilder fed the identical sequence.
+TEST_F(IngestEngineTest, ShardedOutputMatchesSingleThreadedBitExact) {
+  const sim::TelemetryGenerator gen{topo_, &faults_};
+  const auto first = noon_bucket();
+  constexpr int kBuckets = 3;
+
+  analysis::QuartetBuilder reference{topo_, analysis::BadnessThresholds{}};
+  std::vector<std::vector<analysis::Quartet>> expected;
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto bucket = util::TimeBucket{first.index + i};
+    gen.generate_records_shuffled(
+        bucket, [&](const analysis::RttRecord& r) { reference.add(r); });
+    expected.push_back(reference.take_bucket(bucket));
+  }
+
+  IngestConfig cfg;
+  cfg.shards = 4;
+  cfg.batch_records = 64;  // force multiple batches per bucket
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto bucket = util::TimeBucket{first.index + i};
+    gen.generate_records_shuffled(
+        bucket, [&](const analysis::RttRecord& r) { engine.submit(r); });
+    engine.advance_watermark(engine.watermark_to_finalize(bucket));
+  }
+  engine.flush();
+
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto bucket = util::TimeBucket{first.index + i};
+    const auto got = engine.take_bucket(bucket);
+    ASSERT_FALSE(got.empty());
+    total += got.size();
+    // Means compared with EXPECT_EQ via the tuple: bit-exact, not NEAR —
+    // per-key accumulation order is identical on both paths.
+    EXPECT_EQ(canonical(got),
+              canonical(expected[static_cast<std::size_t>(i)]))
+        << "bucket " << i;
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.late_dropped, 0u);
+  EXPECT_EQ(stats.unknown_dropped, reference.dropped_unknown_blocks());
+  EXPECT_EQ(stats.quartets_finalized, total);
+  EXPECT_EQ(stats.min_samples_dropped, reference.dropped_min_samples());
+}
+
+// Shard-count independence: 1, 2, and 8 shards all agree.
+TEST_F(IngestEngineTest, OutputIndependentOfShardCount) {
+  const sim::TelemetryGenerator gen{topo_, &faults_};
+  const auto bucket = noon_bucket();
+  std::vector<std::vector<analysis::Quartet>> results;
+  for (const int shards : {1, 2, 8}) {
+    IngestConfig cfg;
+    cfg.shards = shards;
+    IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+    gen.generate_records_shuffled(
+        bucket, [&](const analysis::RttRecord& r) { engine.submit(r); });
+    engine.advance_watermark(engine.watermark_to_finalize(bucket));
+    engine.flush();
+    results.push_back(engine.take_bucket(bucket));
+  }
+  ASSERT_FALSE(results[0].empty());
+  EXPECT_EQ(canonical(results[0]), canonical(results[1]));
+  EXPECT_EQ(canonical(results[0]), canonical(results[2]));
+}
+
+TEST_F(IngestEngineTest, WatermarkGatesFinalization) {
+  IngestConfig cfg;
+  cfg.shards = 2;
+  cfg.lateness_minutes = util::kBucketMinutes;
+  cfg.builder.min_samples = 1;
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  for (int i = 0; i < 5; ++i) {
+    engine.submit(analysis::RttRecord{.time = util::MinuteTime{2},
+                                      .location = loc,
+                                      .client_ip = block.block.host(10),
+                                      .device = net::DeviceClass::NonMobile,
+                                      .rtt_ms = 20.0});
+  }
+  // Watermark at the bucket's end: within the lateness allowance, so the
+  // bucket must stay open.
+  engine.advance_watermark(util::MinuteTime{util::kBucketMinutes});
+  engine.flush();
+  EXPECT_TRUE(engine.finalized_buckets().empty());
+  EXPECT_TRUE(engine.take_bucket(util::TimeBucket{0}).empty());
+
+  // Past end + allowance: finalized.
+  engine.advance_watermark(util::MinuteTime{2 * util::kBucketMinutes});
+  engine.flush();
+  ASSERT_EQ(engine.finalized_buckets().size(), 1u);
+  const auto quartets = engine.take_bucket(util::TimeBucket{0});
+  ASSERT_EQ(quartets.size(), 1u);
+  EXPECT_EQ(quartets[0].sample_count, 5);
+  EXPECT_EQ(engine.take_bucket(util::TimeBucket{0}).size(), 0u);  // taken
+}
+
+TEST_F(IngestEngineTest, LateRecordCountersAreExact) {
+  IngestConfig cfg;
+  cfg.shards = 4;
+  cfg.lateness_minutes = util::kBucketMinutes;
+  cfg.builder.min_samples = 1;
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  const auto record = [&](std::int64_t minute) {
+    return analysis::RttRecord{.time = util::MinuteTime{minute},
+                               .location = loc,
+                               .client_ip = block.block.host(10),
+                               .device = net::DeviceClass::NonMobile,
+                               .rtt_ms = 25.0};
+  };
+  engine.submit(record(1));
+  engine.submit(record(3));
+  engine.advance_watermark(util::MinuteTime{util::kBucketMinutes});
+  // Out-of-order but within the allowance: accepted.
+  engine.submit(record(2));
+  engine.advance_watermark(util::MinuteTime{2 * util::kBucketMinutes});
+  // Bucket 0 is finalized now: exactly these three are late.
+  engine.submit(record(0));
+  engine.submit(record(2));
+  engine.submit(record(4));
+  // A record for the still-open bucket 1 is not late.
+  engine.submit(record(util::kBucketMinutes + 1));
+  engine.flush();
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.late_dropped, 3u);
+  EXPECT_EQ(stats.records_in, 7u);
+  const auto quartets = engine.take_bucket(util::TimeBucket{0});
+  ASSERT_EQ(quartets.size(), 1u);
+  EXPECT_EQ(quartets[0].sample_count, 3);  // minutes 1, 3, and the late-ok 2
+}
+
+TEST_F(IngestEngineTest, UnknownBlocksCountedNotSilentlyLost) {
+  IngestConfig cfg;
+  cfg.builder.min_samples = 1;
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+  engine.submit(
+      analysis::RttRecord{.time = util::MinuteTime{0},
+                          .location = topo_->locations().front().id,
+                          .client_ip = *net::Ipv4Addr::parse("203.0.113.7"),
+                          .device = net::DeviceClass::NonMobile,
+                          .rtt_ms = 10.0});
+  engine.close();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.records_in, 1u);
+  EXPECT_EQ(stats.unknown_dropped, 1u);
+  EXPECT_EQ(stats.quartets_finalized, 0u);
+}
+
+TEST_F(IngestEngineTest, StatsAccounting) {
+  const sim::TelemetryGenerator gen{topo_, &faults_};
+  IngestConfig cfg;
+  cfg.shards = 4;
+  cfg.batch_records = 32;
+  cfg.queue_batches = 2;  // tiny queues: high-water must register
+  cfg.builder.min_samples = 1;
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+  const auto bucket = noon_bucket();
+  std::uint64_t fed = 0;
+  gen.generate_records(bucket, [&](const analysis::RttRecord& r) {
+    engine.submit(r);
+    ++fed;
+  });
+  engine.close();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.records_in, fed);
+  EXPECT_EQ(stats.shards.size(), 4u);
+  std::uint64_t accepted = 0;
+  for (const auto& shard : stats.shards) accepted += shard.records;
+  EXPECT_EQ(accepted + stats.late_dropped, fed);
+  // With min_samples=1 and no late/unknown drops, every record ends up in
+  // a finalized quartet.
+  EXPECT_EQ(stats.records_out, fed);
+  EXPECT_GT(stats.quartets_finalized, 0u);
+  EXPECT_GE(stats.queue_high_water, 1u);
+  EXPECT_GT(stats.batches_submitted, 4u);
+}
+
+TEST_F(IngestEngineTest, CloseFinalizesEverything) {
+  IngestConfig cfg;
+  cfg.builder.min_samples = 1;
+  cfg.lateness_minutes = 60;  // generous allowance; close overrides it
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+  const auto& block = topo_->blocks().front();
+  const auto loc = topo_->home_locations(block.block).front();
+  engine.submit(analysis::RttRecord{.time = util::MinuteTime{1},
+                                    .location = loc,
+                                    .client_ip = block.block.host(9),
+                                    .device = net::DeviceClass::Mobile,
+                                    .rtt_ms = 31.0});
+  engine.close();
+  EXPECT_EQ(engine.take_bucket(util::TimeBucket{0}).size(), 1u);
+}
+
+TEST_F(IngestEngineTest, InvalidConfigThrows) {
+  IngestConfig bad;
+  bad.shards = 0;
+  EXPECT_THROW((IngestEngine{topo_, analysis::BadnessThresholds{}, bad}),
+               std::invalid_argument);
+  IngestConfig negative;
+  negative.lateness_minutes = -1;
+  EXPECT_THROW(
+      (IngestEngine{topo_, analysis::BadnessThresholds{}, negative}),
+      std::invalid_argument);
+}
+
+TEST(ShardedQuartetBuilderTest, PartitionIsStableAndCovering) {
+  net::TopologyConfig cfg;
+  cfg.locations_per_region = 1;
+  cfg.eyeballs_per_region = 2;
+  cfg.blocks_per_eyeball = 4;
+  const auto topo = net::make_topology(cfg);
+  ShardedQuartetBuilder builder{topo.get(), analysis::BadnessThresholds{}, 4};
+  std::map<std::size_t, int> per_shard;
+  for (const auto& block : topo->blocks()) {
+    const auto shard = builder.shard_of(block.block);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(shard, builder.shard_of(block.block));  // stable
+    ++per_shard[shard];
+  }
+  // The hash must actually spread the (sequentially allocated) /24s.
+  EXPECT_GT(per_shard.size(), 1u);
+}
+
+}  // namespace
+}  // namespace blameit::ingest

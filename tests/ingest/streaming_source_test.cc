@@ -1,0 +1,147 @@
+#include "ingest/source.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/pipeline.h"
+#include "sim/telemetry.h"
+#include "sim/traceroute.h"
+
+namespace blameit::ingest {
+namespace {
+
+class StreamingSourceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 1;
+    cfg.eyeballs_per_region = 2;
+    cfg.blocks_per_eyeball = 4;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  static std::vector<analysis::Quartet> sorted_by_key(
+      std::vector<analysis::Quartet> quartets) {
+    std::sort(quartets.begin(), quartets.end(),
+              [](const analysis::Quartet& a, const analysis::Quartet& b) {
+                return std::tuple{a.key.block.block, a.key.location.value,
+                                  static_cast<int>(a.key.device),
+                                  a.key.bucket.index} <
+                       std::tuple{b.key.block.block, b.key.location.value,
+                                  static_cast<int>(b.key.device),
+                                  b.key.bucket.index};
+              });
+    return quartets;
+  }
+
+  static const net::Topology* topo_;
+  sim::FaultInjector faults_;
+};
+
+const net::Topology* StreamingSourceTest::topo_ = nullptr;
+
+TEST_F(StreamingSourceTest, ServesFinalizedQuartetsPerBucket) {
+  const sim::TelemetryGenerator gen{topo_, &faults_};
+  IngestConfig cfg;
+  cfg.shards = 2;
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+  const auto first =
+      util::TimeBucket::of(util::MinuteTime::from_day_hour(0, 12));
+  StreamingQuartetSource source{
+      &engine,
+      [&](util::TimeBucket b,
+          const std::function<void(const analysis::RttRecord&)>& sink) {
+        gen.generate_records_shuffled(b, sink);
+      },
+      first};
+
+  analysis::QuartetBuilder reference{topo_, analysis::BadnessThresholds{}};
+  gen.generate_records_shuffled(
+      first, [&](const analysis::RttRecord& r) { reference.add(r); });
+  const auto expected = sorted_by_key(reference.take_bucket(first));
+
+  const auto got = source(first);
+  ASSERT_FALSE(got.empty());
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, expected[i].key);
+    EXPECT_EQ(got[i].sample_count, expected[i].sample_count);
+    EXPECT_EQ(got[i].mean_rtt_ms, expected[i].mean_rtt_ms);  // bit-exact
+    EXPECT_EQ(got[i].bad, expected[i].bad);
+  }
+  // A bucket served once is gone; earlier buckets were never fed.
+  EXPECT_TRUE(source(first).empty());
+  EXPECT_TRUE(source(first.prev()).empty());
+}
+
+// BlameItPipeline runs unchanged on the streaming source and agrees with a
+// pipeline fed by the single-threaded builder over the same record stream.
+TEST_F(StreamingSourceTest, PipelineRunsUnchangedOnStreamingSource) {
+  const sim::TelemetryGenerator gen{topo_, &faults_};
+  core::BlameItConfig pipeline_cfg;
+  pipeline_cfg.expected_rtt_window_days = 2;
+
+  sim::RttModel model{topo_, &faults_};
+  sim::TracerouteEngine probes_a{topo_, &model};
+  sim::TracerouteEngine probes_b{topo_, &model};
+
+  IngestConfig cfg;
+  cfg.shards = 4;
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+  StreamingQuartetSource streaming{
+      &engine,
+      [&](util::TimeBucket b,
+          const std::function<void(const analysis::RttRecord&)>& sink) {
+        gen.generate_records_shuffled(b, sink);
+      }};
+  core::BlameItPipeline with_streaming{topo_, &probes_a,
+                                       std::move(streaming), pipeline_cfg};
+
+  core::BlameItPipeline with_builder{
+      topo_, &probes_b,
+      [&](util::TimeBucket b) {
+        analysis::QuartetBuilder builder{topo_,
+                                         analysis::BadnessThresholds{}};
+        gen.generate_records_shuffled(
+            b, [&](const analysis::RttRecord& r) { builder.add(r); });
+        return sorted_by_key(builder.take_bucket(b));
+      },
+      pipeline_cfg};
+
+  // Half a day: warm both pipelines on the morning, then step the midday.
+  const int warm_buckets = 10 * util::kMinutesPerHour / util::kBucketMinutes;
+  for (int b = 0; b < warm_buckets; ++b) {
+    with_streaming.warmup_bucket(util::TimeBucket{b});
+    with_builder.warmup_bucket(util::TimeBucket{b});
+  }
+  for (int minute = 10 * util::kMinutesPerHour + 15;
+       minute <= 12 * util::kMinutesPerHour; minute += 15) {
+    const auto now = util::MinuteTime{minute};
+    const auto a = with_streaming.step(now);
+    const auto b = with_builder.step(now);
+    EXPECT_EQ(a.buckets_processed, b.buckets_processed);
+    EXPECT_EQ(a.blames.size(), b.blames.size());
+    for (const auto blame : core::kAllBlames) {
+      EXPECT_EQ(a.count(blame), b.count(blame)) << "minute " << minute;
+    }
+    EXPECT_EQ(a.ranked_issues.size(), b.ranked_issues.size());
+  }
+}
+
+TEST_F(StreamingSourceTest, NullDependenciesThrow) {
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}};
+  EXPECT_THROW((StreamingQuartetSource{nullptr, [](util::TimeBucket,
+                                                   const auto&) {}}),
+               std::invalid_argument);
+  EXPECT_THROW((StreamingQuartetSource{&engine, nullptr}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blameit::ingest

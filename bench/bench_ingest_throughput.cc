@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
 
   util::TextTable table{{"config", "records/sec", "elapsed ms", "quartets",
                          "high-water", "bp-waits"}};
+  bench::BenchReport report{"ingest_throughput"};
 
   // Baseline: the single-threaded QuartetBuilder the pipeline used before.
   {
@@ -71,6 +72,8 @@ int main(int argc, char** argv) {
       quartets += builder.take_bucket(util::TimeBucket{first.index + b}).size();
     }
     const double secs = seconds_since(t0);
+    report.add_run("builder (no threads)", secs * 1e3,
+                   static_cast<double>(total_records) / secs);
     table.add_row({"builder (no threads)",
                    util::fmt_count(static_cast<std::uint64_t>(
                        static_cast<double>(total_records) / secs)),
@@ -101,6 +104,11 @@ int main(int argc, char** argv) {
     char label[32];
     std::snprintf(label, sizeof label, "%d shard%s", shards,
                   shards == 1 ? "" : "s");
+    report.add_run(label, secs * 1e3,
+                   static_cast<double>(total_records) / secs,
+                   {{"shards", static_cast<double>(shards)},
+                    {"backpressure_waits",
+                     static_cast<double>(stats.backpressure_waits)}});
     table.add_row({label,
                    util::fmt_count(static_cast<std::uint64_t>(
                        static_cast<double>(total_records) / secs)),
@@ -113,5 +121,6 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n%s", table.to_string().c_str());
+  report.write();
   return 0;
 }

@@ -1,0 +1,194 @@
+// End-to-end analytics throughput: BlameItPipeline::step() latency across
+// the parallel-analytics configurations, over identical pre-materialized
+// telemetry so every run processes the same quartet stream.
+//
+//   legacy serial   — 1 thread, expected-RTT memoization OFF (the pre-
+//                     optimization analytics path; the speedup baseline)
+//   1/2/4/8 threads — location-sharded localize(), memoization ON
+//
+// plus a cold-vs-warm microbench of the expected-RTT median cache itself.
+// Results go to stdout and BENCH_pipeline_throughput.json (BenchReport).
+// Output across all configurations is asserted identical here too — the
+// thread knob must be a pure perf knob (the tests prove it bit-exactly).
+//
+//   $ ./bench_pipeline_throughput [eval_hours=6] [warm_days=2]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/pipeline.h"
+#include "util/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blameit;
+
+  const int eval_hours = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int warm_days = argc > 2 ? std::atoi(argv[2]) : 2;
+  bench::header("pipeline step() throughput: parallel analytics core",
+                "§3.3 near-real-time passive phase at scale");
+
+  // One stack provides topology + telemetry; ambient incidents make the
+  // blame paths (cloud/middle/client/ambiguous) all do real work.
+  auto stack = bench::make_stack();
+  const auto incidents = bench::ambient_incidents(
+      *stack->topology, warm_days, /*days=*/1 + (eval_hours + 23) / 24, 1.5);
+  sim::apply_incidents(incidents, stack->faults, stack->generator.get());
+
+  // Materialize every bucket once: warmup [day 0, warm_days) and the eval
+  // window, so all configurations consume byte-identical input and the
+  // measurement excludes telemetry generation entirely.
+  const int warm_buckets = warm_days * util::kBucketsPerDay;
+  const int eval_buckets = eval_hours * 60 / util::kBucketMinutes;
+  std::printf("materializing %d warmup + %d eval buckets...\n", warm_buckets,
+              eval_buckets);
+  std::map<std::int64_t, std::vector<analysis::Quartet>> store;
+  std::size_t eval_quartets = 0;
+  for (int b = 0; b < warm_buckets + eval_buckets; ++b) {
+    auto quartets = stack->quartets(util::TimeBucket{b});
+    if (b >= warm_buckets) eval_quartets += quartets.size();
+    store.emplace(b, std::move(quartets));
+  }
+  std::printf("eval window: %s quartets over %d buckets\n\n",
+              util::fmt_count(eval_quartets).c_str(), eval_buckets);
+
+  const auto source = [&store](util::TimeBucket bucket) {
+    const auto it = store.find(bucket.index);
+    return it != store.end() ? it->second : std::vector<analysis::Quartet>{};
+  };
+
+  // Runs one full configuration: fresh pipeline, untimed warmup, timed
+  // step() loop at 15-minute cadence over the eval window.
+  struct RunOutcome {
+    double wall_ms = 0.0;
+    long blames = 0;
+  };
+  const auto run_config = [&](int threads, bool memoize) {
+    core::BlameItConfig cfg = bench::bench_pipeline_config();
+    cfg.analytics_threads = threads;
+    cfg.memoize_expected_rtt = memoize;
+    core::BlameItPipeline pipeline{stack->topology.get(), stack->engine.get(),
+                                   source, cfg};
+    for (int b = 0; b < warm_buckets; ++b) {
+      pipeline.warmup_bucket(util::TimeBucket{b});
+    }
+    RunOutcome outcome;
+    const auto start = util::MinuteTime::from_days(warm_days);
+    const auto t0 = Clock::now();
+    for (int minute = 15; minute <= eval_hours * 60; minute += 15) {
+      const auto report = pipeline.step(start.plus_minutes(minute));
+      outcome.blames += static_cast<long>(report.blames.size());
+    }
+    outcome.wall_ms = ms_since(t0);
+    return outcome;
+  };
+
+  bench::BenchReport report{"pipeline_throughput"};
+  util::TextTable table{{"config", "step wall ms", "quartets/sec", "blames",
+                         "speedup vs legacy", "speedup vs 1-thread"}};
+
+  const auto legacy = run_config(1, /*memoize=*/false);
+  const auto qps = [&](const RunOutcome& r) {
+    return static_cast<double>(eval_quartets) / (r.wall_ms / 1e3);
+  };
+  report.add_run("legacy serial (no median cache)", legacy.wall_ms,
+                 qps(legacy), {{"threads", 1.0}, {"speedup_vs_serial", 1.0}});
+  table.add_row({"legacy serial (no cache)", util::fmt(legacy.wall_ms, 1),
+                 util::fmt_count(static_cast<std::uint64_t>(qps(legacy))),
+                 std::to_string(legacy.blames), "1.00", "-"});
+
+  double serial_ms = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    const auto outcome = run_config(threads, /*memoize=*/true);
+    if (threads == 1) serial_ms = outcome.wall_ms;
+    if (outcome.blames != legacy.blames) {
+      std::fprintf(stderr,
+                   "FATAL: %d-thread run produced %ld blames, legacy %ld — "
+                   "determinism broken\n",
+                   threads, outcome.blames, legacy.blames);
+      return 1;
+    }
+    const double vs_legacy = legacy.wall_ms / outcome.wall_ms;
+    const double vs_serial = serial_ms / outcome.wall_ms;
+    char label[48];
+    std::snprintf(label, sizeof label, "%d thread%s + median cache", threads,
+                  threads == 1 ? "" : "s");
+    report.add_run(label, outcome.wall_ms, qps(outcome),
+                   {{"threads", static_cast<double>(threads)},
+                    {"speedup_vs_serial", vs_legacy},
+                    {"speedup_vs_1thread", vs_serial}});
+    table.add_row({label, util::fmt(outcome.wall_ms, 1),
+                   util::fmt_count(static_cast<std::uint64_t>(qps(outcome))),
+                   std::to_string(outcome.blames), util::fmt(vs_legacy, 2),
+                   util::fmt(vs_serial, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Cold-vs-warm median cache microbench: the same learner state queried
+  // with memoization off (every call re-pools + re-medians, the legacy
+  // cost) and on (day-cached, O(1) after the first query).
+  std::printf("expected-RTT median cache (cold vs warm):\n");
+  const auto learner_bench = [&](bool memoize) {
+    analysis::ExpectedRttConfig cfg;
+    cfg.memoize_medians = memoize;
+    analysis::ExpectedRttLearner learner{cfg};
+    std::set<std::uint64_t> seen;
+    std::vector<analysis::ExpectedRttKey> keys;
+    for (int b = 0; b < warm_buckets; ++b) {
+      for (const auto& q : store[b]) {
+        const int day = util::TimeBucket{b}.day();
+        const auto ck = analysis::cloud_key(q.key.location, q.key.device);
+        const auto mk =
+            analysis::middle_key(q.key.location, q.middle, q.key.device);
+        learner.observe(ck, day, q.mean_rtt_ms);
+        learner.observe(mk, day, q.mean_rtt_ms);
+        for (const auto key : {ck, mk}) {
+          if (seen.insert(key.packed).second) keys.push_back(key);
+        }
+      }
+    }
+    constexpr int kReps = 20;
+    const auto t0 = Clock::now();
+    double sink = 0.0;
+    long calls = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (const auto key : keys) {
+        sink += learner.expected(key, warm_days).value_or(0.0);
+        ++calls;
+      }
+    }
+    const double wall = ms_since(t0);
+    if (sink == 0.12345) std::printf("!");  // defeat dead-code elimination
+    return std::pair{wall, calls};
+  };
+  const auto [cold_ms, cold_calls] = learner_bench(false);
+  const auto [warm_ms, warm_calls] = learner_bench(true);
+  const double cold_ns = cold_ms * 1e6 / static_cast<double>(cold_calls);
+  const double warm_ns = warm_ms * 1e6 / static_cast<double>(warm_calls);
+  std::printf("  cold (no cache): %.0f ns/call   warm (cached): %.0f ns/call"
+              "   -> %.1fx\n\n",
+              cold_ns, warm_ns, cold_ns / warm_ns);
+  report.add_run("learner expected() cold", cold_ms,
+                 static_cast<double>(cold_calls) / (cold_ms / 1e3),
+                 {{"ns_per_call", cold_ns}});
+  report.add_run("learner expected() warm", warm_ms,
+                 static_cast<double>(warm_calls) / (warm_ms / 1e3),
+                 {{"ns_per_call", warm_ns},
+                  {"speedup_vs_cold", cold_ns / warm_ns}});
+
+  report.write();
+  return 0;
+}

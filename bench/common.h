@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/impact.h"
@@ -230,6 +231,58 @@ inline std::vector<sim::Incident> ambient_incidents(
   }
   return out;
 }
+
+/// Machine-readable bench results. Each bench collects one row per measured
+/// configuration and writes BENCH_<name>.json into the working directory, so
+/// the perf trajectory can be tracked across PRs by diffing the files (CI
+/// runs the perf benches in a short smoke configuration for exactly this).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void add_run(
+      std::string config, double wall_ms, double items_per_sec,
+      std::vector<std::pair<std::string, double>> extra = {}) {
+    runs_.push_back(Run{std::move(config), wall_ms, items_per_sec,
+                        std::move(extra)});
+  }
+
+  /// Writes BENCH_<name>.json; returns the path ("" on I/O failure).
+  std::string write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return "";
+    }
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"runs\": [\n", name_.c_str());
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      const auto& run = runs_[i];
+      std::fprintf(f,
+                   "    {\"config\": \"%s\", \"wall_ms\": %.3f, "
+                   "\"items_per_sec\": %.1f",
+                   run.config.c_str(), run.wall_ms, run.items_per_sec);
+      for (const auto& [key, value] : run.extra) {
+        std::fprintf(f, ", \"%s\": %.4f", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < runs_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  struct Run {
+    std::string config;
+    double wall_ms = 0.0;
+    double items_per_sec = 0.0;
+    std::vector<std::pair<std::string, double>> extra;
+  };
+  std::string name_;
+  std::vector<Run> runs_;
+};
 
 /// Prints the standard bench header.
 inline void header(const std::string& title, const std::string& paper_note) {

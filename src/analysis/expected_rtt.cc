@@ -41,6 +41,11 @@ void ExpectedRttLearner::observe(ExpectedRttKey key, int day, double rtt_ms) {
     throw std::invalid_argument{
         "ExpectedRttLearner: observations must arrive day-ordered"};
   }
+  // A cached median for query day q pools days [q - window, q - 1]; this
+  // observation lands on `day`, inside that window only when q > day. The
+  // steady state — cache and observations both on the current day — keeps
+  // the cache warm, which is the whole point.
+  if (history.cache_day > day) history.cache_day = INT_MIN;
   auto& reservoir = history.days.back();
   ++reservoir.seen;
   const auto cap = static_cast<std::size_t>(config_.reservoir_per_day);
@@ -59,19 +64,32 @@ void ExpectedRttLearner::observe(ExpectedRttKey key, int day, double rtt_ms) {
   }
 }
 
-std::optional<double> ExpectedRttLearner::expected(ExpectedRttKey key,
-                                                   int day) const {
-  const auto it = histories_.find(key);
-  if (it == histories_.end()) return std::nullopt;
-  std::vector<double> pool;
-  for (const auto& reservoir : it->second.days) {
+std::optional<double> ExpectedRttLearner::pooled_median(
+    const KeyHistory& history, int day) const {
+  static thread_local std::vector<double> pool;
+  pool.clear();
+  for (const auto& reservoir : history.days) {
     if (reservoir.day >= day || reservoir.day < day - config_.window_days) {
       continue;
     }
     pool.insert(pool.end(), reservoir.sample.begin(), reservoir.sample.end());
   }
   if (pool.empty()) return std::nullopt;
-  return util::median(pool);
+  return util::median_inplace(pool);
+}
+
+std::optional<double> ExpectedRttLearner::expected(ExpectedRttKey key,
+                                                   int day) const {
+  const auto it = histories_.find(key);
+  if (it == histories_.end()) return std::nullopt;
+  const KeyHistory& history = it->second;
+  if (!config_.memoize_medians) return pooled_median(history, day);
+  std::lock_guard lock{cache_mutex_};
+  if (history.cache_day != day) {
+    history.cache_value = pooled_median(history, day);
+    history.cache_day = day;
+  }
+  return history.cache_value;
 }
 
 std::size_t ExpectedRttLearner::history_size(ExpectedRttKey key,
@@ -89,10 +107,21 @@ std::size_t ExpectedRttLearner::history_size(ExpectedRttKey key,
 }
 
 void ExpectedRttLearner::evict_stale(int day) {
-  for (auto& [key, history] : histories_) {
+  for (auto it = histories_.begin(); it != histories_.end();) {
+    auto& history = it->second;
+    bool popped = false;
     while (!history.days.empty() &&
            history.days.front().day < day - config_.window_days) {
       history.days.pop_front();
+      popped = true;
+    }
+    // A popped reservoir may sit inside the window of a cached (older) query
+    // day, so any cached value is suspect now.
+    if (popped) history.cache_day = INT_MIN;
+    if (history.days.empty()) {
+      it = histories_.erase(it);  // keys that churned away must not leak
+    } else {
+      ++it;
     }
   }
 }

@@ -5,10 +5,24 @@
 // the bad fraction of a cloud node or middle segment, which is what lets it
 // catch shifts that stay below the region target (the paper's 40 ms→55 ms
 // worked example).
+//
+// The pooled median is memoized per ⟨key, query day⟩: the 14-day window only
+// changes at day rollover, yet expected() is consulted once per group per
+// 5-minute bucket, so without the cache the same pool was rebuilt and
+// re-medianed hundreds of times a day. The cache is invalidated by observe()
+// when an observation could fall inside a cached window (only possible when
+// the cached query day lies ahead of the observation day) and by
+// evict_stale() whenever it drops reservoirs.
+//
+// Threading contract: observe() and evict_stale() must be externally
+// serialized with all other calls; expected() and history_size() may run
+// concurrently with each other (the parallel passive localizer does this).
 #pragma once
 
+#include <climits>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -36,28 +50,43 @@ struct ExpectedRttKey {
 struct ExpectedRttConfig {
   int window_days = 14;          ///< paper uses the past 14 days
   int reservoir_per_day = 256;   ///< bounded per-day sample memory
+  /// Serve repeated expected() queries from the per-⟨key, day⟩ median cache.
+  /// Off = recompute per call (the pre-cache behavior; kept as an A/B knob
+  /// for the perf benches).
+  bool memoize_medians = true;
 };
 
 /// Learns expected RTTs as the median over a sliding multi-day window of
-/// per-day reservoir samples. Deterministic given the feed order.
+/// per-day reservoir samples. Deterministic given the feed order; the memo
+/// cache never changes results, only their cost.
 class ExpectedRttLearner {
  public:
   explicit ExpectedRttLearner(ExpectedRttConfig config = {});
+
+  ExpectedRttLearner(const ExpectedRttLearner&) = delete;
+  ExpectedRttLearner& operator=(const ExpectedRttLearner&) = delete;
 
   /// Feeds one observation (a quartet's mean RTT) for `key` on `day`.
   void observe(ExpectedRttKey key, int day, double rtt_ms);
 
   /// Median over days [day - window, day - 1]; nullopt when no history.
   /// The current day is excluded so an ongoing incident cannot teach the
-  /// learner its own inflation.
+  /// learner its own inflation. O(1) when the ⟨key, day⟩ cache is warm.
   [[nodiscard]] std::optional<double> expected(ExpectedRttKey key,
                                                int day) const;
 
   /// Number of historical observations backing expected(key, day).
   [[nodiscard]] std::size_t history_size(ExpectedRttKey key, int day) const;
 
-  /// Drops per-day reservoirs older than `day - window` (memory bound).
+  /// Drops per-day reservoirs older than `day - window` (memory bound) and
+  /// erases keys whose history becomes empty — without the erase, churned
+  /// keys (BGP paths that stop being used) would grow the map forever.
   void evict_stale(int day);
+
+  /// Keys with at least one live reservoir (memory-regression observability).
+  [[nodiscard]] std::size_t tracked_keys() const noexcept {
+    return histories_.size();
+  }
 
  private:
   struct DayReservoir {
@@ -67,6 +96,10 @@ class ExpectedRttLearner {
   };
   struct KeyHistory {
     std::deque<DayReservoir> days;  // ascending by day
+    // Memoized expected() result for query day cache_day (guarded by
+    // cache_mutex_; mutable because filling the cache is logically const).
+    mutable int cache_day = INT_MIN;
+    mutable std::optional<double> cache_value;
   };
   struct KeyHash {
     std::size_t operator()(const ExpectedRttKey& k) const noexcept {
@@ -74,8 +107,14 @@ class ExpectedRttLearner {
     }
   };
 
+  /// Pools the window's reservoirs into a reused scratch buffer and takes
+  /// the median (nth_element, no per-call allocation).
+  [[nodiscard]] std::optional<double> pooled_median(const KeyHistory& history,
+                                                    int day) const;
+
   ExpectedRttConfig config_;
   std::unordered_map<ExpectedRttKey, KeyHistory, KeyHash> histories_;
+  mutable std::mutex cache_mutex_;
 };
 
 }  // namespace blameit::analysis

@@ -45,6 +45,10 @@ struct Quartet {
   net::AsId client_as;
   net::Region region{};
   bool bad = false;  ///< mean RTT above the badness threshold
+
+  /// Exact (bit-level for the mean) equality; the parallel-localizer
+  /// determinism tests rely on this.
+  bool operator==(const Quartet&) const = default;
 };
 
 /// Region- and device-specific badness thresholds (Azure's RTT targets).

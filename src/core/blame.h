@@ -42,6 +42,8 @@ struct BlameResult {
   /// for Cloud blames, the client AS for Client blames. Middle blames leave
   /// this empty until the active phase runs (§5).
   std::optional<net::AsId> faulty_as;
+
+  bool operator==(const BlameResult&) const = default;
 };
 
 }  // namespace blameit::core

@@ -1,5 +1,6 @@
 #include "core/passive.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -31,6 +32,18 @@ std::uint64_t middle_group(const analysis::Quartet& q) noexcept {
          static_cast<std::uint64_t>(q.key.device);
 }
 
+/// Pass-1 accumulator for one location shard. Group keys embed the location,
+/// so no group (and no learner key) is ever shared between shards; only the
+/// per-/24 good-location sets need a cross-shard merge.
+struct ShardState {
+  std::unordered_map<std::uint64_t, GroupStats> groups;
+  /// block -> locations where it saw a *good* (below threshold) quartet.
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint16_t>>
+      good_locations;
+  /// Comparison RTTs per group so the learner is consulted once per group.
+  std::unordered_map<std::uint64_t, double> comparison_cache;
+};
+
 }  // namespace
 
 PassiveLocalizer::PassiveLocalizer(
@@ -44,6 +57,12 @@ PassiveLocalizer::PassiveLocalizer(
       config_.min_group_quartets < 1) {
     throw std::invalid_argument{"BlameItConfig: invalid tau or min quartets"};
   }
+  if (config_.analytics_threads < 0) {
+    throw std::invalid_argument{"BlameItConfig: negative analytics_threads"};
+  }
+  const int threads =
+      util::ThreadPool::resolve_threads(config_.analytics_threads);
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
 }
 
 double PassiveLocalizer::comparison_rtt(analysis::ExpectedRttKey key, int day,
@@ -58,86 +77,138 @@ double PassiveLocalizer::comparison_rtt(analysis::ExpectedRttKey key, int day,
 
 std::vector<BlameResult> PassiveLocalizer::localize(
     std::span<const analysis::Quartet> quartets, int day) const {
-  // Pass 1: group statistics against the learned expected RTTs, plus the
-  // per-/24 "good somewhere else" sets for the ambiguity rule.
-  std::unordered_map<std::uint64_t, GroupStats> groups;
-  // block -> locations where it saw a *good* (below threshold) quartet.
-  std::unordered_map<std::uint32_t, std::unordered_set<std::uint16_t>>
-      good_locations;
-  // Cache comparison RTTs per group so the learner is consulted once.
-  std::unordered_map<std::uint64_t, double> comparison_cache;
+  const std::size_t n = quartets.size();
+  const auto nshards =
+      static_cast<std::size_t>(pool_ ? pool_->size() : 1);
 
-  for (const auto& q : quartets) {
-    const auto ck = cloud_group(q);
-    const auto mk = middle_group(q);
+  // Partition quartet indices by cloud location. Location ids are dense, so
+  // a plain modulo spreads locations round-robin across shards.
+  std::vector<std::vector<std::uint32_t>> members(nshards);
+  for (auto& m : members) m.reserve(n / nshards + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    members[quartets[i].key.location.value % nshards].push_back(
+        static_cast<std::uint32_t>(i));
+  }
 
-    const auto cloud_cmp = [&] {
-      const auto it = comparison_cache.find(ck);
-      if (it != comparison_cache.end()) return it->second;
-      const double v =
-          comparison_rtt(analysis::cloud_key(q.key.location, q.key.device),
-                         day, q.region, q.key.device);
-      comparison_cache.emplace(ck, v);
-      return v;
-    }();
-    const auto middle_cmp = [&] {
-      const auto it = comparison_cache.find(mk);
-      if (it != comparison_cache.end()) return it->second;
-      const double v = comparison_rtt(
-          analysis::middle_key(q.key.location, q.middle, q.key.device), day,
-          q.region, q.key.device);
-      comparison_cache.emplace(mk, v);
-      return v;
-    }();
+  // Pass 1: per-shard group statistics against the learned expected RTTs,
+  // plus the per-/24 "good somewhere else" sets for the ambiguity rule.
+  std::vector<ShardState> shards(nshards);
+  const auto pass1 = [&](int s) {
+    auto& shard = shards[static_cast<std::size_t>(s)];
+    for (const auto idx : members[static_cast<std::size_t>(s)]) {
+      const auto& q = quartets[idx];
+      const auto ck = cloud_group(q);
+      const auto mk = middle_group(q);
 
-    // §4.2 subtlety: fractions count quartets, NOT RTT samples — a handful
-    // of high-volume "good" /24s must not mask widespread badness.
-    auto& cg = groups[ck];
-    ++cg.quartets;
-    cg.bad_vs_expected += q.mean_rtt_ms > cloud_cmp;
+      const auto cloud_cmp = [&] {
+        const auto it = shard.comparison_cache.find(ck);
+        if (it != shard.comparison_cache.end()) return it->second;
+        const double v =
+            comparison_rtt(analysis::cloud_key(q.key.location, q.key.device),
+                           day, q.region, q.key.device);
+        shard.comparison_cache.emplace(ck, v);
+        return v;
+      }();
+      const auto middle_cmp = [&] {
+        const auto it = shard.comparison_cache.find(mk);
+        if (it != shard.comparison_cache.end()) return it->second;
+        const double v = comparison_rtt(
+            analysis::middle_key(q.key.location, q.middle, q.key.device), day,
+            q.region, q.key.device);
+        shard.comparison_cache.emplace(mk, v);
+        return v;
+      }();
 
-    auto& mg = groups[mk];
-    ++mg.quartets;
-    mg.bad_vs_expected += q.mean_rtt_ms > middle_cmp;
+      // §4.2 subtlety: fractions count quartets, NOT RTT samples — a handful
+      // of high-volume "good" /24s must not mask widespread badness.
+      auto& cg = shard.groups[ck];
+      ++cg.quartets;
+      cg.bad_vs_expected += q.mean_rtt_ms > cloud_cmp;
 
-    if (!q.bad) {
-      good_locations[q.key.block.block].insert(q.key.location.value);
+      auto& mg = shard.groups[mk];
+      ++mg.quartets;
+      mg.bad_vs_expected += q.mean_rtt_ms > middle_cmp;
+
+      if (!q.bad) {
+        shard.good_locations[q.key.block.block].insert(q.key.location.value);
+      }
+    }
+  };
+  if (pool_) {
+    pool_->run(static_cast<int>(nshards), pass1);
+  } else {
+    pass1(0);
+  }
+
+  // Barrier: merge the per-/24 good-location sets into shard 0's map. A
+  // dual-homed /24 can be good at a location owned by another shard, and the
+  // ambiguity rule needs the global view. Set union in fixed shard order —
+  // order-independent, hence deterministic for any shard count.
+  auto& good_locations = shards[0].good_locations;
+  for (std::size_t s = 1; s < nshards; ++s) {
+    for (auto& [block, locs] : shards[s].good_locations) {
+      good_locations[block].insert(locs.begin(), locs.end());
     }
   }
 
-  // Pass 2: hierarchical blame per bad quartet.
-  std::vector<BlameResult> results;
-  for (const auto& q : quartets) {
-    if (!q.bad) continue;
-    BlameResult result;
-    result.quartet = q;
+  // Pass 2: hierarchical blame per bad quartet, over contiguous input chunks
+  // against the now read-only shard states. Chunk results are concatenated
+  // in chunk order, so the output sequence is the input order exactly.
+  const std::size_t nchunks = std::min<std::size_t>(nshards, n ? n : 1);
+  const std::size_t chunk_size = n ? (n + nchunks - 1) / nchunks : 0;
+  std::vector<std::vector<BlameResult>> chunks(nchunks);
+  const auto pass2 = [&](int c) {
+    auto& out = chunks[static_cast<std::size_t>(c)];
+    const std::size_t begin = static_cast<std::size_t>(c) * chunk_size;
+    const std::size_t end = std::min(n, begin + chunk_size);
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& q = quartets[i];
+      if (!q.bad) continue;
+      BlameResult result;
+      result.quartet = q;
 
-    const auto& cg = groups[cloud_group(q)];
-    const auto& mg = groups[middle_group(q)];
+      const auto& shard = shards[q.key.location.value % nshards];
+      const auto& cg = shard.groups.at(cloud_group(q));
+      const auto& mg = shard.groups.at(middle_group(q));
 
-    if (cg.quartets <= config_.min_group_quartets) {
-      result.blame = Blame::Insufficient;
-    } else if (cg.bad_fraction() >= config_.tau) {
-      result.blame = Blame::Cloud;
-      result.faulty_as = topology_->cloud_as();
-    } else if (mg.quartets <= config_.min_group_quartets) {
-      result.blame = Blame::Insufficient;
-    } else if (mg.bad_fraction() >= config_.tau) {
-      result.blame = Blame::Middle;  // active phase refines to an AS
-    } else {
-      const auto it = good_locations.find(q.key.block.block);
-      const bool good_elsewhere =
-          it != good_locations.end() &&
-          (it->second.size() > 1 ||
-           !it->second.contains(q.key.location.value));
-      if (good_elsewhere) {
-        result.blame = Blame::Ambiguous;
+      if (cg.quartets <= config_.min_group_quartets) {
+        result.blame = Blame::Insufficient;
+      } else if (cg.bad_fraction() >= config_.tau) {
+        result.blame = Blame::Cloud;
+        result.faulty_as = topology_->cloud_as();
+      } else if (mg.quartets <= config_.min_group_quartets) {
+        result.blame = Blame::Insufficient;
+      } else if (mg.bad_fraction() >= config_.tau) {
+        result.blame = Blame::Middle;  // active phase refines to an AS
       } else {
-        result.blame = Blame::Client;
-        result.faulty_as = q.client_as;
+        const auto it = good_locations.find(q.key.block.block);
+        const bool good_elsewhere =
+            it != good_locations.end() &&
+            (it->second.size() > 1 ||
+             !it->second.contains(q.key.location.value));
+        if (good_elsewhere) {
+          result.blame = Blame::Ambiguous;
+        } else {
+          result.blame = Blame::Client;
+          result.faulty_as = q.client_as;
+        }
       }
+      out.push_back(std::move(result));
     }
-    results.push_back(std::move(result));
+  };
+  if (pool_) {
+    pool_->run(static_cast<int>(nchunks), pass2);
+  } else {
+    pass2(0);
+  }
+
+  std::size_t total = 0;
+  for (const auto& c : chunks) total += c.size();
+  std::vector<BlameResult> results;
+  results.reserve(total);
+  for (auto& c : chunks) {
+    results.insert(results.end(), std::make_move_iterator(c.begin()),
+                   std::make_move_iterator(c.end()));
   }
   return results;
 }

@@ -6,8 +6,24 @@
 // "ambiguous" when the same /24 simultaneously saw good RTT at another
 // location. Bad fractions compare against the *learned* expected RTTs
 // (14-day medians), not the badness thresholds — §4.3 explains why.
+//
+// Parallel design (config.analytics_threads > 1): quartets are partitioned
+// by cloud location across a util::ThreadPool.
+//   Pass 1 — each shard builds GroupStats for its locations' cloud/middle
+//     groups plus the per-/24 good-location sets. Every learner key embeds
+//     the location, so shards never touch the same group; the per-/24 sets
+//     DO cross shards (dual-homed blocks) and are merged in shard order
+//     after the barrier — a set union, order-independent.
+//   Pass 2 — contiguous input chunks are blamed in parallel against the
+//     read-only merged state and concatenated in chunk order, so results
+//     come out in input order.
+// Every per-quartet decision is a pure function of ⟨group stats, merged
+// good-location sets, learner medians⟩, none of which depend on execution
+// order, so N-thread output is bit-identical to the serial path (asserted
+// in tests).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,6 +32,7 @@
 #include "core/blame.h"
 #include "core/config.h"
 #include "net/topology.h"
+#include "util/thread_pool.h"
 
 namespace blameit::core {
 
@@ -27,8 +44,8 @@ class PassiveLocalizer {
 
   /// Runs Algorithm 1 over one bucket's quartets (good and bad; the good
   /// ones shape the group fractions and the ambiguity signal). Returns one
-  /// BlameResult per *bad* quartet. `day` selects the learner's history
-  /// window.
+  /// BlameResult per *bad* quartet, in input order regardless of thread
+  /// count. `day` selects the learner's history window.
   [[nodiscard]] std::vector<BlameResult> localize(
       std::span<const analysis::Quartet> quartets, int day) const;
 
@@ -43,11 +60,17 @@ class PassiveLocalizer {
     return config_;
   }
 
+  /// Parallelism localize() actually runs with (resolved from the knob).
+  [[nodiscard]] int threads() const noexcept {
+    return pool_ ? pool_->size() : 1;
+  }
+
  private:
   const net::Topology* topology_;
   const analysis::ExpectedRttLearner* learner_;
   BlameItConfig config_;
   analysis::BadnessThresholds thresholds_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when serial
 };
 
 }  // namespace blameit::core

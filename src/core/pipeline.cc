@@ -13,7 +13,8 @@ BlameItPipeline::BlameItPipeline(const net::Topology* topology,
       config_(config),
       learner_(analysis::ExpectedRttConfig{
           .window_days = config.expected_rtt_window_days,
-          .reservoir_per_day = 256}),
+          .reservoir_per_day = 256,
+          .memoize_medians = config.memoize_expected_rtt}),
       passive_(topology, &learner_, config),
       durations_(config.duration_horizon_buckets),
       clients_(config.client_predictor_days),
@@ -26,6 +27,9 @@ BlameItPipeline::BlameItPipeline(const net::Topology* topology,
       config_.probe_budget_per_run < 0) {
     throw std::invalid_argument{"BlameItConfig: invalid cadence or budget"};
   }
+  // analytics_threads is validated (and the worker pool owned) by passive_;
+  // learning stays serial on purpose — reservoir sampling is order-
+  // sensitive, and localize() dominates the step cost.
 }
 
 void BlameItPipeline::learn_from(

@@ -66,7 +66,25 @@ double quantile(std::span<const double> xs, double q) {
   return quantile_sorted(copy, q);
 }
 
-double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+double median_inplace(std::span<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  const auto mid_it = xs.begin() + static_cast<std::ptrdiff_t>(mid);
+  std::nth_element(xs.begin(), mid_it, xs.end());
+  const double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  // Even count: interpolate between the two middle order statistics with the
+  // same arithmetic quantile_sorted() uses, so results stay bit-identical to
+  // the sort-based path.
+  const double lo = *std::max_element(xs.begin(), mid_it);
+  return lo + 0.5 * (hi - lo);
+}
+
+double median(std::span<const double> xs) {
+  static thread_local std::vector<double> scratch;
+  scratch.assign(xs.begin(), xs.end());
+  return median_inplace(scratch);
+}
 
 EmpiricalCdf::EmpiricalCdf(std::vector<double> sample)
     : sorted_(std::move(sample)) {

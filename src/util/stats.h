@@ -38,8 +38,14 @@ class RunningStats {
 /// Returns 0 for an empty sample.
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
-/// Median = quantile(0.5). The expected-RTT learner (§4.3) uses this.
+/// Median = quantile(0.5), but computed with nth_element (O(n)) instead of a
+/// full sort — this sits on the expected-RTT learner's hot path (§4.3). Uses
+/// a reused thread-local scratch buffer, so no per-call allocation either.
+/// Numerically identical to quantile(xs, 0.5).
 [[nodiscard]] double median(std::span<const double> xs);
+
+/// median() over a caller-owned buffer it may permute (no copy at all).
+[[nodiscard]] double median_inplace(std::span<double> xs);
 
 /// Quantile over data already sorted ascending (no copy).
 [[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);

@@ -1,0 +1,89 @@
+#include "util/thread_pool.h"
+
+#include <stdexcept>
+
+namespace blameit::util {
+
+int ThreadPool::resolve_threads(int requested) noexcept {
+  if (requested > 0) return requested;
+  const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  threads = resolve_threads(threads);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{mutex_};
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::claim_jobs(const std::function<void(int)>& fn, int jobs) {
+  for (;;) {
+    const int job = next_job_.fetch_add(1, std::memory_order_relaxed);
+    if (job >= jobs) return;
+    try {
+      fn(job);
+    } catch (...) {
+      std::lock_guard lock{mutex_};
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::run(int jobs, const std::function<void(int)>& fn) {
+  if (jobs <= 0) return;
+  if (workers_.empty()) {
+    for (int job = 0; job < jobs; ++job) fn(job);
+    return;
+  }
+  {
+    std::lock_guard lock{mutex_};
+    fn_ = &fn;
+    jobs_ = jobs;
+    next_job_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  claim_jobs(fn, jobs);  // the caller is one of the workers
+  std::unique_lock lock{mutex_};
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    int jobs = 0;
+    {
+      std::unique_lock lock{mutex_};
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      jobs = jobs_;
+    }
+    claim_jobs(*fn, jobs);
+    {
+      std::lock_guard lock{mutex_};
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace blameit::util

@@ -92,6 +92,78 @@ TEST(ExpectedRttLearner, ReservoirKeepsRepresentativeMedian) {
   EXPECT_NEAR(learner.expected(kKey, 1).value(), 50.0, 12.0);
 }
 
+TEST(ExpectedRttLearner, CacheInvalidatedAtDayRollover) {
+  ExpectedRttLearner learner;
+  for (int i = 0; i < 20; ++i) learner.observe(kKey, 0, 10.0);
+  // Prime the ⟨key, day 1⟩ cache.
+  EXPECT_DOUBLE_EQ(learner.expected(kKey, 1).value(), 10.0);
+  EXPECT_DOUBLE_EQ(learner.expected(kKey, 1).value(), 10.0);  // cached
+  // Day rolls over: new observations land on day 1, queries move to day 2;
+  // a stale cache would keep answering 10.
+  for (int i = 0; i < 1000; ++i) learner.observe(kKey, 1, 100.0);
+  const auto expected = learner.expected(kKey, 2);
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_GT(*expected, 50.0);  // pooled over both days, dominated by day 1
+  // The day-1 view is still served (recomputed) correctly.
+  EXPECT_DOUBLE_EQ(learner.expected(kKey, 1).value(), 10.0);
+}
+
+TEST(ExpectedRttLearner, CacheInvalidatedByEvictStale) {
+  ExpectedRttConfig cfg;
+  cfg.window_days = 2;
+  ExpectedRttLearner learner{cfg};
+  learner.observe(kKey, 0, 10.0);
+  learner.observe(kKey, 6, 20.0);
+  // Prime the cache for query day 2 (sees only day 0).
+  EXPECT_DOUBLE_EQ(learner.expected(kKey, 2).value(), 10.0);
+  // Evicting day 0 must flush that cached value, not serve it stale.
+  learner.evict_stale(6);
+  EXPECT_FALSE(learner.expected(kKey, 2).has_value());
+  EXPECT_DOUBLE_EQ(learner.expected(kKey, 7).value(), 20.0);
+}
+
+TEST(ExpectedRttLearner, MemoizationDoesNotChangeResults) {
+  ExpectedRttConfig cached_cfg;
+  ExpectedRttConfig uncached_cfg;
+  uncached_cfg.memoize_medians = false;
+  ExpectedRttLearner cached{cached_cfg};
+  ExpectedRttLearner uncached{uncached_cfg};
+  util::Rng rng{11};
+  for (int day = 0; day < 6; ++day) {
+    for (int i = 0; i < 400; ++i) {  // overflows the reservoir too
+      const double rtt = rng.uniform(20.0, 90.0);
+      cached.observe(kKey, day, rtt);
+      uncached.observe(kKey, day, rtt);
+    }
+    for (int q = 0; q <= day + 1; ++q) {
+      ASSERT_EQ(cached.expected(kKey, q), uncached.expected(kKey, q))
+          << "day " << day << " query " << q;
+    }
+  }
+}
+
+TEST(ExpectedRttLearner, EvictErasesEmptiedKeys) {
+  ExpectedRttConfig cfg;
+  cfg.window_days = 2;
+  ExpectedRttLearner learner{cfg};
+  // 64 churned keys (seen once, never again) + one live key.
+  for (std::uint16_t loc = 0; loc < 64; ++loc) {
+    learner.observe(cloud_key(net::CloudLocationId{loc},
+                              net::DeviceClass::Mobile),
+                    0, 40.0);
+  }
+  learner.observe(kKey, 0, 40.0);
+  EXPECT_EQ(learner.tracked_keys(), 65u);
+  learner.observe(kKey, 9, 41.0);
+  learner.evict_stale(9);
+  // Only the key with a live reservoir survives; a learner that keeps empty
+  // histories around would still report 65 and grow without bound.
+  EXPECT_EQ(learner.tracked_keys(), 1u);
+  EXPECT_DOUBLE_EQ(learner.expected(kKey, 10).value(), 41.0);
+  learner.evict_stale(9 + cfg.window_days + 1);
+  EXPECT_EQ(learner.tracked_keys(), 0u);
+}
+
 TEST(ExpectedRttLearner, EvictStaleFreesOldDays) {
   ExpectedRttConfig cfg;
   cfg.window_days = 2;

@@ -398,6 +398,118 @@ TEST_F(PassiveTest, AmbiguousWhenGoodElsewhere) {
   EXPECT_TRUE(found);
 }
 
+TEST_F(PassiveTest, ParallelLocalizeBitIdenticalAcrossThreadCounts) {
+  analysis::ExpectedRttLearner learner;
+  warm(learner, 14);
+
+  // A bucket with every decision path live: a middle fault in India, a
+  // cloud fault in Europe, plus a hand-injected ambiguous quartet on a
+  // dual-homed block in an unaffected region.
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = most_used_transit(*topo_, net::Region::India),
+                        .added_ms = 130.0,
+                        .start = util::MinuteTime::from_days(14),
+                        .duration_minutes = util::kMinutesPerDay});
+  faults.add(sim::Fault{.kind = sim::FaultKind::CloudLocation,
+                        .cloud_location =
+                            topo_->locations_in(net::Region::Europe).front(),
+                        .added_ms = 80.0,
+                        .start = util::MinuteTime::from_days(14),
+                        .duration_minutes = util::kMinutesPerDay});
+  auto quartets = quartets_for(faults, eval_bucket());
+
+  // Inject the ambiguity. Prefer a dual-homed block whose home locations
+  // differ by an odd amount: with shard = location % threads, such a pair
+  // lands in different shards at every even thread count, so the good-
+  // elsewhere signal must cross the shard merge to be seen.
+  std::map<std::uint32_t, std::vector<std::size_t>> by_block;
+  for (std::size_t i = 0; i < quartets.size(); ++i) {
+    if (quartets[i].key.device == net::DeviceClass::NonMobile &&
+        quartets[i].region == net::Region::UnitedStates && !quartets[i].bad) {
+      by_block[quartets[i].key.block.block].push_back(i);
+    }
+  }
+  std::size_t victim = quartets.size();
+  for (const auto& [block, indices] : by_block) {
+    for (std::size_t a = 0; a < indices.size() && victim == quartets.size();
+         ++a) {
+      for (std::size_t b = a + 1; b < indices.size(); ++b) {
+        const auto la = quartets[indices[a]].key.location.value;
+        const auto lb = quartets[indices[b]].key.location.value;
+        if (((la ^ lb) & 1) != 0) {
+          victim = indices[a];
+          break;
+        }
+      }
+    }
+    if (victim != quartets.size()) break;
+  }
+  ASSERT_LT(victim, quartets.size()) << "need a dual-homed odd-pair block";
+  quartets[victim].mean_rtt_ms += 300.0;  // bad here, still good elsewhere
+  quartets[victim].bad = true;
+
+  BlameItConfig cfg;
+  const PassiveLocalizer serial{topo_, &learner, cfg};
+  const auto reference = serial.localize(quartets, 14);
+
+  // Sanity: multiple decision paths fired, including the ambiguity rule.
+  std::map<Blame, int> hist;
+  for (const auto& r : reference) ++hist[r.blame];
+  EXPECT_GT(hist[Blame::Middle], 0);
+  EXPECT_GT(hist[Blame::Cloud], 0);
+  EXPECT_GT(hist[Blame::Ambiguous], 0);
+  bool victim_ambiguous = false;
+  for (const auto& r : reference) {
+    if (r.quartet.key == quartets[victim].key) {
+      victim_ambiguous = r.blame == Blame::Ambiguous;
+    }
+  }
+  EXPECT_TRUE(victim_ambiguous);
+
+  for (const int threads : {2, 4, 8}) {
+    cfg.analytics_threads = threads;
+    const PassiveLocalizer parallel{topo_, &learner, cfg};
+    EXPECT_EQ(parallel.threads(), threads);
+    // Exact equality: same results in the same (input) order, bit-identical
+    // means — the guarantee that makes the thread count a pure perf knob.
+    const auto results = parallel.localize(quartets, 14);
+    EXPECT_EQ(results, reference) << "thread count " << threads;
+  }
+
+  // The auto knob (0 = hardware cores) must agree too.
+  cfg.analytics_threads = 0;
+  const PassiveLocalizer auto_threads{topo_, &learner, cfg};
+  EXPECT_EQ(auto_threads.localize(quartets, 14), reference);
+}
+
+TEST_F(PassiveTest, ParallelLocalizeHandlesEmptyAndTinyInput) {
+  analysis::ExpectedRttLearner learner;
+  BlameItConfig cfg;
+  cfg.analytics_threads = 4;
+  const PassiveLocalizer localizer{topo_, &learner, cfg};
+  EXPECT_TRUE(localizer.localize({}, 0).empty());
+
+  // Fewer quartets than shards: one bad quartet alone -> Insufficient.
+  analysis::Quartet q;
+  q.key = analysis::QuartetKey{.block = topo_->blocks().front().block,
+                               .location = topo_->locations().front().id,
+                               .device = net::DeviceClass::NonMobile,
+                               .bucket = util::TimeBucket{100}};
+  q.sample_count = 20;
+  q.mean_rtt_ms = 500.0;
+  q.middle = topo_->routing()
+                 .route_for(q.key.location, q.key.block, util::MinuteTime{0})
+                 ->middle;
+  q.client_as = topo_->blocks().front().client_as;
+  q.region = topo_->blocks().front().region;
+  q.bad = true;
+  const auto results =
+      localizer.localize(std::vector<analysis::Quartet>{q}, 0);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].blame, Blame::Insufficient);
+}
+
 TEST_F(PassiveTest, ComparisonRttFallsBackToThreshold) {
   analysis::ExpectedRttLearner learner;  // empty
   const PassiveLocalizer localizer{topo_, &learner};
@@ -441,6 +553,10 @@ TEST_F(PassiveTest, InvalidConfigRejected) {
                std::invalid_argument);
   bad = {};
   bad.min_group_quartets = 0;
+  EXPECT_THROW((PassiveLocalizer{topo_, &learner, bad}),
+               std::invalid_argument);
+  bad = {};
+  bad.analytics_threads = -1;
   EXPECT_THROW((PassiveLocalizer{topo_, &learner, bad}),
                std::invalid_argument);
   EXPECT_THROW((PassiveLocalizer{nullptr, &learner}), std::invalid_argument);

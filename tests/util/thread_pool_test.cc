@@ -1,0 +1,70 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace blameit::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool{threads};
+    EXPECT_EQ(pool.size(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.run(257, [&](int job) {
+      hits[static_cast<std::size_t>(job)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossGenerations) {
+  ThreadPool pool{4};
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.run(100, [&](int job) { sum.fetch_add(job); });
+    EXPECT_EQ(sum.load(), 99L * 100 / 2);
+  }
+}
+
+TEST(ThreadPool, ZeroOrNegativeJobsIsNoop) {
+  ThreadPool pool{2};
+  pool.run(0, [](int) { FAIL(); });
+  pool.run(-5, [](int) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool{1};
+  const auto caller = std::this_thread::get_id();
+  pool.run(16, [&](int) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool{4};
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.run(64,
+                        [&](int job) {
+                          ran.fetch_add(1);
+                          if (job == 13) throw std::runtime_error{"boom"};
+                        }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 64);  // remaining jobs still executed
+  // The pool stays usable after an exception.
+  std::atomic<int> ok{0};
+  pool.run(8, [&](int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, AutoResolvesToHardware) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3);
+  ThreadPool pool{0};
+  EXPECT_GE(pool.size(), 1);
+}
+
+}  // namespace
+}  // namespace blameit::util

@@ -21,6 +21,7 @@
 
 #include "bench/common.h"
 #include "core/pipeline.h"
+#include "obs/registry.h"
 #include "util/table.h"
 
 namespace {
@@ -76,12 +77,13 @@ int main(int argc, char** argv) {
     double wall_ms = 0.0;
     long blames = 0;
   };
-  const auto run_config = [&](int threads, bool memoize) {
+  const auto run_config = [&](int threads, bool memoize,
+                              obs::Registry* registry = nullptr) {
     core::BlameItConfig cfg = bench::bench_pipeline_config();
     cfg.analytics_threads = threads;
     cfg.memoize_expected_rtt = memoize;
     core::BlameItPipeline pipeline{stack->topology.get(), stack->engine.get(),
-                                   source, cfg};
+                                   source, cfg, registry};
     for (int b = 0; b < warm_buckets; ++b) {
       pipeline.warmup_bucket(util::TimeBucket{b});
     }
@@ -136,6 +138,31 @@ int main(int argc, char** argv) {
                    util::fmt(vs_serial, 2)});
   }
   std::printf("%s\n", table.to_string().c_str());
+
+  // Observability overhead: the same 4-thread configuration with a live
+  // obs::Registry attached (every layer instrumented) vs without. The
+  // instruments are resolved-once pointers + relaxed atomics, so this
+  // should stay within noise (<2% target).
+  {
+    const auto plain = run_config(4, /*memoize=*/true);
+    obs::Registry registry;
+    const auto instrumented = run_config(4, /*memoize=*/true, &registry);
+    if (instrumented.blames != plain.blames) {
+      std::fprintf(stderr,
+                   "FATAL: registry-attached run produced %ld blames, plain "
+                   "%ld — observability must not affect output\n",
+                   instrumented.blames, plain.blames);
+      return 1;
+    }
+    const double overhead_pct =
+        (instrumented.wall_ms / plain.wall_ms - 1.0) * 100.0;
+    std::printf("obs registry overhead (4 threads): plain %.1f ms, "
+                "instrumented %.1f ms -> %+.2f%% (target <2%%)\n\n",
+                plain.wall_ms, instrumented.wall_ms, overhead_pct);
+    report.add_run("4 threads + obs registry", instrumented.wall_ms,
+                   qps(instrumented),
+                   {{"threads", 4.0}, {"obs_overhead_pct", overhead_pct}});
+  }
 
   // Cold-vs-warm median cache microbench: the same learner state queried
   // with memoization off (every call re-pools + re-medians, the legacy

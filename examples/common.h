@@ -10,6 +10,7 @@
 #include "ingest/engine.h"
 #include "ingest/source.h"
 #include "net/topology.h"
+#include "obs/registry.h"
 #include "sim/telemetry.h"
 #include "sim/traceroute.h"
 
@@ -17,6 +18,8 @@ namespace blameit::examples {
 
 /// Everything a demo needs, owned together.
 struct Stack {
+  /// Declared first so it outlives every component that records into it.
+  obs::Registry registry;
   std::unique_ptr<net::Topology> topology;
   sim::FaultInjector faults;
   std::unique_ptr<sim::TelemetryGenerator> generator;
@@ -66,7 +69,7 @@ inline std::unique_ptr<Stack> make_stack(
   stack->pipeline = std::make_unique<core::BlameItPipeline>(
       stack->topology.get(), stack->engine.get(),
       [raw](util::TimeBucket bucket) { return raw->quartets(bucket); },
-      config);
+      config, &stack->registry);
   return stack;
 }
 
@@ -96,6 +99,7 @@ inline std::unique_ptr<Stack> make_streaming_stack(
                                                  &stack->faults);
   stack->engine = std::make_unique<sim::TracerouteEngine>(
       stack->topology.get(), stack->model.get());
+  ingest_config.registry = &stack->registry;
   stack->ingest_engine = std::make_unique<ingest::IngestEngine>(
       stack->topology.get(), analysis::BadnessThresholds{}, ingest_config);
   Stack* raw = stack.get();
@@ -107,7 +111,7 @@ inline std::unique_ptr<Stack> make_streaming_stack(
                 const std::function<void(const analysis::RttRecord&)>& sink) {
             raw->generator->generate_records_shuffled(bucket, sink);
           }},
-      config);
+      config, &stack->registry);
   return stack;
 }
 

@@ -5,12 +5,17 @@
 // a blame-fraction summary like the paper's Fig 8/9 dashboards plus the
 // ingestion counters.
 //
-//   $ ./live_pipeline [incident_count]
+//   $ ./live_pipeline [incident_count] [--obs]
+//
+// --obs dumps the observability registry (counters, gauges, latency
+// histograms from every pipeline layer) after the day completes.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 
 #include "examples/common.h"
+#include "obs/registry.h"
 #include "ops/alert.h"
 #include "ops/report.h"
 #include "sim/scenario.h"
@@ -19,7 +24,15 @@
 int main(int argc, char** argv) {
   using namespace blameit;
 
-  const int incident_count = argc > 1 ? std::atoi(argv[1]) : 6;
+  int incident_count = 6;
+  bool dump_obs = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs") == 0) {
+      dump_obs = true;
+    } else {
+      incident_count = std::atoi(argv[i]);
+    }
+  }
   std::printf("== live pipeline: one day, %d incidents ==\n", incident_count);
 
   ingest::IngestConfig ingest_cfg;
@@ -81,5 +94,9 @@ int main(int argc, char** argv) {
               alerts.all_tickets().size());
   std::printf("%s\n",
               ops::render_ingest(stack->ingest_engine->stats()).c_str());
+  if (dump_obs) {
+    std::puts("\n== observability registry ==");
+    std::printf("%s", obs::render_text(stack->registry.snapshot()).c_str());
+  }
   return 0;
 }

@@ -28,6 +28,10 @@ ExpectedRttLearner::ExpectedRttLearner(ExpectedRttConfig config)
   if (config_.window_days < 1 || config_.reservoir_per_day < 1) {
     throw std::invalid_argument{"ExpectedRttConfig: invalid window/reservoir"};
   }
+  memo_hits_c_ = obs::counter(config_.registry, "learner.memo_hits");
+  memo_misses_c_ = obs::counter(config_.registry, "learner.memo_misses");
+  evictions_c_ = obs::counter(config_.registry, "learner.reservoir_evictions");
+  tracked_keys_g_ = obs::gauge(config_.registry, "learner.tracked_keys");
 }
 
 void ExpectedRttLearner::observe(ExpectedRttKey key, int day, double rtt_ms) {
@@ -35,6 +39,7 @@ void ExpectedRttLearner::observe(ExpectedRttKey key, int day, double rtt_ms) {
     throw std::invalid_argument{"ExpectedRttLearner: negative day or RTT"};
   }
   auto& history = histories_[key];
+  obs::set(tracked_keys_g_, static_cast<double>(histories_.size()));
   if (history.days.empty() || history.days.back().day < day) {
     history.days.push_back(DayReservoir{.day = day, .seen = 0, .sample = {}});
   } else if (history.days.back().day > day) {
@@ -86,8 +91,11 @@ std::optional<double> ExpectedRttLearner::expected(ExpectedRttKey key,
   if (!config_.memoize_medians) return pooled_median(history, day);
   std::lock_guard lock{cache_mutex_};
   if (history.cache_day != day) {
+    obs::add(memo_misses_c_);
     history.cache_value = pooled_median(history, day);
     history.cache_day = day;
+  } else {
+    obs::add(memo_hits_c_);
   }
   return history.cache_value;
 }
@@ -114,6 +122,7 @@ void ExpectedRttLearner::evict_stale(int day) {
            history.days.front().day < day - config_.window_days) {
       history.days.pop_front();
       popped = true;
+      obs::add(evictions_c_);
     }
     // A popped reservoir may sit inside the window of a cached (older) query
     // day, so any cached value is suspect now.
@@ -124,6 +133,7 @@ void ExpectedRttLearner::evict_stale(int day) {
       ++it;
     }
   }
+  obs::set(tracked_keys_g_, static_cast<double>(histories_.size()));
 }
 
 }  // namespace blameit::analysis

@@ -30,6 +30,7 @@
 #include "net/bgp.h"
 #include "net/cloud.h"
 #include "net/device.h"
+#include "obs/registry.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -54,6 +55,9 @@ struct ExpectedRttConfig {
   /// Off = recompute per call (the pre-cache behavior; kept as an A/B knob
   /// for the perf benches).
   bool memoize_medians = true;
+  /// Optional metrics sink (memoization hit/miss, evictions, tracked keys);
+  /// null = no instrumentation, zero overhead.
+  obs::Registry* registry = nullptr;
 };
 
 /// Learns expected RTTs as the median over a sliding multi-day window of
@@ -115,6 +119,12 @@ class ExpectedRttLearner {
   ExpectedRttConfig config_;
   std::unordered_map<ExpectedRttKey, KeyHistory, KeyHash> histories_;
   mutable std::mutex cache_mutex_;
+
+  // Instruments (null without a registry).
+  obs::Counter* memo_hits_c_ = nullptr;
+  obs::Counter* memo_misses_c_ = nullptr;
+  obs::Counter* evictions_c_ = nullptr;
+  obs::Gauge* tracked_keys_g_ = nullptr;
 };
 
 }  // namespace blameit::analysis

@@ -5,13 +5,30 @@
 
 namespace blameit::core {
 
+namespace {
+
+/// Baseline-age buckets in minutes: a bucket per interesting staleness tier
+/// up to a week (the background cadence is 2×/day, so ages past ~12 h mean
+/// the periodic probes are not keeping up).
+constexpr double kBaselineAgeBucketsMin[] = {15,   60,   180,  360, 720,
+                                             1440, 2880, 5760, 10080};
+
+}  // namespace
+
 ActiveLocalizer::ActiveLocalizer(const net::Topology* topology,
                                  sim::TracerouteEngine* engine,
-                                 const BaselineStore* baselines)
+                                 const BaselineStore* baselines,
+                                 obs::Registry* registry)
     : topology_(topology), engine_(engine), baselines_(baselines) {
   if (!topology_ || !engine_ || !baselines_) {
     throw std::invalid_argument{"ActiveLocalizer: null dependency"};
   }
+  probes_c_ = obs::counter(registry, "active.probes");
+  unreached_c_ = obs::counter(registry, "active.unreached");
+  no_baseline_c_ = obs::counter(registry, "active.no_baseline");
+  predates_c_ = obs::counter(registry, "active.baseline_predates_issue");
+  baseline_age_h_ = obs::histogram(registry, "active.baseline_age_minutes",
+                                   kBaselineAgeBucketsMin);
 }
 
 ActiveDiagnosis ActiveLocalizer::diagnose(
@@ -23,15 +40,25 @@ ActiveDiagnosis ActiveLocalizer::diagnose(
   diag.middle = middle;
   diag.probe = engine_->trace(location, target_block, now);
   diag.probe_reached = diag.probe.reached;
-  if (!diag.probe_reached) return diag;
+  obs::add(probes_c_);
+  if (!diag.probe_reached) {
+    obs::add(unreached_c_);
+    return diag;
+  }
 
   const auto current = diag.probe.contributions();
   const Baseline* baseline =
       issue_start ? baselines_->get_before(location, middle, *issue_start)
                   : baselines_->get(location, middle);
   diag.have_baseline = baseline != nullptr;
+  // get_before() only returns baselines strictly older than issue_start, so
+  // a hit there is a guarantee; a plain get() makes no such promise.
+  diag.baseline_predates_issue = baseline != nullptr && issue_start.has_value();
 
   if (baseline) {
+    if (diag.baseline_predates_issue) obs::add(predates_c_);
+    obs::record(baseline_age_h_,
+                static_cast<double>(now.minutes - baseline->when.minutes));
     // Index the baseline contributions; path membership can differ slightly
     // (e.g. baseline captured just before a hop-level change), so match by
     // AS and treat new ASes as pure increase.
@@ -57,8 +84,13 @@ ActiveDiagnosis ActiveLocalizer::diagnose(
     diag.culprit = best_as;
     diag.culprit_increase_ms = best_increase;
   } else {
+    obs::add(no_baseline_c_);
     // No baseline: blame the largest absolute contributor (low confidence).
-    double best = 0.0;
+    // The cloud segment is a candidate here exactly as in the baseline
+    // branch — without it a cloud-dominated path could never be blamed on
+    // the cloud AS.
+    double best = diag.probe.cloud_ms;
+    if (best > 0.0) diag.culprit = topology_->cloud_as();
     for (const auto& [as, ms] : current) {
       if (ms > best) {
         best = ms;

@@ -3,15 +3,18 @@
 // For a prioritized middle-segment issue, trace the path while the issue is
 // live and diff each AS's latency contribution against the background
 // baseline; the AS with the largest increase is the culprit (the paper's
-// worked example: m1's contribution jumping 2 ms → 56 ms). When no baseline
-// exists (new path, e.g. after an anycast shift), the diagnosis falls back
-// to the largest absolute contributor and is flagged low-confidence.
+// worked example: m1's contribution jumping 2 ms → 56 ms). When no usable
+// baseline exists (new path after an anycast shift, or every stored baseline
+// was captured mid-incident), the diagnosis falls back to the largest
+// absolute contributor — cloud segment included — and is flagged
+// low-confidence.
 #pragma once
 
 #include <optional>
 
 #include "core/background.h"
 #include "net/topology.h"
+#include "obs/registry.h"
 #include "sim/traceroute.h"
 
 namespace blameit::core {
@@ -21,6 +24,11 @@ struct ActiveDiagnosis {
   net::MiddleSegmentId middle;
   bool probe_reached = false;
   bool have_baseline = false;
+  /// True when the baseline used for the diff is known to predate the
+  /// issue's start (issue_start was provided and the store held an older
+  /// baseline). False for no-baseline diagnoses and for get()-style lookups
+  /// with no issue_start, where the guarantee cannot be made.
+  bool baseline_predates_issue = false;
   /// The blamed AS (largest contribution increase; largest absolute
   /// contribution when no baseline exists). Empty if the probe failed.
   std::optional<net::AsId> culprit;
@@ -31,13 +39,15 @@ struct ActiveDiagnosis {
 class ActiveLocalizer {
  public:
   ActiveLocalizer(const net::Topology* topology, sim::TracerouteEngine* engine,
-                  const BaselineStore* baselines);
+                  const BaselineStore* baselines,
+                  obs::Registry* registry = nullptr);
 
   /// Probes `target_block` from `location` at `now` and localizes the
   /// faulty AS on the issue's path. `issue_start`, when known (the passive
   /// phase tracks when the badness run began), selects a baseline captured
   /// BEFORE the incident — comparing against a mid-incident background
-  /// probe would hide the inflation.
+  /// probe would hide the inflation, so when none predates the issue the
+  /// no-baseline path runs instead.
   [[nodiscard]] ActiveDiagnosis diagnose(
       net::CloudLocationId location, net::MiddleSegmentId middle,
       net::Slash24 target_block, util::MinuteTime now,
@@ -47,6 +57,13 @@ class ActiveLocalizer {
   const net::Topology* topology_;
   sim::TracerouteEngine* engine_;
   const BaselineStore* baselines_;
+
+  // Instruments (null without a registry).
+  obs::Counter* probes_c_ = nullptr;
+  obs::Counter* unreached_c_ = nullptr;
+  obs::Counter* no_baseline_c_ = nullptr;
+  obs::Counter* predates_c_ = nullptr;
+  obs::Histogram* baseline_age_h_ = nullptr;
 };
 
 }  // namespace blameit::core

@@ -32,12 +32,17 @@ const Baseline* BaselineStore::get_before(net::CloudLocationId location,
   for (const auto& baseline : it->second) {  // oldest first
     if (baseline.when < when) best = &baseline;
   }
-  return best ? best : &it->second.front();
+  // No baseline predates `when`: every retained probe ran during (or after)
+  // the incident and would show the inflated path as "normal", yielding a
+  // culprit increase of ~0 — a silent miss. Let the caller take the
+  // explicit low-confidence no-baseline path instead.
+  return best;
 }
 
 BackgroundProber::BackgroundProber(const net::Topology* topology,
                                    sim::TracerouteEngine* engine,
-                                   BaselineStore* store, BlameItConfig config)
+                                   BaselineStore* store, BlameItConfig config,
+                                   obs::Registry* registry)
     : topology_(topology), engine_(engine), store_(store), config_(config) {
   if (!topology_ || !engine_ || !store_) {
     throw std::invalid_argument{"BackgroundProber: null dependency"};
@@ -46,6 +51,11 @@ BackgroundProber::BackgroundProber(const net::Topology* topology,
     throw std::invalid_argument{
         "BackgroundProber: period shorter than a bucket"};
   }
+  probes_c_ = obs::counter(registry, "background.probes");
+  churn_probes_c_ = obs::counter(registry, "background.churn_probes");
+  unreached_c_ = obs::counter(registry, "background.unreached");
+  targets_g_ = obs::gauge(registry, "background.targets");
+  baselines_g_ = obs::gauge(registry, "background.baseline_paths");
 }
 
 void BackgroundProber::rebuild_targets(util::MinuteTime now) {
@@ -77,7 +87,11 @@ void BackgroundProber::rebuild_targets(util::MinuteTime now) {
 
 void BackgroundProber::probe(const Target& target, util::MinuteTime now) {
   const auto result = engine_->trace(target.location, target.block, now);
-  if (!result.reached) return;
+  obs::add(probes_c_);
+  if (!result.reached) {
+    obs::add(unreached_c_);
+    return;
+  }
   store_->update(target.location, target.middle,
                  Baseline{.when = now,
                           .cloud_ms = result.cloud_ms,
@@ -105,11 +119,15 @@ int BackgroundProber::step(util::MinuteTime prev, util::MinuteTime now) {
       const net::Slash24 block{event.prefix.network >> 8};
       const auto result = engine_->trace(event.location, block, now);
       ++probes;
+      obs::add(probes_c_);
+      obs::add(churn_probes_c_);
       if (result.reached) {
         store_->update(event.location, event.new_route->middle,
                        Baseline{.when = now,
                                 .cloud_ms = result.cloud_ms,
                                 .contributions = result.contributions()});
+      } else {
+        obs::add(unreached_c_);
       }
     }
   }
@@ -126,14 +144,26 @@ int BackgroundProber::step(util::MinuteTime prev, util::MinuteTime now) {
       ++probes;
     }
   }
+  obs::set(targets_g_, static_cast<double>(targets_.size()));
+  obs::set(baselines_g_, static_cast<double>(store_->size()));
   return probes;
 }
 
 std::uint64_t BackgroundProber::periodic_probes_per_day() const {
-  const auto probes_per_target =
-      static_cast<std::uint64_t>(util::kMinutesPerDay /
-                                 config_.background_period_minutes);
-  return probes_per_target * targets_.size();
+  // Count exactly what the firing loop in step() issues over one day
+  // (0, kMinutesPerDay]: target t fires at every T ≡ phase (mod period) in
+  // the window. Truncating kMinutesPerDay / period instead under-reports
+  // whenever the period doesn't divide a day (e.g. 7 h → 3.43 firings/day,
+  // and targets whose phase falls early in the day fire 4 times).
+  const std::int64_t period = config_.background_period_minutes;
+  std::uint64_t total = 0;
+  for (const auto& target : targets_) {
+    const std::int64_t phase = target.phase_minutes;
+    total += static_cast<std::uint64_t>(
+        phase == 0 ? util::kMinutesPerDay / period
+                   : (util::kMinutesPerDay - phase) / period + 1);
+  }
+  return total;
 }
 
 }  // namespace blameit::core

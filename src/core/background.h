@@ -13,6 +13,7 @@
 
 #include "core/config.h"
 #include "net/topology.h"
+#include "obs/registry.h"
 #include "sim/traceroute.h"
 #include "util/time.h"
 
@@ -36,8 +37,9 @@ class BaselineStore {
 
   /// Newest baseline captured strictly BEFORE `when` — the §5.2 semantics:
   /// the comparison point must predate the incident, or a background probe
-  /// taken during the fault would hide the inflation. Falls back to the
-  /// oldest retained baseline when all are newer than `when`.
+  /// taken during the fault would hide the inflation. Returns nullptr when
+  /// every retained baseline is at-or-after `when` (all captured mid-fault);
+  /// callers must then run their explicit no-baseline path.
   [[nodiscard]] const Baseline* get_before(net::CloudLocationId location,
                                            net::MiddleSegmentId middle,
                                            util::MinuteTime when) const;
@@ -54,15 +56,17 @@ class BackgroundProber {
  public:
   BackgroundProber(const net::Topology* topology,
                    sim::TracerouteEngine* engine, BaselineStore* store,
-                   BlameItConfig config = {});
+                   BlameItConfig config = {},
+                   obs::Registry* registry = nullptr);
 
   /// Advances background probing over (prev, now]: issues the periodic
   /// probes whose phase falls due and, when enabled, probes for every BGP
   /// churn event in the interval. Returns the number of probes issued.
   int step(util::MinuteTime prev, util::MinuteTime now);
 
-  /// Number of periodic probes that a full day costs at the configured
-  /// cadence (for the §6.5 overhead accounting).
+  /// Number of periodic probes that one day (0, kMinutesPerDay] costs at the
+  /// configured cadence — phase-exact, matching what step() fires (for the
+  /// §6.5 overhead accounting).
   [[nodiscard]] std::uint64_t periodic_probes_per_day() const;
 
  private:
@@ -85,6 +89,13 @@ class BackgroundProber {
   BlameItConfig config_;
   std::vector<Target> targets_;
   bool targets_dirty_ = true;
+
+  // Instruments (null without a registry).
+  obs::Counter* probes_c_ = nullptr;
+  obs::Counter* churn_probes_c_ = nullptr;
+  obs::Counter* unreached_c_ = nullptr;
+  obs::Gauge* targets_g_ = nullptr;
+  obs::Gauge* baselines_g_ = nullptr;
 };
 
 }  // namespace blameit::core

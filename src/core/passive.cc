@@ -48,7 +48,8 @@ struct ShardState {
 
 PassiveLocalizer::PassiveLocalizer(
     const net::Topology* topology,
-    const analysis::ExpectedRttLearner* learner, BlameItConfig config)
+    const analysis::ExpectedRttLearner* learner, BlameItConfig config,
+    obs::Registry* registry)
     : topology_(topology), learner_(learner), config_(config) {
   if (!topology_ || !learner_) {
     throw std::invalid_argument{"PassiveLocalizer: null dependency"};
@@ -63,6 +64,13 @@ PassiveLocalizer::PassiveLocalizer(
   const int threads =
       util::ThreadPool::resolve_threads(config_.analytics_threads);
   if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+  localize_ms_h_ = obs::histogram(registry, "passive.localize_ms");
+  shard_imbalance_g_ = obs::gauge(registry, "passive.shard_imbalance");
+  for (std::size_t i = 0; i < kAllBlames.size(); ++i) {
+    blame_c_[i] = obs::counter(
+        registry,
+        std::string{"passive.blame."} + std::string{to_string(kAllBlames[i])});
+  }
 }
 
 double PassiveLocalizer::comparison_rtt(analysis::ExpectedRttKey key, int day,
@@ -77,6 +85,7 @@ double PassiveLocalizer::comparison_rtt(analysis::ExpectedRttKey key, int day,
 
 std::vector<BlameResult> PassiveLocalizer::localize(
     std::span<const analysis::Quartet> quartets, int day) const {
+  const obs::ScopedTimer span{localize_ms_h_};
   const std::size_t n = quartets.size();
   const auto nshards =
       static_cast<std::size_t>(pool_ ? pool_->size() : 1);
@@ -138,6 +147,17 @@ std::vector<BlameResult> PassiveLocalizer::localize(
     pool_->run(static_cast<int>(nshards), pass1);
   } else {
     pass1(0);
+  }
+
+  // Shard imbalance: biggest shard relative to a perfect split. Persistently
+  // high values mean the location → shard modulo is clustering hot
+  // locations together and pass 1 is bottlenecked on one worker.
+  if (nshards > 1 && n > 0) {
+    std::size_t biggest = 0;
+    for (const auto& m : members) biggest = std::max(biggest, m.size());
+    obs::set_max(shard_imbalance_g_,
+                 static_cast<double>(biggest) * static_cast<double>(nshards) /
+                     static_cast<double>(n));
   }
 
   // Barrier: merge the per-/24 good-location sets into shard 0's map. A
@@ -209,6 +229,11 @@ std::vector<BlameResult> PassiveLocalizer::localize(
   for (auto& c : chunks) {
     results.insert(results.end(), std::make_move_iterator(c.begin()),
                    std::make_move_iterator(c.end()));
+  }
+  if (blame_c_[0]) {
+    for (const auto& r : results) {
+      blame_c_[static_cast<std::size_t>(r.blame)]->add();
+    }
   }
   return results;
 }

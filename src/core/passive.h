@@ -27,11 +27,14 @@
 #include <span>
 #include <vector>
 
+#include <array>
+
 #include "analysis/expected_rtt.h"
 #include "analysis/quartet.h"
 #include "core/blame.h"
 #include "core/config.h"
 #include "net/topology.h"
+#include "obs/registry.h"
 #include "util/thread_pool.h"
 
 namespace blameit::core {
@@ -40,7 +43,8 @@ class PassiveLocalizer {
  public:
   PassiveLocalizer(const net::Topology* topology,
                    const analysis::ExpectedRttLearner* learner,
-                   BlameItConfig config = {});
+                   BlameItConfig config = {},
+                   obs::Registry* registry = nullptr);
 
   /// Runs Algorithm 1 over one bucket's quartets (good and bad; the good
   /// ones shape the group fractions and the ambiguity signal). Returns one
@@ -71,6 +75,13 @@ class PassiveLocalizer {
   BlameItConfig config_;
   analysis::BadnessThresholds thresholds_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when serial
+
+  // Instruments (null without a registry). Blame counters are bumped after
+  // the parallel passes finish, from the merged result list, so the
+  // registry never participates in the parallel section's determinism.
+  obs::Histogram* localize_ms_h_ = nullptr;
+  obs::Gauge* shard_imbalance_g_ = nullptr;
+  std::array<obs::Counter*, kAllBlames.size()> blame_c_{};
 };
 
 }  // namespace blameit::core

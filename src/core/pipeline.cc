@@ -1,12 +1,14 @@
 #include "core/pipeline.h"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace blameit::core {
 
 BlameItPipeline::BlameItPipeline(const net::Topology* topology,
                                  sim::TracerouteEngine* engine,
-                                 QuartetSource source, BlameItConfig config)
+                                 QuartetSource source, BlameItConfig config,
+                                 obs::Registry* registry)
     : topology_(topology),
       engine_(engine),
       source_(std::move(source)),
@@ -14,12 +16,13 @@ BlameItPipeline::BlameItPipeline(const net::Topology* topology,
       learner_(analysis::ExpectedRttConfig{
           .window_days = config.expected_rtt_window_days,
           .reservoir_per_day = 256,
-          .memoize_medians = config.memoize_expected_rtt}),
-      passive_(topology, &learner_, config),
+          .memoize_medians = config.memoize_expected_rtt,
+          .registry = registry}),
+      passive_(topology, &learner_, config, registry),
       durations_(config.duration_horizon_buckets),
       clients_(config.client_predictor_days),
-      background_(topology, engine, &baselines_, config),
-      active_(topology, engine, &baselines_) {
+      background_(topology, engine, &baselines_, config, registry),
+      active_(topology, engine, &baselines_, registry) {
   if (!topology_ || !engine_ || !source_) {
     throw std::invalid_argument{"BlameItPipeline: null dependency"};
   }
@@ -30,6 +33,16 @@ BlameItPipeline::BlameItPipeline(const net::Topology* topology,
   // analytics_threads is validated (and the worker pool owned) by passive_;
   // learning stays serial on purpose — reservoir sampling is order-
   // sensitive, and localize() dominates the step cost.
+  learn_ms_h_ = obs::histogram(registry, "step.learn_ms");
+  localize_ms_h_ = obs::histogram(registry, "step.localize_ms");
+  active_ms_h_ = obs::histogram(registry, "step.active_ms");
+  background_ms_h_ = obs::histogram(registry, "step.background_ms");
+  total_ms_h_ = obs::histogram(registry, "step.total_ms");
+  on_demand_probes_c_ = obs::counter(registry, "pipeline.on_demand_probes");
+  background_probes_c_ = obs::counter(registry, "pipeline.background_probes");
+  buckets_c_ = obs::counter(registry, "pipeline.buckets_processed");
+  probe_budget_g_ = obs::gauge(registry, "pipeline.probe_budget_per_run");
+  obs::set(probe_budget_g_, static_cast<double>(config_.probe_budget_per_run));
 }
 
 void BlameItPipeline::learn_from(
@@ -69,6 +82,7 @@ void BlameItPipeline::warmup_bucket(util::TimeBucket bucket) {
 }
 
 StepReport BlameItPipeline::step(util::MinuteTime now) {
+  const auto step_t0 = std::chrono::steady_clock::now();
   StepReport report;
   report.now = now;
 
@@ -77,8 +91,17 @@ StepReport BlameItPipeline::step(util::MinuteTime now) {
   util::TimeBucket bucket = next_bucket_;
   for (; bucket.next().start() <= now; bucket = bucket.next()) {
     auto quartets = source_(bucket);
-    learn_from(quartets, bucket);
-    auto blames = passive_.localize(quartets, bucket.day());
+    {
+      const obs::ScopedTimer learn_span{learn_ms_h_,
+                                        &report.stages.learn_ms};
+      learn_from(quartets, bucket);
+    }
+    std::vector<BlameResult> blames;
+    {
+      const obs::ScopedTimer localize_span{localize_ms_h_,
+                                           &report.stages.localize_ms};
+      blames = passive_.localize(quartets, bucket.day());
+    }
 
     // Middle-issue run tracking for the duration predictor.
     std::unordered_map<std::uint64_t, bool> bad_now;
@@ -110,9 +133,12 @@ StepReport BlameItPipeline::step(util::MinuteTime now) {
     latest_blames = std::move(blames);
   }
   next_bucket_ = bucket;
+  obs::add(buckets_c_, static_cast<std::uint64_t>(report.buckets_processed));
 
   // Active phase over the newest bucket's middle issues.
   if (!latest_blames.empty()) {
+    const obs::ScopedTimer active_span{active_ms_h_,
+                                       &report.stages.active_ms};
     auto issues = collect_middle_issues(latest_blames,
                                         config_.samples_per_client_estimate);
     for (auto& issue : issues) {
@@ -145,8 +171,21 @@ StepReport BlameItPipeline::step(util::MinuteTime now) {
     }
   }
 
-  report.background_probes = background_.step(last_step_, now);
+  {
+    const obs::ScopedTimer background_span{background_ms_h_,
+                                           &report.stages.background_ms};
+    report.background_probes = background_.step(last_step_, now);
+  }
   last_step_ = now;
+
+  obs::add(on_demand_probes_c_,
+           static_cast<std::uint64_t>(report.on_demand_probes));
+  obs::add(background_probes_c_,
+           static_cast<std::uint64_t>(report.background_probes));
+  report.stages.total_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - step_t0)
+                               .count();
+  obs::record(total_ms_h_, report.stages.total_ms);
   return report;
 }
 

@@ -18,6 +18,7 @@
 #include "core/predictors.h"
 #include "core/prioritizer.h"
 #include "net/topology.h"
+#include "obs/registry.h"
 #include "sim/traceroute.h"
 
 namespace blameit::core {
@@ -25,8 +26,20 @@ namespace blameit::core {
 /// Everything one pipeline step produced; benches and the ops alerting layer
 /// consume this.
 struct StepReport {
+  /// Wall time each stage of this step spent, in milliseconds. Filled on
+  /// every step (a handful of clock reads); mirrored into the registry's
+  /// step.*_ms histograms when one is attached.
+  struct StageTimings {
+    double learn_ms = 0.0;       ///< expected-RTT + predictor learning
+    double localize_ms = 0.0;    ///< Algorithm 1 across the step's buckets
+    double active_ms = 0.0;      ///< ranking + on-demand traceroutes
+    double background_ms = 0.0;  ///< periodic/churn baseline probes
+    double total_ms = 0.0;       ///< whole step() call
+  };
+
   util::MinuteTime now;
   int buckets_processed = 0;
+  StageTimings stages;
   /// Per-bad-quartet blame results across the step's buckets.
   std::vector<BlameResult> blames;
   /// Middle issues of the newest bucket, ranked by client-time product.
@@ -50,9 +63,12 @@ class BlameItPipeline {
   using QuartetSource =
       std::function<std::vector<analysis::Quartet>(util::TimeBucket)>;
 
+  /// `registry`, when given, receives metrics from every layer the pipeline
+  /// owns (learner, passive localizer, probers, per-stage step spans); null
+  /// keeps the uninstrumented zero-overhead path.
   BlameItPipeline(const net::Topology* topology,
                   sim::TracerouteEngine* engine, QuartetSource source,
-                  BlameItConfig config = {});
+                  BlameItConfig config = {}, obs::Registry* registry = nullptr);
 
   /// Processes all buckets whose window closed in (last step, now]. Call at
   /// the configured cadence (15 min ⇒ 3 buckets per step).
@@ -107,6 +123,17 @@ class BlameItPipeline {
   util::TimeBucket next_bucket_{0};
   util::MinuteTime last_step_{0};
   int last_evict_day_ = -1;
+
+  // Instruments (null without a registry).
+  obs::Histogram* learn_ms_h_ = nullptr;
+  obs::Histogram* localize_ms_h_ = nullptr;
+  obs::Histogram* active_ms_h_ = nullptr;
+  obs::Histogram* background_ms_h_ = nullptr;
+  obs::Histogram* total_ms_h_ = nullptr;
+  obs::Counter* on_demand_probes_c_ = nullptr;
+  obs::Counter* background_probes_c_ = nullptr;
+  obs::Counter* buckets_c_ = nullptr;
+  obs::Gauge* probe_budget_g_ = nullptr;
 };
 
 }  // namespace blameit::core

@@ -55,6 +55,15 @@ IngestEngine::IngestEngine(const net::Topology* topology,
     shards_.push_back(std::make_unique<Shard>(config_.queue_batches));
     shards_.back()->pending.reserve(config_.batch_records);
   }
+  records_in_c_ = obs::counter(config_.registry, "ingest.records_in");
+  late_dropped_c_ = obs::counter(config_.registry, "ingest.late_dropped");
+  closed_dropped_c_ = obs::counter(config_.registry, "ingest.closed_dropped");
+  backpressure_c_ =
+      obs::counter(config_.registry, "ingest.backpressure_waits");
+  queue_high_water_g_ =
+      obs::gauge(config_.registry, "ingest.queue_high_water");
+  watermark_lag_g_ =
+      obs::gauge(config_.registry, "ingest.watermark_lag_minutes");
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shards_[i]->worker = std::thread{[this, i] { worker_loop(i); }};
   }
@@ -63,28 +72,47 @@ IngestEngine::IngestEngine(const net::Topology* topology,
 IngestEngine::~IngestEngine() { close(); }
 
 void IngestEngine::submit(const analysis::RttRecord& record) {
+  if (closed_) {
+    closed_dropped_.fetch_add(1, std::memory_order_relaxed);
+    obs::add(closed_dropped_c_);
+    return;
+  }
   const std::size_t shard =
       builder_.shard_of(net::Slash24::of(record.client_ip));
   auto& pending = shards_[shard]->pending;
   pending.push_back(record);
   records_in_.fetch_add(1, std::memory_order_relaxed);
+  obs::add(records_in_c_);
   if (pending.size() >= config_.batch_records) push_pending(shard);
 }
 
 void IngestEngine::push_pending(std::size_t shard_index) {
   auto& shard = *shards_[shard_index];
   if (shard.pending.empty()) return;
+  const auto batch_records = shard.pending.size();
   Message msg{.kind = Message::Kind::Batch,
               .records = std::move(shard.pending)};
   shard.pending = {};
   shard.pending.reserve(config_.batch_records);
-  shard.queue.push(std::move(msg));
+  const auto status = shard.queue.push(std::move(msg));
+  if (status == PushStatus::Closed) {
+    // The queue dropped the batch (engine closing underneath the producer):
+    // account for every record so nothing is silently lost.
+    closed_dropped_.fetch_add(batch_records, std::memory_order_relaxed);
+    obs::add(closed_dropped_c_, batch_records);
+    return;
+  }
+  if (status == PushStatus::OkAfterBlocking) obs::add(backpressure_c_);
+  obs::set_max(queue_high_water_g_,
+               static_cast<double>(shard.queue.high_water()));
   batches_submitted_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void IngestEngine::advance_watermark(util::MinuteTime watermark) {
-  if (watermark <= producer_watermark_) return;
-  producer_watermark_ = watermark;
+  if (watermark.minutes <= producer_watermark_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  producer_watermark_.store(watermark.minutes, std::memory_order_relaxed);
   // Partial batches must go first so no record is ordered after the
   // watermark that covers it.
   for (std::size_t i = 0; i < shards_.size(); ++i) push_pending(i);
@@ -101,9 +129,11 @@ void IngestEngine::fence() {
     push_pending(i);
     // A watermark message that does not move the watermark, but carries the
     // fence: processed strictly after everything queued before it.
-    shards_[i]->queue.push(Message{.kind = Message::Kind::Watermark,
-                                   .watermark = producer_watermark_,
-                                   .sync = sync});
+    shards_[i]->queue.push(Message{
+        .kind = Message::Kind::Watermark,
+        .watermark =
+            util::MinuteTime{producer_watermark_.load(std::memory_order_relaxed)},
+        .sync = sync});
   }
   sync->wait();
 }
@@ -120,17 +150,21 @@ void IngestEngine::close() {
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+  // With the workers gone nobody drains the queues: close them so any
+  // straggling push drops-and-counts instead of blocking forever.
+  for (auto& shard : shards_) shard->queue.close();
 }
 
 void IngestEngine::worker_loop(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   for (;;) {
-    Message msg = shard.queue.pop();
-    switch (msg.kind) {
+    std::optional<Message> msg = shard.queue.pop();
+    if (!msg) return;  // closed and drained
+    switch (msg->kind) {
       case Message::Kind::Batch: {
         std::uint64_t accepted = 0;
         std::uint64_t late = 0;
-        for (const auto& record : msg.records) {
+        for (const auto& record : msg->records) {
           if (util::TimeBucket::of(record.time).index <
               shard.finalized_before) {
             ++late;  // its bucket was already finalized — count, drop
@@ -141,11 +175,12 @@ void IngestEngine::worker_loop(std::size_t shard_index) {
         }
         shard.records.fetch_add(accepted, std::memory_order_relaxed);
         shard.late_dropped.fetch_add(late, std::memory_order_relaxed);
+        if (late > 0) obs::add(late_dropped_c_, late);
         break;
       }
       case Message::Kind::Watermark:
-        process_watermark(shard, shard_index, msg.watermark);
-        if (msg.sync) msg.sync->arrive();
+        process_watermark(shard, shard_index, msg->watermark);
+        if (msg->sync) msg->sync->arrive();
         break;
       case Message::Kind::Stop:
         return;
@@ -157,6 +192,17 @@ void IngestEngine::process_watermark(Shard& shard, std::size_t shard_index,
                                      util::MinuteTime watermark) {
   if (watermark <= shard.watermark) return;
   shard.watermark = watermark;
+  // How far this shard trails the producer's announced watermark (queue
+  // delay, in minutes). The close()-time kEndOfTime flush is not a real
+  // watermark, so it is excluded.
+  if (watermark_lag_g_ != nullptr && watermark < kEndOfTime) {
+    const std::int64_t produced =
+        producer_watermark_.load(std::memory_order_relaxed);
+    if (produced < kEndOfTime.minutes) {
+      watermark_lag_g_->set_max(
+          static_cast<double>(produced - watermark.minutes));
+    }
+  }
   // Buckets whose window end + lateness allowance the watermark passed.
   const util::MinuteTime closed_through =
       watermark.plus_minutes(-config_.lateness_minutes);
@@ -236,6 +282,7 @@ IngestStats IngestEngine::stats() const {
   s.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
   s.unknown_dropped = builder_.dropped_unknown_blocks();
   s.min_samples_dropped = builder_.dropped_min_samples();
+  s.closed_dropped = closed_dropped_.load(std::memory_order_relaxed);
   s.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     ShardStats slice;

@@ -43,6 +43,7 @@
 #include "ingest/queue.h"
 #include "ingest/sharded_builder.h"
 #include "ingest/stats.h"
+#include "obs/registry.h"
 #include "util/time.h"
 
 namespace blameit::ingest {
@@ -57,6 +58,9 @@ struct IngestConfig {
   /// this many minutes past its end; records older than that are late.
   int lateness_minutes = util::kBucketMinutes;
   analysis::QuartetBuilderConfig builder{};
+  /// Optional metrics sink (queue pressure, drop accounting, watermark lag);
+  /// null = no instrumentation, zero overhead.
+  obs::Registry* registry = nullptr;
 };
 
 class IngestEngine {
@@ -70,6 +74,8 @@ class IngestEngine {
   IngestEngine& operator=(const IngestEngine&) = delete;
 
   /// Enqueues one raw record (producer side; may block under backpressure).
+  /// After close() the record is dropped and counted, never blocked on — a
+  /// closed engine must not deadlock its producer.
   void submit(const analysis::RttRecord& record);
 
   /// Promises that no record with time < `watermark` will be submitted.
@@ -81,8 +87,10 @@ class IngestEngine {
   /// processed by its shard (a full fence; finalized output is then stable).
   void flush();
 
-  /// Finalizes everything regardless of watermark, fences, and joins the
-  /// workers. Called by the destructor; idempotent.
+  /// Finalizes everything regardless of watermark, fences, joins the
+  /// workers, and closes the shard queues so later (or concurrently
+  /// blocked) pushes drop-and-count instead of deadlocking against a queue
+  /// nobody drains. Called by the destructor; idempotent.
   void close();
 
   /// Removes and returns the finalized quartets of `bucket`, merged across
@@ -145,10 +153,21 @@ class IngestEngine {
   IngestConfig config_;
   ShardedQuartetBuilder builder_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  util::MinuteTime producer_watermark_{std::int64_t{-1} << 40};
+  /// Producer-owned; atomic (minutes) so workers may read it for the
+  /// watermark-lag gauge without a race.
+  std::atomic<std::int64_t> producer_watermark_{std::int64_t{-1} << 40};
   std::atomic<std::uint64_t> records_in_{0};
   std::atomic<std::uint64_t> batches_submitted_{0};
+  std::atomic<std::uint64_t> closed_dropped_{0};
   bool closed_ = false;
+
+  // Instruments (null without a registry).
+  obs::Counter* records_in_c_ = nullptr;
+  obs::Counter* late_dropped_c_ = nullptr;
+  obs::Counter* closed_dropped_c_ = nullptr;
+  obs::Counter* backpressure_c_ = nullptr;
+  obs::Gauge* queue_high_water_g_ = nullptr;
+  obs::Gauge* watermark_lag_g_ = nullptr;
 };
 
 }  // namespace blameit::ingest

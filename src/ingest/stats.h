@@ -32,6 +32,7 @@ struct IngestStats {
   std::uint64_t late_dropped = 0;     ///< behind the watermark (per shard)
   std::uint64_t unknown_dropped = 0;  ///< client /24 not in the topology
   std::uint64_t min_samples_dropped = 0;  ///< quartets under min_samples
+  std::uint64_t closed_dropped = 0;  ///< submitted after/during engine close
   std::uint64_t batches_submitted = 0;
   std::uint64_t backpressure_waits = 0;
   std::size_t queue_high_water = 0;  ///< max over all shard queues

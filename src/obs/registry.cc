@@ -1,0 +1,174 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace blameit::obs {
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      counts_(new std::atomic<std::uint64_t>[bounds.size() + 1]) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument{"Histogram: bounds must be ascending"};
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::record(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  double prev = max_.load(std::memory_order_relaxed);
+  while (prev < v &&
+         !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Map, typename Make>
+auto* find_or_make(Map& map, std::string_view name, const Make& make) {
+  const auto it = map.find(name);
+  if (it != map.end()) return it->second.get();
+  return map.emplace(std::string{name}, make()).first->second.get();
+}
+
+}  // namespace
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard lock{mutex_};
+  return find_or_make(counters_, name,
+                      [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard lock{mutex_};
+  return find_or_make(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram* Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  std::lock_guard lock{mutex_};
+  return find_or_make(histograms_, name, [&] {
+    return std::make_unique<Histogram>(bounds);
+  });
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard lock{mutex_};
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back({name, h->bounds(), h->bucket_counts(),
+                               h->count(), h->sum(), h->max()});
+  }
+  return snap;
+}
+
+std::optional<std::uint64_t> Snapshot::counter_value(
+    std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Snapshot::gauge_value(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return std::nullopt;
+}
+
+const Snapshot::HistogramSample* Snapshot::histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string render_text(const Snapshot& snapshot) {
+  std::ostringstream oss;
+  for (const auto& c : snapshot.counters) {
+    oss << c.name << " = " << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    oss << g.name << " = " << g.value << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    oss << h.name << ": count=" << h.count << " mean=" << h.mean()
+        << " max=" << h.max << '\n';
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;  // sparse: most buckets are empty
+      oss << "  le=";
+      if (i < h.bounds.size()) {
+        oss << h.bounds[i];
+      } else {
+        oss << "+inf";
+      }
+      oss << " : " << h.counts[i] << '\n';
+    }
+  }
+  return oss.str();
+}
+
+void write_json(const Snapshot& snapshot, std::ostream& os) {
+  const auto quoted = [](const std::string& s) { return '"' + s + '"'; };
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    os << (i ? ", " : "") << quoted(c.name) << ": " << c.value;
+  }
+  os << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    os << (i ? ", " : "") << quoted(g.name) << ": " << g.value;
+  }
+  os << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    os << (i ? ",\n    " : "\n    ") << quoted(h.name) << ": {\"count\": "
+       << h.count << ", \"sum\": " << h.sum << ", \"max\": " << h.max
+       << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      os << (b ? ", " : "") << "[";
+      if (b < h.bounds.size()) {
+        os << h.bounds[b];
+      } else {
+        os << "null";
+      }
+      os << ", " << h.counts[b] << "]";
+    }
+    os << "]}";
+  }
+  os << "\n  }\n}\n";
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::ostringstream oss;
+  write_json(snapshot, oss);
+  return oss.str();
+}
+
+}  // namespace blameit::obs

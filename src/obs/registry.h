@@ -1,0 +1,236 @@
+// Pipeline-wide observability: a thread-safe registry of named counters,
+// gauges, and fixed-bucket latency histograms, with point-in-time snapshots
+// and text/JSON exporters.
+//
+// Design rules, in order of importance:
+//  - Hot paths never pay for metrics they don't use. Every instrumented
+//    component takes an optional `Registry*`; when it is null the null-safe
+//    free helpers (obs::add, obs::set, obs::record, ...) compile down to a
+//    single pointer test, and ScopedTimer skips the clock reads entirely.
+//  - Instrument sites resolve their instruments ONCE (at construction) and
+//    keep the returned pointer: registration takes the registry mutex, but
+//    updates are lock-free relaxed atomics, safe from any thread.
+//  - Metrics never feed back into the computation. Localization output with
+//    a registry attached is bit-identical to output without one (tested);
+//    the registry observes, it does not participate.
+//
+// Naming convention: dot-separated lowercase paths, `<component>.<metric>`
+// (e.g. "ingest.records_in", "passive.blame.middle", "step.localize_ms").
+// Histograms of wall time end in `_ms` and use kLatencyBucketsMs unless the
+// site passes custom bounds.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blameit::obs {
+
+/// Monotonically increasing event count. All operations are relaxed atomics:
+/// increments from any thread, wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or maximum-so-far) instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if `v` is larger (high-water-mark semantics).
+  void set_max(double v) noexcept {
+    double prev = value_.load(std::memory_order_relaxed);
+    while (prev < v && !value_.compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Default wall-time bucket upper bounds, in milliseconds.
+inline constexpr double kLatencyBucketsMs[] = {
+    0.05, 0.1, 0.25, 0.5, 1.0,  2.5,   5.0,   10.0,
+    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0};
+
+/// Fixed-bucket histogram: bucket i counts values <= bounds[i] (first match);
+/// one implicit overflow bucket catches the rest. Records are wait-free
+/// relaxed atomics; bounds are immutable after construction.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void record(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time view of every registered instrument, name-sorted. Values of
+/// one snapshot are each individually consistent (relaxed reads of live
+/// atomics); a snapshot taken after writers quiesce is exact.
+struct Snapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1, last = overflow
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+
+    [[nodiscard]] double mean() const noexcept {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  [[nodiscard]] std::optional<std::uint64_t> counter_value(
+      std::string_view name) const;
+  [[nodiscard]] std::optional<double> gauge_value(std::string_view name) const;
+  [[nodiscard]] const HistogramSample* histogram(std::string_view name) const;
+};
+
+/// Owns every instrument; hands out stable pointers. Registration locks a
+/// mutex (do it once, at component construction); instrument updates and
+/// snapshot() reads are lock-free on the instruments themselves.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the named instrument, creating it on first use. Pointers stay
+  /// valid for the registry's lifetime. A histogram's bounds are fixed by
+  /// its first registration; later calls with different bounds get the
+  /// existing instrument.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name,
+                       std::span<const double> bounds = kLatencyBucketsMs);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Null-safe registration: resolve instruments through a possibly-null
+// registry. A component built without a registry holds null instrument
+// pointers and every update below is a predictable not-taken branch.
+[[nodiscard]] inline Counter* counter(Registry* r, std::string_view name) {
+  return r ? r->counter(name) : nullptr;
+}
+[[nodiscard]] inline Gauge* gauge(Registry* r, std::string_view name) {
+  return r ? r->gauge(name) : nullptr;
+}
+[[nodiscard]] inline Histogram* histogram(
+    Registry* r, std::string_view name,
+    std::span<const double> bounds = kLatencyBucketsMs) {
+  return r ? r->histogram(name, bounds) : nullptr;
+}
+
+// Null-safe updates.
+inline void add(Counter* c, std::uint64_t n = 1) noexcept {
+  if (c) c->add(n);
+}
+inline void set(Gauge* g, double v) noexcept {
+  if (g) g->set(v);
+}
+inline void set_max(Gauge* g, double v) noexcept {
+  if (g) g->set_max(v);
+}
+inline void record(Histogram* h, double v) noexcept {
+  if (h) h->record(v);
+}
+
+/// RAII stage span: on destruction, records the elapsed wall milliseconds
+/// into `hist` (if any) and adds them to `*out_ms` (if any) — the latter is
+/// how StepReport carries per-stage timings even without a registry. With
+/// both sinks null the clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist, double* out_ms = nullptr) noexcept
+      : hist_(hist), out_ms_(out_ms) {
+    if (hist_ || out_ms_) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (!hist_ && !out_ms_) return;
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    if (hist_) hist_->record(ms);
+    if (out_ms_) *out_ms_ += ms;
+  }
+
+ private:
+  Histogram* hist_;
+  double* out_ms_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Human-readable dump: one line per counter/gauge, a count/mean/max line
+/// plus bucket rows per histogram.
+[[nodiscard]] std::string render_text(const Snapshot& snapshot);
+
+/// Machine-readable dump: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {"count", "sum", "max", "buckets": [[le, n], ...]}}}.
+void write_json(const Snapshot& snapshot, std::ostream& os);
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+
+}  // namespace blameit::obs

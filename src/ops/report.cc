@@ -18,6 +18,11 @@ std::string render_step(const core::StepReport& report,
   if (report.blames.empty()) oss << " none";
   oss << " | probes: on-demand=" << report.on_demand_probes
       << " background=" << report.background_probes;
+  oss << " | stages(ms): learn=" << util::fmt(report.stages.learn_ms, 2)
+      << " localize=" << util::fmt(report.stages.localize_ms, 2)
+      << " active=" << util::fmt(report.stages.active_ms, 2)
+      << " background=" << util::fmt(report.stages.background_ms, 2)
+      << " total=" << util::fmt(report.stages.total_ms, 2);
   if (!report.ranked_issues.empty()) {
     const auto& top = report.ranked_issues.front();
     oss << " | top issue: " << topology.location(top.location).name << " via "
@@ -42,7 +47,8 @@ std::string render_ingest(const ingest::IngestStats& stats) {
       << " quartets=" << stats.quartets_finalized;
   oss << " | dropped: late=" << stats.late_dropped
       << " unknown=" << stats.unknown_dropped
-      << " min-samples=" << stats.min_samples_dropped;
+      << " min-samples=" << stats.min_samples_dropped
+      << " closed=" << stats.closed_dropped;
   oss << " | queues: shards=" << stats.shards.size()
       << " high-water=" << stats.queue_high_water
       << " backpressure-waits=" << stats.backpressure_waits;

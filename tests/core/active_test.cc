@@ -130,6 +130,74 @@ TEST_F(ActiveTest, NoBaselineFallsBackToAbsoluteContribution) {
   EXPECT_EQ(*diag.culprit, block().client_as);
 }
 
+TEST_F(ActiveTest, NoBaselineCanBlameCloudSegment) {
+  // A massive cloud-side inflation with an empty baseline store: the
+  // largest-absolute-contributor fallback must consider the cloud segment,
+  // not only the middle/client ASes on the path.
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::CloudLocation,
+                        .cloud_location = home(),
+                        .added_ms = 500.0,
+                        .start = t0,
+                        .duration_minutes = 120});
+  sim::RttModel faulty{topo_, &faults};
+  sim::TracerouteEngine engine{topo_, &faulty};
+  ActiveLocalizer localizer{topo_, &engine, &store_};  // empty store
+  const auto diag = localizer.diagnose(home(), route(t0).middle,
+                                       block().block, t0.plus_minutes(30));
+  ASSERT_TRUE(diag.probe_reached);
+  EXPECT_FALSE(diag.have_baseline);
+  ASSERT_TRUE(diag.culprit.has_value());
+  EXPECT_EQ(*diag.culprit, topo_->cloud_as());
+  EXPECT_GE(diag.culprit_increase_ms, 500.0);
+}
+
+TEST_F(ActiveTest, MidIncidentBaselineIsRejected) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  const auto issue_start = t0.plus_minutes(30);
+  // The ONLY retained baseline was captured after the issue began — using
+  // it would hide the inflation (the diff would read ~0). The diagnosis
+  // must take the explicit no-baseline path instead.
+  capture_baseline(t0.plus_minutes(60));
+
+  sim::FaultInjector no_faults;
+  sim::RttModel model{topo_, &no_faults};
+  sim::TracerouteEngine engine{topo_, &model};
+  ActiveLocalizer localizer{topo_, &engine, &store_};
+  const auto diag =
+      localizer.diagnose(home(), route(t0).middle, block().block,
+                         t0.plus_minutes(90), issue_start);
+  ASSERT_TRUE(diag.probe_reached);
+  EXPECT_FALSE(diag.have_baseline);
+  EXPECT_FALSE(diag.baseline_predates_issue);
+  // The low-confidence fallback still names a culprit.
+  EXPECT_TRUE(diag.culprit.has_value());
+}
+
+TEST_F(ActiveTest, BaselinePredatesIssueFlag) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  capture_baseline(t0);
+
+  sim::FaultInjector no_faults;
+  sim::RttModel model{topo_, &no_faults};
+  sim::TracerouteEngine engine{topo_, &model};
+  ActiveLocalizer localizer{topo_, &engine, &store_};
+
+  // issue_start given and an older baseline exists: the guarantee holds.
+  const auto with_start =
+      localizer.diagnose(home(), route(t0).middle, block().block,
+                         t0.plus_minutes(60), t0.plus_minutes(30));
+  EXPECT_TRUE(with_start.have_baseline);
+  EXPECT_TRUE(with_start.baseline_predates_issue);
+
+  // No issue_start: plain get() makes no predating promise.
+  const auto without_start = localizer.diagnose(
+      home(), route(t0).middle, block().block, t0.plus_minutes(60));
+  EXPECT_TRUE(without_start.have_baseline);
+  EXPECT_FALSE(without_start.baseline_predates_issue);
+}
+
 TEST_F(ActiveTest, UnreachableTargetYieldsNoCulprit) {
   sim::FaultInjector no_faults;
   sim::RttModel model{topo_, &no_faults};

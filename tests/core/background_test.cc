@@ -98,6 +98,45 @@ TEST_F(BackgroundTest, TwoPerDayCadence) {
   EXPECT_EQ(static_cast<std::uint64_t>(total), 2 * store_.size());
 }
 
+TEST_F(BackgroundTest, GetBeforeRejectsBaselinesAtOrAfterIssueStart) {
+  const auto loc = topo_->locations().front().id;
+  const net::MiddleSegmentId mid{3};
+  store_.update(loc, mid, Baseline{.when = util::MinuteTime{100}});
+
+  // Every retained baseline postdates the issue: no silent fallback to the
+  // oldest entry (the old behavior) — the caller must see "no baseline".
+  EXPECT_EQ(store_.get_before(loc, mid, util::MinuteTime{50}), nullptr);
+  // Strictly before: a baseline captured AT the issue start is not usable.
+  EXPECT_EQ(store_.get_before(loc, mid, util::MinuteTime{100}), nullptr);
+  EXPECT_NE(store_.get_before(loc, mid, util::MinuteTime{101}), nullptr);
+
+  // With a mix, the newest strictly-older baseline is selected.
+  store_.update(loc, mid, Baseline{.when = util::MinuteTime{200}});
+  const auto* baseline = store_.get_before(loc, mid, util::MinuteTime{150});
+  ASSERT_NE(baseline, nullptr);
+  EXPECT_EQ(baseline->when, util::MinuteTime{100});
+}
+
+TEST_F(BackgroundTest, ProbeCostMatchesFiringLoopAtSevenHourPeriod) {
+  // 7 h does not divide a day (1440 / 420 = 3.43): the truncating estimate
+  // claimed 3 probes per target while the firing loop issues 3 or 4
+  // depending on the target's phase. The accounting must match what fires.
+  BlameItConfig cfg;
+  cfg.background_period_minutes = 7 * 60;
+  cfg.churn_triggered_probes = false;
+  BackgroundProber prober{topo_, &engine_, &store_, cfg};
+  int total = 0;
+  for (int minute = 15; minute <= util::kMinutesPerDay; minute += 15) {
+    total += prober.step(util::MinuteTime{minute - 15},
+                         util::MinuteTime{minute});
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(total),
+            prober.periodic_probes_per_day());
+  // Every target fires at least the truncated count.
+  EXPECT_GE(static_cast<std::size_t>(total), 3 * store_.size());
+  EXPECT_LE(static_cast<std::size_t>(total), 4 * store_.size());
+}
+
 TEST_F(BackgroundTest, ChurnTriggersProbe) {
   BlameItConfig cfg;
   cfg.background_period_minutes = 100000;  // effectively disable periodic

@@ -545,6 +545,43 @@ TEST_F(PassiveTest, LearnedExpectedRttCatchesSubThresholdShift) {
   EXPECT_GT(above, 950);
 }
 
+TEST_F(PassiveTest, RegistryNeverAffectsOutputAndCountsBlames) {
+  analysis::ExpectedRttLearner learner;
+  warm(learner, 14);
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = most_used_transit(*topo_, net::Region::India),
+                        .added_ms = 130.0,
+                        .start = util::MinuteTime::from_days(14),
+                        .duration_minutes = util::kMinutesPerDay});
+  const auto quartets = quartets_for(faults, eval_bucket());
+
+  BlameItConfig cfg;
+  const PassiveLocalizer plain{topo_, &learner, cfg};
+  const auto reference = plain.localize(quartets, 14);
+  ASSERT_FALSE(reference.empty());
+
+  // A live registry on a multi-threaded localizer must leave the blame
+  // output bit-identical: metrics observe, they never participate.
+  obs::Registry registry;
+  cfg.analytics_threads = 4;
+  const PassiveLocalizer instrumented{topo_, &learner, cfg, &registry};
+  EXPECT_EQ(instrumented.localize(quartets, 14), reference);
+
+  const auto snap = registry.snapshot();
+  for (const auto blame : kAllBlames) {
+    std::uint64_t expected = 0;
+    for (const auto& r : reference) expected += r.blame == blame;
+    EXPECT_EQ(snap.counter_value(std::string{"passive.blame."} +
+                                 std::string{to_string(blame)}),
+              expected)
+        << to_string(blame);
+  }
+  const auto* span = snap.histogram("passive.localize_ms");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 1u);
+}
+
 TEST_F(PassiveTest, InvalidConfigRejected) {
   analysis::ExpectedRttLearner learner;
   BlameItConfig bad;

@@ -30,7 +30,8 @@ class PipelineTest : public ::testing::Test {
 
   /// Builds the full stack around a fault schedule. Returns the pipeline;
   /// keeps the support objects alive via members.
-  void build(BlameItConfig cfg = shortened_config()) {
+  void build(BlameItConfig cfg = shortened_config(),
+             obs::Registry* registry = nullptr) {
     generator_ = std::make_unique<sim::TelemetryGenerator>(topo_, &faults_);
     model_ = std::make_unique<sim::RttModel>(topo_, &faults_);
     engine_ = std::make_unique<sim::TracerouteEngine>(topo_, model_.get());
@@ -43,7 +44,7 @@ class PipelineTest : public ::testing::Test {
       return builder.take_bucket(bucket);
     };
     pipeline_ = std::make_unique<BlameItPipeline>(topo_, engine_.get(),
-                                                  source, cfg);
+                                                  source, cfg, registry);
   }
 
   static BlameItConfig shortened_config() {
@@ -270,6 +271,42 @@ TEST_F(PipelineTest, StepReportCountsMatchBlames) {
   int total = 0;
   for (const auto blame : kAllBlames) total += report.count(blame);
   EXPECT_EQ(static_cast<std::size_t>(total), report.blames.size());
+}
+
+TEST_F(PipelineTest, RegistryObservesEveryStage) {
+  obs::Registry registry;
+  build(shortened_config(), &registry);
+  warm(2);
+  const auto report =
+      pipeline_->step(util::MinuteTime::from_days(2).plus_minutes(15));
+  EXPECT_EQ(report.buckets_processed, 3);  // 15-min step = 3 buckets
+  EXPECT_GT(report.stages.total_ms, 0.0);
+  EXPECT_GT(report.stages.localize_ms, 0.0);
+  // total covers the whole call, so it bounds the sum of the inner stages.
+  EXPECT_GE(report.stages.total_ms,
+            report.stages.learn_ms + report.stages.localize_ms +
+                report.stages.active_ms + report.stages.background_ms);
+
+  const auto snap = registry.snapshot();
+  // The active span only runs when the step surfaced blames, so it may be
+  // empty on a healthy day; the others record on every step.
+  EXPECT_NE(snap.histogram("step.active_ms"), nullptr);
+  for (const auto* name : {"step.learn_ms", "step.localize_ms",
+                           "step.background_ms", "step.total_ms"}) {
+    const auto* hist = snap.histogram(name);
+    ASSERT_NE(hist, nullptr) << name;
+    EXPECT_GT(hist->count, 0u) << name;
+  }
+  EXPECT_EQ(snap.counter_value("pipeline.buckets_processed"),
+            static_cast<std::uint64_t>(report.buckets_processed));
+  EXPECT_EQ(snap.gauge_value("pipeline.probe_budget_per_run"),
+            static_cast<double>(pipeline_->config().probe_budget_per_run));
+  // Learner + background instruments are wired through the same registry.
+  EXPECT_GT(snap.counter_value("learner.memo_hits").value_or(0) +
+                snap.counter_value("learner.memo_misses").value_or(0),
+            0u);
+  EXPECT_EQ(snap.counter_value("background.probes").value_or(0),
+            static_cast<std::uint64_t>(report.background_probes));
 }
 
 TEST_F(PipelineTest, InvalidConstructionThrows) {

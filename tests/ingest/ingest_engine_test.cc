@@ -285,5 +285,52 @@ TEST(ShardedQuartetBuilderTest, PartitionIsStableAndCovering) {
   EXPECT_GT(per_shard.size(), 1u);
 }
 
+TEST_F(IngestEngineTest, SubmitAfterCloseDropsAndCounts) {
+  const sim::TelemetryGenerator gen{topo_, &faults_};
+  IngestConfig cfg;
+  cfg.shards = 2;
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+  std::vector<analysis::RttRecord> records;
+  gen.generate_records_shuffled(noon_bucket(), [&](const auto& record) {
+    records.push_back(record);
+  });
+  ASSERT_GT(records.size(), 4u);
+
+  engine.submit(records[0]);
+  engine.close();
+  // A closed engine never blocks or loses records silently: each late
+  // submit is dropped and accounted.
+  engine.submit(records[1]);
+  engine.submit(records[2]);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.records_in, 1u);
+  EXPECT_EQ(stats.closed_dropped, 2u);
+  // close() is idempotent (the destructor calls it again).
+  engine.close();
+}
+
+TEST_F(IngestEngineTest, RegistryMirrorsIngestCounters) {
+  const sim::TelemetryGenerator gen{topo_, &faults_};
+  obs::Registry registry;
+  IngestConfig cfg;
+  cfg.shards = 2;
+  cfg.registry = &registry;
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+  std::size_t submitted = 0;
+  gen.generate_records_shuffled(noon_bucket(), [&](const auto& record) {
+    engine.submit(record);
+    ++submitted;
+  });
+  engine.advance_watermark(
+      engine.watermark_to_finalize(noon_bucket()).plus_minutes(1));
+  engine.flush();
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("ingest.records_in"),
+            static_cast<std::uint64_t>(submitted));
+  EXPECT_EQ(snap.counter_value("ingest.late_dropped").value_or(0), 0u);
+  // The queue high-water gauge saw at least one queued batch.
+  EXPECT_GE(snap.gauge_value("ingest.queue_high_water").value_or(0.0), 1.0);
+}
+
 }  // namespace
 }  // namespace blameit::ingest

@@ -1,0 +1,169 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace blameit::obs {
+namespace {
+
+TEST(ObsRegistryTest, CounterAndGaugeBasics) {
+  Registry registry;
+  Counter* c = registry.counter("test.events");
+  c->add();
+  c->add(4);
+  EXPECT_EQ(c->value(), 5u);
+
+  Gauge* g = registry.gauge("test.depth");
+  g->set(3.5);
+  EXPECT_DOUBLE_EQ(g->value(), 3.5);
+  g->set_max(2.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g->value(), 3.5);
+  g->set_max(9.0);  // higher: taken
+  EXPECT_DOUBLE_EQ(g->value(), 9.0);
+}
+
+TEST(ObsRegistryTest, SameNameResolvesToSameInstrument) {
+  Registry registry;
+  EXPECT_EQ(registry.counter("x"), registry.counter("x"));
+  EXPECT_EQ(registry.gauge("x"), registry.gauge("x"));
+  EXPECT_EQ(registry.histogram("x"), registry.histogram("x"));
+  // Distinct names are distinct instruments.
+  EXPECT_NE(registry.counter("x"), registry.counter("y"));
+}
+
+TEST(ObsRegistryTest, HistogramBucketBoundaries) {
+  Registry registry;
+  constexpr double kBounds[] = {1.0, 2.0, 4.0};
+  Histogram* h = registry.histogram("test.h", kBounds);
+  h->record(0.5);  // <= 1.0
+  h->record(1.0);  // <= 1.0 (boundary lands in its bucket)
+  h->record(1.5);  // <= 2.0
+  h->record(4.0);  // <= 4.0
+  h->record(9.0);  // overflow
+  const auto counts = h->bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->max(), 9.0);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+}
+
+TEST(ObsRegistryTest, ConcurrentIncrementsAreExact) {
+  Registry registry;
+  Counter* c = registry.counter("concurrent.count");
+  Gauge* g = registry.gauge("concurrent.max");
+  Histogram* h = registry.histogram("concurrent.h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->add();
+        g->set_max(static_cast<double>(t * kPerThread + i));
+        h->record(1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c->value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(g->value(),
+                   static_cast<double>(kThreads * kPerThread - 1));
+  EXPECT_EQ(h->count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h->sum(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistryTest, SnapshotUnderConcurrentWritersAndExactAfterQuiesce) {
+  Registry registry;
+  Counter* c = registry.counter("snap.count");
+  std::atomic<bool> stop{false};
+  std::thread writer{[&] {
+    while (!stop.load(std::memory_order_relaxed)) c->add();
+  }};
+  // Snapshots taken while a writer runs must be monotonically consistent.
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto snap = registry.snapshot();
+    const auto value = snap.counter_value("snap.count");
+    ASSERT_TRUE(value.has_value());
+    EXPECT_GE(*value, prev);
+    prev = *value;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  // After writers quiesce the snapshot is exact.
+  EXPECT_EQ(registry.snapshot().counter_value("snap.count"), c->value());
+}
+
+TEST(ObsRegistryTest, SnapshotFinders) {
+  Registry registry;
+  registry.counter("a.count")->add(7);
+  registry.gauge("a.gauge")->set(1.25);
+  registry.histogram("a.hist")->record(3.0);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("a.count"), 7u);
+  EXPECT_EQ(snap.gauge_value("a.gauge"), 1.25);
+  const auto* h = snap.histogram("a.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_DOUBLE_EQ(h->mean(), 3.0);
+  EXPECT_FALSE(snap.counter_value("missing").has_value());
+  EXPECT_FALSE(snap.gauge_value("missing").has_value());
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+TEST(ObsRegistryTest, NullSafeHelpers) {
+  EXPECT_EQ(counter(nullptr, "x"), nullptr);
+  EXPECT_EQ(gauge(nullptr, "x"), nullptr);
+  EXPECT_EQ(histogram(nullptr, "x"), nullptr);
+  // Updates through null instruments are no-ops, not crashes.
+  add(nullptr);
+  set(nullptr, 1.0);
+  set_max(nullptr, 1.0);
+  record(nullptr, 1.0);
+  double out = 0.0;
+  { const ScopedTimer timer{nullptr, &out}; }
+  EXPECT_GE(out, 0.0);
+  { const ScopedTimer timer{nullptr, nullptr}; }  // fully disabled
+}
+
+TEST(ObsRegistryTest, ScopedTimerRecordsIntoHistogramAndAccumulator) {
+  Registry registry;
+  Histogram* h = registry.histogram("timer.ms");
+  double accumulated = 0.0;
+  { const ScopedTimer timer{h, &accumulated}; }
+  { const ScopedTimer timer{h, &accumulated}; }
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_GE(accumulated, 0.0);
+  EXPECT_NEAR(h->sum(), accumulated, 1.0);
+}
+
+TEST(ObsRegistryTest, RenderTextAndJson) {
+  Registry registry;
+  registry.counter("render.count")->add(3);
+  registry.gauge("render.gauge")->set(2.5);
+  registry.histogram("render.hist")->record(0.2);
+  const auto snap = registry.snapshot();
+
+  const auto text = render_text(snap);
+  EXPECT_NE(text.find("render.count"), std::string::npos);
+  EXPECT_NE(text.find("render.gauge"), std::string::npos);
+  EXPECT_NE(text.find("render.hist"), std::string::npos);
+
+  const auto json = to_json(snap);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"render.count\": 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blameit::obs

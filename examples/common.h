@@ -11,6 +11,7 @@
 #include "ingest/source.h"
 #include "net/topology.h"
 #include "obs/registry.h"
+#include "sim/chaos.h"
 #include "sim/telemetry.h"
 #include "sim/traceroute.h"
 
@@ -24,6 +25,9 @@ struct Stack {
   sim::FaultInjector faults;
   std::unique_ptr<sim::TelemetryGenerator> generator;
   std::unique_ptr<sim::RttModel> model;
+  /// Measurement-plane fault injection; null unless a chaos config was
+  /// passed to make_stack / make_streaming_stack.
+  std::unique_ptr<sim::ChaosInjector> chaos;
   std::unique_ptr<sim::TracerouteEngine> engine;
   /// Set only by make_streaming_stack: the pipeline's quartets then come
   /// from the sharded streaming engine instead of the synchronous builder.
@@ -56,15 +60,21 @@ inline std::unique_ptr<Stack> make_stack(
       cfg.eyeballs_per_region = 4;
       cfg.blocks_per_eyeball = 8;
       return cfg;
-    }()) {
+    }(),
+    sim::ChaosConfig chaos_config = {}) {
   auto stack = std::make_unique<Stack>();
   stack->topology = net::make_topology(topo_config);
   stack->generator = std::make_unique<sim::TelemetryGenerator>(
       stack->topology.get(), &stack->faults);
   stack->model = std::make_unique<sim::RttModel>(stack->topology.get(),
                                                  &stack->faults);
+  if (chaos_config.enabled()) {
+    stack->chaos = std::make_unique<sim::ChaosInjector>(chaos_config,
+                                                        &stack->registry);
+  }
   stack->engine = std::make_unique<sim::TracerouteEngine>(
-      stack->topology.get(), stack->model.get());
+      stack->topology.get(), stack->model.get(), sim::TracerouteConfig{},
+      stack->chaos.get());
   Stack* raw = stack.get();
   stack->pipeline = std::make_unique<core::BlameItPipeline>(
       stack->topology.get(), stack->engine.get(),
@@ -90,27 +100,44 @@ inline std::unique_ptr<Stack> make_streaming_stack(
       cfg.eyeballs_per_region = 4;
       cfg.blocks_per_eyeball = 8;
       return cfg;
-    }()) {
+    }(),
+    sim::ChaosConfig chaos_config = {}) {
   auto stack = std::make_unique<Stack>();
   stack->topology = net::make_topology(topo_config);
   stack->generator = std::make_unique<sim::TelemetryGenerator>(
       stack->topology.get(), &stack->faults);
   stack->model = std::make_unique<sim::RttModel>(stack->topology.get(),
                                                  &stack->faults);
+  if (chaos_config.enabled()) {
+    stack->chaos = std::make_unique<sim::ChaosInjector>(chaos_config,
+                                                        &stack->registry);
+  }
   stack->engine = std::make_unique<sim::TracerouteEngine>(
-      stack->topology.get(), stack->model.get());
+      stack->topology.get(), stack->model.get(), sim::TracerouteConfig{},
+      stack->chaos.get());
   ingest_config.registry = &stack->registry;
   stack->ingest_engine = std::make_unique<ingest::IngestEngine>(
       stack->topology.get(), analysis::BadnessThresholds{}, ingest_config);
   Stack* raw = stack.get();
+  sim::ChaosRecordFeed::Feed feed =
+      [raw](util::TimeBucket bucket,
+            const std::function<void(const analysis::RttRecord&)>& sink) {
+        raw->generator->generate_records_shuffled(bucket, sink);
+      };
+  if (stack->chaos && chaos_config.any_telemetry_chaos()) {
+    // Telemetry chaos: duplicated and late records on the raw feed, before
+    // the sharded ingest (whose watermark drops the late ones).
+    auto chaotic = std::make_shared<sim::ChaosRecordFeed>(stack->chaos.get(),
+                                                          std::move(feed));
+    feed = [chaotic](util::TimeBucket bucket,
+                     const sim::ChaosRecordFeed::Sink& sink) {
+      (*chaotic)(bucket, sink);
+    };
+  }
   stack->pipeline = std::make_unique<core::BlameItPipeline>(
       stack->topology.get(), stack->engine.get(),
-      ingest::StreamingQuartetSource{
-          raw->ingest_engine.get(),
-          [raw](util::TimeBucket bucket,
-                const std::function<void(const analysis::RttRecord&)>& sink) {
-            raw->generator->generate_records_shuffled(bucket, sink);
-          }},
+      ingest::StreamingQuartetSource{raw->ingest_engine.get(),
+                                     std::move(feed)},
       config, &stack->registry);
   return stack;
 }

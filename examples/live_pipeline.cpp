@@ -5,10 +5,16 @@
 // a blame-fraction summary like the paper's Fig 8/9 dashboards plus the
 // ingestion counters.
 //
-//   $ ./live_pipeline [incident_count] [--obs]
+//   $ ./live_pipeline [incident_count] [--obs] [--chaos] [--steps N]
 //
 // --obs dumps the observability registry (counters, gauges, latency
 // histograms from every pipeline layer) after the day completes.
+// --chaos runs the measurement plane degraded: 20% probe loss, 10% per-hop
+// truncation, silent ASes, duplicated/late telemetry records, and a
+// mid-day probing-engine outage. The run doubles as a smoke check: it
+// exits nonzero if any step crashes the retry bound or overshoots the
+// probe budget (CI runs `--chaos --steps 200`).
+// --steps N overrides the step count (default 96 = one day at 15 min).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +24,7 @@
 #include "obs/registry.h"
 #include "ops/alert.h"
 #include "ops/report.h"
+#include "sim/chaos.h"
 #include "sim/scenario.h"
 #include "util/table.h"
 
@@ -26,18 +33,45 @@ int main(int argc, char** argv) {
 
   int incident_count = 6;
   bool dump_obs = false;
+  bool with_chaos = false;
+  int steps = util::kMinutesPerDay / 15;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--obs") == 0) {
       dump_obs = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      with_chaos = true;
+    } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = std::atoi(argv[++i]);
     } else {
       incident_count = std::atoi(argv[i]);
     }
   }
-  std::printf("== live pipeline: one day, %d incidents ==\n", incident_count);
+  std::printf("== live pipeline: %d steps, %d incidents%s ==\n", steps,
+              incident_count, with_chaos ? ", CHAOS ON" : "");
+
+  sim::ChaosConfig chaos_cfg;
+  if (with_chaos) {
+    chaos_cfg.probe_loss_rate = 0.2;
+    chaos_cfg.hop_timeout_rate = 0.1;
+    chaos_cfg.silent_as_rate = 0.05;
+    chaos_cfg.duplicate_record_rate = 0.02;
+    chaos_cfg.late_record_rate = 0.01;
+    chaos_cfg.outages.push_back(
+        sim::OutageWindow{util::MinuteTime::from_day_hour(2, 13), 45});
+  }
 
   ingest::IngestConfig ingest_cfg;
   ingest_cfg.shards = 4;
-  auto stack = examples::make_streaming_stack(ingest_cfg);
+  // Same demo-scale pipeline/topology settings as make_streaming_stack's
+  // defaults; spelled out because the chaos config comes after them.
+  core::BlameItConfig pipe_cfg;
+  pipe_cfg.expected_rtt_window_days = 2;
+  net::TopologyConfig topo_cfg;
+  topo_cfg.locations_per_region = 1;
+  topo_cfg.eyeballs_per_region = 4;
+  topo_cfg.blocks_per_eyeball = 8;
+  auto stack = examples::make_streaming_stack(ingest_cfg, pipe_cfg, topo_cfg,
+                                              chaos_cfg);
   const auto& topo = *stack->topology;
 
   sim::IncidentSuiteConfig suite_cfg;
@@ -58,7 +92,15 @@ int main(int argc, char** argv) {
   std::map<core::Blame, long> totals;
   long probes_on_demand = 0;
   long probes_background = 0;
-  for (int minute = 15; minute <= util::kMinutesPerDay; minute += 15) {
+  long retries = 0;
+  long degraded_steps = 0;
+  int violations = 0;
+  const auto& cfg = stack->pipeline->config();
+  // Hardening invariant: retries are bounded per diagnosis, and the step's
+  // total spend can overshoot the budget by at most one diagnosis.
+  const int per_diag_cap = cfg.active_quorum_k * (1 + cfg.active_probe_retries);
+  for (int k = 1; k <= steps; ++k) {
+    const int minute = 15 * k;
     const auto now = util::MinuteTime::from_days(2).plus_minutes(minute);
     const auto report = stack->pipeline->step(now);
     for (const auto blame : core::kAllBlames) {
@@ -66,6 +108,24 @@ int main(int argc, char** argv) {
     }
     probes_on_demand += report.on_demand_probes;
     probes_background += report.background_probes;
+    retries += report.active_retries;
+    degraded_steps += report.degraded_passive_only;
+    if (report.on_demand_probes >
+        cfg.probe_budget_per_run + per_diag_cap - 1) {
+      std::fprintf(stderr, "INVARIANT VIOLATION at %s: %d probes > budget\n",
+                   util::to_string(now).c_str(), report.on_demand_probes);
+      ++violations;
+    }
+    for (const auto& diag : report.diagnoses) {
+      if (diag.probes_spent > per_diag_cap) {
+        std::fprintf(stderr,
+                     "INVARIANT VIOLATION at %s: %d attempts in one "
+                     "diagnosis (cap %d)\n",
+                     util::to_string(now).c_str(), diag.probes_spent,
+                     per_diag_cap);
+        ++violations;
+      }
+    }
     for (const auto& ticket : alerts.digest(report)) {
       std::printf("%s  -> %s\n", util::to_string(now).c_str(),
                   ops::render_ticket(ticket, topo).c_str());
@@ -94,9 +154,32 @@ int main(int argc, char** argv) {
               alerts.all_tickets().size());
   std::printf("%s\n",
               ops::render_ingest(stack->ingest_engine->stats()).c_str());
+  if (with_chaos) {
+    const auto snap = stack->registry.snapshot();
+    std::printf(
+        "chaos: lost=%llu outage=%llu timeouts=%llu silent=%llu dup=%llu "
+        "late=%llu | retries=%ld degraded-steps=%ld\n",
+        static_cast<unsigned long long>(
+            snap.counter_value("chaos.probes_lost").value_or(0)),
+        static_cast<unsigned long long>(
+            snap.counter_value("chaos.outage_probes").value_or(0)),
+        static_cast<unsigned long long>(
+            snap.counter_value("chaos.hop_timeouts").value_or(0)),
+        static_cast<unsigned long long>(
+            snap.counter_value("chaos.silent_hops").value_or(0)),
+        static_cast<unsigned long long>(
+            snap.counter_value("chaos.records_duplicated").value_or(0)),
+        static_cast<unsigned long long>(
+            snap.counter_value("chaos.records_delayed").value_or(0)),
+        retries, degraded_steps);
+  }
   if (dump_obs) {
     std::puts("\n== observability registry ==");
     std::printf("%s", obs::render_text(stack->registry.snapshot()).c_str());
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "%d invariant violation(s)\n", violations);
+    return 1;
   }
   return 0;
 }

@@ -1,7 +1,11 @@
 #include "core/active.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
+
+#include "util/stats.h"
 
 namespace blameit::core {
 
@@ -13,22 +17,149 @@ namespace {
 constexpr double kBaselineAgeBucketsMin[] = {15,   60,   180,  360, 720,
                                              1440, 2880, 5760, 10080};
 
+/// Quorum aggregate: what the baseline diff consumes instead of one probe.
+struct ProbeAggregate {
+  double cloud_ms = 0.0;
+  std::vector<std::pair<net::AsId, double>> contributions;
+};
+
+/// Median-of-K per-AS contributions across the quorum's full-path results,
+/// with whole-result outlier rejection first: a result whose end-to-end RTT
+/// is wildly off the quorum median (3×) is a bad measurement (duplicated /
+/// late / cross-traffic spike) and is dropped before the per-AS medians.
+/// An AS enters the aggregate when a majority of kept results report it —
+/// silently non-responding ASes that answered only a minority of probes
+/// stay out, exactly as a missing contribution entry would.
+ProbeAggregate aggregate_quorum(
+    const std::vector<sim::TracerouteResult>& results) {
+  ProbeAggregate agg;
+  std::vector<double> totals;
+  totals.reserve(results.size());
+  for (const auto& r : results) totals.push_back(r.hops.back().cumulative_rtt_ms);
+  const double med_total = util::median(totals);
+  std::vector<const sim::TracerouteResult*> kept;
+  for (const auto& r : results) {
+    const double total = r.hops.back().cumulative_rtt_ms;
+    if (med_total <= 0.0 ||
+        (total >= med_total / 3.0 && total <= med_total * 3.0)) {
+      kept.push_back(&r);
+    }
+  }
+  if (kept.empty()) {
+    for (const auto& r : results) kept.push_back(&r);
+  }
+
+  std::vector<double> clouds;
+  clouds.reserve(kept.size());
+  for (const auto* r : kept) clouds.push_back(r->cloud_ms);
+  agg.cloud_ms = util::median_inplace(clouds);
+
+  std::vector<net::AsId> order;  // first-seen hop order across kept results
+  std::unordered_map<net::AsId, std::vector<double>> values;
+  for (const auto* r : kept) {
+    for (const auto& [as, ms] : r->contributions()) {
+      auto& v = values[as];
+      if (v.empty()) order.push_back(as);
+      v.push_back(ms);
+    }
+  }
+  for (const auto as : order) {
+    auto& v = values[as];
+    if (v.size() * 2 >= kept.size()) {
+      agg.contributions.emplace_back(as, util::median_inplace(v));
+    }
+  }
+  return agg;
+}
+
+/// Prefer full paths, then longer partials, then anything at all — the
+/// retry loop keeps the most informative result it saw.
+bool better_result(const sim::TracerouteResult& a,
+                   const sim::TracerouteResult& b) {
+  if (a.reached != b.reached) return a.reached;
+  if (a.truncated != b.truncated) return a.truncated;
+  return a.hops.size() > b.hops.size();
+}
+
 }  // namespace
 
 ActiveLocalizer::ActiveLocalizer(const net::Topology* topology,
                                  sim::TracerouteEngine* engine,
                                  const BaselineStore* baselines,
-                                 obs::Registry* registry)
-    : topology_(topology), engine_(engine), baselines_(baselines) {
+                                 BlameItConfig config, obs::Registry* registry)
+    : topology_(topology),
+      engine_(engine),
+      baselines_(baselines),
+      config_(config) {
   if (!topology_ || !engine_ || !baselines_) {
     throw std::invalid_argument{"ActiveLocalizer: null dependency"};
+  }
+  if (config_.active_probe_retries < 0 || config_.active_quorum_k < 1 ||
+      config_.retry_backoff_base_minutes < 0) {
+    throw std::invalid_argument{"ActiveLocalizer: invalid retry/quorum config"};
   }
   probes_c_ = obs::counter(registry, "active.probes");
   unreached_c_ = obs::counter(registry, "active.unreached");
   no_baseline_c_ = obs::counter(registry, "active.no_baseline");
   predates_c_ = obs::counter(registry, "active.baseline_predates_issue");
+  retries_c_ = obs::counter(registry, "active.retries");
+  lost_c_ = obs::counter(registry, "active.lost_probes");
+  truncated_c_ = obs::counter(registry, "active.truncated_probes");
+  partial_c_ = obs::counter(registry, "active.partial_diagnoses");
+  coarse_middle_c_ = obs::counter(registry, "active.coarse_middle");
+  stale_baseline_c_ = obs::counter(registry, "active.stale_baseline");
+  conf_high_c_ = obs::counter(registry, "active.confidence.high");
+  conf_medium_c_ = obs::counter(registry, "active.confidence.medium");
+  conf_low_c_ = obs::counter(registry, "active.confidence.low");
   baseline_age_h_ = obs::histogram(registry, "active.baseline_age_minutes",
                                    kBaselineAgeBucketsMin);
+}
+
+sim::TracerouteResult ActiveLocalizer::probe_with_retries(
+    net::CloudLocationId location, net::Slash24 target_block,
+    util::MinuteTime now, int& attempt_counter, ActiveDiagnosis& diag) {
+  sim::TracerouteResult best;
+  bool have_best = false;
+  std::int64_t backoff = 0;  // minutes past `now`; base * (2^r - 1)
+  for (int r = 0; r <= config_.active_probe_retries; ++r) {
+    if (r > 0) {
+      ++diag.retries;
+      obs::add(retries_c_);
+      backoff = backoff * 2 + config_.retry_backoff_base_minutes;
+    }
+    auto result = engine_->trace(location, target_block,
+                                 now.plus_minutes(backoff), attempt_counter++);
+    ++diag.probes_spent;
+    if (result.lost) obs::add(lost_c_);
+    if (result.truncated) obs::add(truncated_c_);
+    if (!have_best || better_result(result, best)) {
+      best = result;
+      have_best = true;
+    }
+    if (result.reached) break;
+    // No-route failures are deterministic — retrying cannot help. An
+    // engine-wide outage likewise outlasts any per-probe backoff.
+    if (result.no_route || result.in_outage) break;
+  }
+  return best;
+}
+
+void ActiveLocalizer::finalize_confidence(ActiveDiagnosis& diag) const {
+  DiagnosisConfidence conf = DiagnosisConfidence::Low;
+  if (diag.coarse_middle || !diag.culprit.has_value() ||
+      !diag.have_baseline) {
+    conf = DiagnosisConfidence::Low;
+  } else if (diag.truncated || diag.baseline_stale) {
+    conf = DiagnosisConfidence::Medium;
+  } else {
+    conf = DiagnosisConfidence::High;
+  }
+  diag.confidence = conf;
+  switch (conf) {
+    case DiagnosisConfidence::High: obs::add(conf_high_c_); break;
+    case DiagnosisConfidence::Medium: obs::add(conf_medium_c_); break;
+    case DiagnosisConfidence::Low: obs::add(conf_low_c_); break;
+  }
 }
 
 ActiveDiagnosis ActiveLocalizer::diagnose(
@@ -38,15 +169,65 @@ ActiveDiagnosis ActiveLocalizer::diagnose(
   ActiveDiagnosis diag;
   diag.location = location;
   diag.middle = middle;
-  diag.probe = engine_->trace(location, target_block, now);
-  diag.probe_reached = diag.probe.reached;
-  obs::add(probes_c_);
-  if (!diag.probe_reached) {
+
+  // Quorum phase: up to K full-path results, each slot retrying lost or
+  // truncated probes with backoff. Every attempt is charged.
+  std::vector<sim::TracerouteResult> full;
+  sim::TracerouteResult best_partial;
+  bool have_partial = false;
+  sim::TracerouteResult last_failed;
+  int attempt_counter = 0;
+  const int quorum = std::max(1, config_.active_quorum_k);
+  for (int k = 0; k < quorum; ++k) {
+    auto result =
+        probe_with_retries(location, target_block, now, attempt_counter, diag);
+    const bool dead_end = result.no_route || result.in_outage;
+    if (result.reached) {
+      full.push_back(std::move(result));
+    } else if (result.truncated) {
+      if (!have_partial || result.hops.size() > best_partial.hops.size()) {
+        best_partial = std::move(result);
+        have_partial = true;
+      }
+    } else {
+      last_failed = std::move(result);
+    }
+    // A deterministic failure fails every slot identically; stop burning
+    // budget on it.
+    if (dead_end) break;
+  }
+  obs::add(probes_c_, static_cast<std::uint64_t>(diag.probes_spent));
+
+  if (full.empty() && !have_partial) {
+    // Nothing answered: no per-AS evidence at all.
+    diag.probe = last_failed;
     obs::add(unreached_c_);
+    finalize_confidence(diag);
     return diag;
   }
 
-  const auto current = diag.probe.contributions();
+  ProbeAggregate agg;
+  if (!full.empty()) {
+    diag.probe_reached = true;
+    if (full.size() == 1) {
+      // Single result: use it verbatim — the median-of-1 identity keeps the
+      // legacy single-probe path bit-exact.
+      agg.cloud_ms = full.front().cloud_ms;
+      agg.contributions = full.front().contributions();
+    } else {
+      agg = aggregate_quorum(full);
+    }
+    diag.probe = std::move(full.front());
+  } else {
+    // Partial-path diagnosis: only a truncated prefix answered. Diff what
+    // was reached; the culprit may legitimately be past the horizon.
+    diag.truncated = true;
+    agg.cloud_ms = best_partial.cloud_ms;
+    agg.contributions = best_partial.contributions();
+    diag.probe = std::move(best_partial);
+    obs::add(partial_c_);
+  }
+
   const Baseline* baseline =
       issue_start ? baselines_->get_before(location, middle, *issue_start)
                   : baselines_->get(location, middle);
@@ -57,8 +238,13 @@ ActiveDiagnosis ActiveLocalizer::diagnose(
 
   if (baseline) {
     if (diag.baseline_predates_issue) obs::add(predates_c_);
-    obs::record(baseline_age_h_,
-                static_cast<double>(now.minutes - baseline->when.minutes));
+    const double age_minutes =
+        static_cast<double>(now.minutes - baseline->when.minutes);
+    obs::record(baseline_age_h_, age_minutes);
+    if (age_minutes > static_cast<double>(config_.baseline_stale_minutes)) {
+      diag.baseline_stale = true;
+      obs::add(stale_baseline_c_);
+    }
     // Index the baseline contributions; path membership can differ slightly
     // (e.g. baseline captured just before a hop-level change), so match by
     // AS and treat new ASes as pure increase.
@@ -68,12 +254,12 @@ ActiveDiagnosis ActiveLocalizer::diagnose(
     std::optional<net::AsId> best_as;
     // The cloud's own segment participates too: a traceroute that shows the
     // first-hop time ballooning implicates the cloud, not the middle.
-    const double cloud_increase = diag.probe.cloud_ms - baseline->cloud_ms;
+    const double cloud_increase = agg.cloud_ms - baseline->cloud_ms;
     if (cloud_increase > best_increase) {
       best_increase = cloud_increase;
       best_as = topology_->cloud_as();
     }
-    for (const auto& [as, ms] : current) {
+    for (const auto& [as, ms] : agg.contributions) {
       const auto it = base.find(as);
       const double increase = it == base.end() ? ms : ms - it->second;
       if (increase > best_increase) {
@@ -81,17 +267,28 @@ ActiveDiagnosis ActiveLocalizer::diagnose(
         best_as = as;
       }
     }
-    diag.culprit = best_as;
-    diag.culprit_increase_ms = best_increase;
+    if (diag.truncated &&
+        best_increase < config_.partial_path_min_increase_ms) {
+      // The reached prefix looks healthy: the inflation lives at or past
+      // the truncation point. Blame stays at coarse "middle segment"
+      // granularity rather than naming an innocent prefix AS.
+      diag.coarse_middle = true;
+      diag.culprit_increase_ms = best_increase;
+      obs::add(coarse_middle_c_);
+    } else {
+      diag.culprit = best_as;
+      diag.culprit_increase_ms = best_increase;
+    }
   } else {
     obs::add(no_baseline_c_);
     // No baseline: blame the largest absolute contributor (low confidence).
     // The cloud segment is a candidate here exactly as in the baseline
     // branch — without it a cloud-dominated path could never be blamed on
-    // the cloud AS.
-    double best = diag.probe.cloud_ms;
+    // the cloud AS. Over a truncated prefix the absolute fallback is
+    // doubly unreliable; the confidence stays Low either way.
+    double best = agg.cloud_ms;
     if (best > 0.0) diag.culprit = topology_->cloud_as();
-    for (const auto& [as, ms] : current) {
+    for (const auto& [as, ms] : agg.contributions) {
       if (ms > best) {
         best = ms;
         diag.culprit = as;
@@ -99,6 +296,7 @@ ActiveDiagnosis ActiveLocalizer::diagnose(
     }
     diag.culprit_increase_ms = best;
   }
+  finalize_confidence(diag);
   return diag;
 }
 

@@ -1,23 +1,58 @@
-// Fine-grained AS-level localization with on-demand traceroutes (§5.2).
+// Fine-grained AS-level localization with on-demand traceroutes (§5.2),
+// hardened against a messy measurement plane.
 //
 // For a prioritized middle-segment issue, trace the path while the issue is
 // live and diff each AS's latency contribution against the background
 // baseline; the AS with the largest increase is the culprit (the paper's
-// worked example: m1's contribution jumping 2 ms → 56 ms). When no usable
-// baseline exists (new path after an anycast shift, or every stored baseline
-// was captured mid-incident), the diagnosis falls back to the largest
-// absolute contributor — cloud segment included — and is flagged
-// low-confidence.
+// worked example: m1's contribution jumping 2 ms → 56 ms).
+//
+// Real traceroutes fail in ways the clean diff cannot ignore: probes get
+// lost, paths truncate mid-way, baselines go stale. The localizer therefore
+// layers, in order:
+//  - bounded retries with exponential (simulated-time) backoff for lost or
+//    truncated probes — every attempt is charged against the probe budget;
+//  - an optional K-probe quorum whose median-of-K per-AS contributions
+//    reject single-probe outliers (duplicated/late measurements);
+//  - partial-path diagnosis over the reached prefix when only truncated
+//    probes answered, downgrading to coarse Middle blame when the culprit
+//    is past the truncation point;
+//  - an explicit DiagnosisConfidence on every diagnosis, so downstream
+//    consumers (tickets, benches) know how much to trust the verdict.
 #pragma once
 
 #include <optional>
+#include <string_view>
 
 #include "core/background.h"
+#include "core/config.h"
 #include "net/topology.h"
 #include "obs/registry.h"
 #include "sim/traceroute.h"
 
 namespace blameit::core {
+
+/// How much to trust an ActiveDiagnosis (ordered best → worst).
+enum class DiagnosisConfidence : std::uint8_t {
+  /// Full-path probe(s), fresh baseline known to predate the issue (or no
+  /// issue start was needed).
+  High,
+  /// The verdict rests on degraded evidence: a stale baseline, or a
+  /// truncated path whose reached prefix still named a culprit.
+  Medium,
+  /// No usable baseline, a coarse Middle verdict past the truncation point,
+  /// or no probe answered at all.
+  Low,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(
+    DiagnosisConfidence c) noexcept {
+  switch (c) {
+    case DiagnosisConfidence::High: return "high";
+    case DiagnosisConfidence::Medium: return "medium";
+    case DiagnosisConfidence::Low: return "low";
+  }
+  return "?";
+}
 
 struct ActiveDiagnosis {
   net::CloudLocationId location;
@@ -29,17 +64,35 @@ struct ActiveDiagnosis {
   /// baseline). False for no-baseline diagnoses and for get()-style lookups
   /// with no issue_start, where the guarantee cannot be made.
   bool baseline_predates_issue = false;
+  /// The baseline used was older than BlameItConfig::baseline_stale_minutes.
+  bool baseline_stale = false;
+  /// Only truncated (partial-path) probes answered: the diff covers the
+  /// reached prefix, not the whole path.
+  bool truncated = false;
+  /// The culprit could not be named — the evidence says "some middle AS at
+  /// or past the truncation point". `culprit` is empty; the issue keeps its
+  /// passive Middle blame at AS-unknown granularity.
+  bool coarse_middle = false;
   /// The blamed AS (largest contribution increase; largest absolute
-  /// contribution when no baseline exists). Empty if the probe failed.
+  /// contribution when no baseline exists). Empty if no probe answered or
+  /// the diagnosis degraded to coarse Middle blame.
   std::optional<net::AsId> culprit;
   double culprit_increase_ms = 0.0;  ///< contribution delta vs baseline
+  DiagnosisConfidence confidence = DiagnosisConfidence::Low;
+  /// Traceroute attempts issued for this diagnosis (quorum probes +
+  /// retries); what the probe budget is charged.
+  int probes_spent = 0;
+  /// Of probes_spent, how many were retries after a lost/truncated attempt.
+  int retries = 0;
+  /// Representative probe: the first full-path result, or the longest
+  /// partial path when nothing reached, or the last failed attempt.
   sim::TracerouteResult probe;
 };
 
 class ActiveLocalizer {
  public:
   ActiveLocalizer(const net::Topology* topology, sim::TracerouteEngine* engine,
-                  const BaselineStore* baselines,
+                  const BaselineStore* baselines, BlameItConfig config = {},
                   obs::Registry* registry = nullptr);
 
   /// Probes `target_block` from `location` at `now` and localizes the
@@ -54,15 +107,34 @@ class ActiveLocalizer {
       std::optional<util::MinuteTime> issue_start = std::nullopt);
 
  private:
+  /// One quorum slot: retry a lost/truncated probe up to the configured
+  /// bound, advancing simulated time by the backoff. Returns the last
+  /// result (full, truncated, or failed) and accumulates spend into `diag`.
+  [[nodiscard]] sim::TracerouteResult probe_with_retries(
+      net::CloudLocationId location, net::Slash24 target_block,
+      util::MinuteTime now, int& attempt_counter, ActiveDiagnosis& diag);
+
+  void finalize_confidence(ActiveDiagnosis& diag) const;
+
   const net::Topology* topology_;
   sim::TracerouteEngine* engine_;
   const BaselineStore* baselines_;
+  BlameItConfig config_;
 
   // Instruments (null without a registry).
   obs::Counter* probes_c_ = nullptr;
   obs::Counter* unreached_c_ = nullptr;
   obs::Counter* no_baseline_c_ = nullptr;
   obs::Counter* predates_c_ = nullptr;
+  obs::Counter* retries_c_ = nullptr;
+  obs::Counter* lost_c_ = nullptr;
+  obs::Counter* truncated_c_ = nullptr;
+  obs::Counter* partial_c_ = nullptr;
+  obs::Counter* coarse_middle_c_ = nullptr;
+  obs::Counter* stale_baseline_c_ = nullptr;
+  obs::Counter* conf_high_c_ = nullptr;
+  obs::Counter* conf_medium_c_ = nullptr;
+  obs::Counter* conf_low_c_ = nullptr;
   obs::Histogram* baseline_age_h_ = nullptr;
 };
 

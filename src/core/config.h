@@ -54,6 +54,38 @@ struct BlameItConfig {
   /// quartet sample volumes (production counts distinct IPs; the sample
   /// volume is a proportional proxy).
   double samples_per_client_estimate = 2.5;
+
+  // --- Active-phase robustness (measurement-plane failures) -------------
+  // Defaults are chosen so a pristine measurement plane (no chaos layer)
+  // behaves bit-identically to the pre-hardening pipeline: retries only
+  // trigger on retryable failures (loss/truncation, which never occur
+  // without chaos), and a quorum of 1 is the single-probe path.
+
+  /// Extra attempts per lost or truncated traceroute. No-route failures are
+  /// never retried (they are deterministic until routing changes). Every
+  /// attempt — retry or not — is charged against the probe budget.
+  int active_probe_retries = 2;
+
+  /// Simulated exponential backoff base: retry r of a probe fires at
+  /// now + base * (2^r - 1) minutes (1, 3, 7, ... for base 1).
+  int retry_backoff_base_minutes = 1;
+
+  /// Traceroutes per diagnosed issue. With K > 1 the diagnosis diffs the
+  /// median-of-K per-AS contributions (outlier results rejected) against
+  /// the baseline instead of trusting one noisy probe. 1 = legacy
+  /// single-probe behavior, bit-identical to the pre-quorum pipeline.
+  int active_quorum_k = 1;
+
+  /// A baseline older than this is stale: the diagnosis still runs but its
+  /// confidence is downgraded (default 2 days = 4 missed background
+  /// periods at the 2×/day cadence).
+  int baseline_stale_minutes = 2 * 24 * 60;
+
+  /// On a truncated (partial-path) probe, the largest per-AS increase must
+  /// clear this to name a culprit inside the reached prefix; below it the
+  /// diagnosis downgrades to coarse Middle blame (culprit past the
+  /// truncation point, or invisible).
+  double partial_path_min_increase_ms = 10.0;
 };
 
 }  // namespace blameit::core

@@ -22,7 +22,7 @@ BlameItPipeline::BlameItPipeline(const net::Topology* topology,
       durations_(config.duration_horizon_buckets),
       clients_(config.client_predictor_days),
       background_(topology, engine, &baselines_, config, registry),
-      active_(topology, engine, &baselines_, registry) {
+      active_(topology, engine, &baselines_, config, registry) {
   if (!topology_ || !engine_ || !source_) {
     throw std::invalid_argument{"BlameItPipeline: null dependency"};
   }
@@ -41,6 +41,8 @@ BlameItPipeline::BlameItPipeline(const net::Topology* topology,
   on_demand_probes_c_ = obs::counter(registry, "pipeline.on_demand_probes");
   background_probes_c_ = obs::counter(registry, "pipeline.background_probes");
   buckets_c_ = obs::counter(registry, "pipeline.buckets_processed");
+  degraded_steps_c_ = obs::counter(registry, "pipeline.degraded_steps");
+  active_retries_c_ = obs::counter(registry, "pipeline.active_retries");
   probe_budget_g_ = obs::gauge(registry, "pipeline.probe_budget_per_run");
   obs::set(probe_budget_g_, static_cast<double>(config_.probe_budget_per_run));
 }
@@ -149,25 +151,39 @@ StepReport BlameItPipeline::step(util::MinuteTime now) {
     const ProbePrioritizer prioritizer{&durations_, &clients_};
     report.ranked_issues =
         prioritizer.rank(std::move(issues), bucket.prev());
-    const auto budget =
-        static_cast<std::size_t>(config_.probe_budget_per_run);
-    for (std::size_t i = 0;
-         i < report.ranked_issues.size() && i < budget; ++i) {
-      const auto& issue = report.ranked_issues[i];
-      // The open run tells us when the badness began: the diagnosis must
-      // compare against a baseline predating it.
-      std::optional<util::MinuteTime> issue_start;
-      const auto rit =
-          open_runs_.find(middle_issue_key(issue.location, issue.middle));
-      if (rit != open_runs_.end()) {
-        issue_start = util::TimeBucket{rit->second.last.index -
-                                       rit->second.length + 1}
-                          .start();
+    if (engine_->in_outage(now)) {
+      // Measurement plane down: degrade gracefully to passive-only. The
+      // issues stay ranked (tickets can still open at path granularity);
+      // no budget is burned on probes that cannot answer.
+      report.degraded_passive_only = true;
+      obs::add(degraded_steps_c_);
+    } else {
+      // Spend-based budgeting: a diagnosis under chaos may cost several
+      // attempts (quorum probes + retries), and every attempt counts
+      // against the same §5.3 budget — hardening must not quietly inflate
+      // the probing bill.
+      const int budget = config_.probe_budget_per_run;
+      for (std::size_t i = 0;
+           i < report.ranked_issues.size() && report.on_demand_probes < budget;
+           ++i) {
+        const auto& issue = report.ranked_issues[i];
+        // The open run tells us when the badness began: the diagnosis must
+        // compare against a baseline predating it.
+        std::optional<util::MinuteTime> issue_start;
+        const auto rit =
+            open_runs_.find(middle_issue_key(issue.location, issue.middle));
+        if (rit != open_runs_.end()) {
+          issue_start = util::TimeBucket{rit->second.last.index -
+                                         rit->second.length + 1}
+                            .start();
+        }
+        auto diag =
+            active_.diagnose(issue.location, issue.middle,
+                             issue.representative_block, now, issue_start);
+        report.on_demand_probes += diag.probes_spent;
+        report.active_retries += diag.retries;
+        report.diagnoses.push_back(std::move(diag));
       }
-      report.diagnoses.push_back(
-          active_.diagnose(issue.location, issue.middle,
-                           issue.representative_block, now, issue_start));
-      ++report.on_demand_probes;
     }
   }
 
@@ -182,6 +198,8 @@ StepReport BlameItPipeline::step(util::MinuteTime now) {
            static_cast<std::uint64_t>(report.on_demand_probes));
   obs::add(background_probes_c_,
            static_cast<std::uint64_t>(report.background_probes));
+  obs::add(active_retries_c_,
+           static_cast<std::uint64_t>(report.active_retries));
   report.stages.total_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - step_t0)
                                .count();

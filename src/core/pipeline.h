@@ -48,6 +48,13 @@ struct StepReport {
   std::vector<ActiveDiagnosis> diagnoses;
   int on_demand_probes = 0;
   int background_probes = 0;
+  /// Of on_demand_probes, attempts that were retries of lost/truncated
+  /// traceroutes (they are charged against the same budget).
+  int active_retries = 0;
+  /// The traceroute engine was inside an outage window at step time: the
+  /// active phase was skipped entirely and this step's output is passive
+  /// localization only (issues stay ranked but undiagnosed).
+  bool degraded_passive_only = false;
 
   [[nodiscard]] int count(Blame b) const noexcept {
     int n = 0;
@@ -133,6 +140,8 @@ class BlameItPipeline {
   obs::Counter* on_demand_probes_c_ = nullptr;
   obs::Counter* background_probes_c_ = nullptr;
   obs::Counter* buckets_c_ = nullptr;
+  obs::Counter* degraded_steps_c_ = nullptr;
+  obs::Counter* active_retries_c_ = nullptr;
   obs::Gauge* probe_budget_g_ = nullptr;
 };
 

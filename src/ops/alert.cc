@@ -31,11 +31,17 @@ std::vector<Ticket> AlertSink::digest(const core::StepReport& report) {
 
   for (const auto& issue : report.ranked_issues) {
     std::optional<net::AsId> culprit;
+    bool coarse = false;
     for (const auto& diag : report.diagnoses) {
       if (diag.location == issue.location && diag.middle == issue.middle) {
         culprit = diag.culprit;
+        coarse = diag.coarse_middle;
       }
     }
+    std::string verdict = culprit ? " — culprit " + culprit->to_string()
+                          : coarse
+                              ? " — culprit unresolved (probe truncated)"
+                              : " — culprit pending probe";
     candidates.push_back(Candidate{
         .key = core::middle_issue_key(issue.location, issue.middle),
         .category = core::Blame::Middle,
@@ -44,9 +50,7 @@ std::vector<Ticket> AlertSink::digest(const core::StepReport& report) {
         .impact = issue.client_time_product,
         .summary =
             "middle-segment degradation on " + issue.middle.to_string() +
-            " via " + issue.location.to_string() +
-            (culprit ? " — culprit " + culprit->to_string()
-                     : " — culprit pending probe")});
+            " via " + issue.location.to_string() + std::move(verdict)});
   }
 
   // Cloud / client blames aggregate per (category, location / client AS).

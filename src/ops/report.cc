@@ -18,6 +18,12 @@ std::string render_step(const core::StepReport& report,
   if (report.blames.empty()) oss << " none";
   oss << " | probes: on-demand=" << report.on_demand_probes
       << " background=" << report.background_probes;
+  if (report.active_retries > 0) {
+    oss << " (retries=" << report.active_retries << ")";
+  }
+  if (report.degraded_passive_only) {
+    oss << " | DEGRADED: engine outage, passive-only";
+  }
   oss << " | stages(ms): learn=" << util::fmt(report.stages.learn_ms, 2)
       << " localize=" << util::fmt(report.stages.localize_ms, 2)
       << " active=" << util::fmt(report.stages.active_ms, 2)
@@ -35,7 +41,14 @@ std::string render_step(const core::StepReport& report,
       oss << "\n  culprit: " << diag.culprit->to_string();
       if (info) oss << " (" << info->name << ")";
       oss << " +" << util::fmt(diag.culprit_increase_ms, 1) << "ms"
-          << (diag.have_baseline ? "" : " [no baseline — low confidence]");
+          << " [confidence=" << core::to_string(diag.confidence);
+      if (!diag.have_baseline) oss << ", no baseline";
+      if (diag.baseline_stale) oss << ", stale baseline";
+      if (diag.truncated) oss << ", partial path";
+      oss << "]";
+    } else if (diag.coarse_middle) {
+      oss << "\n  culprit: middle segment (AS unresolved past truncation)"
+          << " [confidence=" << core::to_string(diag.confidence) << "]";
     }
   }
   return oss.str();

@@ -1,0 +1,137 @@
+#include "sim/chaos.h"
+
+#include <stdexcept>
+
+namespace blameit::sim {
+
+namespace {
+
+// Distinct stream tags so the loss / timeout / silent / telemetry draws are
+// statistically independent even for the same probe identity.
+constexpr std::uint64_t kLossTag = 0x10535;
+constexpr std::uint64_t kHopTag = 0x40953;
+constexpr std::uint64_t kDupTag = 0xD0BBE;
+constexpr std::uint64_t kLateTag = 0x1A7E0;
+
+}  // namespace
+
+ChaosInjector::ChaosInjector(ChaosConfig config, obs::Registry* registry)
+    : config_(config) {
+  auto valid_rate = [](double r) { return r >= 0.0 && r <= 1.0; };
+  if (!valid_rate(config_.probe_loss_rate) ||
+      !valid_rate(config_.hop_timeout_rate) ||
+      !valid_rate(config_.silent_as_rate) ||
+      !valid_rate(config_.duplicate_record_rate) ||
+      !valid_rate(config_.late_record_rate) ||
+      config_.late_record_delay_buckets < 1) {
+    throw std::invalid_argument{"ChaosConfig: rate outside [0, 1]"};
+  }
+  lost_c_ = obs::counter(registry, "chaos.probes_lost");
+  outage_c_ = obs::counter(registry, "chaos.outage_probes");
+  timeout_c_ = obs::counter(registry, "chaos.hop_timeouts");
+  silent_c_ = obs::counter(registry, "chaos.silent_hops");
+  dup_c_ = obs::counter(registry, "chaos.records_duplicated");
+  late_c_ = obs::counter(registry, "chaos.records_delayed");
+}
+
+bool ChaosInjector::in_outage(util::MinuteTime t) const noexcept {
+  for (const auto& window : config_.outages) {
+    if (window.active_at(t)) return true;
+  }
+  return false;
+}
+
+double ChaosInjector::roll(std::uint64_t stream_tag, std::uint64_t a,
+                           std::uint64_t b, std::uint64_t c) const {
+  util::Rng rng{util::hash_combine(
+      config_.seed,
+      util::hash_combine(stream_tag,
+                         util::hash_combine(a, util::hash_combine(b, c))))};
+  return rng.uniform();
+}
+
+bool ChaosInjector::probe_lost(net::CloudLocationId from, net::Slash24 target,
+                               util::MinuteTime t, int attempt) const {
+  if (config_.probe_loss_rate <= 0.0) return false;
+  const std::uint64_t who =
+      (std::uint64_t{from.value} << 32) | std::uint64_t{target.block};
+  return roll(kLossTag, who, static_cast<std::uint64_t>(t.minutes),
+              static_cast<std::uint64_t>(attempt)) < config_.probe_loss_rate;
+}
+
+ChaosInjector::HopFate ChaosInjector::hop_fate(net::CloudLocationId from,
+                                               net::Slash24 target,
+                                               util::MinuteTime t, int attempt,
+                                               std::size_t hop_index) const {
+  if (config_.hop_timeout_rate <= 0.0 && config_.silent_as_rate <= 0.0) {
+    return HopFate::Respond;
+  }
+  const std::uint64_t who =
+      (std::uint64_t{from.value} << 32) | std::uint64_t{target.block};
+  const std::uint64_t when =
+      (static_cast<std::uint64_t>(t.minutes) << 16) |
+      (static_cast<std::uint64_t>(attempt) & 0xFFFF);
+  const double u = roll(kHopTag, who, when, hop_index);
+  // One draw decides both fates: [0, timeout) → Timeout,
+  // [timeout, timeout + silent) → Silent, rest → Respond.
+  if (u < config_.hop_timeout_rate) return HopFate::Timeout;
+  if (u < config_.hop_timeout_rate + config_.silent_as_rate) {
+    return HopFate::Silent;
+  }
+  return HopFate::Respond;
+}
+
+bool ChaosInjector::duplicate_record(util::TimeBucket bucket,
+                                     std::uint64_t record_index) const {
+  if (config_.duplicate_record_rate <= 0.0) return false;
+  const bool dup =
+      roll(kDupTag, static_cast<std::uint64_t>(bucket.index), record_index,
+           0) < config_.duplicate_record_rate;
+  if (dup) obs::add(dup_c_);
+  return dup;
+}
+
+bool ChaosInjector::late_record(util::TimeBucket bucket,
+                                std::uint64_t record_index) const {
+  if (config_.late_record_rate <= 0.0) return false;
+  const bool late =
+      roll(kLateTag, static_cast<std::uint64_t>(bucket.index), record_index,
+           0) < config_.late_record_rate;
+  if (late) obs::add(late_c_);
+  return late;
+}
+
+ChaosRecordFeed::ChaosRecordFeed(const ChaosInjector* chaos, Feed inner)
+    : chaos_(chaos), inner_(std::move(inner)) {
+  if (!chaos_ || !inner_) {
+    throw std::invalid_argument{"ChaosRecordFeed: null dependency"};
+  }
+}
+
+void ChaosRecordFeed::operator()(util::TimeBucket bucket, const Sink& sink) {
+  std::uint64_t index = 0;
+  inner_(bucket, [&](const analysis::RttRecord& record) {
+    const std::uint64_t i = index++;
+    if (chaos_->late_record(bucket, i)) {
+      // Held back: re-delivered with this bucket's later siblings, by which
+      // time the ingest watermark has closed the record's own bucket.
+      held_back_[bucket.index + chaos_->config().late_record_delay_buckets]
+          .push_back(record);
+      ++delayed_n_;
+      return;
+    }
+    sink(record);
+    if (chaos_->duplicate_record(bucket, i)) {
+      sink(record);
+      ++duplicated_;
+    }
+  });
+  // Late arrivals scheduled for this bucket (or, if buckets were skipped,
+  // any earlier one) trail the on-time records.
+  while (!held_back_.empty() && held_back_.begin()->first <= bucket.index) {
+    for (const auto& record : held_back_.begin()->second) sink(record);
+    held_back_.erase(held_back_.begin());
+  }
+}
+
+}  // namespace blameit::sim

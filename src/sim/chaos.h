@@ -1,0 +1,173 @@
+// Measurement-plane chaos: seeded, deterministic fault injection for the
+// ACTIVE measurement path (traceroutes and telemetry records), as opposed to
+// sim::FaultInjector which injects latency into the NETWORK itself.
+//
+// The paper's active phase lives with a messy measurement plane — probes get
+// lost, traceroutes time out mid-path and return only a prefix, some ASes
+// never answer TTL-expired probes (their contribution silently folds into
+// the next responding hop), telemetry records arrive duplicated or late, and
+// occasionally the whole probing engine is down for maintenance (§5.2,
+// §6.4). ChaosInjector models exactly those failures, with ground truth
+// still known (the underlying sim::Fault schedule is untouched), so the
+// hardened pipeline's behavior under measurement noise can be scored.
+//
+// Determinism contract: every chaos decision derives from a stateless hash
+// of (seed, event identity) — the same ChaosConfig produces the same losses
+// and truncations regardless of thread count, call order, or what other
+// consumers drew. A default-constructed ChaosConfig (all rates zero, no
+// outages) is inert: engines consulting an inert injector behave
+// bit-identically to engines with no injector at all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "analysis/record.h"
+#include "net/cloud.h"
+#include "net/ipv4.h"
+#include "obs/registry.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace blameit::sim {
+
+/// A window in which the probing engine as a whole is down (deploys,
+/// hardware maintenance): every traceroute issued inside it is lost.
+struct OutageWindow {
+  util::MinuteTime start;
+  int duration_minutes = 0;
+
+  [[nodiscard]] constexpr bool active_at(util::MinuteTime t) const noexcept {
+    return t >= start && t < start.plus_minutes(duration_minutes);
+  }
+};
+
+struct ChaosConfig {
+  std::uint64_t seed = 0xC4A05u;
+
+  // --- traceroute plane ---
+  /// Probability a whole traceroute is lost (no hops at all). Retryable:
+  /// each attempt draws an independent fate.
+  double probe_loss_rate = 0.0;
+  /// Per-hop probability the traceroute times out AT this hop: the result is
+  /// truncated to the hops before it (a partial path that never reaches the
+  /// client).
+  double hop_timeout_rate = 0.0;
+  /// Per-hop probability the AS silently drops TTL-expired probes: the hop
+  /// is missing from the result and its latency folds into the next
+  /// responding hop's contribution (the path itself continues).
+  double silent_as_rate = 0.0;
+  /// Whole-engine outage windows; probes inside them are always lost.
+  std::vector<OutageWindow> outages;
+
+  // --- telemetry plane ---
+  /// Probability a telemetry record is emitted twice (at-least-once delivery
+  /// upstream of the analytics cluster).
+  double duplicate_record_rate = 0.0;
+  /// Probability a record is held back and re-delivered `late_record_delay_
+  /// buckets` later — far enough past the ingest watermark's lateness
+  /// allowance to exercise the late-drop path.
+  double late_record_rate = 0.0;
+  int late_record_delay_buckets = 3;
+
+  [[nodiscard]] bool any_probe_chaos() const noexcept {
+    return probe_loss_rate > 0.0 || hop_timeout_rate > 0.0 ||
+           silent_as_rate > 0.0 || !outages.empty();
+  }
+  [[nodiscard]] bool any_telemetry_chaos() const noexcept {
+    return duplicate_record_rate > 0.0 || late_record_rate > 0.0;
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return any_probe_chaos() || any_telemetry_chaos();
+  }
+};
+
+/// Answers "does THIS probe / hop / record fail?" deterministically. Const
+/// methods are thread-safe: no mutable state, every query re-derives its RNG
+/// from the event identity. Counters (when a registry is attached) are
+/// atomic.
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(ChaosConfig config = {},
+                         obs::Registry* registry = nullptr);
+
+  [[nodiscard]] const ChaosConfig& config() const noexcept { return config_; }
+
+  /// True when `t` falls inside a configured engine outage window.
+  [[nodiscard]] bool in_outage(util::MinuteTime t) const noexcept;
+
+  /// Whole-probe loss for attempt `attempt` of a traceroute. Independent
+  /// draws per attempt — retries genuinely re-roll.
+  [[nodiscard]] bool probe_lost(net::CloudLocationId from, net::Slash24 target,
+                                util::MinuteTime t, int attempt) const;
+
+  /// Fate of one hop of a traceroute (hop_index counts from the first
+  /// middle AS; the client hop is the last index).
+  enum class HopFate : std::uint8_t {
+    Respond,  ///< hop answers normally
+    Silent,   ///< AS never answers; contribution folds into the next hop
+    Timeout,  ///< traceroute gives up here; result truncated to the prefix
+  };
+  [[nodiscard]] HopFate hop_fate(net::CloudLocationId from,
+                                 net::Slash24 target, util::MinuteTime t,
+                                 int attempt, std::size_t hop_index) const;
+
+  // Telemetry-record fates, indexed by the record's position in its bucket
+  // feed (the feed order is itself deterministic).
+  [[nodiscard]] bool duplicate_record(util::TimeBucket bucket,
+                                      std::uint64_t record_index) const;
+  [[nodiscard]] bool late_record(util::TimeBucket bucket,
+                                 std::uint64_t record_index) const;
+
+  // Counter hooks for the consuming engines (null-safe).
+  void count_lost() const noexcept { obs::add(lost_c_); }
+  void count_outage() const noexcept { obs::add(outage_c_); }
+  void count_timeout() const noexcept { obs::add(timeout_c_); }
+  void count_silent() const noexcept { obs::add(silent_c_); }
+
+ private:
+  [[nodiscard]] double roll(std::uint64_t stream_tag, std::uint64_t a,
+                            std::uint64_t b, std::uint64_t c) const;
+
+  ChaosConfig config_;
+  // Instruments (null without a registry). Counters are updated from const
+  // methods; the instruments themselves are atomic.
+  obs::Counter* lost_c_ = nullptr;
+  obs::Counter* outage_c_ = nullptr;
+  obs::Counter* timeout_c_ = nullptr;
+  obs::Counter* silent_c_ = nullptr;
+  obs::Counter* dup_c_ = nullptr;
+  obs::Counter* late_c_ = nullptr;
+};
+
+/// Wraps a per-bucket record feed (the StreamingQuartetSource input) with
+/// duplication and late re-delivery. Late records are held back and appended
+/// to the feed of a later bucket — by then the ingest watermark has moved
+/// past them, so they exercise the engine's late-drop accounting. Stateful
+/// (the hold-back buffer) and therefore NOT thread-safe; the streaming
+/// source pulls buckets serially, which is the supported use.
+class ChaosRecordFeed {
+ public:
+  using Sink = std::function<void(const analysis::RttRecord&)>;
+  using Feed = std::function<void(util::TimeBucket, const Sink&)>;
+
+  ChaosRecordFeed(const ChaosInjector* chaos, Feed inner);
+
+  void operator()(util::TimeBucket bucket, const Sink& sink);
+
+  [[nodiscard]] std::uint64_t duplicated() const noexcept {
+    return duplicated_;
+  }
+  [[nodiscard]] std::uint64_t delayed() const noexcept { return delayed_n_; }
+
+ private:
+  const ChaosInjector* chaos_;
+  Feed inner_;
+  std::map<std::int64_t, std::vector<analysis::RttRecord>> held_back_;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_n_ = 0;
+};
+
+}  // namespace blameit::sim

@@ -6,6 +6,9 @@ namespace blameit::sim {
 
 std::vector<std::pair<net::AsId, double>> TracerouteResult::contributions()
     const {
+  // Lost / no-route / outage probes carry no per-AS data; guard explicitly
+  // so callers can diff whatever came back without checking flags first.
+  if (hops.empty()) return {};
   std::vector<std::pair<net::AsId, double>> out;
   out.reserve(hops.size());
   double prev = cloud_ms;
@@ -35,14 +38,16 @@ std::uint64_t ProbeAccountant::at_location(net::CloudLocationId loc) const {
 
 void ProbeAccountant::reset() noexcept {
   total_ = 0;
+  succeeded_ = 0;
   by_day_.clear();
   by_location_.clear();
 }
 
 TracerouteEngine::TracerouteEngine(const net::Topology* topology,
                                    const RttModel* model,
-                                   TracerouteConfig config)
-    : topology_(topology), model_(model), config_(config) {
+                                   TracerouteConfig config,
+                                   const ChaosInjector* chaos)
+    : topology_(topology), model_(model), config_(config), chaos_(chaos) {
   if (!topology_ || !model_) {
     throw std::invalid_argument{"TracerouteEngine: null dependency"};
   }
@@ -50,7 +55,7 @@ TracerouteEngine::TracerouteEngine(const net::Topology* topology,
 
 TracerouteResult TracerouteEngine::trace(net::CloudLocationId from,
                                          net::Slash24 target,
-                                         util::MinuteTime t) {
+                                         util::MinuteTime t, int attempt) {
   accountant_.record(from, t);
 
   TracerouteResult result;
@@ -58,11 +63,24 @@ TracerouteResult TracerouteEngine::trace(net::CloudLocationId from,
   result.target = target;
   result.time = t;
 
+  if (chaos_ && chaos_->in_outage(t)) {
+    result.lost = true;
+    result.in_outage = true;
+    chaos_->count_outage();
+    return result;
+  }
+
   const auto* block = topology_->find_block(target);
   const auto* route =
       block ? topology_->routing().route_for(from, target, t) : nullptr;
   if (!block || !route) {
-    result.reached = false;
+    result.no_route = true;
+    return result;
+  }
+
+  if (chaos_ && chaos_->probe_lost(from, target, t, attempt)) {
+    result.lost = true;
+    chaos_->count_lost();
     return result;
   }
 
@@ -71,11 +89,18 @@ TracerouteResult TracerouteEngine::trace(net::CloudLocationId from,
   const auto breakdown =
       model_->breakdown(from, *route, *block, DeviceClass::NonMobile, t);
 
-  // Per-probe deterministic noise stream.
-  util::Rng rng{util::hash_combine(
+  // Per-probe deterministic noise stream. Attempt 0 keeps the historical
+  // seed derivation bit-for-bit (chaos-off parity); retries mix the attempt
+  // index in so a re-probe is a genuinely fresh measurement.
+  std::uint64_t noise_seed = util::hash_combine(
       config_.seed,
       util::hash_combine(static_cast<std::uint64_t>(t.minutes),
-                         util::hash_combine(from.value, target.block)))};
+                         util::hash_combine(from.value, target.block)));
+  if (attempt > 0) {
+    noise_seed =
+        util::hash_combine(noise_seed, static_cast<std::uint64_t>(attempt));
+  }
+  util::Rng rng{noise_seed};
 
   auto noisy = [&](double ms) {
     return ms * rng.lognormal(0.0, config_.hop_noise_sigma);
@@ -84,13 +109,40 @@ TracerouteResult TracerouteEngine::trace(net::CloudLocationId from,
   result.cloud_ms = noisy(breakdown.cloud_ms);
   double cumulative = result.cloud_ms;
   const auto middle = route->middle_ases();
+  const std::size_t path_len = middle.size() + 1;  // + client hop
   for (std::size_t i = 0; i < middle.size(); ++i) {
     cumulative += noisy(breakdown.middle_ms[i]);
+    if (chaos_) {
+      const auto fate = chaos_->hop_fate(from, target, t, attempt, i);
+      if (fate == ChaosInjector::HopFate::Timeout) {
+        result.truncated = true;
+        chaos_->count_timeout();
+        return result;
+      }
+      if (fate == ChaosInjector::HopFate::Silent) {
+        // The AS carries traffic but never answers TTL-expired probes: its
+        // latency folds into the next responding hop's contribution and it
+        // simply has no entry of its own.
+        chaos_->count_silent();
+        continue;
+      }
+    }
     result.hops.push_back(TracerouteHop{middle[i], cumulative});
   }
   cumulative += noisy(breakdown.client_ms);
+  if (chaos_) {
+    // The client hop not answering — silently or by timeout — is the same
+    // observable outcome: the traceroute ends without reaching the target.
+    const auto fate = chaos_->hop_fate(from, target, t, attempt, path_len - 1);
+    if (fate != ChaosInjector::HopFate::Respond) {
+      result.truncated = true;
+      chaos_->count_timeout();
+      return result;
+    }
+  }
   result.hops.push_back(TracerouteHop{route->client_as(), cumulative});
   result.reached = true;
+  accountant_.record_success();
   return result;
 }
 

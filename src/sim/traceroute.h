@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "sim/chaos.h"
 #include "sim/rtt_model.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -31,26 +32,51 @@ struct TracerouteResult {
   /// separately as cloud_ms to keep the arithmetic explicit).
   std::vector<TracerouteHop> hops;
   double cloud_ms = 0.0;  ///< cumulative RTT when leaving the cloud AS
-  bool reached = false;   ///< false when no route exists (probe lost)
+  bool reached = false;   ///< true only when the full path answered
+  /// Timed out mid-path: `hops` holds the reached prefix only and the
+  /// client hop is missing. Mutually exclusive with `reached`.
+  bool truncated = false;
+  /// Whole probe lost before the first hop (chaos loss or engine outage).
+  /// Retryable — the next attempt draws an independent fate.
+  bool lost = false;
+  /// No route exists for the target. NOT retryable: every attempt fails the
+  /// same way until routing changes.
+  bool no_route = false;
+  /// The probing engine was inside a chaos outage window.
+  bool in_outage = false;
 
   /// Per-AS contributions: difference of consecutive cumulative RTTs, the
   /// quantity the active phase compares against baselines (§5.2's example).
+  /// Empty for lost/no-route probes (no hops answered); for truncated
+  /// probes it covers the reached prefix only.
   [[nodiscard]] std::vector<std::pair<net::AsId, double>> contributions()
       const;
 };
 
 /// Counts probes per (location, day) — the overhead currency of §6.5.
+/// Spend and yield are tracked separately: total() counts every attempt
+/// issued (what the probing bill charges, retries included), succeeded()
+/// only the full-path traceroutes that produced usable measurements.
 class ProbeAccountant {
  public:
   void record(net::CloudLocationId from, util::MinuteTime t) noexcept;
+  /// Marks the most recent attempt as having answered end-to-end.
+  void record_success() noexcept { ++succeeded_; }
 
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t succeeded() const noexcept { return succeeded_; }
+  /// Attempts that yielded no full path: lost, timed out mid-path, engine
+  /// outage, or no route.
+  [[nodiscard]] std::uint64_t failed() const noexcept {
+    return total_ - succeeded_;
+  }
   [[nodiscard]] std::uint64_t on_day(int day) const;
   [[nodiscard]] std::uint64_t at_location(net::CloudLocationId loc) const;
   void reset() noexcept;
 
  private:
   std::uint64_t total_ = 0;
+  std::uint64_t succeeded_ = 0;
   std::unordered_map<int, std::uint64_t> by_day_;
   std::unordered_map<std::uint16_t, std::uint64_t> by_location_;
 };
@@ -65,12 +91,27 @@ struct TracerouteConfig {
 class TracerouteEngine {
  public:
   TracerouteEngine(const net::Topology* topology, const RttModel* model,
-                   TracerouteConfig config = {});
+                   TracerouteConfig config = {},
+                   const ChaosInjector* chaos = nullptr);
 
-  /// Issues one traceroute and charges the accountant.
+  /// Issues one traceroute and charges the accountant. `attempt`
+  /// distinguishes retries of the same logical probe: each attempt draws an
+  /// independent chaos fate and (for attempt > 0) an independent noise
+  /// stream, while attempt 0 reproduces the historical stream exactly.
   [[nodiscard]] TracerouteResult trace(net::CloudLocationId from,
-                                       net::Slash24 target,
-                                       util::MinuteTime t);
+                                       net::Slash24 target, util::MinuteTime t,
+                                       int attempt = 0);
+
+  /// True when the chaos schedule has the whole engine down at `t`; the
+  /// pipeline degrades to passive-only instead of burning its budget on
+  /// probes that cannot answer. Always false without a chaos injector.
+  [[nodiscard]] bool in_outage(util::MinuteTime t) const noexcept {
+    return chaos_ != nullptr && chaos_->in_outage(t);
+  }
+
+  /// Attach/detach the chaos layer (null = pristine measurement plane).
+  void set_chaos(const ChaosInjector* chaos) noexcept { chaos_ = chaos; }
+  [[nodiscard]] const ChaosInjector* chaos() const noexcept { return chaos_; }
 
   [[nodiscard]] const ProbeAccountant& accountant() const noexcept {
     return accountant_;
@@ -81,6 +122,7 @@ class TracerouteEngine {
   const net::Topology* topology_;
   const RttModel* model_;
   TracerouteConfig config_;
+  const ChaosInjector* chaos_ = nullptr;
   ProbeAccountant accountant_;
 };
 

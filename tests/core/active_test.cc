@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "sim/chaos.h"
+
 namespace blameit::core {
 namespace {
 
@@ -208,6 +210,212 @@ TEST_F(ActiveTest, UnreachableTargetYieldsNoCulprit) {
                                        util::MinuteTime{0});
   EXPECT_FALSE(diag.probe_reached);
   EXPECT_FALSE(diag.culprit.has_value());
+}
+
+TEST_F(ActiveTest, RetriesRecoverLostProbes) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  capture_baseline(t0);
+  const auto victim = route(t0).middle_ases()[0];
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = victim,
+                        .added_ms = 54.0,
+                        .start = t0.plus_minutes(30),
+                        .duration_minutes = 600});
+  sim::RttModel faulty{topo_, &faults};
+  sim::ChaosConfig ccfg;
+  ccfg.probe_loss_rate = 0.5;
+  const sim::ChaosInjector chaos{ccfg};
+  sim::TracerouteEngine engine{topo_, &faulty, {}, &chaos};
+  BlameItConfig cfg;
+  cfg.active_probe_retries = 4;
+  ActiveLocalizer localizer{topo_, &engine, &store_, cfg};
+
+  bool recovered = false;
+  for (int m = 0; m < 30 && !recovered; ++m) {
+    const auto diag = localizer.diagnose(home(), route(t0).middle,
+                                         block().block, t0.plus_minutes(40 + m));
+    // Bounded spend: one quorum slot, at most 1 + retries attempts, and
+    // every attempt past the first IS a retry.
+    ASSERT_LE(diag.probes_spent, 1 + cfg.active_probe_retries);
+    EXPECT_EQ(diag.probes_spent, diag.retries + 1);
+    if (diag.retries > 0 && diag.probe_reached) {
+      recovered = true;
+      ASSERT_TRUE(diag.culprit.has_value());
+      EXPECT_EQ(*diag.culprit, victim);
+    }
+  }
+  // At 50% loss with 4 retries, some diagnosis must have lost its first
+  // attempt and still named the culprit on a retry.
+  EXPECT_TRUE(recovered);
+}
+
+TEST_F(ActiveTest, AllProbesLostYieldsLowConfidence) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  capture_baseline(t0);
+  sim::FaultInjector no_faults;
+  sim::RttModel model{topo_, &no_faults};
+  sim::ChaosConfig ccfg;
+  ccfg.probe_loss_rate = 1.0;
+  const sim::ChaosInjector chaos{ccfg};
+  sim::TracerouteEngine engine{topo_, &model, {}, &chaos};
+  BlameItConfig cfg;
+  cfg.active_probe_retries = 2;
+  ActiveLocalizer localizer{topo_, &engine, &store_, cfg};
+  const auto diag = localizer.diagnose(home(), route(t0).middle,
+                                       block().block, t0.plus_minutes(10));
+  EXPECT_EQ(diag.probes_spent, 3);
+  EXPECT_EQ(diag.retries, 2);
+  EXPECT_FALSE(diag.probe_reached);
+  EXPECT_FALSE(diag.culprit.has_value());
+  EXPECT_TRUE(diag.probe.lost);
+  EXPECT_EQ(diag.confidence, DiagnosisConfidence::Low);
+}
+
+TEST_F(ActiveTest, OutageIsNotRetried) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  sim::FaultInjector no_faults;
+  sim::RttModel model{topo_, &no_faults};
+  sim::ChaosConfig ccfg;
+  ccfg.outages.push_back(sim::OutageWindow{t0, 120});
+  const sim::ChaosInjector chaos{ccfg};
+  sim::TracerouteEngine engine{topo_, &model, {}, &chaos};
+  BlameItConfig cfg;
+  cfg.active_probe_retries = 3;
+  cfg.active_quorum_k = 3;
+  ActiveLocalizer localizer{topo_, &engine, &store_, cfg};
+  const auto diag = localizer.diagnose(home(), route(t0).middle,
+                                       block().block, t0.plus_minutes(10));
+  // An engine-wide outage outlasts any backoff: neither the retry loop nor
+  // the remaining quorum slots burn budget on it.
+  EXPECT_EQ(diag.probes_spent, 1);
+  EXPECT_EQ(diag.retries, 0);
+  EXPECT_TRUE(diag.probe.in_outage);
+  EXPECT_EQ(diag.confidence, DiagnosisConfidence::Low);
+}
+
+TEST_F(ActiveTest, QuorumProbesAggregateByMedian) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  capture_baseline(t0);
+  const auto victim = route(t0).middle_ases()[0];
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = victim,
+                        .added_ms = 54.0,
+                        .start = t0.plus_minutes(30),
+                        .duration_minutes = 120});
+  sim::RttModel faulty{topo_, &faults};
+  sim::TracerouteEngine engine{topo_, &faulty};
+  BlameItConfig cfg;
+  cfg.active_quorum_k = 3;
+  ActiveLocalizer localizer{topo_, &engine, &store_, cfg};
+  const auto diag = localizer.diagnose(home(), route(t0).middle,
+                                       block().block, t0.plus_minutes(60));
+  EXPECT_EQ(diag.probes_spent, 3);
+  EXPECT_EQ(diag.retries, 0);
+  ASSERT_TRUE(diag.probe_reached);
+  ASSERT_TRUE(diag.culprit.has_value());
+  EXPECT_EQ(*diag.culprit, victim);
+  EXPECT_NEAR(diag.culprit_increase_ms, 54.0, 10.0);
+  EXPECT_EQ(diag.confidence, DiagnosisConfidence::High);
+}
+
+TEST_F(ActiveTest, FullTruncationDegradesToCoarseMiddle) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  capture_baseline(t0);
+  sim::FaultInjector no_faults;
+  sim::RttModel model{topo_, &no_faults};
+  sim::ChaosConfig ccfg;
+  ccfg.hop_timeout_rate = 1.0;  // every traceroute dies at the first hop
+  const sim::ChaosInjector chaos{ccfg};
+  sim::TracerouteEngine engine{topo_, &model, {}, &chaos};
+  BlameItConfig cfg;
+  cfg.active_probe_retries = 1;
+  ActiveLocalizer localizer{topo_, &engine, &store_, cfg};
+  const auto diag = localizer.diagnose(home(), route(t0).middle,
+                                       block().block, t0.plus_minutes(10));
+  EXPECT_EQ(diag.probes_spent, 2);  // truncation is retried (and recounted)
+  EXPECT_EQ(diag.retries, 1);
+  EXPECT_FALSE(diag.probe_reached);
+  EXPECT_TRUE(diag.truncated);
+  EXPECT_TRUE(diag.have_baseline);
+  // The empty reached prefix looks healthy, so no AS is named: blame stays
+  // at coarse middle-segment granularity.
+  EXPECT_TRUE(diag.coarse_middle);
+  EXPECT_FALSE(diag.culprit.has_value());
+  EXPECT_EQ(diag.confidence, DiagnosisConfidence::Low);
+}
+
+TEST_F(ActiveTest, TruncatedPrefixNamesCulpritWithMediumConfidence) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  capture_baseline(t0);
+  const auto victim = route(t0).middle_ases()[0];
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = victim,
+                        .added_ms = 54.0,
+                        .start = t0.plus_minutes(30),
+                        .duration_minutes = 600});
+  sim::RttModel faulty{topo_, &faults};
+  sim::ChaosConfig ccfg;
+  ccfg.hop_timeout_rate = 0.4;
+  const sim::ChaosInjector chaos{ccfg};
+  sim::TracerouteEngine engine{topo_, &faulty, {}, &chaos};
+  BlameItConfig cfg;
+  cfg.active_probe_retries = 0;  // keep truncated results truncated
+  ActiveLocalizer localizer{topo_, &engine, &store_, cfg};
+
+  bool named_from_prefix = false;
+  for (int m = 0; m < 80 && !named_from_prefix; ++m) {
+    const auto diag = localizer.diagnose(home(), route(t0).middle,
+                                         block().block, t0.plus_minutes(40 + m));
+    if (diag.truncated && diag.culprit.has_value()) {
+      // The victim sits at hop 0, inside any non-empty reached prefix.
+      EXPECT_EQ(*diag.culprit, victim);
+      EXPECT_EQ(diag.confidence, DiagnosisConfidence::Medium);
+      named_from_prefix = true;
+    }
+  }
+  EXPECT_TRUE(named_from_prefix);
+}
+
+TEST_F(ActiveTest, StaleBaselineDowngradesConfidence) {
+  const auto t0 = util::MinuteTime::from_day_hour(0, 3);
+  capture_baseline(t0);
+  const auto victim = route(t0).middle_ases()[0];
+  sim::FaultInjector faults;
+  faults.add(sim::Fault{.kind = sim::FaultKind::MiddleAs,
+                        .as = victim,
+                        .added_ms = 54.0,
+                        .start = t0.plus_minutes(30),
+                        .duration_minutes = 120});
+  sim::RttModel faulty{topo_, &faults};
+  sim::TracerouteEngine engine{topo_, &faulty};
+  BlameItConfig cfg;
+  cfg.baseline_stale_minutes = 30;  // tightened so the t0 baseline is stale
+  ActiveLocalizer localizer{topo_, &engine, &store_, cfg};
+  const auto diag = localizer.diagnose(home(), route(t0).middle,
+                                       block().block, t0.plus_minutes(60));
+  ASSERT_TRUE(diag.probe_reached);
+  ASSERT_TRUE(diag.have_baseline);
+  EXPECT_TRUE(diag.baseline_stale);
+  ASSERT_TRUE(diag.culprit.has_value());
+  EXPECT_EQ(*diag.culprit, victim);
+  EXPECT_EQ(diag.confidence, DiagnosisConfidence::Medium);
+}
+
+TEST_F(ActiveTest, InvalidRetryQuorumConfigThrows) {
+  sim::FaultInjector no_faults;
+  sim::RttModel model{topo_, &no_faults};
+  sim::TracerouteEngine engine{topo_, &model};
+  BlameItConfig bad;
+  bad.active_probe_retries = -1;
+  EXPECT_THROW((ActiveLocalizer{topo_, &engine, &store_, bad}),
+               std::invalid_argument);
+  bad = {};
+  bad.active_quorum_k = 0;
+  EXPECT_THROW((ActiveLocalizer{topo_, &engine, &store_, bad}),
+               std::invalid_argument);
 }
 
 TEST_F(ActiveTest, NullDependenciesThrow) {

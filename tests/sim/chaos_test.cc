@@ -1,0 +1,321 @@
+// Measurement-plane chaos: deterministic fault draws, engine integration
+// (loss / truncation / silent hops / outages), and the telemetry record
+// feed's duplication and late re-delivery.
+#include "sim/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/traceroute.h"
+
+namespace blameit::sim {
+namespace {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::TopologyConfig cfg;
+    cfg.locations_per_region = 1;
+    cfg.eyeballs_per_region = 2;
+    cfg.blocks_per_eyeball = 4;
+    topo_ = net::make_topology(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+
+  ChaosTest() : model_(topo_, &faults_) {}
+
+  [[nodiscard]] const net::ClientBlock& block() const {
+    return topo_->blocks().front();
+  }
+  [[nodiscard]] net::CloudLocationId home() const {
+    return topo_->home_locations(block().block).front();
+  }
+
+  static const net::Topology* topo_;
+  FaultInjector faults_;
+  RttModel model_;
+};
+
+const net::Topology* ChaosTest::topo_ = nullptr;
+
+TEST_F(ChaosTest, InvalidRatesThrow) {
+  ChaosConfig bad;
+  bad.probe_loss_rate = 1.5;
+  EXPECT_THROW((ChaosInjector{bad}), std::invalid_argument);
+  bad = {};
+  bad.hop_timeout_rate = -0.1;
+  EXPECT_THROW((ChaosInjector{bad}), std::invalid_argument);
+  bad = {};
+  bad.late_record_delay_buckets = 0;
+  EXPECT_THROW((ChaosInjector{bad}), std::invalid_argument);
+}
+
+TEST_F(ChaosTest, DefaultConfigIsInert) {
+  const ChaosConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  const ChaosInjector chaos{cfg};
+  for (int m = 0; m < 200; ++m) {
+    const util::MinuteTime t{m};
+    EXPECT_FALSE(chaos.in_outage(t));
+    EXPECT_FALSE(chaos.probe_lost(home(), block().block, t, 0));
+    EXPECT_EQ(chaos.hop_fate(home(), block().block, t, 0, 0),
+              ChaosInjector::HopFate::Respond);
+  }
+}
+
+TEST_F(ChaosTest, DrawsAreDeterministicAndAttemptIndependent) {
+  ChaosConfig cfg;
+  cfg.seed = 42;
+  cfg.probe_loss_rate = 0.4;
+  cfg.hop_timeout_rate = 0.2;
+  cfg.silent_as_rate = 0.2;
+  const ChaosInjector a{cfg};
+  const ChaosInjector b{cfg};
+  bool attempts_differ = false;
+  for (int m = 0; m < 300; ++m) {
+    const util::MinuteTime t{m};
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      EXPECT_EQ(a.probe_lost(home(), block().block, t, attempt),
+                b.probe_lost(home(), block().block, t, attempt));
+      EXPECT_EQ(a.hop_fate(home(), block().block, t, attempt, 1),
+                b.hop_fate(home(), block().block, t, attempt, 1));
+    }
+    if (a.probe_lost(home(), block().block, t, 0) !=
+        a.probe_lost(home(), block().block, t, 1)) {
+      attempts_differ = true;
+    }
+  }
+  // Retries must re-roll: the attempt index changes the fate sometimes.
+  EXPECT_TRUE(attempts_differ);
+}
+
+TEST_F(ChaosTest, LossRateIsStatisticallyHonored) {
+  ChaosConfig cfg;
+  cfg.probe_loss_rate = 0.3;
+  const ChaosInjector chaos{cfg};
+  int lost = 0;
+  const int n = 4000;
+  for (int m = 0; m < n; ++m) {
+    lost += chaos.probe_lost(home(), block().block, util::MinuteTime{m}, 0);
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.3, 0.05);
+}
+
+TEST_F(ChaosTest, OutageWindows) {
+  ChaosConfig cfg;
+  cfg.outages.push_back(
+      OutageWindow{util::MinuteTime{100}, 60});
+  const ChaosInjector chaos{cfg};
+  EXPECT_FALSE(chaos.in_outage(util::MinuteTime{99}));
+  EXPECT_TRUE(chaos.in_outage(util::MinuteTime{100}));
+  EXPECT_TRUE(chaos.in_outage(util::MinuteTime{159}));
+  EXPECT_FALSE(chaos.in_outage(util::MinuteTime{160}));
+}
+
+TEST_F(ChaosTest, EngineLossAndOutage) {
+  ChaosConfig cfg;
+  cfg.probe_loss_rate = 1.0;
+  const ChaosInjector chaos{cfg};
+  TracerouteEngine engine{topo_, &model_, {}, &chaos};
+  const auto lost = engine.trace(home(), block().block, util::MinuteTime{30});
+  EXPECT_TRUE(lost.lost);
+  EXPECT_FALSE(lost.reached);
+  EXPECT_FALSE(lost.in_outage);
+  EXPECT_TRUE(lost.hops.empty());
+  EXPECT_TRUE(lost.contributions().empty());
+
+  ChaosConfig out_cfg;
+  out_cfg.outages.push_back(OutageWindow{util::MinuteTime{0}, 120});
+  const ChaosInjector outage{out_cfg};
+  TracerouteEngine engine2{topo_, &model_, {}, &outage};
+  EXPECT_TRUE(engine2.in_outage(util::MinuteTime{30}));
+  const auto r = engine2.trace(home(), block().block, util::MinuteTime{30});
+  EXPECT_TRUE(r.lost);
+  EXPECT_TRUE(r.in_outage);
+}
+
+TEST_F(ChaosTest, EngineTruncationProducesPartialPaths) {
+  ChaosConfig cfg;
+  cfg.hop_timeout_rate = 0.35;
+  const ChaosInjector chaos{cfg};
+  TracerouteEngine engine{topo_, &model_, {}, &chaos};
+  int truncated = 0;
+  int reached = 0;
+  for (int m = 0; m < 400; ++m) {
+    const auto t = util::MinuteTime{m};
+    const auto* route = topo_->routing().route_for(home(), block().block, t);
+    ASSERT_NE(route, nullptr);
+    const std::size_t full_len = route->middle_ases().size() + 1;
+    const auto r = engine.trace(home(), block().block, t);
+    EXPECT_FALSE(r.reached && r.truncated);
+    if (r.truncated) {
+      ++truncated;
+      EXPECT_LT(r.hops.size(), full_len);
+      // The prefix is still a prefix of the route, in order.
+      for (std::size_t i = 0; i < r.hops.size(); ++i) {
+        EXPECT_EQ(r.hops[i].as, route->middle_ases()[i]);
+      }
+    } else if (r.reached) {
+      ++reached;
+      EXPECT_EQ(r.hops.size(), full_len);
+    }
+  }
+  EXPECT_GT(truncated, 0);
+  EXPECT_GT(reached, 0);
+}
+
+TEST_F(ChaosTest, SilentAsFoldsContributionIntoNextHop) {
+  ChaosConfig cfg;
+  cfg.silent_as_rate = 0.5;
+  const ChaosInjector chaos{cfg};
+  TracerouteEngine engine{topo_, &model_, {}, &chaos};
+  bool saw_missing_hop = false;
+  for (int m = 0; m < 300; ++m) {
+    const auto t = util::MinuteTime{m};
+    const auto* route = topo_->routing().route_for(home(), block().block, t);
+    ASSERT_NE(route, nullptr);
+    const std::size_t full_len = route->middle_ases().size() + 1;
+    const auto r = engine.trace(home(), block().block, t);
+    if (!r.reached) continue;  // client hop drew Silent → truncated
+    if (r.hops.size() < full_len) saw_missing_hop = true;
+    // Whatever hops answered, the cumulative arithmetic stays consistent:
+    // contributions + cloud_ms sum to the final cumulative RTT.
+    double sum = r.cloud_ms;
+    for (const auto& [as, ms] : r.contributions()) sum += ms;
+    EXPECT_NEAR(sum, r.hops.back().cumulative_rtt_ms, 1e-9);
+  }
+  EXPECT_TRUE(saw_missing_hop);
+}
+
+TEST_F(ChaosTest, AccountantSeparatesSpendFromYield) {
+  ChaosConfig cfg;
+  cfg.probe_loss_rate = 0.5;
+  const ChaosInjector chaos{cfg};
+  TracerouteEngine engine{topo_, &model_, {}, &chaos};
+  for (int m = 0; m < 100; ++m) {
+    (void)engine.trace(home(), block().block, util::MinuteTime{m});
+  }
+  const auto& acct = engine.accountant();
+  EXPECT_EQ(acct.total(), 100u);
+  EXPECT_GT(acct.succeeded(), 0u);
+  EXPECT_LT(acct.succeeded(), 100u);
+  EXPECT_EQ(acct.failed(), acct.total() - acct.succeeded());
+  engine.accountant().reset();
+  EXPECT_EQ(engine.accountant().total(), 0u);
+  EXPECT_EQ(engine.accountant().succeeded(), 0u);
+}
+
+TEST_F(ChaosTest, ChaosCountersReportedToRegistry) {
+  obs::Registry registry;
+  ChaosConfig cfg;
+  cfg.probe_loss_rate = 0.3;
+  cfg.hop_timeout_rate = 0.1;
+  cfg.silent_as_rate = 0.1;
+  const ChaosInjector chaos{cfg, &registry};
+  TracerouteEngine engine{topo_, &model_, {}, &chaos};
+  for (int m = 0; m < 300; ++m) {
+    (void)engine.trace(home(), block().block, util::MinuteTime{m});
+  }
+  const auto snap = registry.snapshot();
+  EXPECT_GT(snap.counter_value("chaos.probes_lost").value_or(0), 0u);
+  EXPECT_GT(snap.counter_value("chaos.hop_timeouts").value_or(0), 0u);
+  EXPECT_GT(snap.counter_value("chaos.silent_hops").value_or(0), 0u);
+}
+
+// --- telemetry record feed ------------------------------------------------
+
+analysis::RttRecord record_at(int minute, int n) {
+  analysis::RttRecord r;
+  r.time = util::MinuteTime{minute};
+  r.location = net::CloudLocationId{1};
+  r.client_ip = net::Ipv4Addr{static_cast<std::uint32_t>(n)};
+  r.rtt_ms = 50.0 + n;
+  return r;
+}
+
+TEST_F(ChaosTest, RecordFeedDuplicates) {
+  ChaosConfig cfg;
+  cfg.duplicate_record_rate = 1.0;
+  const ChaosInjector chaos{cfg};
+  ChaosRecordFeed feed{&chaos, [](util::TimeBucket bucket,
+                                  const ChaosRecordFeed::Sink& sink) {
+                         for (int i = 0; i < 10; ++i) {
+                           sink(record_at(
+                               static_cast<int>(bucket.start().minutes), i));
+                         }
+                       }};
+  int emitted = 0;
+  feed(util::TimeBucket{0}, [&](const analysis::RttRecord&) { ++emitted; });
+  EXPECT_EQ(emitted, 20);
+  EXPECT_EQ(feed.duplicated(), 10u);
+}
+
+TEST_F(ChaosTest, RecordFeedDelaysAndRedelivers) {
+  ChaosConfig cfg;
+  cfg.late_record_rate = 1.0;
+  cfg.late_record_delay_buckets = 2;
+  const ChaosInjector chaos{cfg};
+  ChaosRecordFeed feed{&chaos, [](util::TimeBucket bucket,
+                                  const ChaosRecordFeed::Sink& sink) {
+                         // Only bucket 0 carries records.
+                         if (bucket.index == 0) {
+                           for (int i = 0; i < 5; ++i) sink(record_at(0, i));
+                         }
+                       }};
+  std::vector<analysis::RttRecord> got;
+  const auto sink = [&](const analysis::RttRecord& r) { got.push_back(r); };
+  feed(util::TimeBucket{0}, sink);
+  EXPECT_TRUE(got.empty());  // all held back
+  feed(util::TimeBucket{1}, sink);
+  EXPECT_TRUE(got.empty());  // not due yet
+  feed(util::TimeBucket{2}, sink);
+  ASSERT_EQ(got.size(), 5u);  // re-delivered two buckets late, payload intact
+  EXPECT_EQ(got.front().time, util::MinuteTime{0});
+  EXPECT_EQ(feed.delayed(), 5u);
+}
+
+TEST_F(ChaosTest, RecordFeedIsDeterministic) {
+  ChaosConfig cfg;
+  cfg.duplicate_record_rate = 0.3;
+  cfg.late_record_rate = 0.2;
+  const ChaosInjector chaos{cfg};
+  const auto run = [&] {
+    ChaosRecordFeed feed{&chaos, [](util::TimeBucket bucket,
+                                    const ChaosRecordFeed::Sink& sink) {
+                           for (int i = 0; i < 50; ++i) {
+                             sink(record_at(
+                                 static_cast<int>(bucket.start().minutes), i));
+                           }
+                         }};
+    std::vector<double> rtts;
+    for (int b = 0; b < 8; ++b) {
+      feed(util::TimeBucket{b},
+           [&](const analysis::RttRecord& r) { rtts.push_back(r.rtt_ms); });
+    }
+    return rtts;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(ChaosTest, UnreachedResultContributionsAreEmpty) {
+  // Regression: contributions() on results that never produced a hop —
+  // default-constructed, lost, no-route — must return empty, not read
+  // nonexistent hops.
+  TracerouteResult empty;
+  EXPECT_TRUE(empty.contributions().empty());
+
+  TracerouteEngine engine{topo_, &model_};
+  const auto no_route =
+      engine.trace(home(), net::Slash24{0xFFFFFF}, util::MinuteTime{0});
+  EXPECT_FALSE(no_route.reached);
+  EXPECT_TRUE(no_route.no_route);
+  EXPECT_TRUE(no_route.contributions().empty());
+}
+
+}  // namespace
+}  // namespace blameit::sim

@@ -129,9 +129,23 @@ TEST_F(TracerouteTest, UnknownTargetUnreached) {
   const auto result =
       engine.trace(home(), net::Slash24{0xFFFFFF}, util::MinuteTime{0});
   EXPECT_FALSE(result.reached);
+  EXPECT_TRUE(result.no_route);
   EXPECT_TRUE(result.hops.empty());
-  // Probe still counted (the packet was sent).
+  // Regression: contributions() on a hopless result must not touch hops.
+  EXPECT_TRUE(result.contributions().empty());
+  // Probe still counted (the packet was sent) but yielded nothing.
   EXPECT_EQ(engine.accountant().total(), 1u);
+  EXPECT_EQ(engine.accountant().succeeded(), 0u);
+  EXPECT_EQ(engine.accountant().failed(), 1u);
+}
+
+TEST_F(TracerouteTest, AccountantCountsFullPathsAsSucceeded) {
+  TracerouteEngine engine{topo_, &model_};
+  const auto r = engine.trace(home(), block().block, util::MinuteTime{10});
+  ASSERT_TRUE(r.reached);
+  EXPECT_EQ(engine.accountant().total(), 1u);
+  EXPECT_EQ(engine.accountant().succeeded(), 1u);
+  EXPECT_EQ(engine.accountant().failed(), 0u);
 }
 
 TEST_F(TracerouteTest, AccountantTracksLocationAndDay) {

@@ -1,0 +1,252 @@
+// Verdict-service read throughput: concurrent VerdictStore lookups racing a
+// full-rate pipeline publisher, then end-to-end HTTP GETs over loopback
+// keep-alive connections.
+//
+// The store's epoch/RCU design means readers never take a lock the
+// publisher holds: the floor asserted here (>= 100K lookups/s from >= 8
+// threads while the pipeline steps continuously) is the contract that makes
+// "serve verdicts straight out of the analytics loop" viable. The HTTP
+// phase measures the full socket -> parse -> route -> store -> JSON path.
+//
+//   $ ./bench_svc_qps [reader_threads=8] [lookups_per_thread=200000]
+//                     [http_requests_per_conn=2000]
+//
+// Results go to stdout and BENCH_svc_qps.json. Exits nonzero if the store
+// phase misses the 100K lookups/s floor.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "svc/service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One keep-alive loopback connection issuing `requests` GETs in sequence.
+/// Returns the number of 200 responses observed.
+long run_http_client(std::uint16_t port, const std::string& target,
+                     int requests) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+  std::string buffer;
+  char chunk[8192];
+  long ok = 0;
+  for (int i = 0; i < requests; ++i) {
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+      const auto rc = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+      if (rc <= 0) {
+        ::close(fd);
+        return ok;
+      }
+      sent += static_cast<std::size_t>(rc);
+    }
+    // Read exactly one response (headers + Content-Length body).
+    std::size_t head_end = std::string::npos;
+    std::size_t body = 0;
+    for (;;) {
+      head_end = buffer.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        head_end += 4;
+        const auto cl = buffer.find("Content-Length: ");
+        if (cl != std::string::npos && cl < head_end) {
+          body = std::strtoul(buffer.c_str() + cl + 16, nullptr, 10);
+        }
+        if (buffer.size() >= head_end + body) break;
+      }
+      const auto rc = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (rc <= 0) {
+        ::close(fd);
+        return ok;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(rc));
+    }
+    ok += buffer.compare(0, 15, "HTTP/1.1 200 OK") == 0;
+    buffer.erase(0, head_end + body);
+  }
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blameit;
+
+  const int reader_threads = argc > 1 ? std::atoi(argv[1]) : 8;
+  const long lookups_per_thread = argc > 2 ? std::atol(argv[2]) : 200000;
+  const int http_requests = argc > 3 ? std::atoi(argv[3]) : 2000;
+  constexpr int kWarmDays = 2;
+  constexpr int kHttpConnections = 4;
+
+  bench::header("verdict service throughput: store lookups + HTTP path",
+                "serving §4/§5 verdicts online, straight from the step loop");
+
+  auto stack = bench::make_stack();
+  const auto incidents =
+      bench::ambient_incidents(*stack->topology, kWarmDays, 2, 1.5);
+  sim::apply_incidents(incidents, stack->faults, stack->generator.get());
+  std::printf("warming %d days...\n", kWarmDays);
+  bench::warm_pipeline(*stack, kWarmDays);
+
+  obs::Registry registry;
+  svc::VerdictStore store{{.registry = &registry}};
+  stack->pipeline->set_step_observer(
+      [&](const core::StepReport& report) { store.publish(report); });
+
+  // Populate with a few steps so the first lookups see live verdicts.
+  long step_minute = 0;
+  const auto step_once = [&] {
+    step_minute += 15;
+    (void)stack->pipeline->step(
+        util::MinuteTime::from_days(kWarmDays).plus_minutes(step_minute));
+  };
+  for (int i = 0; i < 8; ++i) step_once();
+  std::printf("store populated: epoch=%llu\n",
+              static_cast<unsigned long long>(store.epoch()));
+
+  // Lookup targets: every live verdict key (hits) interleaved with every
+  // client /24 in the topology at arbitrary locations (mostly misses) — a
+  // mix like real operator queries.
+  std::vector<std::pair<net::Slash24, net::CloudLocationId>> targets;
+  const auto everything = net::Prefix::parse("0.0.0.0/0");
+  for (const auto& verdict : store.lookup(*everything)) {
+    targets.emplace_back(verdict.block, verdict.location);
+  }
+  const std::size_t live_targets = targets.size();
+  for (const auto& block : stack->topology->blocks()) {
+    targets.emplace_back(
+        block.block,
+        net::CloudLocationId{static_cast<std::uint16_t>(targets.size() % 7)});
+  }
+  std::printf("targets: %zu live + %zu sweep\n", live_targets,
+              targets.size() - live_targets);
+
+  bench::BenchReport report{"svc_qps"};
+
+  // ---- Phase 1: raw store lookups vs a full-rate publisher. ----
+  {
+    std::atomic<bool> stop{false};
+    const auto epoch_before = store.epoch();
+    std::thread publisher{[&] {
+      while (!stop.load(std::memory_order_relaxed)) step_once();
+    }};
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> readers;
+    std::atomic<long> hits{0};
+    for (int t = 0; t < reader_threads; ++t) {
+      readers.emplace_back([&, t] {
+        long local_hits = 0;
+        std::size_t i = static_cast<std::size_t>(t);
+        for (long n = 0; n < lookups_per_thread; ++n) {
+          const auto& [block, location] = targets[i % targets.size()];
+          local_hits += store.lookup(block, location).has_value();
+          ++i;
+        }
+        hits.fetch_add(local_hits, std::memory_order_relaxed);
+      });
+    }
+    for (auto& r : readers) r.join();
+    const double elapsed = seconds_since(t0);
+    stop = true;
+    publisher.join();
+
+    const double total =
+        static_cast<double>(reader_threads) *
+        static_cast<double>(lookups_per_thread);
+    const double qps = total / elapsed;
+    const auto epochs =
+        static_cast<double>(store.epoch() - epoch_before);
+    std::printf(
+        "store: %d readers x %ld lookups in %.3fs -> %.0f lookups/s "
+        "(%.0f epochs published concurrently, %.1f%% hits)\n",
+        reader_threads, lookups_per_thread, elapsed, qps, epochs,
+        100.0 * static_cast<double>(hits.load()) / total);
+    report.add_run("store_lookup_" + std::to_string(reader_threads) +
+                       "_threads",
+                   elapsed * 1000.0, qps,
+                   {{"epochs_during_run", epochs},
+                    {"hit_fraction",
+                     static_cast<double>(hits.load()) / total}});
+    if (qps < 100000.0) {
+      std::fprintf(stderr,
+                   "FLOOR MISSED: %.0f lookups/s < 100000 (the RCU store "
+                   "must not serialize readers)\n",
+                   qps);
+      report.write();
+      return 1;
+    }
+  }
+
+  // ---- Phase 2: the full HTTP path over loopback keep-alive. ----
+  {
+    svc::VerdictService service{&store, &registry};
+    svc::HttpServer server{service.handler()};
+    if (!server.start()) {
+      std::fprintf(stderr, "cannot bind loopback server\n");
+      return 1;
+    }
+    const std::string target =
+        "/v1/verdict?client=" + targets.front().first.base().to_string();
+    const auto t0 = Clock::now();
+    std::vector<std::thread> clients;
+    std::atomic<long> ok{0};
+    for (int c = 0; c < kHttpConnections; ++c) {
+      clients.emplace_back([&] {
+        ok.fetch_add(run_http_client(server.port(), target, http_requests),
+                     std::memory_order_relaxed);
+      });
+    }
+    for (auto& c : clients) c.join();
+    const double elapsed = seconds_since(t0);
+    server.stop();
+
+    const double total = static_cast<double>(kHttpConnections) *
+                         static_cast<double>(http_requests);
+    const double qps = total / elapsed;
+    std::printf(
+        "http: %d connections x %d requests in %.3fs -> %.0f req/s "
+        "(%ld answered 200)\n",
+        kHttpConnections, http_requests, elapsed, qps, ok.load());
+    report.add_run("http_keepalive_" + std::to_string(kHttpConnections) +
+                       "_conns",
+                   elapsed * 1000.0, qps,
+                   {{"ok_fraction", static_cast<double>(ok.load()) / total}});
+    if (ok.load() != static_cast<long>(total)) {
+      std::fprintf(stderr, "FAILURE: %ld of %.0f HTTP requests answered\n",
+                   ok.load(), total);
+      report.write();
+      return 1;
+    }
+  }
+
+  report.write();
+  return 0;
+}

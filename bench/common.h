@@ -21,6 +21,7 @@
 #include "sim/scenario.h"
 #include "sim/telemetry.h"
 #include "sim/traceroute.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -248,26 +249,32 @@ class BenchReport {
   }
 
   /// Writes BENCH_<name>.json; returns the path ("" on I/O failure).
+  /// Serialization goes through util::json — config strings are escaped
+  /// and numbers are locale-independent (a de_DE locale used to produce
+  /// `"wall_ms": 1,5` here, which is not JSON).
   std::string write() const {
+    util::json::Writer w;
+    w.begin_object().member("name", name_);
+    w.key("runs").begin_array();
+    for (const auto& run : runs_) {
+      w.begin_object()
+          .member("config", run.config)
+          .member("wall_ms", run.wall_ms)
+          .member("items_per_sec", run.items_per_sec);
+      for (const auto& [key, value] : run.extra) w.member(key, value);
+      w.end_object();
+    }
+    w.end_array().end_object();
+
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) {
       std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
       return "";
     }
-    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"runs\": [\n", name_.c_str());
-    for (std::size_t i = 0; i < runs_.size(); ++i) {
-      const auto& run = runs_[i];
-      std::fprintf(f,
-                   "    {\"config\": \"%s\", \"wall_ms\": %.3f, "
-                   "\"items_per_sec\": %.1f",
-                   run.config.c_str(), run.wall_ms, run.items_per_sec);
-      for (const auto& [key, value] : run.extra) {
-        std::fprintf(f, ", \"%s\": %.4f", key.c_str(), value);
-      }
-      std::fprintf(f, "}%s\n", i + 1 < runs_.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
+    const auto& doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
     return path;

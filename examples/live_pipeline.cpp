@@ -6,6 +6,7 @@
 // ingestion counters.
 //
 //   $ ./live_pipeline [incident_count] [--obs] [--chaos] [--steps N]
+//                     [--serve PORT]
 //
 // --obs dumps the observability registry (counters, gauges, latency
 // histograms from every pipeline layer) after the day completes.
@@ -15,10 +16,19 @@
 // exits nonzero if any step crashes the retry bound or overshoots the
 // probe budget (CI runs `--chaos --steps 200`).
 // --steps N overrides the step count (default 96 = one day at 15 min).
+// --serve PORT publishes every step into the verdict service and serves
+// it on 127.0.0.1:PORT (/v1/verdict, /v1/incidents, /v1/diagnoses,
+// /metrics.json, /metrics, /healthz). After the day completes the process
+// keeps serving until SIGINT, then shuts down cleanly (sockets drained,
+// threads joined).
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <thread>
 
 #include "examples/common.h"
 #include "obs/registry.h"
@@ -26,7 +36,13 @@
 #include "ops/report.h"
 #include "sim/chaos.h"
 #include "sim/scenario.h"
+#include "svc/service.h"
 #include "util/table.h"
+
+namespace {
+std::atomic<bool> g_interrupted{false};
+void on_sigint(int) { g_interrupted.store(true); }
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace blameit;
@@ -35,6 +51,7 @@ int main(int argc, char** argv) {
   bool dump_obs = false;
   bool with_chaos = false;
   int steps = util::kMinutesPerDay / 15;
+  int serve_port = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--obs") == 0) {
       dump_obs = true;
@@ -42,6 +59,8 @@ int main(int argc, char** argv) {
       with_chaos = true;
     } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
       steps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
     } else {
       incident_count = std::atoi(argv[i]);
     }
@@ -89,6 +108,30 @@ int main(int argc, char** argv) {
   examples::warm_pipeline(*stack, 2);
   ops::AlertSink alerts;
 
+  // Optional service layer: every step report is published into the
+  // verdict store; HTTP readers never block the step loop.
+  std::unique_ptr<svc::VerdictStore> store;
+  std::unique_ptr<svc::VerdictService> service;
+  std::unique_ptr<svc::HttpServer> server;
+  if (serve_port >= 0) {
+    std::signal(SIGINT, on_sigint);
+    std::signal(SIGTERM, on_sigint);
+    store = std::make_unique<svc::VerdictStore>(
+        svc::VerdictStore::Config{.registry = &stack->registry});
+    service =
+        std::make_unique<svc::VerdictService>(store.get(), &stack->registry);
+    svc::HttpServerConfig http_cfg;
+    http_cfg.port = static_cast<std::uint16_t>(serve_port);
+    server = std::make_unique<svc::HttpServer>(service->handler(), http_cfg);
+    if (!server->start()) {
+      std::fprintf(stderr, "failed to bind 127.0.0.1:%d\n", serve_port);
+      return 1;
+    }
+    stack->pipeline->set_step_observer(
+        [&](const core::StepReport& report) { store->publish(report); });
+    std::printf("serving verdicts on http://127.0.0.1:%u\n", server->port());
+  }
+
   std::map<core::Blame, long> totals;
   long probes_on_demand = 0;
   long probes_background = 0;
@@ -99,7 +142,7 @@ int main(int argc, char** argv) {
   // Hardening invariant: retries are bounded per diagnosis, and the step's
   // total spend can overshoot the budget by at most one diagnosis.
   const int per_diag_cap = cfg.active_quorum_k * (1 + cfg.active_probe_retries);
-  for (int k = 1; k <= steps; ++k) {
+  for (int k = 1; k <= steps && !g_interrupted.load(); ++k) {
     const int minute = 15 * k;
     const auto now = util::MinuteTime::from_days(2).plus_minutes(minute);
     const auto report = stack->pipeline->step(now);
@@ -176,6 +219,22 @@ int main(int argc, char** argv) {
   if (dump_obs) {
     std::puts("\n== observability registry ==");
     std::printf("%s", obs::render_text(stack->registry.snapshot()).c_str());
+  }
+  if (server) {
+    std::printf(
+        "day complete; serving on http://127.0.0.1:%u until SIGINT "
+        "(served %llu requests so far)\n",
+        server->port(),
+        static_cast<unsigned long long>(server->requests_served()));
+    std::fflush(stdout);
+    while (!g_interrupted.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{50});
+    }
+    server->stop();
+    std::printf("service stopped: %llu connections, %llu requests\n",
+                static_cast<unsigned long long>(
+                    server->connections_accepted()),
+                static_cast<unsigned long long>(server->requests_served()));
   }
   if (violations > 0) {
     std::fprintf(stderr, "%d invariant violation(s)\n", violations);

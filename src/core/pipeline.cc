@@ -204,6 +204,7 @@ StepReport BlameItPipeline::step(util::MinuteTime now) {
                                std::chrono::steady_clock::now() - step_t0)
                                .count();
   obs::record(total_ms_h_, report.stages.total_ms);
+  if (observer_) observer_(report);
   return report;
 }
 

@@ -81,6 +81,17 @@ class BlameItPipeline {
   /// the configured cadence (15 min ⇒ 3 buckets per step).
   StepReport step(util::MinuteTime now);
 
+  /// Invoked at the very end of every step() with the finished report —
+  /// this is how the service layer publishes into its VerdictStore without
+  /// the pipeline knowing the service exists. Runs on the step thread,
+  /// after all stage timings are recorded; it must not call back into the
+  /// pipeline. The observer only sees the report, so pipeline output is
+  /// identical with or without one.
+  using StepObserver = std::function<void(const StepReport&)>;
+  void set_step_observer(StepObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   // Component access (benches, tests, ablations).
   [[nodiscard]] const analysis::ExpectedRttLearner& learner() const noexcept {
     return learner_;
@@ -130,6 +141,7 @@ class BlameItPipeline {
   util::TimeBucket next_bucket_{0};
   util::MinuteTime last_step_{0};
   int last_evict_day_ = -1;
+  StepObserver observer_;
 
   // Instruments (null without a registry).
   obs::Histogram* learn_ms_h_ = nullptr;

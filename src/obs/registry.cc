@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json.h"
+
 namespace blameit::obs {
 
 Histogram::Histogram(std::span<const double> bounds)
@@ -79,8 +81,16 @@ Snapshot Registry::snapshot() const {
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
-    snap.histograms.push_back({name, h->bounds(), h->bucket_counts(),
-                               h->count(), h->sum(), h->max()});
+    // Internal consistency under concurrent record(): derive the sample
+    // count from the bucket counts read in this snapshot, instead of
+    // reading the separately-maintained total. record() bumps the bucket
+    // before the total, so the two reads can disagree mid-record; deriving
+    // makes count == sum(buckets) hold by construction.
+    auto counts = h->bucket_counts();
+    std::uint64_t total = 0;
+    for (const auto n : counts) total += n;
+    snap.histograms.push_back(
+        {name, h->bounds(), std::move(counts), total, h->sum(), h->max()});
   }
   return snap;
 }
@@ -134,41 +144,76 @@ std::string render_text(const Snapshot& snapshot) {
 }
 
 void write_json(const Snapshot& snapshot, std::ostream& os) {
-  const auto quoted = [](const std::string& s) { return '"' + s + '"'; };
-  os << "{\n  \"counters\": {";
-  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
-    const auto& c = snapshot.counters[i];
-    os << (i ? ", " : "") << quoted(c.name) << ": " << c.value;
-  }
-  os << "},\n  \"gauges\": {";
-  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
-    const auto& g = snapshot.gauges[i];
-    os << (i ? ", " : "") << quoted(g.name) << ": " << g.value;
-  }
-  os << "},\n  \"histograms\": {";
-  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
-    const auto& h = snapshot.histograms[i];
-    os << (i ? ",\n    " : "\n    ") << quoted(h.name) << ": {\"count\": "
-       << h.count << ", \"sum\": " << h.sum << ", \"max\": " << h.max
-       << ", \"buckets\": [";
-    for (std::size_t b = 0; b < h.counts.size(); ++b) {
-      os << (b ? ", " : "") << "[";
-      if (b < h.bounds.size()) {
-        os << h.bounds[b];
-      } else {
-        os << "null";
-      }
-      os << ", " << h.counts[b] << "]";
-    }
-    os << "]}";
-  }
-  os << "\n  }\n}\n";
+  os << to_json(snapshot);
 }
 
 std::string to_json(const Snapshot& snapshot) {
-  std::ostringstream oss;
-  write_json(snapshot, oss);
-  return oss.str();
+  util::json::Writer w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& c : snapshot.counters) w.member(c.name, c.value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : snapshot.gauges) w.member(g.name, g.value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : snapshot.histograms) {
+    w.key(h.name).begin_object();
+    w.member("count", h.count);
+    w.member("sum", h.sum);
+    w.member("max", h.max);
+    w.key("buckets").begin_array();
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      w.begin_array();
+      if (b < h.bounds.size()) {
+        w.value(h.bounds[b]);
+      } else {
+        w.null();  // the implicit +inf overflow bucket
+      }
+      w.value(h.counts[b]).end_array();
+    }
+    w.end_array().end_object();
+  }
+  w.end_object().end_object();
+  return std::move(w).str();
+}
+
+namespace {
+
+// Influx line protocol demands backslash-escaped commas/spaces/equals in
+// tag values. Metric names are dot paths, but escape defensively anyway.
+std::string lp_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == ',' || ch == ' ' || ch == '=') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_line_protocol(const Snapshot& snapshot,
+                                 std::string_view measurement) {
+  std::string out;
+  const std::string m = lp_escape(measurement);
+  for (const auto& c : snapshot.counters) {
+    out += m + ",metric=" + lp_escape(c.name) +
+           ",kind=counter value=" + std::to_string(c.value) + "i\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += m + ",metric=" + lp_escape(g.name) +
+           ",kind=gauge value=" + util::json::number(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += m + ",metric=" + lp_escape(h.name) +
+           ",kind=histogram count=" + std::to_string(h.count) +
+           "i,sum=" + util::json::number(h.sum) +
+           ",max=" + util::json::number(h.max) +
+           ",mean=" + util::json::number(h.mean()) + "\n";
+  }
+  return out;
 }
 
 }  // namespace blameit::obs

@@ -108,7 +108,10 @@ class Histogram {
 
 /// Point-in-time view of every registered instrument, name-sorted. Values of
 /// one snapshot are each individually consistent (relaxed reads of live
-/// atomics); a snapshot taken after writers quiesce is exact.
+/// atomics); a snapshot taken after writers quiesce is exact. For
+/// histograms, `count` is derived from the bucket counts read by the same
+/// snapshot, so `count == sum(counts)` holds even when records race the
+/// snapshot (`sum`/`max` may trail by the in-flight record).
 struct Snapshot {
   struct CounterSample {
     std::string name;
@@ -228,9 +231,16 @@ class ScopedTimer {
 /// plus bucket rows per histogram.
 [[nodiscard]] std::string render_text(const Snapshot& snapshot);
 
-/// Machine-readable dump: {"counters": {...}, "gauges": {...},
-/// "histograms": {name: {"count", "sum", "max", "buckets": [[le, n], ...]}}}.
+/// Machine-readable dump (compact, via util::json): {"counters": {...},
+/// "gauges": {...}, "histograms": {name: {"count", "sum", "max",
+/// "buckets": [[le, n], ...]}}} where the overflow bucket's `le` is null.
 void write_json(const Snapshot& snapshot, std::ostream& os);
 [[nodiscard]] std::string to_json(const Snapshot& snapshot);
+
+/// Influx-style line protocol for a push/scrape sink, one line per
+/// instrument: `<measurement>,metric=<name>,kind=counter value=<n>i`;
+/// histograms carry count/sum/max/mean fields.
+[[nodiscard]] std::string render_line_protocol(
+    const Snapshot& snapshot, std::string_view measurement = "blameit");
 
 }  // namespace blameit::obs

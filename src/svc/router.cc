@@ -1,0 +1,34 @@
+#include "svc/router.h"
+
+#include <utility>
+
+#include "util/json.h"
+
+namespace blameit::svc {
+
+HttpResponse error_response(int status, std::string_view message) {
+  util::json::Writer w;
+  w.begin_object().member("error", message).end_object();
+  return HttpResponse::json(status, std::move(w).str());
+}
+
+void Router::get(std::string path, HttpServer::Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+HttpResponse Router::dispatch(const HttpRequest& request) const {
+  const auto it = routes_.find(request.path);
+  if (it == routes_.end()) {
+    return error_response(404, "unknown path");
+  }
+  if (request.method != "GET") {
+    return error_response(405, "method not allowed (GET only)");
+  }
+  try {
+    return it->second(request);
+  } catch (const std::exception&) {
+    return error_response(500, "internal error");
+  }
+}
+
+}  // namespace blameit::svc

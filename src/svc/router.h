@@ -1,0 +1,36 @@
+// Exact-path GET router for the verdict service. Deliberately tiny: the
+// service exposes a handful of fixed paths, so routing is a map lookup —
+// unknown path -> 404, known path with a non-GET method -> 405, and a
+// handler that throws -> 500 (all as JSON error bodies).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "svc/http.h"
+
+namespace blameit::svc {
+
+/// {"error": message} with the given status.
+[[nodiscard]] HttpResponse error_response(int status,
+                                          std::string_view message);
+
+class Router {
+ public:
+  /// Registers a GET handler for an exact (decoded) path.
+  void get(std::string path, HttpServer::Handler handler);
+
+  /// Routes one request. Never throws.
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request) const;
+
+  /// Adapter for HttpServer's constructor. The router must outlive the
+  /// returned handler.
+  [[nodiscard]] HttpServer::Handler as_handler() const {
+    return [this](const HttpRequest& request) { return dispatch(request); };
+  }
+
+ private:
+  std::map<std::string, HttpServer::Handler, std::less<>> routes_;
+};
+
+}  // namespace blameit::svc

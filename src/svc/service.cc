@@ -1,0 +1,233 @@
+#include "svc/service.h"
+
+#include <charconv>
+#include <optional>
+#include <string_view>
+
+#include "core/blame.h"
+#include "util/json.h"
+
+namespace blameit::svc {
+
+namespace {
+
+using util::json::Writer;
+
+/// `client=` accepts an IPv4 address, an "a.b.c.0/24" block, or a wider
+/// CIDR prefix. An address or /24 resolves to one block; anything wider
+/// stays a prefix scan.
+struct ClientSelector {
+  std::optional<net::Slash24> block;
+  std::optional<net::Prefix> prefix;
+};
+
+std::optional<ClientSelector> parse_client(std::string_view s) {
+  if (s.find('/') != std::string_view::npos) {
+    const auto prefix = net::Prefix::parse(s);
+    if (!prefix) return std::nullopt;
+    if (prefix->length >= 24) {
+      return ClientSelector{net::Slash24::of(net::Ipv4Addr{prefix->network}),
+                            std::nullopt};
+    }
+    return ClientSelector{std::nullopt, prefix};
+  }
+  const auto addr = net::Ipv4Addr::parse(s);
+  if (!addr) return std::nullopt;
+  return ClientSelector{net::Slash24::of(*addr), std::nullopt};
+}
+
+/// `cloud=` accepts "edge-N" (CloudLocationId::to_string form) or bare N.
+std::optional<net::CloudLocationId> parse_cloud(std::string_view s) {
+  if (s.starts_with("edge-")) s.remove_prefix(5);
+  std::uint16_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || s.empty()) {
+    return std::nullopt;
+  }
+  return net::CloudLocationId{value};
+}
+
+void write_verdict(Writer& w, const Verdict& v) {
+  w.begin_object()
+      .member("client", v.block.to_string())
+      .member("cloud", v.location.to_string())
+      .member("middle", v.middle.to_string())
+      .member("client_as", v.client_as.to_string())
+      .member("blame", core::to_string(v.blame))
+      .member("confidence", core::to_string(v.confidence));
+  w.key("faulty_as");
+  if (v.faulty_as) {
+    w.value(v.faulty_as->to_string());
+  } else {
+    w.null();
+  }
+  w.member("from_active", v.from_active)
+      .member("baseline_predates_issue", v.baseline_predates_issue)
+      .member("bucket", v.bucket.index)
+      .member("bucket_start_minutes", v.bucket.start().minutes)
+      .member("mean_rtt_ms", v.mean_rtt_ms)
+      .member("sample_count", v.sample_count)
+      .end_object();
+}
+
+void write_incident(Writer& w, const Incident& inc) {
+  w.begin_object()
+      .member("category", core::to_string(inc.category))
+      .member("cloud", inc.location.to_string());
+  w.key("middle");
+  if (inc.middle) {
+    w.value(inc.middle->to_string());
+  } else {
+    w.null();
+  }
+  w.key("faulty_as");
+  if (inc.faulty_as) {
+    w.value(inc.faulty_as->to_string());
+  } else {
+    w.null();
+  }
+  w.member("first_seen_minutes", inc.first_seen.minutes)
+      .member("last_seen_minutes", inc.last_seen.minutes)
+      .member("buckets", inc.buckets)
+      .member("open", inc.open)
+      .end_object();
+}
+
+void write_diagnosis(Writer& w, const DiagnosisRecord& rec) {
+  const auto& d = rec.diagnosis;
+  w.begin_object()
+      .member("at_minutes", rec.at.minutes)
+      .member("cloud", d.location.to_string())
+      .member("middle", d.middle.to_string());
+  w.key("culprit");
+  if (d.culprit) {
+    w.value(d.culprit->to_string());
+  } else {
+    w.null();
+  }
+  w.member("confidence", core::to_string(d.confidence))
+      .member("probe_reached", d.probe_reached)
+      .member("have_baseline", d.have_baseline)
+      .member("baseline_predates_issue", d.baseline_predates_issue)
+      .member("baseline_stale", d.baseline_stale)
+      .member("truncated", d.truncated)
+      .member("coarse_middle", d.coarse_middle)
+      .member("culprit_increase_ms", d.culprit_increase_ms)
+      .member("probes_spent", d.probes_spent)
+      .member("retries", d.retries)
+      .end_object();
+}
+
+}  // namespace
+
+VerdictService::VerdictService(const VerdictStore* store,
+                               obs::Registry* registry)
+    : store_(store), registry_(registry) {
+  router_.get("/v1/verdict",
+              [this](const HttpRequest& r) { return verdict(r); });
+  router_.get("/v1/incidents",
+              [this](const HttpRequest& r) { return incidents(r); });
+  router_.get("/v1/diagnoses",
+              [this](const HttpRequest& r) { return diagnoses(r); });
+  router_.get("/metrics.json",
+              [this](const HttpRequest& r) { return metrics_json(r); });
+  router_.get("/metrics",
+              [this](const HttpRequest& r) { return metrics_text(r); });
+  router_.get("/healthz",
+              [this](const HttpRequest& r) { return healthz(r); });
+}
+
+HttpResponse VerdictService::verdict(const HttpRequest& request) const {
+  const auto* client = request.query_param("client");
+  if (!client) {
+    return error_response(400, "missing required query parameter: client");
+  }
+  const auto selector = parse_client(*client);
+  if (!selector) {
+    return error_response(
+        400, "client must be an IPv4 address, a /24, or a CIDR prefix");
+  }
+
+  if (const auto* cloud = request.query_param("cloud")) {
+    const auto location = parse_cloud(*cloud);
+    if (!location) {
+      return error_response(400, "cloud must be edge-<N> or a numeric id");
+    }
+    if (!selector->block) {
+      return error_response(
+          400, "cloud filter requires a single /24 client, not a prefix");
+    }
+    const auto v = store_->lookup(*selector->block, *location);
+    if (!v) {
+      return error_response(404, "no live verdict for this client+cloud");
+    }
+    Writer w;
+    write_verdict(w, *v);
+    return HttpResponse::json(200, std::move(w).str());
+  }
+
+  const auto verdicts = selector->block ? store_->lookup(*selector->block)
+                                        : store_->lookup(*selector->prefix);
+  Writer w;
+  w.begin_object().member("count", verdicts.size());
+  w.key("verdicts").begin_array();
+  for (const auto& v : verdicts) write_verdict(w, v);
+  w.end_array().end_object();
+  return HttpResponse::json(200, std::move(w).str());
+}
+
+HttpResponse VerdictService::incidents(const HttpRequest& request) const {
+  std::int64_t since = 0;
+  if (const auto* raw = request.query_param("since")) {
+    const auto [ptr, ec] =
+        std::from_chars(raw->data(), raw->data() + raw->size(), since);
+    if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
+      return error_response(400, "since must be an integer minute count");
+    }
+  }
+  const auto incidents = store_->incidents_since(util::MinuteTime{since});
+  Writer w;
+  w.begin_object()
+      .member("since_minutes", since)
+      .member("count", incidents.size());
+  w.key("incidents").begin_array();
+  for (const auto& inc : incidents) write_incident(w, inc);
+  w.end_array().end_object();
+  return HttpResponse::json(200, std::move(w).str());
+}
+
+HttpResponse VerdictService::diagnoses(const HttpRequest&) const {
+  const auto records = store_->recent_diagnoses();
+  Writer w;
+  w.begin_object().member("count", records.size());
+  w.key("diagnoses").begin_array();
+  for (const auto& rec : records) write_diagnosis(w, rec);
+  w.end_array().end_object();
+  return HttpResponse::json(200, std::move(w).str());
+}
+
+HttpResponse VerdictService::metrics_json(const HttpRequest&) const {
+  const auto snapshot = registry_ ? registry_->snapshot() : obs::Snapshot{};
+  return HttpResponse::json(200, obs::to_json(snapshot));
+}
+
+HttpResponse VerdictService::metrics_text(const HttpRequest&) const {
+  const auto snapshot = registry_ ? registry_->snapshot() : obs::Snapshot{};
+  return HttpResponse::text(200, obs::render_line_protocol(snapshot));
+}
+
+HttpResponse VerdictService::healthz(const HttpRequest&) const {
+  const auto health = store_->health();
+  Writer w;
+  w.begin_object()
+      .member("status", health.degraded ? "degraded" : "ok")
+      .member("epoch", health.epoch)
+      .member("last_step_minutes", health.last_step.minutes)
+      .member("steps", health.steps)
+      .member("degraded_steps", health.degraded_steps)
+      .end_object();
+  return HttpResponse::json(200, std::move(w).str());
+}
+
+}  // namespace blameit::svc

@@ -1,0 +1,54 @@
+// The verdict service: wires a VerdictStore and an obs::Registry onto the
+// HTTP router. Endpoints (all GET, all JSON unless noted):
+//
+//   /v1/verdict?client=<ip|a.b.c.0/24|cidr>[&cloud=<edge-N|N>]
+//       Current blame verdict(s) with DiagnosisConfidence. With `cloud`,
+//       one verdict object (404 if none is live); without, the array of
+//       live verdicts for the client across locations. A CIDR wider than
+//       /24 returns every covered verdict.
+//   /v1/incidents?since=<minutes>
+//       Incident runs (open and closed) with last_seen >= since
+//       (default 0), ordered by first_seen.
+//   /v1/diagnoses
+//       Recent active-phase diagnoses: culprit, confidence,
+//       baseline_predates_issue, probes spent.
+//   /metrics.json   obs::Registry snapshot as JSON.
+//   /metrics        the same snapshot as Influx-style line protocol (text).
+//   /healthz        {"status": "ok"|"degraded", ...} — degraded while the
+//                   latest step ran passive-only (probing outage).
+#pragma once
+
+#include "obs/registry.h"
+#include "svc/http.h"
+#include "svc/router.h"
+#include "svc/verdict_store.h"
+
+namespace blameit::svc {
+
+class VerdictService {
+ public:
+  /// `store` must outlive the service; `registry` may be null (the metrics
+  /// endpoints then serve an empty snapshot).
+  explicit VerdictService(const VerdictStore* store,
+                          obs::Registry* registry = nullptr);
+
+  [[nodiscard]] const Router& router() const noexcept { return router_; }
+  /// Handler for HttpServer. The service must outlive the server.
+  [[nodiscard]] HttpServer::Handler handler() const {
+    return router_.as_handler();
+  }
+
+ private:
+  [[nodiscard]] HttpResponse verdict(const HttpRequest& request) const;
+  [[nodiscard]] HttpResponse incidents(const HttpRequest& request) const;
+  [[nodiscard]] HttpResponse diagnoses(const HttpRequest& request) const;
+  [[nodiscard]] HttpResponse metrics_json(const HttpRequest& request) const;
+  [[nodiscard]] HttpResponse metrics_text(const HttpRequest& request) const;
+  [[nodiscard]] HttpResponse healthz(const HttpRequest& request) const;
+
+  const VerdictStore* store_;
+  obs::Registry* registry_;
+  Router router_;
+};
+
+}  // namespace blameit::svc

@@ -1,0 +1,305 @@
+#include "svc/verdict_store.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace blameit::svc {
+
+namespace {
+
+// Packed identity of an incident run. Top 2 bits select the category so
+// cloud/middle/client runs never collide.
+constexpr std::uint64_t cloud_run_key(net::CloudLocationId loc) noexcept {
+  return (std::uint64_t{1} << 62) | loc.value;
+}
+constexpr std::uint64_t middle_run_key(net::CloudLocationId loc,
+                                       net::MiddleSegmentId mid) noexcept {
+  return (std::uint64_t{2} << 62) | (std::uint64_t{loc.value} << 32) |
+         mid.value;
+}
+constexpr std::uint64_t client_run_key(net::AsId as) noexcept {
+  return (std::uint64_t{3} << 62) | as.value;
+}
+
+}  // namespace
+
+VerdictStore::VerdictStore(Config config)
+    : config_(config),
+      work_(static_cast<std::size_t>(std::max(1, config.shards))),
+      dirty_(work_.size(), false),
+      shards_(work_.size()) {
+  if (config_.verdict_retention_buckets < 1) {
+    throw std::invalid_argument{"VerdictStore: retention must be >= 1"};
+  }
+  const auto empty = std::make_shared<const ShardMap>();
+  for (auto& shard : shards_) shard.store(empty);
+  timeline_.store(std::make_shared<const Timeline>());
+  auto* r = config_.registry;
+  publishes_c_ = obs::counter(r, "svc.store.publishes");
+  verdicts_g_ = obs::gauge(r, "svc.store.verdicts");
+  open_incidents_g_ = obs::gauge(r, "svc.store.open_incidents");
+  publish_ms_h_ = obs::histogram(r, "svc.store.publish_ms");
+  lookups_c_ = obs::counter(r, "svc.store.lookups");
+}
+
+void VerdictStore::publish(const core::StepReport& report) {
+  const obs::ScopedTimer span{publish_ms_h_};
+  ++steps_;
+  degraded_steps_ += report.degraded_passive_only;
+
+  fold_blames(report);
+  fold_incidents(report);
+
+  // Swap the shards that changed. Readers that loaded the old pointer keep
+  // a consistent (just slightly stale) view until they drop it.
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < work_.size(); ++i) {
+    live += work_[i].size();
+    if (!dirty_[i]) continue;
+    shards_[i].store(std::make_shared<const ShardMap>(work_[i]));
+    dirty_[i] = false;
+  }
+  publish_timeline(report);
+  epoch_.fetch_add(1, std::memory_order_release);
+
+  obs::add(publishes_c_);
+  obs::set(verdicts_g_, static_cast<double>(live));
+  obs::set(open_incidents_g_, static_cast<double>(open_runs_.size()));
+}
+
+void VerdictStore::fold_blames(const core::StepReport& report) {
+  // Active diagnoses of this step, matched to Middle verdicts by
+  // ⟨location, BGP path⟩.
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           const core::ActiveDiagnosis*>
+      diag_by_issue;
+  for (const auto& d : report.diagnoses) {
+    diag_by_issue[{d.location.value, d.middle.value}] = &d;
+  }
+
+  for (const auto& b : report.blames) {
+    Verdict v;
+    v.block = b.quartet.key.block;
+    v.location = b.quartet.key.location;
+    v.middle = b.quartet.middle;
+    v.client_as = b.quartet.client_as;
+    v.blame = b.blame;
+    v.faulty_as = b.faulty_as;
+    v.bucket = b.quartet.key.bucket;
+    v.mean_rtt_ms = b.quartet.mean_rtt_ms;
+    v.sample_count = b.quartet.sample_count;
+    switch (b.blame) {
+      case core::Blame::Cloud:
+      case core::Blame::Client:
+        // Passive elimination pinned these down (§4.2).
+        v.confidence = core::DiagnosisConfidence::High;
+        break;
+      case core::Blame::Middle: {
+        v.confidence = core::DiagnosisConfidence::Low;
+        const auto it = diag_by_issue.find(
+            {v.location.value, v.middle.value});
+        if (it != diag_by_issue.end()) {
+          const auto* d = it->second;
+          v.confidence = d->confidence;
+          v.from_active = true;
+          v.baseline_predates_issue = d->baseline_predates_issue;
+          if (d->culprit) v.faulty_as = d->culprit;
+        }
+        break;
+      }
+      case core::Blame::Ambiguous:
+      case core::Blame::Insufficient:
+        v.confidence = core::DiagnosisConfidence::Low;
+        break;
+    }
+    newest_bucket_ = std::max(newest_bucket_, v.bucket);
+    const auto shard = shard_of(v.block);
+    work_[shard][key_of(v.block, v.location)] = v;
+    dirty_[shard] = true;
+  }
+
+  // Age out verdicts that fell off the retention window.
+  const std::int64_t horizon =
+      newest_bucket_.index - config_.verdict_retention_buckets;
+  for (std::size_t i = 0; i < work_.size(); ++i) {
+    for (auto it = work_[i].begin(); it != work_[i].end();) {
+      if (it->second.bucket.index <= horizon) {
+        it = work_[i].erase(it);
+        dirty_[i] = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void VerdictStore::fold_incidents(const core::StepReport& report) {
+  // Culprits named by this step's active phase, for middle-run enrichment.
+  std::map<std::uint64_t, net::AsId> culprit_of;
+  for (const auto& d : report.diagnoses) {
+    if (d.culprit) {
+      culprit_of[middle_run_key(d.location, d.middle)] = *d.culprit;
+    }
+  }
+
+  // Group this report's blames into per-bucket run-key sets, processed in
+  // bucket order — a step may span several buckets and a run must extend
+  // through each.
+  struct KeyInfo {
+    Incident proto;  // template used when the run opens
+  };
+  std::map<std::int64_t, std::map<std::uint64_t, KeyInfo>> by_bucket;
+  for (const auto& b : report.blames) {
+    std::uint64_t key = 0;
+    Incident proto;
+    proto.location = b.quartet.key.location;
+    switch (b.blame) {
+      case core::Blame::Cloud:
+        key = cloud_run_key(b.quartet.key.location);
+        proto.category = core::Blame::Cloud;
+        proto.faulty_as = b.faulty_as;
+        break;
+      case core::Blame::Middle:
+        key = middle_run_key(b.quartet.key.location, b.quartet.middle);
+        proto.category = core::Blame::Middle;
+        proto.middle = b.quartet.middle;
+        break;
+      case core::Blame::Client:
+        key = client_run_key(b.quartet.client_as);
+        proto.category = core::Blame::Client;
+        proto.faulty_as = b.faulty_as;
+        break;
+      default:
+        continue;  // Ambiguous/Insufficient never form incidents
+    }
+    by_bucket[b.quartet.key.bucket.index].try_emplace(key,
+                                                      KeyInfo{proto});
+  }
+
+  for (const auto& [bucket_index, keys] : by_bucket) {
+    const util::TimeBucket bucket{bucket_index};
+    auto pending = keys;
+    for (auto it = open_runs_.begin(); it != open_runs_.end();) {
+      auto& run = it->second;
+      const auto hit = pending.find(it->first);
+      if (hit != pending.end()) {
+        run.incident.last_seen = bucket.start();
+        ++run.incident.buckets;
+        run.last_bucket = bucket;
+        pending.erase(hit);
+        ++it;
+      } else if (bucket > run.last_bucket) {
+        // A later bucket arrived without this key: the run ended.
+        run.incident.open = false;
+        closed_.push_back(run.incident);
+        it = open_runs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& [key, info] : pending) {
+      OpenRun run;
+      run.incident = info.proto;
+      run.incident.first_seen = bucket.start();
+      run.incident.last_seen = bucket.start();
+      run.incident.buckets = 1;
+      run.incident.open = true;
+      run.last_bucket = bucket;
+      open_runs_.emplace(key, std::move(run));
+    }
+  }
+
+  // Name the culprit on open middle runs the active phase resolved.
+  for (auto& [key, run] : open_runs_) {
+    const auto it = culprit_of.find(key);
+    if (it != culprit_of.end()) run.incident.faulty_as = it->second;
+  }
+
+  while (closed_.size() > config_.max_closed_incidents) closed_.pop_front();
+
+  for (const auto& d : report.diagnoses) {
+    diagnoses_.push_back(DiagnosisRecord{report.now, d});
+  }
+  while (diagnoses_.size() > config_.max_diagnoses) diagnoses_.pop_front();
+}
+
+void VerdictStore::publish_timeline(const core::StepReport& report) {
+  auto timeline = std::make_shared<Timeline>();
+  timeline->incidents.reserve(closed_.size() + open_runs_.size());
+  timeline->incidents.assign(closed_.begin(), closed_.end());
+  for (const auto& [key, run] : open_runs_) {
+    timeline->incidents.push_back(run.incident);
+  }
+  std::sort(timeline->incidents.begin(), timeline->incidents.end(),
+            [](const Incident& a, const Incident& b) {
+              return a.first_seen < b.first_seen;
+            });
+  timeline->diagnoses.assign(diagnoses_.begin(), diagnoses_.end());
+  timeline->health =
+      Health{.epoch = epoch_.load(std::memory_order_relaxed) + 1,
+             .last_step = report.now,
+             .steps = steps_,
+             .degraded_steps = degraded_steps_,
+             .degraded = report.degraded_passive_only};
+  timeline_.store(std::move(timeline));
+}
+
+std::optional<Verdict> VerdictStore::lookup(
+    net::Slash24 block, net::CloudLocationId location) const {
+  obs::add(lookups_c_);
+  const auto shard = shards_[shard_of(block)].load();
+  const auto it = shard->find(key_of(block, location));
+  if (it == shard->end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Verdict> VerdictStore::lookup(net::Slash24 block) const {
+  obs::add(lookups_c_);
+  const auto shard = shards_[shard_of(block)].load();
+  std::vector<Verdict> out;
+  for (const auto& [key, v] : *shard) {
+    if (v.block == block) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end(), [](const Verdict& a, const Verdict& b) {
+    return a.location.value < b.location.value;
+  });
+  return out;
+}
+
+std::vector<Verdict> VerdictStore::lookup(net::Prefix prefix) const {
+  obs::add(lookups_c_);
+  std::vector<Verdict> out;
+  for (const auto& shard_slot : shards_) {
+    const auto shard = shard_slot.load();
+    for (const auto& [key, v] : *shard) {
+      if (prefix.contains(v.block)) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Verdict& a, const Verdict& b) {
+    return a.block == b.block ? a.location.value < b.location.value
+                              : a.block < b.block;
+  });
+  return out;
+}
+
+std::vector<Incident> VerdictStore::incidents_since(
+    util::MinuteTime since) const {
+  const auto timeline = timeline_.load();
+  std::vector<Incident> out;
+  for (const auto& inc : timeline->incidents) {
+    if (inc.last_seen >= since) out.push_back(inc);
+  }
+  return out;
+}
+
+std::vector<DiagnosisRecord> VerdictStore::recent_diagnoses() const {
+  const auto timeline = timeline_.load();
+  return timeline->diagnoses;
+}
+
+VerdictStore::Health VerdictStore::health() const {
+  return timeline_.load()->health;
+}
+
+}  // namespace blameit::svc

@@ -1,0 +1,183 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+#include <system_error>
+
+namespace blameit::util::json {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char ch : s) {
+    const auto byte = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (byte < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[byte >> 4];
+          out += kHex[byte & 0xf];
+        } else {
+          out += ch;  // includes bytes >= 0x80: UTF-8 passes through
+        }
+    }
+  }
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  append_escaped(out, s);
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "null";  // cannot happen with a 32-byte buf
+  return std::string(buf, end);
+}
+
+void Writer::on_value_start() {
+  if (stack_.empty()) {
+    if (wrote_top_level_) {
+      throw std::logic_error{"json::Writer: second top-level value"};
+    }
+    return;
+  }
+  if (stack_.back() == Frame::Object) {
+    if (!pending_key_) {
+      throw std::logic_error{"json::Writer: object member without key()"};
+    }
+    pending_key_ = false;
+    return;
+  }
+  // Array element.
+  if (!first_in_frame_.back()) out_ += ',';
+  first_in_frame_.back() = false;
+}
+
+Writer& Writer::begin_object() {
+  on_value_start();
+  out_ += '{';
+  stack_.push_back(Frame::Object);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::Object || pending_key_) {
+    throw std::logic_error{"json::Writer: end_object mismatch"};
+  }
+  out_ += '}';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  on_value_start();
+  out_ += '[';
+  stack_.push_back(Frame::Array);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::Array) {
+    throw std::logic_error{"json::Writer: end_array mismatch"};
+  }
+  out_ += ']';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Frame::Object || pending_key_) {
+    throw std::logic_error{"json::Writer: key() outside object"};
+  }
+  if (!first_in_frame_.back()) out_ += ',';
+  first_in_frame_.back() = false;
+  out_ += '"';
+  append_escaped(out_, k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view s) {
+  on_value_start();
+  out_ += '"';
+  append_escaped(out_, s);
+  out_ += '"';
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  on_value_start();
+  out_ += number(v);
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  on_value_start();
+  out_.append(buf, end);
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  on_value_start();
+  out_.append(buf, end);
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  on_value_start();
+  out_ += v ? "true" : "false";
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+Writer& Writer::null() {
+  on_value_start();
+  out_ += "null";
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+const std::string& Writer::str() const& {
+  if (!complete()) {
+    throw std::logic_error{"json::Writer: str() on incomplete document"};
+  }
+  return out_;
+}
+
+std::string Writer::str() && {
+  if (!complete()) {
+    throw std::logic_error{"json::Writer: str() on incomplete document"};
+  }
+  return std::move(out_);
+}
+
+}  // namespace blameit::util::json

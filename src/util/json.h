@@ -1,0 +1,96 @@
+// One JSON emitter for the whole repo. Three subsystems need to write JSON
+// (the obs metrics snapshot, the bench reports, and the svc HTTP responses);
+// instead of three hand-rolled emitters with three different escaping bugs,
+// they all go through this Writer.
+//
+// Guarantees:
+//  - Output is always syntactically valid JSON (RFC 8259) if the begin/end
+//    calls balance; misuse (value with no open array, key outside an
+//    object, ...) throws std::logic_error rather than emitting garbage.
+//  - Strings are escaped: `"` and `\`, the C0 control range as \uOOXX (or
+//    the short forms \b \f \n \r \t). Bytes >= 0x80 pass through untouched,
+//    so well-formed UTF-8 in means well-formed UTF-8 out.
+//  - Numbers are locale-independent (std::to_chars, never printf with its
+//    LC_NUMERIC decimal comma) and round-trip exactly (shortest form).
+//  - NaN and Infinity, which JSON cannot represent, become `null` — a
+//    deliberate policy: a metrics consumer seeing null knows the value was
+//    undefined, whereas `nan` would fail its parser outright.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blameit::util::json {
+
+/// Appends the escaped form of `s` (no surrounding quotes) to `out`.
+void append_escaped(std::string& out, std::string_view s);
+
+/// Escaped form of `s`, without quotes.
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// `v` as a JSON number token: shortest round-trip form, "null" for
+/// NaN/Infinity.
+[[nodiscard]] std::string number(double v);
+
+/// Streaming writer for one top-level JSON value. Commas and colons are
+/// inserted automatically; the caller only describes structure:
+///
+///   Writer w;
+///   w.begin_object()
+///       .key("name").value("qps")
+///       .key("runs").begin_array().value(1).value(2.5).end_array()
+///    .end_object();
+///   w.str();  // {"name":"qps","runs":[1,2.5]}
+class Writer {
+ public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Next member's name; must be directly inside an object, and must be
+  /// followed by exactly one value (or begin_object/begin_array).
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view s);
+  Writer& value(const char* s) { return value(std::string_view{s}); }
+  Writer& value(double v);
+  Writer& value(std::int64_t v);
+  Writer& value(std::uint64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  Writer& value(bool v);
+  Writer& null();
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  Writer& member(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once exactly one complete top-level value has been written.
+  [[nodiscard]] bool complete() const noexcept {
+    return stack_.empty() && wrote_top_level_;
+  }
+
+  /// The serialized document. Throws std::logic_error while incomplete —
+  /// returning a prefix would hand the caller invalid JSON.
+  [[nodiscard]] const std::string& str() const&;
+  [[nodiscard]] std::string str() &&;
+
+ private:
+  enum class Frame : std::uint8_t { Object, Array };
+
+  void on_value_start();  // comma bookkeeping + misuse checks
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_in_frame_;
+  bool pending_key_ = false;     // key() emitted, value required next
+  bool wrote_top_level_ = false;
+};
+
+}  // namespace blameit::util::json

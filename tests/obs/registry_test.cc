@@ -162,7 +162,52 @@ TEST(ObsRegistryTest, RenderTextAndJson) {
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
-  EXPECT_NE(json.find("\"render.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"render.count\":3"), std::string::npos);
+
+  const auto lines = render_line_protocol(snap);
+  EXPECT_NE(lines.find("blameit,metric=render.count,kind=counter value=3i"),
+            std::string::npos);
+  EXPECT_NE(lines.find("blameit,metric=render.gauge,kind=gauge value=2.5"),
+            std::string::npos);
+  EXPECT_NE(lines.find("blameit,metric=render.hist,kind=histogram count=1i"),
+            std::string::npos);
+}
+
+// Regression (service-layer bugfix): a snapshot racing histogram record()
+// used to read the total count and the bucket counts as two independent
+// relaxed loads, so /metrics.json could report count != sum(buckets) —
+// visible to any scraper arriving mid-record. The snapshot now derives the
+// count from the buckets it read. Hammer it from several recording threads.
+TEST(ObsRegistryTest, SnapshotCountMatchesBucketSumUnderConcurrentRecords) {
+  Registry registry;
+  auto* h = registry.histogram("hammer.hist");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      double v = 0.01 * (t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h->record(v);
+        v = v > 1000.0 ? 0.01 : v * 1.7;  // sweep across buckets
+      }
+    });
+  }
+  std::uint64_t last_count = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto snap = registry.snapshot();
+    const auto* sample = snap.histogram("hammer.hist");
+    ASSERT_NE(sample, nullptr);
+    std::uint64_t bucket_sum = 0;
+    for (const auto n : sample->counts) bucket_sum += n;
+    EXPECT_EQ(sample->count, bucket_sum) << "snapshot " << i;
+    EXPECT_GE(sample->count, last_count) << "count went backwards";
+    last_count = sample->count;
+  }
+  stop = true;
+  for (auto& w : writers) w.join();
+  // After quiesce the derived count equals the live total exactly.
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.histogram("hammer.hist")->count, h->count());
 }
 
 }  // namespace

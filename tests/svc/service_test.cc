@@ -1,0 +1,255 @@
+// End-to-end service tests: VerdictStore -> VerdictService -> HttpServer,
+// exercised over real loopback sockets with pipeline-shaped step reports.
+#include "svc/service.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+
+namespace blameit::svc {
+namespace {
+
+core::BlameResult make_blame(std::uint32_t block, std::uint16_t location,
+                             std::int64_t bucket, core::Blame blame,
+                             std::uint32_t middle = 1,
+                             std::uint32_t client_as = 100) {
+  core::BlameResult result;
+  result.quartet.key.block = net::Slash24{block};
+  result.quartet.key.location = net::CloudLocationId{location};
+  result.quartet.key.bucket = util::TimeBucket{bucket};
+  result.quartet.sample_count = 20;
+  result.quartet.mean_rtt_ms = 80.0;
+  result.quartet.middle = net::MiddleSegmentId{middle};
+  result.quartet.client_as = net::AsId{client_as};
+  result.quartet.bad = true;
+  result.blame = blame;
+  if (blame == core::Blame::Cloud) result.faulty_as = net::AsId{1};
+  return result;
+}
+
+/// One-shot GET over a fresh loopback connection; returns the raw response.
+std::string http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const auto rc = ::send(fd, request.data() + sent, request.size() - sent,
+                           MSG_NOSIGNAL);
+    if (rc <= 0) break;
+    sent += static_cast<std::size_t>(rc);
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const auto rc = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (rc <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(rc));
+  }
+  ::close(fd);
+  return response;
+}
+
+class VerdictServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<VerdictStore>(
+        VerdictStore::Config{.registry = &registry_});
+
+    // Two steps of pipeline-shaped history: a cloud issue on 10.0.0.0/24
+    // at edge-1 across buckets 10-11, plus a middle issue with an active
+    // diagnosis naming AS4242.
+    auto first = make_report(10);
+    first.blames = {make_blame(0x0A0000, 1, 10, core::Blame::Cloud),
+                    make_blame(0x0A0001, 2, 10, core::Blame::Middle, 7)};
+    core::ActiveDiagnosis diag;
+    diag.location = net::CloudLocationId{2};
+    diag.middle = net::MiddleSegmentId{7};
+    diag.probe_reached = true;
+    diag.have_baseline = true;
+    diag.baseline_predates_issue = true;
+    diag.culprit = net::AsId{4242};
+    diag.confidence = core::DiagnosisConfidence::High;
+    first.diagnoses.push_back(diag);
+    store_->publish(first);
+
+    auto second = make_report(11);
+    second.blames = {make_blame(0x0A0000, 1, 11, core::Blame::Cloud)};
+    store_->publish(second);
+
+    service_ = std::make_unique<VerdictService>(store_.get(), &registry_);
+    HttpServerConfig config;
+    config.workers = 2;
+    server_ = std::make_unique<HttpServer>(service_->handler(), config);
+    ASSERT_TRUE(server_->start());
+  }
+
+  static core::StepReport make_report(std::int64_t bucket) {
+    core::StepReport report;
+    report.now = util::TimeBucket{bucket}.start().plus_minutes(5);
+    report.buckets_processed = 1;
+    return report;
+  }
+
+  [[nodiscard]] std::string get(const std::string& target) const {
+    return http_get(server_->port(), target);
+  }
+
+  obs::Registry registry_;
+  std::unique_ptr<VerdictStore> store_;
+  std::unique_ptr<VerdictService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(VerdictServiceTest, VerdictByClientAndCloud) {
+  const auto response = get("/v1/verdict?client=10.0.0.77&cloud=edge-1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"client\":\"10.0.0.0/24\""), std::string::npos);
+  EXPECT_NE(response.find("\"cloud\":\"edge-1\""), std::string::npos);
+  EXPECT_NE(response.find("\"blame\":\"cloud\""), std::string::npos);
+  EXPECT_NE(response.find("\"confidence\":\"high\""), std::string::npos);
+  // Numeric cloud ids are accepted too.
+  EXPECT_NE(get("/v1/verdict?client=10.0.0.0/24&cloud=1")
+                .find("\"blame\":\"cloud\""),
+            std::string::npos);
+}
+
+TEST_F(VerdictServiceTest, VerdictListsAndActiveUpgrade) {
+  const auto all = get("/v1/verdict?client=10.0.1.5");
+  EXPECT_NE(all.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(all.find("\"blame\":\"middle\""), std::string::npos);
+  EXPECT_NE(all.find("\"faulty_as\":\"AS4242\""), std::string::npos);
+  EXPECT_NE(all.find("\"from_active\":true"), std::string::npos);
+  EXPECT_NE(all.find("\"baseline_predates_issue\":true"), std::string::npos);
+
+  const auto swept = get("/v1/verdict?client=10.0.0.0/16");
+  EXPECT_NE(swept.find("\"count\":2"), std::string::npos);
+}
+
+TEST_F(VerdictServiceTest, VerdictErrors) {
+  EXPECT_NE(get("/v1/verdict").find("HTTP/1.1 400 "), std::string::npos);
+  EXPECT_NE(get("/v1/verdict?client=not-an-ip").find("HTTP/1.1 400 "),
+            std::string::npos);
+  EXPECT_NE(get("/v1/verdict?client=10.0.0.1&cloud=zzz").find("400 "),
+            std::string::npos);
+  EXPECT_NE(
+      get("/v1/verdict?client=10.0.0.0/16&cloud=edge-1").find("400 "),
+      std::string::npos);
+  // Valid query, no live verdict.
+  EXPECT_NE(
+      get("/v1/verdict?client=99.99.99.1&cloud=edge-1").find("404 "),
+      std::string::npos);
+}
+
+TEST_F(VerdictServiceTest, IncidentsSince) {
+  const auto all = get("/v1/incidents");
+  EXPECT_NE(all.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(all.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(all.find("\"category\":\"cloud\""), std::string::npos);
+  EXPECT_NE(all.find("\"category\":\"middle\""), std::string::npos);
+
+  // since filters on last_seen: only the still-open cloud run remains.
+  const auto since = get("/v1/incidents?since=" + std::to_string(
+                             util::TimeBucket{11}.start().minutes));
+  EXPECT_NE(since.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(get("/v1/incidents?since=abc").find("400 "), std::string::npos);
+}
+
+TEST_F(VerdictServiceTest, DiagnosesFeed) {
+  const auto response = get("/v1/diagnoses");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"culprit\":\"AS4242\""), std::string::npos);
+  EXPECT_NE(response.find("\"confidence\":\"high\""), std::string::npos);
+  EXPECT_NE(response.find("\"baseline_predates_issue\":true"),
+            std::string::npos);
+}
+
+TEST_F(VerdictServiceTest, MetricsEndpoints) {
+  const auto json = get("/metrics.json");
+  EXPECT_NE(json.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(json.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(json.find("\"svc.store.publishes\":2"), std::string::npos);
+
+  const auto text = get("/metrics");
+  EXPECT_NE(text.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(text.find("blameit,metric=svc.store.publishes,kind=counter"),
+            std::string::npos);
+}
+
+TEST_F(VerdictServiceTest, HealthzReflectsDegradedSteps) {
+  auto response = get("/healthz");
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(response.find("\"epoch\":2"), std::string::npos);
+
+  auto degraded_report = make_report(12);
+  degraded_report.degraded_passive_only = true;
+  store_->publish(degraded_report);
+  response = get("/healthz");
+  EXPECT_NE(response.find("\"status\":\"degraded\""), std::string::npos);
+  EXPECT_NE(response.find("\"degraded_steps\":1"), std::string::npos);
+}
+
+TEST_F(VerdictServiceTest, RouterErrors) {
+  EXPECT_NE(get("/nope").find("HTTP/1.1 404 "), std::string::npos);
+
+  // POST to a known path: 405.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "POST /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const auto rc = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (rc <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(rc));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 405 "), std::string::npos);
+}
+
+TEST_F(VerdictServiceTest, ServesWhilePublisherRuns) {
+  // Readers over HTTP while the store keeps publishing: responses stay
+  // valid; nothing tears or blocks.
+  std::atomic<bool> stop{false};
+  std::thread publisher{[&] {
+    std::int64_t bucket = 20;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto report = make_report(bucket);
+      report.blames = {
+          make_blame(0x0A0000, 1, bucket, core::Blame::Cloud)};
+      store_->publish(report);
+      ++bucket;
+    }
+  }};
+  for (int i = 0; i < 50; ++i) {
+    const auto response = get("/v1/verdict?client=10.0.0.1&cloud=edge-1");
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("\"blame\":\"cloud\""), std::string::npos);
+  }
+  stop = true;
+  publisher.join();
+}
+
+}  // namespace
+}  // namespace blameit::svc

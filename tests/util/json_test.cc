@@ -1,0 +1,200 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <charconv>
+#include <clocale>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace blameit::util::json {
+namespace {
+
+TEST(JsonEscape, PassesPlainAsciiThrough) {
+  EXPECT_EQ(escape("hello world 123 .-_/"), "hello world 123 .-_/");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, ShortFormControlCharacters) {
+  EXPECT_EQ(escape("a\bb"), "a\\bb");
+  EXPECT_EQ(escape("a\fb"), "a\\fb");
+  EXPECT_EQ(escape("a\nb"), "a\\nb");
+  EXPECT_EQ(escape("a\rb"), "a\\rb");
+  EXPECT_EQ(escape("a\tb"), "a\\tb");
+}
+
+TEST(JsonEscape, RemainingControlRangeAsUnicodeEscapes) {
+  EXPECT_EQ(escape(std::string_view{"\x00", 1}), "\\u0000");
+  EXPECT_EQ(escape("\x01"), "\\u0001");
+  EXPECT_EQ(escape("\x1f"), "\\u001f");
+  EXPECT_EQ(escape("\x0b"), "\\u000b");  // vertical tab has no short form
+  // Every C0 control char must come out escaped one way or another.
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string in(1, static_cast<char>(c));
+    const auto out = escape(in);
+    EXPECT_GE(out.size(), 2u) << "control char " << c << " not escaped";
+    EXPECT_EQ(out[0], '\\');
+  }
+}
+
+TEST(JsonEscape, Utf8BytesPassThroughUntouched) {
+  // "héllo → 日本" — multi-byte sequences must not be mangled or escaped.
+  const std::string utf8 = "h\xc3\xa9llo \xe2\x86\x92 \xe6\x97\xa5\xe6\x9c\xac";
+  EXPECT_EQ(escape(utf8), utf8);
+}
+
+TEST(JsonEscape, DeleteCharIsNotEscaped) {
+  // RFC 8259 only requires escaping below 0x20; 0x7f passes through.
+  EXPECT_EQ(escape("\x7f"), "\x7f");
+}
+
+TEST(JsonNumber, IntegersAndSimpleDoubles) {
+  EXPECT_EQ(number(0.0), "0");
+  EXPECT_EQ(number(1.0), "1");
+  EXPECT_EQ(number(-3.0), "-3");
+  EXPECT_EQ(number(2.5), "2.5");
+  EXPECT_EQ(number(-0.125), "-0.125");
+}
+
+TEST(JsonNumber, RoundTripsExactly) {
+  const double values[] = {0.1,        1.0 / 3.0,  1e-300,     1e300,
+                           123456.789, 2.2250738585072014e-308,
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::denorm_min()};
+  for (const double v : values) {
+    const auto s = number(v);
+    double back = 0.0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), back);
+    ASSERT_TRUE(ec == std::errc{} || ec == std::errc::result_out_of_range) << s;
+    EXPECT_EQ(back, v) << s;
+    EXPECT_EQ(ptr, s.data() + s.size()) << s;
+  }
+}
+
+TEST(JsonNumber, NanAndInfinityBecomeNull) {
+  EXPECT_EQ(number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonNumber, LocaleIndependentDecimalPoint) {
+  // If a comma-decimal locale is installed, number() must still emit '.'
+  // (std::to_chars is locale-independent by contract; this guards against
+  // anyone "simplifying" it back to snprintf).
+  const char* loc = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (loc == nullptr) loc = std::setlocale(LC_NUMERIC, "fr_FR.UTF-8");
+  const auto s = number(2.5);
+  std::setlocale(LC_NUMERIC, "C");
+  if (loc == nullptr) GTEST_SKIP() << "no comma-decimal locale installed";
+  EXPECT_EQ(s, "2.5");
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(Writer{}.begin_object().end_object().str(), "{}");
+  EXPECT_EQ(Writer{}.begin_array().end_array().str(), "[]");
+}
+
+TEST(JsonWriter, TopLevelScalars) {
+  EXPECT_EQ(Writer{}.value("hi").str(), "\"hi\"");
+  EXPECT_EQ(Writer{}.value(42).str(), "42");
+  EXPECT_EQ(Writer{}.value(true).str(), "true");
+  EXPECT_EQ(Writer{}.null().str(), "null");
+}
+
+TEST(JsonWriter, AutomaticCommasInObjects) {
+  Writer w;
+  w.begin_object()
+      .member("a", 1)
+      .member("b", "two")
+      .member("c", 2.5)
+      .member("d", false)
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"two","c":2.5,"d":false})");
+}
+
+TEST(JsonWriter, AutomaticCommasInArrays) {
+  Writer w;
+  w.begin_array().value(1).value(2).value(3).end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  Writer w;
+  w.begin_object()
+      .key("runs")
+      .begin_array()
+      .begin_object()
+      .member("config", "8t")
+      .member("qps", 125000.5)
+      .end_object()
+      .begin_object()
+      .member("config", "1t")
+      .member("qps", std::numeric_limits<double>::quiet_NaN())
+      .end_object()
+      .end_array()
+      .key("empty")
+      .begin_array()
+      .end_array()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            R"({"runs":[{"config":"8t","qps":125000.5},)"
+            R"({"config":"1t","qps":null}],"empty":[]})");
+}
+
+TEST(JsonWriter, KeysAreEscapedToo) {
+  Writer w;
+  w.begin_object().member("we\"ird\nkey", 1).end_object();
+  EXPECT_EQ(w.str(), R"({"we\"ird\nkey":1})");
+}
+
+TEST(JsonWriter, UnsignedSixtyFourBitValuesKeepFullRange) {
+  Writer w;
+  w.value(std::uint64_t{18446744073709551615ull});
+  EXPECT_EQ(w.str(), "18446744073709551615");
+  Writer neg;
+  neg.value(std::int64_t{-9223372036854775807ll - 1});
+  EXPECT_EQ(neg.str(), "-9223372036854775808");
+}
+
+TEST(JsonWriter, MisuseThrowsInsteadOfEmittingGarbage) {
+  EXPECT_THROW(Writer{}.key("k"), std::logic_error);  // key outside object
+  EXPECT_THROW(Writer{}.begin_object().value(1), std::logic_error);
+  EXPECT_THROW(Writer{}.begin_object().end_array(), std::logic_error);
+  EXPECT_THROW(Writer{}.begin_array().end_object(), std::logic_error);
+  EXPECT_THROW(Writer{}.end_object(), std::logic_error);
+  {
+    Writer w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), std::logic_error);  // second top-level value
+  }
+  {
+    Writer w;
+    w.begin_object().key("k");
+    EXPECT_THROW(w.end_object(), std::logic_error);  // dangling key
+  }
+  {
+    Writer w;
+    w.begin_object().key("k");
+    EXPECT_THROW(w.key("k2"), std::logic_error);  // key after key
+  }
+}
+
+TEST(JsonWriter, StrOnIncompleteDocumentThrows) {
+  Writer w;
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+  EXPECT_THROW((void)w.str(), std::logic_error);
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), "{}");
+}
+
+}  // namespace
+}  // namespace blameit::util::json

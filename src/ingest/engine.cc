@@ -12,6 +12,14 @@ namespace {
 /// Very distant future: close() uses it to flush every open bucket.
 constexpr util::MinuteTime kEndOfTime{std::int64_t{1} << 40};
 
+/// Records a worker drains from its ring per pop (caps the latency of a
+/// pending control message without giving up bulk transfer).
+constexpr std::size_t kWorkerChunk = 1024;
+
+/// Control-ring capacity (messages). Control traffic is one watermark per
+/// bucket plus fences; the producer parks if a slow shard lets it pile up.
+constexpr std::size_t kControlSlots = 128;
+
 [[nodiscard]] bool key_less(const analysis::QuartetKey& a,
                             const analysis::QuartetKey& b) noexcept {
   if (a.block != b.block) return a.block < b.block;
@@ -20,6 +28,14 @@ constexpr util::MinuteTime kEndOfTime{std::int64_t{1} << 40};
   }
   if (a.device != b.device) return a.device < b.device;
   return a.bucket < b.bucket;
+}
+
+[[nodiscard]] std::uint64_t elapsed_ns(
+    std::chrono::steady_clock::time_point t0) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
 }
 
 }  // namespace
@@ -50,9 +66,11 @@ IngestEngine::IngestEngine(const net::Topology* topology,
       config_.queue_batches < 1 || config_.lateness_minutes < 0) {
     throw std::invalid_argument{"IngestConfig: invalid values"};
   }
+  const std::size_t ring_records =
+      config_.batch_records * config_.queue_batches;
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int i = 0; i < config_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(config_.queue_batches));
+    shards_.push_back(std::make_unique<Shard>(ring_records, kControlSlots));
     shards_.back()->pending.reserve(config_.batch_records);
   }
   records_in_c_ = obs::counter(config_.registry, "ingest.records_in");
@@ -60,8 +78,8 @@ IngestEngine::IngestEngine(const net::Topology* topology,
   closed_dropped_c_ = obs::counter(config_.registry, "ingest.closed_dropped");
   backpressure_c_ =
       obs::counter(config_.registry, "ingest.backpressure_waits");
-  queue_high_water_g_ =
-      obs::gauge(config_.registry, "ingest.queue_high_water");
+  ring_high_water_g_ =
+      obs::gauge(config_.registry, "ingest.ring_high_water");
   watermark_lag_g_ =
       obs::gauge(config_.registry, "ingest.watermark_lag_minutes");
   for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -73,7 +91,8 @@ IngestEngine::~IngestEngine() { close(); }
 
 void IngestEngine::submit(const analysis::RttRecord& record) {
   if (closed_) {
-    closed_dropped_.fetch_add(1, std::memory_order_relaxed);
+    ++closed_drops_;
+    closed_dropped_.store(closed_drops_, std::memory_order_relaxed);
     obs::add(closed_dropped_c_);
     return;
   }
@@ -81,8 +100,7 @@ void IngestEngine::submit(const analysis::RttRecord& record) {
       builder_.shard_of(net::Slash24::of(record.client_ip));
   auto& pending = shards_[shard]->pending;
   pending.push_back(record);
-  records_in_.fetch_add(1, std::memory_order_relaxed);
-  obs::add(records_in_c_);
+  ++produced_;
   if (pending.size() >= config_.batch_records) push_pending(shard);
 }
 
@@ -90,35 +108,55 @@ void IngestEngine::push_pending(std::size_t shard_index) {
   auto& shard = *shards_[shard_index];
   if (shard.pending.empty()) return;
   const auto batch_records = shard.pending.size();
-  Message msg{.kind = Message::Kind::Batch,
-              .records = std::move(shard.pending)};
-  shard.pending = {};
-  shard.pending.reserve(config_.batch_records);
-  const auto status = shard.queue.push(std::move(msg));
-  if (status == PushStatus::Closed) {
-    // The queue dropped the batch (engine closing underneath the producer):
+  // Publish the producer counter BEFORE the records become visible, so
+  // records_in >= sum(shard delivered) holds in every stats snapshot.
+  records_in_.store(produced_, std::memory_order_release);
+  obs::add(records_in_c_, batch_records);
+  const auto status =
+      shard.ring.push_all(shard.pending.data(), batch_records);
+  shard.pending.clear();  // keeps its capacity for the next batch
+  if (status == util::RingPush::Closed) {
+    // The ring dropped the batch (engine closing underneath the producer):
     // account for every record so nothing is silently lost.
-    closed_dropped_.fetch_add(batch_records, std::memory_order_relaxed);
+    closed_drops_ += batch_records;
+    closed_dropped_.store(closed_drops_, std::memory_order_relaxed);
     obs::add(closed_dropped_c_, batch_records);
     return;
   }
-  if (status == PushStatus::OkAfterBlocking) obs::add(backpressure_c_);
-  obs::set_max(queue_high_water_g_,
-               static_cast<double>(shard.queue.high_water()));
-  batches_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (status == util::RingPush::OkAfterParking) obs::add(backpressure_c_);
+  obs::set_max(ring_high_water_g_,
+               static_cast<double>(shard.ring.high_water()));
+  ++batches_;
+  batches_submitted_.store(batches_, std::memory_order_relaxed);
+}
+
+void IngestEngine::push_control(std::size_t shard_index, Control msg) {
+  auto& shard = *shards_[shard_index];
+  // The barrier pins this message after every record published so far: the
+  // worker drains the data ring to the barrier before applying it.
+  msg.barrier = shard.ring.pushed();
+  shard.control.push_all(&msg, 1);
+  // The worker parks on the DATA ring; ring a doorbell for the side channel.
+  shard.ring.wake();
 }
 
 void IngestEngine::advance_watermark(util::MinuteTime watermark) {
-  if (watermark.minutes <= producer_watermark_.load(std::memory_order_relaxed)) {
+  if (closed_) return;
+  advance_watermark_internal(watermark);
+}
+
+void IngestEngine::advance_watermark_internal(util::MinuteTime watermark) {
+  if (watermark.minutes <=
+      producer_watermark_.load(std::memory_order_relaxed)) {
     return;
   }
   producer_watermark_.store(watermark.minutes, std::memory_order_relaxed);
   // Partial batches must go first so no record is ordered after the
   // watermark that covers it.
-  for (std::size_t i = 0; i < shards_.size(); ++i) push_pending(i);
-  for (auto& shard : shards_) {
-    shard->queue.push(
-        Message{.kind = Message::Kind::Watermark, .watermark = watermark});
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    push_pending(i);
+    push_control(i, Control{.kind = Control::Kind::Watermark,
+                            .watermark = watermark});
   }
 }
 
@@ -128,71 +166,141 @@ void IngestEngine::fence() {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     push_pending(i);
     // A watermark message that does not move the watermark, but carries the
-    // fence: processed strictly after everything queued before it.
-    shards_[i]->queue.push(Message{
-        .kind = Message::Kind::Watermark,
-        .watermark =
-            util::MinuteTime{producer_watermark_.load(std::memory_order_relaxed)},
-        .sync = sync});
+    // fence: applied strictly after everything published before it.
+    push_control(
+        i, Control{.kind = Control::Kind::Watermark,
+                   .watermark = util::MinuteTime{producer_watermark_.load(
+                       std::memory_order_relaxed)},
+                   .sync = sync});
   }
   sync->wait();
 }
 
-void IngestEngine::flush() { fence(); }
+void IngestEngine::flush() {
+  if (closed_) return;  // workers are gone; there is nothing to fence
+  fence();
+}
 
 void IngestEngine::close() {
   if (closed_) return;
   closed_ = true;
-  advance_watermark(kEndOfTime);
-  for (auto& shard : shards_) {
-    shard->queue.push(Message{.kind = Message::Kind::Stop});
+  advance_watermark_internal(kEndOfTime);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    push_control(i, Control{.kind = Control::Kind::Stop});
   }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
-  // With the workers gone nobody drains the queues: close them so any
-  // straggling push drops-and-counts instead of blocking forever.
-  for (auto& shard : shards_) shard->queue.close();
+  // With the workers gone nobody drains the rings: close them so any
+  // straggling push drops-and-counts instead of parking forever.
+  for (auto& shard : shards_) {
+    shard->ring.close();
+    shard->control.close();
+  }
 }
 
 void IngestEngine::worker_loop(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
+  std::vector<analysis::RttRecord> buf(kWorkerChunk);
+  // The next control message, held back until its barrier is drained.
+  Control next_ctl;
+  std::uint64_t consumed = 0;
+  bool have_ctl = false;
   for (;;) {
-    std::optional<Message> msg = shard.queue.pop();
-    if (!msg) return;  // closed and drained
-    switch (msg->kind) {
-      case Message::Kind::Batch: {
-        std::uint64_t accepted = 0;
-        std::uint64_t late = 0;
-        for (const auto& record : msg->records) {
-          if (util::TimeBucket::of(record.time).index <
-              shard.finalized_before) {
-            ++late;  // its bucket was already finalized — count, drop
-            continue;
-          }
-          builder_.add(shard_index, record);
-          ++accepted;
-        }
-        shard.records.fetch_add(accepted, std::memory_order_relaxed);
-        shard.late_dropped.fetch_add(late, std::memory_order_relaxed);
-        if (late > 0) obs::add(late_dropped_c_, late);
-        break;
+    // Apply every control message whose data barrier has been reached.
+    for (;;) {
+      if (!have_ctl) {
+        if (shard.control.try_pop(&next_ctl, 1) != 1) break;
+        have_ctl = true;
       }
-      case Message::Kind::Watermark:
-        process_watermark(shard, shard_index, msg->watermark);
-        if (msg->sync) msg->sync->arrive();
-        break;
-      case Message::Kind::Stop:
+      if (next_ctl.barrier > consumed) break;
+      have_ctl = false;
+      if (apply_control(shard, shard_index, next_ctl)) return;
+    }
+    const std::size_t n = shard.ring.pop_wait(buf.data(), buf.size());
+    if (n == 0) {
+      // Woken by wake() (a control message is waiting — the loop above
+      // picks it up) or by close(). Defensive exit for a close() that
+      // never delivered Stop (control ring closed underneath us).
+      if (shard.ring.closed() && !have_ctl && shard.control.closed() &&
+          shard.control.popped() == shard.control.pushed() &&
+          shard.ring.popped() == shard.ring.pushed()) {
         return;
+      }
+      continue;
+    }
+    // Process the chunk, splitting at control barriers: a record published
+    // after a watermark is never applied before it (late accounting and
+    // finalization order match the single-queue semantics exactly).
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (!have_ctl && shard.control.try_pop(&next_ctl, 1) == 1) {
+        have_ctl = true;
+      }
+      if (have_ctl && next_ctl.barrier <= consumed) {
+        have_ctl = false;
+        // No records are ever published after Stop.
+        if (apply_control(shard, shard_index, next_ctl)) return;
+        continue;
+      }
+      std::size_t limit = n;
+      if (have_ctl) {
+        limit = static_cast<std::size_t>(std::min<std::uint64_t>(
+            n, pos + (next_ctl.barrier - consumed)));
+      }
+      process_records(shard, shard_index, buf.data() + pos, limit - pos);
+      consumed += limit - pos;
+      pos = limit;
     }
   }
+}
+
+bool IngestEngine::apply_control(Shard& shard, std::size_t shard_index,
+                                 const Control& msg) {
+  if (msg.kind == Control::Kind::Stop) {
+    if (msg.sync) msg.sync->arrive();
+    return true;
+  }
+  process_watermark(shard, shard_index, msg.watermark);
+  if (msg.sync) msg.sync->arrive();
+  return false;
+}
+
+void IngestEngine::process_records(Shard& shard, std::size_t shard_index,
+                                   const analysis::RttRecord* records,
+                                   std::size_t n) {
+  if (n == 0) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t accepted = 0;
+  std::uint64_t late = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& record = records[i];
+    if (util::TimeBucket::of(record.time).index < shard.finalized_before) {
+      ++late;  // its bucket was already finalized — count, drop
+      continue;
+    }
+    builder_.add(shard_index, record);
+    ++accepted;
+  }
+  const std::uint64_t busy = elapsed_ns(t0);
+  const auto& drops = builder_.drops(shard_index);
+  {
+    std::lock_guard lock{shard.stats_mutex};
+    shard.slice.records += accepted;
+    shard.slice.late_dropped += late;
+    shard.slice.delivered += n;
+    shard.slice.unknown_dropped = drops.unknown_blocks;
+    shard.slice.min_samples_dropped = drops.min_samples;
+    shard.slice.busy_ns += busy;
+  }
+  if (late > 0) obs::add(late_dropped_c_, late);
 }
 
 void IngestEngine::process_watermark(Shard& shard, std::size_t shard_index,
                                      util::MinuteTime watermark) {
   if (watermark <= shard.watermark) return;
   shard.watermark = watermark;
-  // How far this shard trails the producer's announced watermark (queue
+  // How far this shard trails the producer's announced watermark (ring
   // delay, in minutes). The close()-time kEndOfTime flush is not a real
   // watermark, so it is excluded.
   if (watermark_lag_g_ != nullptr && watermark < kEndOfTime) {
@@ -210,22 +318,23 @@ void IngestEngine::process_watermark(Shard& shard, std::size_t shard_index,
   for (const auto bucket : ready) {
     const auto t0 = std::chrono::steady_clock::now();
     auto quartets = builder_.take_bucket(shard_index, bucket);
-    const auto ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count());
-    shard.finalize_ns_total.fetch_add(ns, std::memory_order_relaxed);
-    std::uint64_t prev = shard.finalize_ns_max.load(std::memory_order_relaxed);
-    while (prev < ns && !shard.finalize_ns_max.compare_exchange_weak(
-                            prev, ns, std::memory_order_relaxed)) {
-    }
-    shard.buckets_finalized.fetch_add(1, std::memory_order_relaxed);
-    shard.quartets.fetch_add(quartets.size(), std::memory_order_relaxed);
+    const std::uint64_t ns = elapsed_ns(t0);
     std::uint64_t out_records = 0;
     for (const auto& q : quartets) {
       out_records += static_cast<std::uint64_t>(q.sample_count);
     }
-    shard.records_out.fetch_add(out_records, std::memory_order_relaxed);
+    const auto& drops = builder_.drops(shard_index);
+    {
+      std::lock_guard lock{shard.stats_mutex};
+      shard.slice.buckets_finalized += 1;
+      shard.slice.quartets += quartets.size();
+      shard.slice.records_out += out_records;
+      shard.slice.finalize_ns_total += ns;
+      shard.slice.finalize_ns_max = std::max(shard.slice.finalize_ns_max, ns);
+      shard.slice.busy_ns += ns;
+      shard.slice.unknown_dropped = drops.unknown_blocks;
+      shard.slice.min_samples_dropped = drops.min_samples;
+    }
     if (!quartets.empty()) {
       std::lock_guard lock{shard.out_mutex};
       auto& slot = shard.out[bucket.index];
@@ -278,32 +387,31 @@ std::vector<util::TimeBucket> IngestEngine::finalized_buckets() const {
 
 IngestStats IngestEngine::stats() const {
   IngestStats s;
-  s.records_in = records_in_.load(std::memory_order_relaxed);
-  s.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
-  s.unknown_dropped = builder_.dropped_unknown_blocks();
-  s.min_samples_dropped = builder_.dropped_min_samples();
-  s.closed_dropped = closed_dropped_.load(std::memory_order_relaxed);
   s.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     ShardStats slice;
-    slice.records = shard->records.load(std::memory_order_relaxed);
-    slice.late_dropped = shard->late_dropped.load(std::memory_order_relaxed);
-    slice.buckets_finalized =
-        shard->buckets_finalized.load(std::memory_order_relaxed);
-    slice.quartets = shard->quartets.load(std::memory_order_relaxed);
-    slice.queue_high_water = shard->queue.high_water();
-    slice.backpressure_waits = shard->queue.blocked_pushes();
-    slice.finalize_ns_total =
-        shard->finalize_ns_total.load(std::memory_order_relaxed);
-    slice.finalize_ns_max =
-        shard->finalize_ns_max.load(std::memory_order_relaxed);
+    {
+      std::lock_guard lock{shard->stats_mutex};
+      slice = shard->slice;
+    }
+    slice.ring_high_water = shard->ring.high_water();
+    slice.backpressure_waits = shard->ring.producer_parks();
+    slice.consumer_parks = shard->ring.consumer_parks();
     s.late_dropped += slice.late_dropped;
     s.quartets_finalized += slice.quartets;
-    s.records_out += shard->records_out.load(std::memory_order_relaxed);
+    s.records_out += slice.records_out;
+    s.unknown_dropped += slice.unknown_dropped;
+    s.min_samples_dropped += slice.min_samples_dropped;
     s.backpressure_waits += slice.backpressure_waits;
-    s.queue_high_water = std::max(s.queue_high_water, slice.queue_high_water);
+    s.ring_high_water = std::max(s.ring_high_water, slice.ring_high_water);
     s.shards.push_back(slice);
   }
+  // Producer counters are read AFTER the shard slices: every record counted
+  // in a slice's `delivered` was published to records_in_ first, so the
+  // snapshot can never show delivered > records_in.
+  s.records_in = records_in_.load(std::memory_order_acquire);
+  s.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
+  s.closed_dropped = closed_dropped_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -2,16 +2,26 @@
 // front of the pipeline): consumes the raw TCP-handshake RttRecord stream
 // and emits finalized ⟨/24, location, device, 5-min bucket⟩ quartets.
 //
-// Architecture:
-//   producer ──hash(/24)──▶ [bounded queue]──▶ shard worker 0 ─┐
-//             (batched)     [bounded queue]──▶ shard worker 1 ─┼─▶ finalized
-//                              ...                             │    quartets
-//                           [bounded queue]──▶ shard worker N ─┘  (per bucket)
+// Architecture (lock-free hot path):
+//   producer ──hash(/24)──▶ [SPSC record ring]──▶ shard worker 0 ─┐
+//             (batched       [SPSC record ring]──▶ shard worker 1 ─┼─▶ finalized
+//              publish)         ...                                │    quartets
+//                            [SPSC record ring]──▶ shard worker N ─┘ (per bucket)
+//                            [control ring: watermark/stop/fence]
 //
 //  - Records are hash-partitioned by client /24, so each worker owns its
-//    accumulators lock-free (see ShardedQuartetBuilder).
-//  - Queues are bounded; a full queue blocks submit() — backpressure — and
-//    the engine counts every such stall plus per-queue high-water marks.
+//    accumulators lock-free (arena-backed open addressing, see
+//    ShardedQuartetBuilder).
+//  - The producer→shard handoff is a fixed-capacity SPSC ring of raw
+//    records per pair (util::SpscRing): the producer accumulates
+//    `batch_records` locally, then bulk-publishes the block with one
+//    release store. A full ring spins then parks the producer — that is the
+//    backpressure mechanism, and every park is counted.
+//  - Watermark / stop / fence are rare control messages on a small side
+//    ring per shard. Each carries the data-ring sequence number published
+//    before it (its *barrier*): the worker applies a control message only
+//    after consuming the data ring up to that barrier, which restores the
+//    exact record/watermark interleaving a single merged queue would give.
 //  - Bucket finalization is watermark-driven: advance_watermark(w) promises
 //    "no record with time < w will arrive". A bucket finalizes once the
 //    watermark passes its end by the configured lateness allowance;
@@ -21,45 +31,51 @@
 //
 // Determinism guarantee (tested): for a fixed record sequence from ONE
 // producer thread, the finalized quartet set — keys, sample counts, and
-// bit-exact means — is identical for any shard count, and identical to the
-// single-threaded QuartetBuilder fed the same sequence. This holds because
-// per-/24 ordering survives batching and the FIFO queues, so every
-// quartet's RTT sum is accumulated in the same order on every path.
+// bit-exact means — is identical for any shard count, batch size, and ring
+// capacity, and identical to the single-threaded QuartetBuilder fed the
+// same sequence. This holds because per-/24 ordering survives batching, the
+// FIFO rings, and the barrier-sequenced control channel, so every quartet's
+// RTT sum is accumulated in the same order on every path.
 //
 // Threading contract: submit/advance_watermark/flush/close must be called
 // from one producer thread (or externally serialized). stats() and
-// take_bucket() may be called from any thread at any time.
+// take_bucket() may be called from any thread at any time; stats snapshots
+// are tear-free per shard (see stats.h).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "analysis/quartet.h"
 #include "analysis/record.h"
-#include "ingest/queue.h"
 #include "ingest/sharded_builder.h"
 #include "ingest/stats.h"
 #include "obs/registry.h"
+#include "util/spsc_ring.h"
 #include "util/time.h"
 
 namespace blameit::ingest {
 
 struct IngestConfig {
   int shards = 4;
-  /// Records per batch handed to a shard queue (amortizes queue locking).
+  /// Records the producer accumulates before bulk-publishing a block to a
+  /// shard ring (amortizes the release store and the consumer wakeup).
   std::size_t batch_records = 256;
-  /// Batches a shard queue holds before submit() blocks (backpressure).
+  /// Ring capacity in batches: each shard ring holds
+  /// batch_records * queue_batches records (rounded up to a power of two)
+  /// before the producer parks (backpressure).
   std::size_t queue_batches = 64;
   /// Out-of-order tolerance: a bucket finalizes only once the watermark is
   /// this many minutes past its end; records older than that are late.
   int lateness_minutes = util::kBucketMinutes;
   analysis::QuartetBuilderConfig builder{};
-  /// Optional metrics sink (queue pressure, drop accounting, watermark lag);
-  /// null = no instrumentation, zero overhead.
+  /// Optional metrics sink (ring pressure, park/drop accounting, watermark
+  /// lag); null = no instrumentation, zero overhead.
   obs::Registry* registry = nullptr;
 };
 
@@ -73,7 +89,7 @@ class IngestEngine {
   IngestEngine(const IngestEngine&) = delete;
   IngestEngine& operator=(const IngestEngine&) = delete;
 
-  /// Enqueues one raw record (producer side; may block under backpressure).
+  /// Enqueues one raw record (producer side; may park under backpressure).
   /// After close() the record is dropped and counted, never blocked on — a
   /// closed engine must not deadlock its producer.
   void submit(const analysis::RttRecord& record);
@@ -85,12 +101,13 @@ class IngestEngine {
 
   /// Blocks until every record and watermark submitted so far has been
   /// processed by its shard (a full fence; finalized output is then stable).
+  /// No-op after close().
   void flush();
 
   /// Finalizes everything regardless of watermark, fences, joins the
-  /// workers, and closes the shard queues so later (or concurrently
-  /// blocked) pushes drop-and-count instead of deadlocking against a queue
-  /// nobody drains. Called by the destructor; idempotent.
+  /// workers, and closes the shard rings so later pushes drop-and-count
+  /// instead of blocking against a ring nobody drains. Called by the
+  /// destructor; idempotent.
   void close();
 
   /// Removes and returns the finalized quartets of `bucket`, merged across
@@ -114,40 +131,52 @@ class IngestEngine {
 
  private:
   struct SyncPoint;
-  struct Message {
-    enum class Kind : std::uint8_t { Batch, Watermark, Stop } kind;
-    std::vector<analysis::RttRecord> records;  // Kind::Batch
-    util::MinuteTime watermark{};              // Kind::Watermark
-    std::shared_ptr<SyncPoint> sync;           // optional fence
+
+  /// Rare control-plane message, sequenced against the data ring by
+  /// `barrier` (records published to this shard before the message).
+  struct Control {
+    enum class Kind : std::uint8_t { Watermark, Stop } kind = Kind::Watermark;
+    util::MinuteTime watermark{};
+    std::uint64_t barrier = 0;
+    std::shared_ptr<SyncPoint> sync;  ///< optional fence
   };
 
   struct Shard {
-    explicit Shard(std::size_t queue_batches) : queue(queue_batches) {}
-    BoundedQueue<Message> queue;
+    Shard(std::size_t ring_records, std::size_t control_slots)
+        : ring(ring_records), control(control_slots) {}
+
+    util::SpscRing<analysis::RttRecord> ring;  ///< data hot path
+    util::SpscRing<Control> control;           ///< watermark/stop/fence
     std::thread worker;
-    // Producer-side partial batch (owned by the producer thread).
+    /// Producer-side partial batch (owned by the producer thread; its
+    /// capacity is reused across batches — no per-batch allocation).
     std::vector<analysis::RttRecord> pending;
 
     // Worker-owned state.
     util::MinuteTime watermark{std::int64_t{-1} << 40};
     std::int64_t finalized_before = std::int64_t{-1} << 40;  // bucket index
 
-    // Finalized output + stats, shared worker/reader.
+    // Finalized output, shared worker/reader.
     mutable std::mutex out_mutex;
     std::unordered_map<std::int64_t, std::vector<analysis::Quartet>> out;
-    std::atomic<std::uint64_t> records{0};
-    std::atomic<std::uint64_t> late_dropped{0};
-    std::atomic<std::uint64_t> buckets_finalized{0};
-    std::atomic<std::uint64_t> quartets{0};
-    std::atomic<std::uint64_t> records_out{0};
-    std::atomic<std::uint64_t> finalize_ns_total{0};
-    std::atomic<std::uint64_t> finalize_ns_max{0};
+
+    // Tear-free stats slice: written by the worker once per chunk, copied
+    // whole by stats().
+    mutable std::mutex stats_mutex;
+    ShardStats slice;
   };
 
   void worker_loop(std::size_t shard_index);
+  /// Returns true on Stop.
+  bool apply_control(Shard& shard, std::size_t shard_index,
+                     const Control& msg);
+  void process_records(Shard& shard, std::size_t shard_index,
+                       const analysis::RttRecord* records, std::size_t n);
   void process_watermark(Shard& shard, std::size_t shard_index,
                          util::MinuteTime watermark);
   void push_pending(std::size_t shard_index);
+  void push_control(std::size_t shard_index, Control msg);
+  void advance_watermark_internal(util::MinuteTime watermark);
   void fence();
 
   IngestConfig config_;
@@ -156,9 +185,15 @@ class IngestEngine {
   /// Producer-owned; atomic (minutes) so workers may read it for the
   /// watermark-lag gauge without a race.
   std::atomic<std::int64_t> producer_watermark_{std::int64_t{-1} << 40};
+  /// Producer-side counters: accumulated in plain producer-owned fields and
+  /// published to these atomics at batch granularity (see stats.h for the
+  /// snapshot-ordering argument).
   std::atomic<std::uint64_t> records_in_{0};
   std::atomic<std::uint64_t> batches_submitted_{0};
   std::atomic<std::uint64_t> closed_dropped_{0};
+  std::uint64_t produced_ = 0;       // producer-owned mirror of records_in_
+  std::uint64_t batches_ = 0;        // producer-owned mirror
+  std::uint64_t closed_drops_ = 0;   // producer-owned mirror
   bool closed_ = false;
 
   // Instruments (null without a registry).
@@ -166,7 +201,7 @@ class IngestEngine {
   obs::Counter* late_dropped_c_ = nullptr;
   obs::Counter* closed_dropped_c_ = nullptr;
   obs::Counter* backpressure_c_ = nullptr;
-  obs::Gauge* queue_high_water_g_ = nullptr;
+  obs::Gauge* ring_high_water_g_ = nullptr;
   obs::Gauge* watermark_lag_g_ = nullptr;
 };
 

@@ -5,29 +5,57 @@
 // Partitioning is by client /24. The quartet key is ⟨/24, location, device,
 // bucket⟩, so hashing on the /24 alone guarantees every record of a given
 // quartet lands on the same shard — each shard owns a disjoint slice of the
-// key space and wraps a plain (single-threaded) QuartetBuilder for it.
+// key space.
+//
+// Shard state is arena-backed and open-addressed (this is the ingest hot
+// path; the per-record cost budget is a few nanoseconds):
+//  - Within a bucket the key collapses to one 48-bit integer
+//    (/24 | location | device), so the accumulator table is linear-probing
+//    open addressing over 24-byte slots keyed by that packed word — one
+//    cache line probe per record instead of an unordered_map node chase,
+//    and zero per-record allocation.
+//  - Slot arrays come from a per-shard util::Arena and are recycled through
+//    power-of-two free lists when a bucket finalizes or a table grows:
+//    steady-state ingestion allocates nothing.
+//  - Topology membership (known /24 or not, and the ClientBlock for
+//    finalization) is resolved once per /24 through a per-shard
+//    open-addressed cache instead of per record through the topology map.
 //
 // Concurrency contract: distinct shards may be driven from distinct threads
 // with no synchronization; calls for the SAME shard must be serialized by
-// the caller (the IngestEngine gives each shard one worker thread).
+// the caller (the IngestEngine gives each shard one worker thread). The
+// drop counters are owner-thread state: read them from the shard's thread.
 //
 // Determinism: a record sequence fed to shard_of()-selected shards in order
 // produces, per quartet key, the exact accumulation order of the
 // single-threaded QuartetBuilder fed the same sequence — so means are
-// bit-identical, not merely close (floating-point addition order matches).
+// bit-identical, not merely close (floating-point addition order matches;
+// the table only changes WHERE a key's accumulator lives, never the order
+// its records are summed in).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
 #include "analysis/quartet.h"
 #include "analysis/record.h"
+#include "net/topology.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace blameit::ingest {
 
 class ShardedQuartetBuilder {
  public:
+  /// Records dropped by one shard, by reason. Matches QuartetBuilder's
+  /// accounting exactly (unknown at add() time, min-samples at finalize).
+  struct DropCounts {
+    std::uint64_t unknown_blocks = 0;
+    std::uint64_t min_samples = 0;          ///< quartets dropped
+    std::uint64_t min_samples_records = 0;  ///< records they carried
+  };
+
   ShardedQuartetBuilder(const net::Topology* topology,
                         analysis::BadnessThresholds thresholds, int shards,
                         analysis::QuartetBuilderConfig config = {});
@@ -53,26 +81,83 @@ class ShardedQuartetBuilder {
   [[nodiscard]] std::vector<util::TimeBucket> ready_buckets(
       std::size_t shard, util::MinuteTime closed_through) const;
 
-  /// Finalizes and removes one bucket of one shard.
+  /// Finalizes and removes one bucket of one shard. Output order within the
+  /// shard is table order (the engine sorts the cross-shard merge by key).
   [[nodiscard]] std::vector<analysis::Quartet> take_bucket(
       std::size_t shard, util::TimeBucket bucket);
 
-  // Aggregated over shards. Safe to call only when shard owners are
-  // quiescent (the engine reads them behind a flush fence).
-  [[nodiscard]] std::size_t pending() const;
-  [[nodiscard]] std::uint64_t dropped_unknown_blocks() const;
-  [[nodiscard]] std::uint64_t dropped_min_samples() const;
-  [[nodiscard]] std::uint64_t dropped_min_samples_records() const;
+  /// Owner-thread reads (the shard's worker, or any thread once quiescent).
+  [[nodiscard]] const DropCounts& drops(std::size_t shard) const noexcept {
+    return shards_[shard].drops;
+  }
+  [[nodiscard]] std::size_t pending(std::size_t shard) const;
+  [[nodiscard]] std::size_t arena_bytes(std::size_t shard) const noexcept {
+    return shards_[shard].arena.bytes_reserved();
+  }
 
  private:
-  struct Shard {
-    explicit Shard(analysis::QuartetBuilder builder)
-        : builder(std::move(builder)) {}
-    analysis::QuartetBuilder builder;
-    /// Buckets with records accumulated and not yet taken -> record count.
-    std::map<util::TimeBucket, std::uint64_t> open_buckets;
+  /// ⟨/24, location, device⟩ packed into 48 bits; all-ones = empty slot, a
+  /// value no real key reaches (the /24 field is 24 bits).
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  static constexpr std::uint64_t pack_key(net::Slash24 block,
+                                          net::CloudLocationId location,
+                                          net::DeviceClass device) noexcept {
+    return (std::uint64_t{block.block} << 24) |
+           (std::uint64_t{location.value} << 8) |
+           static_cast<std::uint64_t>(device);
+  }
+
+  /// One open-addressing slot: packed key + the running accumulator.
+  struct Slot {
+    std::uint64_t key;
+    std::int32_t count;
+    double sum;
+  };
+  static_assert(sizeof(Slot) == 24);
+
+  /// Linear-probing table over arena-backed Slot arrays (capacity a power
+  /// of two, grown at ~70% load).
+  struct Table {
+    Slot* slots = nullptr;
+    std::size_t mask = 0;  ///< capacity - 1
+    std::size_t size = 0;
   };
 
+  /// Known-/24 cache slot: /24 (32 bits, all-ones = empty) + resolved block
+  /// pointer (nullptr = /24 not in the topology).
+  struct BlockSlot {
+    std::uint64_t key;
+    const net::ClientBlock* block;
+  };
+
+  struct Shard {
+    util::Arena arena;
+    /// Recycled slot arrays by log2(capacity): finalized buckets and
+    /// outgrown tables return here, new tables draw from here first.
+    std::vector<std::vector<Slot*>> free_arrays =
+        std::vector<std::vector<Slot*>>(40);
+    /// Open buckets, ordered (ready_buckets walks oldest-first).
+    std::map<std::int64_t, Table> buckets;
+    /// One-entry fast path: records overwhelmingly hit the current bucket.
+    std::int64_t last_bucket = std::int64_t{-1} << 40;
+    Table* last_table = nullptr;
+    BlockSlot* block_cache = nullptr;
+    std::size_t block_mask = 0;
+    std::size_t block_count = 0;
+    DropCounts drops;
+  };
+
+  [[nodiscard]] Slot* new_slot_array(Shard& shard, std::size_t capacity);
+  void recycle_slot_array(Shard& shard, Slot* slots, std::size_t capacity);
+  void grow_table(Shard& shard, Table& table);
+  [[nodiscard]] const net::ClientBlock* resolve_block(Shard& shard,
+                                                      net::Slash24 block);
+  void grow_block_cache(Shard& shard);
+
+  const net::Topology* topology_;
+  analysis::BadnessThresholds thresholds_;
+  analysis::QuartetBuilderConfig config_;
   std::vector<Shard> shards_;
 };
 

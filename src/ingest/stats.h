@@ -1,8 +1,14 @@
 // Counters for the streaming ingestion engine: what came in, what was
-// finalized, what was dropped and why, and how hard the queues were pushed.
-// A snapshot is cheap to take while the engine runs (all counters are
-// relaxed atomics mirrored into plain integers) and is rendered for
-// operators by ops::render_ingest.
+// finalized, what was dropped and why, and how hard the rings were pushed.
+//
+// Snapshot consistency: the engine keeps each shard's slice in one block
+// guarded by a per-shard mutex that the worker takes once per processed
+// chunk, so a snapshot taken while workers run is tear-free per shard —
+// e.g. `records + late_dropped == delivered` holds in every snapshot, not
+// just at quiescence. Engine-wide producer counters are published per batch
+// and read after the shard slices, so `records_in >= sum(delivered)` also
+// holds in every snapshot (the difference is records still in flight).
+// Rendered for operators by ops::render_ingest.
 #pragma once
 
 #include <cstdint>
@@ -10,17 +16,31 @@
 
 namespace blameit::ingest {
 
-/// Per-shard slice of the engine counters.
+/// Per-shard slice of the engine counters. The first block is written by
+/// the shard worker under the slice mutex (tear-free); the ring block is
+/// read from the ring's own relaxed atomics.
 struct ShardStats {
-  std::uint64_t records = 0;         ///< records accepted by this shard
-  std::uint64_t late_dropped = 0;    ///< records behind the watermark
+  std::uint64_t records = 0;       ///< records accepted by this shard
+  std::uint64_t late_dropped = 0;  ///< records behind the watermark
+  /// records handed to this shard = records + late_dropped (the invariant
+  /// the tear-free snapshot guarantees).
+  std::uint64_t delivered = 0;
   std::uint64_t buckets_finalized = 0;
-  std::uint64_t quartets = 0;        ///< finalized quartets emitted
-  std::size_t queue_high_water = 0;  ///< max batches ever queued
-  std::uint64_t backpressure_waits = 0;  ///< producer blocked on full queue
+  std::uint64_t quartets = 0;  ///< finalized quartets emitted
+  std::uint64_t records_out = 0;
+  std::uint64_t unknown_dropped = 0;      ///< /24 not in the topology
+  std::uint64_t min_samples_dropped = 0;  ///< quartets under min_samples
   /// Wall time spent finalizing buckets (take_bucket + classification).
   std::uint64_t finalize_ns_total = 0;
   std::uint64_t finalize_ns_max = 0;
+  /// Wall time the worker spent processing (vs waiting for) records; the
+  /// bench derives per-shard utilization from this.
+  std::uint64_t busy_ns = 0;
+
+  // Ring-side counters (producer→shard SPSC ring).
+  std::size_t ring_high_water = 0;        ///< max records ever in the ring
+  std::uint64_t backpressure_waits = 0;   ///< producer parks on a full ring
+  std::uint64_t consumer_parks = 0;       ///< worker parks on an empty ring
 };
 
 /// Engine-wide snapshot; sums of the per-shard slices plus producer-side
@@ -34,8 +54,8 @@ struct IngestStats {
   std::uint64_t min_samples_dropped = 0;  ///< quartets under min_samples
   std::uint64_t closed_dropped = 0;  ///< submitted after/during engine close
   std::uint64_t batches_submitted = 0;
-  std::uint64_t backpressure_waits = 0;
-  std::size_t queue_high_water = 0;  ///< max over all shard queues
+  std::uint64_t backpressure_waits = 0;  ///< producer parks, all rings
+  std::size_t ring_high_water = 0;       ///< max over all shard rings
   std::vector<ShardStats> shards;
 };
 

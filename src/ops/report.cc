@@ -62,15 +62,18 @@ std::string render_ingest(const ingest::IngestStats& stats) {
       << " unknown=" << stats.unknown_dropped
       << " min-samples=" << stats.min_samples_dropped
       << " closed=" << stats.closed_dropped;
-  oss << " | queues: shards=" << stats.shards.size()
-      << " high-water=" << stats.queue_high_water
-      << " backpressure-waits=" << stats.backpressure_waits;
+  oss << " | rings: shards=" << stats.shards.size()
+      << " high-water=" << stats.ring_high_water
+      << " producer-parks=" << stats.backpressure_waits;
   std::uint64_t finalize_ns = 0;
   std::uint64_t buckets = 0;
+  std::uint64_t consumer_parks = 0;
   for (const auto& shard : stats.shards) {
     finalize_ns += shard.finalize_ns_total;
     buckets += shard.buckets_finalized;
+    consumer_parks += shard.consumer_parks;
   }
+  oss << " consumer-parks=" << consumer_parks;
   if (buckets > 0) {
     oss << " | finalize: " << util::fmt(
                static_cast<double>(finalize_ns) /

@@ -1,0 +1,78 @@
+// Chunked bump allocator backing per-shard ingest state. One arena is owned
+// by one shard worker (no locking); allocations never move and are never
+// individually freed — callers that recycle memory (the quartet accumulator
+// tables) keep their own free lists of arena blocks. Destroying the arena
+// releases everything at once.
+//
+// Only trivially-destructible payloads belong here: the arena runs no
+// destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace blameit::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 256 * 1024)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage, suitably aligned. Requests larger than the
+  /// default chunk get a dedicated chunk.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    if (!chunks_.empty()) {
+      Chunk& c = chunks_.back();
+      const std::size_t aligned = (c.used + align - 1) & ~(align - 1);
+      if (aligned + bytes <= c.size) {
+        c.used = aligned + bytes;
+        used_ += bytes;
+        return c.data.get() + aligned;
+      }
+    }
+    const std::size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+    // operator new guarantees alignment for any fundamental type; the slot
+    // structs allocated here need at most alignof(std::max_align_t).
+    chunks_.push_back(Chunk{std::unique_ptr<std::byte[]>(new std::byte[size]),
+                            size, bytes});
+    reserved_ += size;
+    used_ += bytes;
+    return chunks_.back().data.get();
+  }
+
+  template <typename T>
+  [[nodiscard]] T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    return reserved_;
+  }
+  [[nodiscard]] std::size_t bytes_used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace blameit::util

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -235,8 +237,15 @@ TEST_F(IngestEngineTest, StatsAccounting) {
   // a finalized quartet.
   EXPECT_EQ(stats.records_out, fed);
   EXPECT_GT(stats.quartets_finalized, 0u);
-  EXPECT_GE(stats.queue_high_water, 1u);
+  EXPECT_GE(stats.ring_high_water, 1u);
   EXPECT_GT(stats.batches_submitted, 4u);
+  // Per-shard delivery accounting is exact once quiescent.
+  std::uint64_t delivered = 0;
+  for (const auto& shard : stats.shards) {
+    EXPECT_EQ(shard.records + shard.late_dropped, shard.delivered);
+    delivered += shard.delivered;
+  }
+  EXPECT_EQ(delivered, fed);
 }
 
 TEST_F(IngestEngineTest, CloseFinalizesEverything) {
@@ -328,8 +337,97 @@ TEST_F(IngestEngineTest, RegistryMirrorsIngestCounters) {
   EXPECT_EQ(snap.counter_value("ingest.records_in"),
             static_cast<std::uint64_t>(submitted));
   EXPECT_EQ(snap.counter_value("ingest.late_dropped").value_or(0), 0u);
-  // The queue high-water gauge saw at least one queued batch.
-  EXPECT_GE(snap.gauge_value("ingest.queue_high_water").value_or(0.0), 1.0);
+  // The ring high-water gauge saw at least one published batch.
+  EXPECT_GE(snap.gauge_value("ingest.ring_high_water").value_or(0.0), 1.0);
+}
+
+// Determinism across the ring/batch knobs: every combination of shard
+// count, batch size, and ring capacity produces the exact quartet set of
+// the single-threaded QuartetBuilder — including bit-identical means. This
+// is the acceptance criterion for the lock-free handoff: the ring and the
+// barrier-sequenced control channel may change WHEN work happens, never
+// WHAT is computed.
+TEST_F(IngestEngineTest, DeterministicAcrossBatchAndCapacityKnobs) {
+  const sim::TelemetryGenerator gen{topo_, &faults_};
+  const auto bucket = noon_bucket();
+
+  analysis::QuartetBuilder reference{topo_, analysis::BadnessThresholds{}};
+  gen.generate_records_shuffled(
+      bucket, [&](const analysis::RttRecord& r) { reference.add(r); });
+  const auto expected = canonical(reference.take_bucket(bucket));
+  ASSERT_FALSE(expected.empty());
+
+  struct Knobs {
+    std::size_t batch_records;
+    std::size_t queue_batches;
+  };
+  for (const int shards : {1, 2, 4, 8}) {
+    for (const Knobs knobs : {Knobs{1, 2}, Knobs{7, 1}, Knobs{64, 2},
+                              Knobs{256, 64}}) {
+      IngestConfig cfg;
+      cfg.shards = shards;
+      cfg.batch_records = knobs.batch_records;
+      cfg.queue_batches = knobs.queue_batches;
+      IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+      gen.generate_records_shuffled(
+          bucket, [&](const analysis::RttRecord& r) { engine.submit(r); });
+      engine.advance_watermark(engine.watermark_to_finalize(bucket));
+      engine.flush();
+      EXPECT_EQ(canonical(engine.take_bucket(bucket)), expected)
+          << "shards=" << shards << " batch=" << knobs.batch_records
+          << " queue_batches=" << knobs.queue_batches;
+    }
+  }
+}
+
+// Hammers stats() from a reader thread while the producer feeds and
+// watermarks: every snapshot must satisfy the tear-free invariants — no
+// torn slice may ever surface, even mid-flight.
+TEST_F(IngestEngineTest, StatsSnapshotsAreTearFreeUnderLoad) {
+  const sim::TelemetryGenerator gen{topo_, &faults_};
+  IngestConfig cfg;
+  cfg.shards = 4;
+  cfg.batch_records = 16;  // many small batches: frequent slice updates
+  cfg.queue_batches = 2;
+  cfg.builder.min_samples = 1;
+  IngestEngine engine{topo_, analysis::BadnessThresholds{}, cfg};
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> snapshots{0};
+  std::thread reader{[&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto stats = engine.stats();
+      std::uint64_t delivered = 0;
+      for (const auto& shard : stats.shards) {
+        // The per-shard slice invariant: accepted + late == handed over.
+        ASSERT_EQ(shard.records + shard.late_dropped, shard.delivered);
+        delivered += shard.delivered;
+      }
+      // Producer counters are published before records become poppable and
+      // read after the slices: delivery can never outrun admission.
+      ASSERT_LE(delivered, stats.records_in);
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+    }
+  }};
+
+  const auto first = noon_bucket();
+  for (int b = 0; b < 4; ++b) {
+    const auto bucket = util::TimeBucket{first.index + b};
+    gen.generate_records_shuffled(
+        bucket, [&](const analysis::RttRecord& r) { engine.submit(r); });
+    engine.advance_watermark(engine.watermark_to_finalize(bucket));
+  }
+  engine.close();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_GT(snapshots.load(), 0u);
+
+  // Quiescent totals are exact.
+  const auto stats = engine.stats();
+  std::uint64_t delivered = 0;
+  for (const auto& shard : stats.shards) delivered += shard.delivered;
+  EXPECT_EQ(delivered, stats.records_in);
+  EXPECT_EQ(stats.records_out, stats.records_in);
 }
 
 }  // namespace

@@ -1,0 +1,72 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace blameit::util {
+namespace {
+
+TEST(ArenaTest, AllocationsAreDisjointAndWritable) {
+  Arena arena{1024};
+  auto* a = arena.allocate_array<std::uint64_t>(16);
+  auto* b = arena.allocate_array<std::uint64_t>(16);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (int i = 0; i < 16; ++i) a[i] = 0x1111111111111111ull;
+  for (int i = 0; i < 16; ++i) b[i] = 0x2222222222222222ull;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a[i], 0x1111111111111111ull);  // b did not overlap a
+  }
+}
+
+TEST(ArenaTest, GrowsByChunksAndTracksUsage) {
+  Arena arena{256};
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  arena.allocate(100, 8);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.bytes_reserved(), 256u);
+  arena.allocate(100, 8);  // still fits the first chunk
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  arena.allocate(100, 8);  // does not fit: second chunk
+  EXPECT_EQ(arena.chunk_count(), 2u);
+  EXPECT_EQ(arena.bytes_reserved(), 512u);
+  EXPECT_EQ(arena.bytes_used(), 300u);
+}
+
+TEST(ArenaTest, OversizeRequestGetsDedicatedChunk) {
+  Arena arena{128};
+  auto* big = arena.allocate_array<std::byte>(4096);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xAB, 4096);
+  EXPECT_GE(arena.bytes_reserved(), 4096u);
+}
+
+TEST(ArenaTest, PointersStableAcrossGrowth) {
+  Arena arena{256};
+  std::vector<std::uint32_t*> ptrs;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    auto* p = arena.allocate_array<std::uint32_t>(1);
+    *p = i;
+    ptrs.push_back(p);
+  }
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(*ptrs[i], i);  // no allocation ever moved an earlier one
+  }
+  EXPECT_GT(arena.chunk_count(), 1u);
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena{1024};
+  arena.allocate(1, 1);  // misalign the bump pointer
+  auto* d = arena.allocate_array<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+  arena.allocate(3, 1);
+  auto* q = arena.allocate_array<std::uint64_t>(2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % alignof(std::uint64_t), 0u);
+}
+
+}  // namespace
+}  // namespace blameit::util

@@ -98,38 +98,11 @@ inline void warm_pipeline(Stack& stack, int days, int first_day = 0) {
 /// by the RegionProfile fault-proneness (middle issues dominate in regions
 /// with immature transit, §6.2). `intensity` scales the overall event rate
 /// (events per region-day at rate 1.0 ≈ 6).
-/// Transits in `region` whose paths never dominate a location (per-location
-/// path share <= 0.42). A transit carrying more than τ of a location's paths
-/// is structurally indistinguishable from the cloud in the passive view; at
-/// production scale no AS dominates a location, so ambient middle faults are
-/// drawn from the non-dominant set.
+/// Non-dominant transit selection now lives in sim:: (scenario packs need
+/// the same eligibility rule); this alias keeps existing bench call sites.
 inline std::vector<net::AsId> non_dominant_transits(const net::Topology& topo,
                                                     net::Region region) {
-  std::map<std::uint32_t, std::map<std::uint16_t, int>> usage;
-  std::map<std::uint16_t, int> loc_totals;
-  for (const auto& block : topo.blocks()) {
-    if (block.region != region) continue;
-    const auto loc = topo.home_locations(block.block).front();
-    const auto* route =
-        topo.routing().route_for(loc, block.block, util::MinuteTime{0});
-    ++loc_totals[loc.value];
-    for (const auto as : route->middle_ases()) {
-      ++usage[as.value][loc.value];
-    }
-  }
-  std::vector<net::AsId> eligible;
-  for (const auto as : topo.transits_in(region)) {
-    double max_share = 0.0;
-    const auto it = usage.find(as.value);
-    if (it == usage.end()) continue;  // unused transit: fault invisible
-    for (const auto& [loc, n] : it->second) {
-      max_share = std::max(max_share,
-                           static_cast<double>(n) / loc_totals[loc]);
-    }
-    if (max_share <= 0.42) eligible.push_back(as);
-  }
-  if (eligible.empty()) eligible = topo.transits_in(region);
-  return eligible;
+  return sim::non_dominant_transits(topo, region);
 }
 
 inline std::vector<sim::Incident> ambient_incidents(

@@ -1,0 +1,137 @@
+#include "scenario/score.h"
+
+#include <algorithm>
+
+namespace blameit::scenario {
+
+core::Blame expected_blame(sim::FaultKind kind) noexcept {
+  switch (kind) {
+    case sim::FaultKind::CloudLocation: return core::Blame::Cloud;
+    case sim::FaultKind::MiddleAs: return core::Blame::Middle;
+    default: return core::Blame::Client;
+  }
+}
+
+bool attributable(const net::Topology& topology,
+                  const analysis::Quartet& quartet,
+                  const sim::Incident& incident) {
+  if (quartet.region != incident.region) return false;
+  switch (incident.kind) {
+    case sim::FaultKind::CloudLocation:
+      return quartet.key.location == incident.cloud_location;
+    case sim::FaultKind::MiddleAs: {
+      // Re-steers and flap storms have no single faulted AS; any quartet of
+      // the region counts (their impact is region-wide path churn).
+      if (!incident.culprit_as &&
+          incident.target_as == net::AsId{}) {
+        return true;
+      }
+      const auto& mids = topology.interner().ases(quartet.middle);
+      return std::find(mids.begin(), mids.end(), incident.target_as) !=
+             mids.end();
+    }
+    case sim::FaultKind::ClientAs:
+      return quartet.client_as == incident.target_as;
+    case sim::FaultKind::ClientBlock:
+      return quartet.key.block == incident.block;
+  }
+  return false;
+}
+
+IncidentScorer::IncidentScorer(const net::Topology* topology,
+                               std::vector<sim::Incident> incidents)
+    : topology_(topology),
+      incidents_(std::move(incidents)),
+      verdicts_(incidents_.size()),
+      as_identified_(incidents_.size(), false),
+      overlaps_(incidents_.size()) {}
+
+void IncidentScorer::observe(const core::StepReport& report) {
+  const auto now = report.now;
+  // Which incidents are live for this step (one bucket of grace past the
+  // end, matching the 15-minute cadence lag).
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < incidents_.size(); ++i) {
+    const auto& inc = incidents_[i];
+    if (now >= inc.start && now < inc.end().plus_minutes(15)) {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<std::size_t> claimants;
+  for (const auto& blame : report.blames) {
+    // Score the dense non-mobile series; Insufficient is an abstention
+    // (bench-scale mobile groups routinely fall under the quartet floor).
+    if (blame.quartet.key.device != net::DeviceClass::NonMobile) continue;
+    if (blame.blame == core::Blame::Insufficient) continue;
+    claimants.clear();
+    for (const auto i : live) {
+      if (attributable(*topology_, blame.quartet, incidents_[i])) {
+        claimants.push_back(i);
+      }
+    }
+    for (const auto i : claimants) {
+      ++verdicts_[i][blame.blame];
+      if (incidents_[i].culprit_as && blame.faulty_as &&
+          *blame.faulty_as == *incidents_[i].culprit_as) {
+        as_identified_[i] = true;
+      }
+    }
+    if (claimants.size() > 1) {
+      for (const auto i : claimants) {
+        for (const auto j : claimants) {
+          if (i != j) overlaps_[i].insert(j);
+        }
+      }
+    }
+  }
+  for (const auto& diag : report.diagnoses) {
+    if (!diag.culprit) continue;
+    for (const auto i : live) {
+      if (incidents_[i].culprit_as &&
+          *diag.culprit == *incidents_[i].culprit_as) {
+        as_identified_[i] = true;
+      }
+    }
+  }
+}
+
+std::vector<IncidentScore> IncidentScorer::finish() const {
+  std::vector<IncidentScore> out;
+  out.reserve(incidents_.size());
+  for (std::size_t i = 0; i < incidents_.size(); ++i) {
+    const auto& inc = incidents_[i];
+    IncidentScore score;
+    score.name = inc.name;
+    score.expected = expected_blame(inc.kind);
+    for (const auto& [blame, n] : verdicts_[i]) {
+      score.votes_total += n;
+      if (n > score.votes_for_majority) {
+        score.votes_for_majority = n;
+        score.majority = blame;
+      }
+    }
+    score.detected = score.votes_total > 0;
+    score.as_identified = as_identified_[i];
+
+    // Acceptable categories: own expected + expected of overlap partners.
+    std::set<core::Blame> acceptable{score.expected};
+    for (const auto j : overlaps_[i]) {
+      acceptable.insert(expected_blame(incidents_[j].kind));
+      score.overlapped_with.push_back(incidents_[j].name);
+      // Latest start wins primary ownership of the shared records; ties
+      // break toward the schedule order (earlier index stays primary).
+      if (incidents_[j].start > inc.start ||
+          (incidents_[j].start == inc.start && j < i)) {
+        score.primary = false;
+      }
+    }
+    std::sort(score.overlapped_with.begin(), score.overlapped_with.end());
+    score.passed = score.detected && acceptable.count(score.majority) > 0;
+    out.push_back(std::move(score));
+  }
+  return out;
+}
+
+}  // namespace blameit::scenario

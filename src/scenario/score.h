@@ -1,0 +1,88 @@
+// Incident scoring with explicit overlap precedence.
+//
+// Like the paper's §6.3 validation, an incident is judged by the majority
+// blame over its window, restricted to quartets attributable to it (the
+// dense non-mobile series; Insufficient is an abstention).
+//
+// Overlap policy (documented here because the 88-incident suite never needs
+// it — suite incidents are region-disjoint, but scenario packs deliberately
+// stack incidents): when the SAME blame record is attributable to two or
+// more live incidents, ground truth is genuinely ambiguous — a cloud fault
+// and a middle fault on the same paths produce one blame stream, not two.
+// So overlap is detected at observation time (a blame claimed by >= 2
+// incidents links them into an overlap set), and an incident's verdict is
+// accepted iff the majority category lands in the ACCEPTABLE SET: its own
+// expected category plus the expected categories of incidents it overlapped
+// with. Within an overlapping pair the LATEST-START incident is considered
+// the primary owner of the shared records (the paper's operators triage the
+// newest event first); the scorer reports it as `primary`, and reports the
+// partner names so the manifest makes the ambiguity visible instead of
+// burying it in a pass/fail bit.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "net/topology.h"
+#include "sim/scenario.h"
+
+namespace blameit::scenario {
+
+/// Expected blame category for an incident's fault kind.
+[[nodiscard]] core::Blame expected_blame(sim::FaultKind kind) noexcept;
+
+/// Is this quartet's blame attributable to the incident (right region +
+/// right target)?
+[[nodiscard]] bool attributable(const net::Topology& topology,
+                                const analysis::Quartet& quartet,
+                                const sim::Incident& incident);
+
+/// Final judgement for one incident.
+struct IncidentScore {
+  std::string name;
+  core::Blame expected{};
+  /// Majority observed category (Insufficient when nothing attributable was
+  /// seen — i.e. undetected).
+  core::Blame majority = core::Blame::Insufficient;
+  int votes_for_majority = 0;
+  int votes_total = 0;
+  bool detected = false;
+  bool passed = false;
+  /// The injected culprit AS was identified (passively or actively).
+  bool as_identified = false;
+  /// Incidents whose attributable records overlapped this one's.
+  std::vector<std::string> overlapped_with;
+  /// True when this incident is the latest-start member of its overlap set
+  /// (or has no overlap at all): the record stream is "its" to explain.
+  bool primary = true;
+};
+
+/// Accumulates per-step reports against a fixed incident schedule;
+/// call observe() for every pipeline step, then finish() once.
+class IncidentScorer {
+ public:
+  IncidentScorer(const net::Topology* topology,
+                 std::vector<sim::Incident> incidents);
+
+  /// Folds one step's blames/diagnoses into the per-incident tallies.
+  void observe(const core::StepReport& report);
+
+  [[nodiscard]] std::vector<IncidentScore> finish() const;
+
+  [[nodiscard]] const std::vector<sim::Incident>& incidents() const noexcept {
+    return incidents_;
+  }
+
+ private:
+  const net::Topology* topology_;
+  std::vector<sim::Incident> incidents_;
+  std::vector<std::map<core::Blame, int>> verdicts_;
+  std::vector<bool> as_identified_;
+  /// overlaps_[i] = indices of incidents that co-claimed a record with i.
+  std::vector<std::set<std::size_t>> overlaps_;
+};
+
+}  // namespace blameit::scenario

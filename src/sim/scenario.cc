@@ -2,11 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/rng.h"
 
 namespace blameit::sim {
+
+std::string_view to_string(RouteDisruption d) noexcept {
+  switch (d) {
+    case RouteDisruption::None: return "none";
+    case RouteDisruption::Hijack: return "hijack";
+    case RouteDisruption::PathLeak: return "path-leak";
+    case RouteDisruption::FlapStorm: return "flap-storm";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -37,23 +49,174 @@ Fault fault_from(const Incident& incident) {
   return f;
 }
 
+/// One (location, prefix) pair a route disruption rewires, with the path it
+/// leaves and the path it installs. Shared by resolution (which derives the
+/// ground-truth culprit from the path delta) and apply (which installs the
+/// same delta), so the two can never disagree.
+struct DisruptedPair {
+  net::CloudLocationId location;
+  net::Prefix prefix;
+  const net::AsPath* best;  ///< path installed before/after the incident
+  const net::AsPath* alt;   ///< path in effect while disrupted
+};
+
+std::span<const net::AsId> middle_of(const net::AsPath& path) noexcept {
+  if (path.size() < 2) return {};
+  return std::span<const net::AsId>{path}.subspan(1, path.size() - 2);
+}
+
+std::vector<DisruptedPair> disrupted_pairs(const net::Topology& topology,
+                                           const Incident& incident) {
+  std::vector<DisruptedPair> out;
+  std::unordered_set<std::uint64_t> seen;
+  int taken = 0;
+  for (const auto& block : topology.blocks()) {
+    if (block.region != incident.region) continue;
+    const std::uint64_t key =
+        (std::uint64_t{block.announced.network} << 8) | block.announced.length;
+    if (!seen.insert(key).second) continue;
+    if (incident.disrupt_prefix_count > 0 &&
+        taken >= incident.disrupt_prefix_count) {
+      break;
+    }
+    ++taken;
+    const auto& alts =
+        topology.alternates(incident.disrupt_location, block.announced);
+    if (alts.size() < 2) continue;  // no alternate: this prefix can't move
+    DisruptedPair pair;
+    pair.location = incident.disrupt_location;
+    pair.prefix = block.announced;
+    pair.best = &alts.front();
+    switch (incident.disruption) {
+      case RouteDisruption::Hijack: {
+        // The alternate that introduces the most new ASes — the pattern of
+        // traffic abruptly re-homed through infrastructure it never used.
+        std::size_t best_new = 0;
+        pair.alt = &alts.back();
+        for (std::size_t i = 1; i < alts.size(); ++i) {
+          const auto old_middle = middle_of(*pair.best);
+          std::size_t fresh = 0;
+          for (const auto as : middle_of(alts[i])) {
+            if (std::find(old_middle.begin(), old_middle.end(), as) ==
+                old_middle.end()) {
+              ++fresh;
+            }
+          }
+          if (fresh > best_new) {
+            best_new = fresh;
+            pair.alt = &alts[i];
+          }
+        }
+        break;
+      }
+      case RouteDisruption::PathLeak: {
+        // The longest valley-free alternate: leaked routes detour.
+        pair.alt = &alts[1];
+        for (std::size_t i = 1; i < alts.size(); ++i) {
+          if (alts[i].size() > pair.alt->size()) pair.alt = &alts[i];
+        }
+        break;
+      }
+      case RouteDisruption::FlapStorm:
+        pair.alt = &alts[1];
+        break;
+      case RouteDisruption::None:
+        break;
+    }
+    if (pair.alt && *pair.alt != *pair.best) out.push_back(pair);
+  }
+  return out;
+}
+
+[[noreturn]] void missing_sink(const Incident& incident, const char* what) {
+  throw std::invalid_argument{
+      "apply_incident: incident '" + incident.name + "' (" +
+      std::string{to_string(incident.kind)} + ") requires " + what +
+      " — refusing to skip it, the run would score against a ground truth "
+      "that was never injected"};
+}
+
+void install_route_disruption(const Incident& incident,
+                              net::Topology& topology) {
+  if (incident.kind != FaultKind::MiddleAs) {
+    throw std::invalid_argument{"apply_incident: incident '" + incident.name +
+                                "': route disruptions are middle-segment "
+                                "incidents (kind must be middle-as)"};
+  }
+  const auto pairs = disrupted_pairs(topology, incident);
+  if (pairs.empty()) {
+    throw std::invalid_argument{
+        "apply_incident: incident '" + incident.name +
+        "': no (location, prefix) pair in its region has an alternate path "
+        "to disrupt (topology alternates < 2?)"};
+  }
+  auto& routing = topology.routing();
+  const auto end = incident.end();
+  for (const auto& pair : pairs) {
+    if (incident.disruption == RouteDisruption::FlapStorm) {
+      const int period = std::max(1, incident.flap_period_minutes);
+      // alt for one period, best for the next, ...; always restored to the
+      // best path when the storm ends.
+      for (auto t = incident.start; t < end;
+           t = t.plus_minutes(2 * period)) {
+        routing.change_path(pair.location, pair.prefix, t, *pair.alt);
+        const auto back = t.plus_minutes(period);
+        routing.change_path(pair.location, pair.prefix,
+                            back < end ? back : end, *pair.best);
+      }
+    } else {
+      routing.change_path(pair.location, pair.prefix, incident.start,
+                          *pair.alt);
+      routing.change_path(pair.location, pair.prefix, end, *pair.best);
+    }
+  }
+}
+
 }  // namespace
 
-void apply_incident(const Incident& incident, FaultInjector& injector,
-                    TelemetryGenerator* generator) {
+void apply_incident(const Incident& incident, const ApplyTargets& targets) {
+  if (!targets.injector) {
+    missing_sink(incident, "a FaultInjector");
+  }
   if (incident.via_override) {
-    if (!generator) {
-      throw std::invalid_argument{
-          "apply_incident: override incident needs a telemetry generator"};
+    if (!targets.generator) {
+      missing_sink(incident, "a TelemetryGenerator (it is an anycast "
+                             "re-steer realized as a traffic override)");
     }
-    generator->add_override(
+    targets.generator->add_override(
         TrafficOverride{.start = incident.start,
                         .duration_minutes = incident.duration_minutes,
                         .client_region = incident.region,
                         .to_location = incident.override_to});
     return;
   }
-  injector.add(fault_from(incident));
+  if (incident.disruption != RouteDisruption::None) {
+    if (!targets.topology) {
+      missing_sink(incident,
+                   "a mutable Topology (it is a BGP route disruption)");
+    }
+    install_route_disruption(incident, *targets.topology);
+    // The latency fault rides on top only when the incident carries one —
+    // the routing detour itself already inflates RTT via the longer path.
+    if (incident.added_ms > 0.0) {
+      targets.injector->add(fault_from(incident));
+    }
+    return;
+  }
+  targets.injector->add(fault_from(incident));
+}
+
+void apply_incidents(const std::vector<Incident>& incidents,
+                     const ApplyTargets& targets) {
+  for (const auto& incident : incidents) {
+    apply_incident(incident, targets);
+  }
+}
+
+void apply_incident(const Incident& incident, FaultInjector& injector,
+                    TelemetryGenerator* generator) {
+  apply_incident(incident,
+                 ApplyTargets{.injector = &injector, .generator = generator});
 }
 
 void apply_incidents(const std::vector<Incident>& incidents,
@@ -61,6 +224,95 @@ void apply_incidents(const std::vector<Incident>& incidents,
   for (const auto& incident : incidents) {
     apply_incident(incident, injector, generator);
   }
+}
+
+void resolve_route_disruption(const net::Topology& topology,
+                              Incident& incident) {
+  if (incident.disruption == RouteDisruption::None) {
+    throw std::invalid_argument{"resolve_route_disruption: incident '" +
+                                incident.name + "' has no disruption"};
+  }
+  incident.kind = FaultKind::MiddleAs;
+  // Default the disrupted edge to the region's first location when the
+  // current value points outside the region (e.g. a default-constructed id).
+  const auto in_region = topology.locations_in(incident.region);
+  if (in_region.empty()) {
+    throw std::invalid_argument{"resolve_route_disruption: incident '" +
+                                incident.name +
+                                "': its region has no cloud locations"};
+  }
+  if (std::find(in_region.begin(), in_region.end(),
+                incident.disrupt_location) == in_region.end()) {
+    incident.disrupt_location = in_region.front();
+  }
+
+  const auto pairs = disrupted_pairs(topology, incident);
+  if (pairs.empty()) {
+    throw std::invalid_argument{
+        "resolve_route_disruption: incident '" + incident.name +
+        "': no (location, prefix) pair in region " +
+        std::string{net::to_string(incident.region)} +
+        " has an alternate path to disrupt"};
+  }
+  // Ground-truth culprit: the AS most often introduced by the disrupted
+  // paths (ties -> lowest ASN, so resolution is deterministic).
+  std::map<std::uint32_t, int> introduced;
+  for (const auto& pair : pairs) {
+    const auto old_middle = middle_of(*pair.best);
+    for (const auto as : middle_of(*pair.alt)) {
+      if (std::find(old_middle.begin(), old_middle.end(), as) ==
+          old_middle.end()) {
+        ++introduced[as.value];
+      }
+    }
+  }
+  net::AsId culprit = middle_of(*pairs.front().alt).empty()
+                          ? net::AsId{0}
+                          : middle_of(*pairs.front().alt).front();
+  int best_count = 0;
+  for (const auto& [as, count] : introduced) {
+    if (count > best_count) {
+      best_count = count;
+      culprit = net::AsId{as};
+    }
+  }
+  incident.target_as = culprit;
+  // A flap storm is churn, not a broken AS: like the paper's anycast
+  // re-steer case, only the category (middle) is well-defined.
+  incident.culprit_as =
+      incident.disruption == RouteDisruption::FlapStorm
+          ? std::optional<net::AsId>{}
+          : std::optional<net::AsId>{culprit};
+}
+
+std::vector<net::AsId> non_dominant_transits(const net::Topology& topology,
+                                             net::Region region) {
+  std::map<std::uint32_t, std::map<std::uint16_t, int>> usage;
+  std::map<std::uint16_t, int> loc_totals;
+  for (const auto& block : topology.blocks()) {
+    if (block.region != region) continue;
+    const auto loc = topology.home_locations(block.block).front();
+    const auto* route =
+        topology.routing().route_for(loc, block.block, util::MinuteTime{0});
+    if (!route) continue;
+    ++loc_totals[loc.value];
+    for (const auto as : route->middle_ases()) {
+      ++usage[as.value][loc.value];
+    }
+  }
+  std::vector<net::AsId> eligible;
+  for (const auto as : topology.transits_in(region)) {
+    const auto it = usage.find(as.value);
+    if (it == usage.end()) continue;  // unused transit: fault invisible
+    double max_share = 0.0;
+    for (const auto& [loc, n] : it->second) {
+      max_share =
+          std::max(max_share, static_cast<double>(n) / loc_totals[loc]);
+    }
+    if (max_share <= 0.42) eligible.push_back(as);
+  }
+  if (eligible.empty()) eligible = topology.transits_in(region);
+  return eligible;
 }
 
 std::vector<Incident> make_case_studies(const net::Topology& topology,

@@ -16,6 +16,19 @@
 
 namespace blameit::sim {
 
+/// BGP-level realization of an incident (Rimondini et al.: routing events
+/// correlate with large RTT changes). Instead of (or on top of) a latency
+/// fault, the incident rewires routes mid-run, so the pipeline's learned
+/// per-middle-segment baselines are invalidated while the incident is live.
+enum class RouteDisruption : std::uint8_t {
+  None,       ///< plain latency fault / traffic override
+  Hijack,     ///< paths abruptly re-homed through an AS that was not there
+  PathLeak,   ///< paths replaced by the longest valley-free alternate
+  FlapStorm,  ///< paths oscillate best<->alternate every flap period
+};
+
+[[nodiscard]] std::string_view to_string(RouteDisruption d) noexcept;
+
 struct Incident {
   std::string name;
   FaultKind kind{};  ///< ground-truth segment category
@@ -39,19 +52,64 @@ struct Incident {
   bool via_override = false;
   net::CloudLocationId override_to;  ///< destination edge when via_override
 
+  // --- BGP instability realization (disruption != None; kind must be
+  // MiddleAs: the routing plane is the middle segment). ------------------
+  RouteDisruption disruption = RouteDisruption::None;
+  /// Cloud location whose routes are rewired. Must be resolved (via
+  /// resolve_route_disruption) before apply.
+  net::CloudLocationId disrupt_location;
+  /// How many of the region's announced prefixes are affected (0 = all).
+  int disrupt_prefix_count = 0;
+  /// FlapStorm only: minutes between best->alternate->best flips.
+  int flap_period_minutes = 30;
+
   [[nodiscard]] util::MinuteTime end() const noexcept {
     return start.plus_minutes(duration_minutes);
   }
 };
 
-/// Installs an incident into the fault injector (and, for re-steering
-/// incidents, the telemetry generator). `generator` may be null when the
-/// suite contains no override incidents.
+/// Everything apply_incident may need to install an incident. `injector` is
+/// always required; `generator` only for via_override incidents; a mutable
+/// `topology` (for its RoutingState and alternate paths) only for
+/// route-disruption incidents. A missing required sink is a hard error
+/// naming the incident — silently skipping would let the run score against
+/// a ground truth that was never injected.
+struct ApplyTargets {
+  FaultInjector* injector = nullptr;
+  TelemetryGenerator* generator = nullptr;
+  net::Topology* topology = nullptr;
+};
+
+void apply_incident(const Incident& incident, const ApplyTargets& targets);
+void apply_incidents(const std::vector<Incident>& incidents,
+                     const ApplyTargets& targets);
+
+/// Legacy convenience overloads (no routing sink — route-disruption
+/// incidents are a hard error through these).
 void apply_incident(const Incident& incident, FaultInjector& injector,
                     TelemetryGenerator* generator);
 
 void apply_incidents(const std::vector<Incident>& incidents,
                      FaultInjector& injector, TelemetryGenerator* generator);
+
+/// Fills the derived ground-truth fields of a route-disruption incident:
+/// disrupt_location (when unset: the first location of the region) and the
+/// culprit — deterministically, the most common AS that appears on the
+/// disrupted alternates but not on the paths they replace. Hijack/PathLeak
+/// set culprit_as; FlapStorm leaves culprit_as empty (no single AS failed,
+/// only the category is well-defined) but still sets target_as so scoring
+/// can find attributable quartets. Throws when the incident is not a
+/// disruption, or no (location, prefix) pair has an alternate path.
+void resolve_route_disruption(const net::Topology& topology,
+                              Incident& incident);
+
+/// Transits in `region` whose paths never dominate a single location
+/// (per-location path share <= 0.42). An AS carrying more than τ of a
+/// location's paths is structurally indistinguishable from the cloud in the
+/// passive view; at production scale no AS dominates a location, so
+/// synthetic middle faults should be drawn from this set.
+[[nodiscard]] std::vector<net::AsId> non_dominant_transits(
+    const net::Topology& topology, net::Region region);
 
 /// The five real-world case studies of §6.3, transplanted onto the synthetic
 /// topology: Brazil cloud maintenance, US peering (middle) fault, Australia

@@ -57,6 +57,25 @@ void TelemetryGenerator::add_override(TrafficOverride override_event) {
   overrides_.push_back(override_event);
 }
 
+void TelemetryGenerator::add_surge(TrafficSurge surge) {
+  if (surge.duration_minutes <= 0) {
+    throw std::invalid_argument{"TrafficSurge: duration must be > 0"};
+  }
+  if (surge.multiplier <= 0.0) {
+    throw std::invalid_argument{"TrafficSurge: multiplier must be > 0"};
+  }
+  surges_.push_back(surge);
+}
+
+double TelemetryGenerator::surge_factor(net::Region region,
+                                        util::MinuteTime t) const noexcept {
+  double factor = 1.0;
+  for (const auto& s : surges_) {
+    if (s.region == region && s.active_at(t)) factor *= s.multiplier;
+  }
+  return factor;
+}
+
 std::vector<net::CloudLocationId> TelemetryGenerator::connected_locations(
     const net::ClientBlock& block, util::TimeBucket bucket) const {
   const auto t = bucket.start();
@@ -107,6 +126,7 @@ void TelemetryGenerator::generate_aggregates(
   const auto t = bucket.start();
   for (const auto& block : topology_->blocks()) {
     const auto locations = connected_locations(block, bucket);
+    const double surge = surge_factor(block.region, t);
     for (std::size_t li = 0; li < locations.size(); ++li) {
       const auto location = locations[li];
       const auto* route = route_for(location, block, t);
@@ -117,6 +137,7 @@ void TelemetryGenerator::generate_aggregates(
           n = static_cast<int>(
               std::floor(n * config_.secondary_volume_fraction));
         }
+        if (surge != 1.0) n = static_cast<int>(std::floor(n * surge));
         if (n <= 0) continue;
         auto rng = quartet_rng(block, bucket, location, device);
         const auto breakdown =
@@ -138,6 +159,7 @@ void TelemetryGenerator::generate_records(
   const auto t = bucket.start();
   for (const auto& block : topology_->blocks()) {
     const auto locations = connected_locations(block, bucket);
+    const double surge = surge_factor(block.region, t);
     for (std::size_t li = 0; li < locations.size(); ++li) {
       const auto location = locations[li];
       const auto* route = route_for(location, block, t);
@@ -148,6 +170,7 @@ void TelemetryGenerator::generate_records(
           n = static_cast<int>(
               std::floor(n * config_.secondary_volume_fraction));
         }
+        if (surge != 1.0) n = static_cast<int>(std::floor(n * surge));
         if (n <= 0) continue;
         auto rng = quartet_rng(block, bucket, location, device);
         const auto breakdown =

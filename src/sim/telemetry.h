@@ -12,11 +12,11 @@
 // shift from East Asia to US West" case): while active, an override sends a
 // region's clients to an explicit cloud location instead of their home edge.
 //
-// Concurrency contract: after construction (and after any add_override
-// calls complete), all const methods are safe to call concurrently from
-// multiple threads — the route-timeline cache is filled eagerly in the
+// Concurrency contract: after construction (and after any add_override /
+// add_surge calls complete), all const methods are safe to call concurrently
+// from multiple threads — the route-timeline cache is filled eagerly in the
 // constructor, so generation never mutates shared state. Mutating methods
-// (add_override) must not run concurrently with generation.
+// (add_override, add_surge) must not run concurrently with generation.
 #pragma once
 
 #include <functional>
@@ -37,6 +37,22 @@ struct TrafficOverride {
   int duration_minutes = 0;
   net::Region client_region{};       ///< whose clients are re-steered
   net::CloudLocationId to_location;  ///< where they now connect
+
+  [[nodiscard]] bool active_at(util::MinuteTime t) const noexcept {
+    return t >= start && t < start.plus_minutes(duration_minutes);
+  }
+};
+
+/// Flash-crowd traffic surge (a regional event driving client volume far
+/// above baseline): while active, every quartet whose clients live in
+/// `region` emits `multiplier`× the usual sample count. Overlapping surges
+/// compound multiplicatively. RTT distributions are untouched — a surge is
+/// extra load on the ingest plane, not a latency fault.
+struct TrafficSurge {
+  util::MinuteTime start;
+  int duration_minutes = 0;
+  net::Region region{};
+  double multiplier = 1.0;
 
   [[nodiscard]] bool active_at(util::MinuteTime t) const noexcept {
     return t >= start && t < start.plus_minutes(duration_minutes);
@@ -83,6 +99,12 @@ class TelemetryGenerator {
       const net::ClientBlock& block, util::TimeBucket bucket) const;
 
   void add_override(TrafficOverride override_event);
+  void add_surge(TrafficSurge surge);
+
+  /// Product of the multipliers of all surges active for `region` at `t`
+  /// (1.0 when none — the common case short-circuits without any scan).
+  [[nodiscard]] double surge_factor(net::Region region,
+                                    util::MinuteTime t) const noexcept;
 
   [[nodiscard]] const Population& population() const noexcept {
     return population_;
@@ -110,6 +132,7 @@ class TelemetryGenerator {
   Population population_;
   RttModel model_;
   std::vector<TrafficOverride> overrides_;
+  std::vector<TrafficSurge> surges_;
   // (location, announced prefix) -> timeline handle. Filled EAGERLY for
   // every pair in the constructor — a lazily-filled mutable cache would
   // race once ingest shards generate records concurrently. Read-only after

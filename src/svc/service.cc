@@ -185,6 +185,21 @@ HttpResponse VerdictService::incidents(const HttpRequest& request) const {
     if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
       return error_response(400, "since must be an integer minute count");
     }
+    // Simulated clocks start at minute 0, so negative cutoffs and cutoffs
+    // beyond any plausible run length are caller bugs — reject them loudly
+    // rather than silently returning everything / nothing.
+    if (since < 0) {
+      return error_response(
+          400, "since must be >= 0 (minutes since simulation start)");
+    }
+    constexpr std::int64_t kMaxSinceMinutes =
+        std::int64_t{200} * 365 * util::kMinutesPerDay;  // ~200 years
+    if (since > kMaxSinceMinutes) {
+      return error_response(
+          400, "since is implausibly far in the future (max ~200 years of "
+               "minutes); check the units — this field is minutes, not "
+               "seconds or milliseconds");
+    }
   }
   const auto incidents = store_->incidents_since(util::MinuteTime{since});
   Writer w;

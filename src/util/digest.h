@@ -1,0 +1,91 @@
+// Streaming 64-bit trace digest. The scenario runner folds every per-step
+// verdict into one of these; two runs (or two thread counts, or two shard
+// counts) produced identical output iff the final hex digests match.
+//
+// Properties that matter here:
+//  - Deterministic and platform-independent: all inputs are serialized to
+//    little-endian byte sequences before hashing, doubles via their IEEE-754
+//    bit pattern, so the digest is a pure function of the logical values.
+//  - Order-sensitive: the digest pins the exact verdict sequence, not just
+//    the multiset — reordering two blames is a real difference.
+//  - NOT cryptographic. This is a drift tripwire (FNV-1a with a splitmix64
+//    finalizer), fine for CI golden files, useless against an adversary.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace blameit::util {
+
+class Digest64 {
+ public:
+  Digest64& update_bytes(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ = (state_ ^ bytes[i]) * kFnvPrime;
+    }
+    return *this;
+  }
+
+  Digest64& update(std::uint64_t v) noexcept {
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+    return update_bytes(buf, sizeof(buf));
+  }
+  Digest64& update(std::int64_t v) noexcept {
+    return update(static_cast<std::uint64_t>(v));
+  }
+  Digest64& update(std::uint32_t v) noexcept {
+    return update(static_cast<std::uint64_t>(v));
+  }
+  Digest64& update(int v) noexcept {
+    return update(static_cast<std::int64_t>(v));
+  }
+  Digest64& update(bool v) noexcept {
+    return update(static_cast<std::uint64_t>(v ? 1 : 0));
+  }
+  Digest64& update(double v) noexcept {
+    // +0.0 and -0.0 hash differently; that is intended — the digest tracks
+    // bit-exact output, which is the determinism contract being verified.
+    return update(std::bit_cast<std::uint64_t>(v));
+  }
+  Digest64& update(std::string_view s) noexcept {
+    update(static_cast<std::uint64_t>(s.size()));  // length-prefix: no
+    return update_bytes(s.data(), s.size());       // concatenation aliasing
+  }
+
+  /// Finalized value (the running state passed through an avalanche mix so
+  /// short inputs still differ in every output bit).
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t z = state_;
+    z ^= z >> 30;
+    z *= 0xBF58476D1CE4E5B9ull;
+    z ^= z >> 27;
+    z *= 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z;
+  }
+
+  /// 16 lowercase hex characters of value().
+  [[nodiscard]] std::string hex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    const std::uint64_t v = value();
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          kDigits[(v >> (60 - 4 * i)) & 0xF];
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+  static constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+  std::uint64_t state_ = kFnvOffset;
+};
+
+}  // namespace blameit::util

@@ -1,0 +1,382 @@
+#include "util/json_reader.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace blameit::util::json {
+
+std::string_view Value::type_name() const noexcept {
+  switch (type_) {
+    case Type::Null: return "null";
+    case Type::Bool: return "boolean";
+    case Type::Number: return "number";
+    case Type::String: return "string";
+    case Type::Array: return "array";
+    case Type::Object: return "object";
+  }
+  return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void type_error(const Value& v, std::string_view wanted) {
+  throw std::logic_error{"json::Value: wanted " + std::string{wanted} +
+                         ", holds " + std::string{v.type_name()}};
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::Bool) type_error(*this, "boolean");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::Number) type_error(*this, "number");
+  return number_;
+}
+
+std::int64_t Value::as_integer() const {
+  if (type_ != Type::Number || !integral_) type_error(*this, "integer");
+  return integer_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) type_error(*this, "string");
+  return string_;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (type_ != Type::Array) type_error(*this, "array");
+  return items_;
+}
+
+const std::vector<Value::Member>& Value::members() const {
+  if (type_ != Type::Object) type_error(*this, "object");
+  return members_;
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_whitespace();
+    Value v = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing content after the top-level value");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError{std::to_string(line_) + ":" + std::to_string(column_) +
+                         ": " + what,
+                     line_, column_};
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void expect(char c, const char* where) {
+    if (eof() || peek() != c) {
+      fail(std::string{"expected '"} + c + "' " + where);
+    }
+    advance();
+  }
+
+  Value parse_value() {
+    if (eof()) fail("unexpected end of input, expected a value");
+    Value v;
+    v.line_ = line_;
+    v.column_ = column_;
+    switch (peek()) {
+      case '{': parse_object(v); break;
+      case '[': parse_array(v); break;
+      case '"':
+        v.type_ = Value::Type::String;
+        v.string_ = parse_string();
+        break;
+      case 't':
+      case 'f':
+        v.type_ = Value::Type::Bool;
+        v.bool_ = parse_keyword();
+        break;
+      case 'n':
+        consume_keyword("null");
+        v.type_ = Value::Type::Null;
+        break;
+      default: parse_number(v); break;
+    }
+    return v;
+  }
+
+  void parse_object(Value& v) {
+    v.type_ = Value::Type::Object;
+    advance();  // '{'
+    skip_whitespace();
+    if (!eof() && peek() == '}') {
+      advance();
+      return;
+    }
+    for (;;) {
+      skip_whitespace();
+      if (eof() || peek() != '"') fail("expected a quoted member name");
+      std::string key = parse_string();
+      for (const auto& [existing, value] : v.members_) {
+        (void)value;
+        if (existing == key) {
+          fail("duplicate member \"" + key + "\"");
+        }
+      }
+      skip_whitespace();
+      expect(':', "after member name");
+      skip_whitespace();
+      v.members_.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (eof()) fail("unterminated object");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect('}', "to close the object");
+      return;
+    }
+  }
+
+  void parse_array(Value& v) {
+    v.type_ = Value::Type::Array;
+    advance();  // '['
+    skip_whitespace();
+    if (!eof() && peek() == ']') {
+      advance();
+      return;
+    }
+    for (;;) {
+      skip_whitespace();
+      v.items_.push_back(parse_value());
+      skip_whitespace();
+      if (eof()) fail("unterminated array");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect(']', "to close the array");
+      return;
+    }
+  }
+
+  bool parse_keyword() {
+    if (text_.substr(pos_).starts_with("true")) {
+      consume_keyword("true");
+      return true;
+    }
+    consume_keyword("false");
+    return false;
+  }
+
+  void consume_keyword(std::string_view word) {
+    if (!text_.substr(pos_).starts_with(word)) {
+      fail("invalid literal (expected " + std::string{word} + ")");
+    }
+    for (std::size_t i = 0; i < word.size(); ++i) advance();
+  }
+
+  std::string parse_string() {
+    advance();  // opening quote
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string (escape it)");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape sequence");
+      const char esc = advance();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail(std::string{"unknown escape \\"} + esc);
+      }
+    }
+  }
+
+  void append_unicode_escape(std::string& out) {
+    const unsigned cp = parse_hex4();
+    // Configuration files are ASCII-leaning; surrogate pairs are accepted
+    // but unpaired surrogates are an error rather than silently emitted.
+    unsigned code = cp;
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (eof() || peek() != '\\') fail("unpaired UTF-16 surrogate");
+      advance();
+      if (eof() || peek() != 'u') fail("unpaired UTF-16 surrogate");
+      advance();
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("truncated \\u escape");
+      const char c = advance();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("non-hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  void parse_number(Value& v) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') advance();
+    if (eof() || peek() < '0' || peek() > '9') {
+      fail("expected a value (object, array, string, number, true/false/null)");
+    }
+    while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    bool fractional = false;
+    if (!eof() && peek() == '.') {
+      fractional = true;
+      advance();
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("digit required after decimal point");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      fractional = true;
+      advance();
+      if (!eof() && (peek() == '+' || peek() == '-')) advance();
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("digit required in exponent");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') advance();
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    v.type_ = Value::Type::Number;
+    const auto [dptr, dec] =
+        std::from_chars(token.data(), token.data() + token.size(), v.number_);
+    if (dec != std::errc{} || dptr != token.data() + token.size()) {
+      fail("unparseable number \"" + std::string{token} + "\"");
+    }
+    if (!fractional) {
+      const auto [iptr, iec] = std::from_chars(
+          token.data(), token.data() + token.size(), v.integer_);
+      v.integral_ =
+          iec == std::errc{} && iptr == token.data() + token.size();
+    }
+    // A value like 12.0 is still integral in spirit; accept it so packs may
+    // write "duration_minutes": 45.0 without a type error.
+    if (fractional && std::nearbyint(v.number_) == v.number_ &&
+        std::abs(v.number_) <= 9.0e15) {
+      v.integral_ = true;
+      v.integer_ = static_cast<std::int64_t>(v.number_);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+Value parse(std::string_view text) { return Parser{text}.parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    throw std::runtime_error{path + ": cannot open (" +
+                             std::strerror(errno) + ")"};
+  }
+  std::string text;
+  char chunk[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(chunk, 1, sizeof(chunk), f);
+    text.append(chunk, n);
+    if (n < sizeof(chunk)) break;
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) throw std::runtime_error{path + ": read error"};
+  try {
+    return parse(text);
+  } catch (const ParseError& e) {
+    throw ParseError{path + ":" + e.what(), e.line(), e.column()};
+  }
+}
+
+}  // namespace blameit::util::json

@@ -1,0 +1,107 @@
+// Strict JSON reader for declarative inputs (scenario packs). The repo-wide
+// policy is one JSON *writer* (util/json.h) and one JSON *reader* — this
+// file — so parsing bugs and error-message style live in exactly one place.
+//
+// Design points:
+//  - Recursive-descent RFC 8259 parser, no extensions (no comments, no
+//    trailing commas, no NaN/Infinity literals). Inputs are configuration,
+//    so strictness beats leniency: a typo should fail loudly.
+//  - Every parsed Value remembers the line/column it started at, so schema
+//    validators one layer up can say "pack.json:31:7: ..." instead of
+//    "bad config".
+//  - Numbers keep both views: any JSON number is available as double, and
+//    as int64 when it is integral and in range (is_integer()). Callers that
+//    want "an integer field" get a precise error, not silent truncation.
+//  - Object members preserve document order and duplicate keys are a parse
+//    error (a duplicated key in a hand-written pack is always a mistake).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace blameit::util::json {
+
+/// Thrown on malformed input; the message embeds line:column.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column)
+      : std::runtime_error(message), line_(line), column_(column) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// One parsed JSON value (tree-owning).
+class Value {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  using Member = std::pair<std::string, Value>;
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] std::string_view type_name() const noexcept;
+
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::Object;
+  }
+  /// Number that is exactly representable as int64 (no fraction, in range).
+  [[nodiscard]] bool is_integer() const noexcept {
+    return type_ == Type::Number && integral_;
+  }
+
+  // Accessors throw std::logic_error on type mismatch; schema validation
+  // layers are expected to check first and produce friendlier messages.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_integer() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& items() const;      ///< arrays
+  [[nodiscard]] const std::vector<Member>& members() const;   ///< objects
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+  /// Where this value started in the source text (1-based).
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  bool integral_ = false;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+  int line_ = 0;
+  int column_ = 0;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Throws ParseError.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Reads and parses a file; ParseError messages are prefixed with `path`.
+/// Throws std::runtime_error when the file cannot be read.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace blameit::util::json

@@ -170,6 +170,175 @@ TEST_F(ScenarioTest, SuiteDeterministicPerSeed) {
   EXPECT_TRUE(different);
 }
 
+TEST_F(ScenarioTest, ApplyIncidentErrorsNameTheIncident) {
+  // A missing required sink must hard-error WITH the incident's name —
+  // silently skipping would let the run score against a ground truth that
+  // was never injected.
+  Incident plain;
+  plain.name = "forgotten-fault";
+  plain.kind = FaultKind::MiddleAs;
+  try {
+    apply_incident(plain, ApplyTargets{});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("forgotten-fault"),
+              std::string::npos)
+        << e.what();
+  }
+
+  FaultInjector injector;
+  Incident steer;
+  steer.name = "silent-resteer";
+  steer.via_override = true;
+  try {
+    apply_incident(steer, ApplyTargets{.injector = &injector});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("silent-resteer"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("TelemetryGenerator"), std::string::npos) << msg;
+  }
+
+  Incident hijack;
+  hijack.name = "routeless-hijack";
+  hijack.kind = FaultKind::MiddleAs;
+  hijack.disruption = RouteDisruption::Hijack;
+  try {
+    apply_incident(hijack, ApplyTargets{.injector = &injector});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("routeless-hijack"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Topology"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(ScenarioTest, ResolveRouteDisruptionFillsGroundTruth) {
+  Incident inc;
+  inc.name = "hijack";
+  inc.region = net::Region::Europe;
+  inc.disruption = RouteDisruption::Hijack;
+  inc.start = util::MinuteTime::from_days(1);
+  inc.duration_minutes = 120;
+  resolve_route_disruption(*topo_, inc);
+  EXPECT_EQ(inc.kind, FaultKind::MiddleAs);
+  ASSERT_TRUE(inc.culprit_as.has_value());
+  EXPECT_EQ(inc.target_as, *inc.culprit_as);
+  EXPECT_EQ(topo_->location(inc.disrupt_location).region,
+            net::Region::Europe);
+  // Resolution is deterministic: same incident, same culprit.
+  Incident again = inc;
+  again.culprit_as.reset();
+  again.target_as = net::AsId{};
+  resolve_route_disruption(*topo_, again);
+  EXPECT_EQ(again.target_as, inc.target_as);
+
+  // Flap storms: no single AS failed, only the category is well-defined.
+  Incident flap = inc;
+  flap.name = "flap";
+  flap.disruption = RouteDisruption::FlapStorm;
+  flap.culprit_as.reset();
+  flap.target_as = net::AsId{};
+  resolve_route_disruption(*topo_, flap);
+  EXPECT_FALSE(flap.culprit_as.has_value());
+  EXPECT_NE(flap.target_as, net::AsId{});
+
+  Incident none;
+  none.name = "not-a-disruption";
+  EXPECT_THROW(resolve_route_disruption(*topo_, none),
+               std::invalid_argument);
+}
+
+TEST_F(ScenarioTest, RouteDisruptionsInstallChurn) {
+  // Mutating test: use a private topology, not the shared fixture.
+  const auto topo = net::make_topology();
+  FaultInjector injector;
+  const ApplyTargets targets{.injector = &injector, .topology = topo.get()};
+
+  Incident hijack;
+  hijack.name = "hijack";
+  hijack.region = net::Region::Europe;
+  hijack.disruption = RouteDisruption::Hijack;
+  hijack.start = util::MinuteTime::from_days(1);
+  hijack.duration_minutes = 120;
+  resolve_route_disruption(*topo, hijack);
+  apply_incident(hijack, targets);
+  const auto hijack_churn =
+      topo->routing().churn_between(hijack.start, hijack.end());
+  EXPECT_FALSE(hijack_churn.empty());
+
+  // A flap storm churns repeatedly: period 30 over 120 minutes means each
+  // disrupted pair flips away and back twice inside the window.
+  Incident flap;
+  flap.name = "flap";
+  flap.region = net::Region::India;
+  flap.disruption = RouteDisruption::FlapStorm;
+  flap.flap_period_minutes = 30;
+  flap.start = util::MinuteTime::from_days(2);
+  flap.duration_minutes = 120;
+  resolve_route_disruption(*topo, flap);
+  apply_incident(flap, targets);
+  const auto flap_churn =
+      topo->routing().churn_between(flap.start, flap.end());
+  EXPECT_GE(flap_churn.size(), 4u);
+  // No latency fault rides along when added_ms == 0: only the routing plane
+  // moved.
+  EXPECT_TRUE(injector.faults().empty());
+}
+
+TEST_F(ScenarioTest, TrafficSurgeScalesVolumeOnlyInsideWindow) {
+  FaultInjector injector;
+  TelemetryGenerator plain{topo_, &injector};
+  TelemetryGenerator surged{topo_, &injector};
+  const auto start = util::MinuteTime::from_days(1).plus_minutes(10 * 60);
+  surged.add_surge(TrafficSurge{.start = start,
+                                .duration_minutes = 60,
+                                .region = net::Region::UnitedStates,
+                                .multiplier = 4.0});
+  EXPECT_DOUBLE_EQ(
+      surged.surge_factor(net::Region::UnitedStates, start.plus_minutes(5)),
+      4.0);
+  EXPECT_DOUBLE_EQ(surged.surge_factor(net::Region::India, start), 1.0);
+  EXPECT_DOUBLE_EQ(surged.surge_factor(net::Region::UnitedStates,
+                                       start.plus_minutes(60)),
+                   1.0);
+
+  const auto volumes = [&](const TelemetryGenerator& g,
+                           util::TimeBucket bucket) {
+    std::map<net::Region, long> per_region;
+    g.generate_aggregates(bucket, [&](const analysis::QuartetKey& key, int n,
+                                      double) {
+      const auto* block = topo_->find_block(key.block);
+      ASSERT_NE(block, nullptr);
+      per_region[block->region] += n;
+    });
+    return per_region;
+  };
+
+  const auto in_window = util::TimeBucket::of(start.plus_minutes(5));
+  const auto before = util::TimeBucket::of(start.plus_minutes(-60));
+  // Inside the window only the surged region grows (~4x).
+  const auto plain_in = volumes(plain, in_window);
+  const auto surged_in = volumes(surged, in_window);
+  EXPECT_GT(surged_in.at(net::Region::UnitedStates),
+            3 * plain_in.at(net::Region::UnitedStates));
+  EXPECT_EQ(surged_in.at(net::Region::India),
+            plain_in.at(net::Region::India));
+  // Outside the window the no-surge path is untouched.
+  EXPECT_EQ(volumes(plain, before), volumes(surged, before));
+
+  EXPECT_THROW(surged.add_surge(TrafficSurge{.start = start,
+                                             .duration_minutes = 0,
+                                             .region = net::Region::India,
+                                             .multiplier = 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(surged.add_surge(TrafficSurge{.start = start,
+                                             .duration_minutes = 30,
+                                             .region = net::Region::India,
+                                             .multiplier = 0.0}),
+               std::invalid_argument);
+}
+
 TEST_F(ScenarioTest, SuiteConfigValidation) {
   IncidentSuiteConfig bad;
   bad.count = 0;

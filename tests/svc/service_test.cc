@@ -168,6 +168,34 @@ TEST_F(VerdictServiceTest, IncidentsSince) {
   EXPECT_NE(get("/v1/incidents?since=abc").find("400 "), std::string::npos);
 }
 
+TEST_F(VerdictServiceTest, IncidentsSinceBoundaryIsInclusive) {
+  // The middle incident was last seen in bucket 10; a cutoff EQUAL to its
+  // last_seen must still include it (>= semantics, not >).
+  const auto boundary = util::TimeBucket{10}.start().minutes;
+  const auto at = get("/v1/incidents?since=" + std::to_string(boundary));
+  EXPECT_NE(at.find("\"count\":2"), std::string::npos) << at;
+  const auto past = get("/v1/incidents?since=" + std::to_string(boundary + 1));
+  EXPECT_NE(past.find("\"count\":1"), std::string::npos) << past;
+}
+
+TEST_F(VerdictServiceTest, IncidentsSinceRejectsNonsenseCutoffs) {
+  // Negative cutoffs: simulated clocks start at minute 0.
+  const auto negative = get("/v1/incidents?since=-1");
+  EXPECT_NE(negative.find("HTTP/1.1 400 "), std::string::npos) << negative;
+  EXPECT_NE(negative.find("must be >= 0"), std::string::npos) << negative;
+
+  // Absurdly large cutoffs are almost always a unit bug (epoch seconds or
+  // milliseconds pasted into a minutes field) — reject with a hint.
+  const auto huge = get("/v1/incidents?since=9999999999999");
+  EXPECT_NE(huge.find("HTTP/1.1 400 "), std::string::npos) << huge;
+  EXPECT_NE(huge.find("minutes, not"), std::string::npos) << huge;
+
+  // The sane maximum itself still works.
+  const auto max_ok = get("/v1/incidents?since=105120000");
+  EXPECT_NE(max_ok.find("HTTP/1.1 200 OK"), std::string::npos) << max_ok;
+  EXPECT_NE(max_ok.find("\"count\":0"), std::string::npos) << max_ok;
+}
+
 TEST_F(VerdictServiceTest, DiagnosesFeed) {
   const auto response = get("/v1/diagnoses");
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);

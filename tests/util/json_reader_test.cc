@@ -1,0 +1,122 @@
+// Strict-parser behaviors the scenario-pack validator depends on: precise
+// line/column provenance, integral-number detection, duplicate-key and
+// trailing-garbage rejection, and RFC 8259 string escapes.
+#include "util/json_reader.h"
+
+#include <gtest/gtest.h>
+
+namespace blameit::util::json {
+namespace {
+
+TEST(JsonReaderTest, ParsesScalarsWithTypes) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonReaderTest, IntegralDetection) {
+  // Integer-valued numbers are available as int64 regardless of spelling.
+  EXPECT_TRUE(parse("42").is_integer());
+  EXPECT_EQ(parse("42").as_integer(), 42);
+  EXPECT_TRUE(parse("12.0").is_integer());
+  EXPECT_EQ(parse("12.0").as_integer(), 12);
+  EXPECT_TRUE(parse("1e3").is_integer());
+  EXPECT_EQ(parse("1e3").as_integer(), 1000);
+  EXPECT_TRUE(parse("-7").is_integer());
+  // Fractional or out-of-range numbers are numbers but not integers.
+  EXPECT_FALSE(parse("12.5").is_integer());
+  EXPECT_TRUE(parse("12.5").is_number());
+  EXPECT_FALSE(parse("1e20").is_integer());
+}
+
+TEST(JsonReaderTest, ObjectsPreserveOrderAndSupportLookup) {
+  const auto v = parse(R"({"b": 1, "a": 2, "nested": {"x": [1, 2, 3]}})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+
+  ASSERT_NE(v.find("nested"), nullptr);
+  const auto* x = v.find("nested")->find("x");
+  ASSERT_NE(x, nullptr);
+  ASSERT_TRUE(x->is_array());
+  ASSERT_EQ(x->items().size(), 3u);
+  EXPECT_EQ(x->items()[2].as_integer(), 3);
+
+  EXPECT_EQ(v.find("missing"), nullptr);
+  // find() on a non-object is a nullptr, not a throw.
+  EXPECT_EQ(parse("[1]").find("x"), nullptr);
+}
+
+TEST(JsonReaderTest, ValuesRememberLineAndColumn) {
+  const std::string doc = "{\n  \"a\": 1,\n  \"b\": [\n    \"deep\"\n  ]\n}";
+  const auto v = parse(doc);
+  EXPECT_EQ(v.line(), 1);
+  EXPECT_EQ(v.column(), 1);
+  const auto* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->line(), 2);
+  EXPECT_EQ(a->column(), 8);
+  const auto* deep = &v.find("b")->items()[0];
+  EXPECT_EQ(deep->line(), 4);
+  EXPECT_EQ(deep->column(), 5);
+}
+
+TEST(JsonReaderTest, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"c\"\\")").as_string(), "a\nb\t\"c\"\\");
+  EXPECT_EQ(parse(R"("café")").as_string(), "caf\xc3\xa9");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+  EXPECT_THROW((void)parse(R"("\ud83d oops")"), ParseError);
+  EXPECT_THROW((void)parse(R"("\ude00")"), ParseError);
+  EXPECT_THROW((void)parse(R"("\uZZZZ")"), ParseError);
+}
+
+TEST(JsonReaderTest, DuplicateKeysRejected) {
+  try {
+    (void)parse("{\"a\": 1,\n \"a\": 2}");
+    FAIL() << "duplicate key should throw";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string{e.what()}.find("duplicate member \"a\""),
+              std::string::npos);
+  }
+}
+
+TEST(JsonReaderTest, StrictnessRejectsExtensions) {
+  EXPECT_THROW((void)parse("[1, 2,]"), ParseError);        // trailing comma
+  EXPECT_THROW((void)parse("{\"a\": 1} x"), ParseError);   // trailing junk
+  EXPECT_THROW((void)parse("// c\n1"), ParseError);        // comments
+  EXPECT_THROW((void)parse("NaN"), ParseError);
+  EXPECT_THROW((void)parse("Infinity"), ParseError);
+  EXPECT_THROW((void)parse(""), ParseError);
+  EXPECT_THROW((void)parse("{\"a\" 1}"), ParseError);      // missing colon
+}
+
+TEST(JsonReaderTest, ParseErrorCarriesLocation) {
+  try {
+    (void)parse("{\n  \"a\": nope\n}");
+    FAIL() << "should throw";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_GT(e.column(), 0);
+    EXPECT_NE(std::string{e.what()}.find("2:"), std::string::npos);
+  }
+}
+
+TEST(JsonReaderTest, AccessorsThrowOnTypeMismatch) {
+  const auto v = parse("\"text\"");
+  EXPECT_THROW((void)v.as_number(), std::logic_error);
+  EXPECT_THROW((void)v.as_bool(), std::logic_error);
+  EXPECT_THROW((void)v.items(), std::logic_error);
+  EXPECT_THROW((void)parse("12.5").as_integer(), std::logic_error);
+}
+
+TEST(JsonReaderTest, ParseFileMissingIsAnError) {
+  EXPECT_THROW((void)parse_file("/nonexistent/pack.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace blameit::util::json

@@ -1,0 +1,215 @@
+// scenario_runner: execute declarative scenario packs and report a
+// deterministic trace digest + per-incident pass/fail.
+//
+//   scenario_runner --pack packs/flash_crowd.json
+//   scenario_runner --pack a.json --pack b.json --golden packs/GOLDEN_DIGESTS
+//   scenario_runner --pack a.json --threads 4 --shards 8 --manifest-dir out/
+//
+// Exit codes:
+//   0  every pack ran; digests matched the golden file (when given)
+//   2  usage, schema, or runtime error (the message names file:line:column
+//      and the offending field for pack errors)
+//   3  a digest diverged from the golden file / --expect-digest
+//
+// Failing INCIDENTS do not affect the exit code: frontier packs exist
+// precisely to pin down current misses, and the golden digest asserts the
+// whole verdict stream anyway — strictly stronger than pass counts.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/pack.h"
+#include "scenario/runner.h"
+
+namespace {
+
+using namespace blameit;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --pack FILE [--pack FILE ...]\n"
+      "          [--threads N]        analytics threads override\n"
+      "          [--shards N]         ingest shards override (records mode)\n"
+      "          [--manifest-dir DIR] write DIR/<pack>.manifest.jsonl\n"
+      "          [--golden FILE]      compare digests (lines: <name> <hex>)\n"
+      "          [--update-golden FILE] write digests instead of comparing\n"
+      "          [--expect-digest HEX]  assert a single pack's digest\n",
+      argv0);
+  return 2;
+}
+
+std::map<std::string, std::string> load_golden(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error{path + ": cannot open golden digest file"};
+  }
+  std::map<std::string, std::string> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row{line};
+    std::string name;
+    std::string digest;
+    if (!(row >> name >> digest)) {
+      throw std::runtime_error{path + ": malformed line \"" + line +
+                               "\" (want: <pack-name> <hex-digest>)"};
+    }
+    out[name] = digest;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> pack_paths;
+  scenario::RunnerOptions options;
+  std::string manifest_dir;
+  std::string golden_path;
+  std::string update_golden_path;
+  std::string expect_digest;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--pack") {
+      pack_paths.emplace_back(next());
+    } else if (arg == "--threads") {
+      options.analytics_threads = std::atoi(next());
+    } else if (arg == "--shards") {
+      options.ingest_shards = std::atoi(next());
+    } else if (arg == "--manifest-dir") {
+      manifest_dir = next();
+    } else if (arg == "--golden") {
+      golden_path = next();
+    } else if (arg == "--update-golden") {
+      update_golden_path = next();
+    } else if (arg == "--expect-digest") {
+      expect_digest = next();
+    } else {
+      std::fprintf(stderr, "%s: unknown argument %s\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (pack_paths.empty()) return usage(argv[0]);
+  if (!expect_digest.empty() && pack_paths.size() != 1) {
+    std::fprintf(stderr, "--expect-digest requires exactly one --pack\n");
+    return 2;
+  }
+
+  std::map<std::string, std::string> golden;
+  try {
+    if (!golden_path.empty()) golden = load_golden(golden_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  bool digest_mismatch = false;
+  std::string golden_out;
+  for (const auto& path : pack_paths) {
+    try {
+      const auto pack = scenario::load_pack(path);
+      const auto result = scenario::run_pack(pack, options);
+
+      std::printf("pack %-20s digest %s  incidents %d/%zu passed  "
+                  "accuracy %.3f\n",
+                  pack.name.c_str(), result.digest.c_str(), result.passed,
+                  result.scores.size(), result.accuracy);
+      for (const auto& score : result.scores) {
+        std::printf("  %-28s expected %-7s majority %-7s votes %5d/%-5d "
+                    "%s%s\n",
+                    score.name.c_str(),
+                    std::string{core::to_string(score.expected)}.c_str(),
+                    std::string{core::to_string(score.majority)}.c_str(),
+                    score.votes_for_majority, score.votes_total,
+                    score.passed ? "PASS" : "FAIL",
+                    score.overlapped_with.empty() ? "" : "  (overlap)");
+      }
+      if (result.ingest_records_in > 0) {
+        std::printf("  ingest: %llu records, %llu late-dropped, "
+                    "%llu backpressure parks, ring high water %llu\n",
+                    static_cast<unsigned long long>(result.ingest_records_in),
+                    static_cast<unsigned long long>(
+                        result.ingest_late_dropped),
+                    static_cast<unsigned long long>(
+                        result.ingest_backpressure_waits),
+                    static_cast<unsigned long long>(
+                        result.ingest_ring_high_water));
+      }
+
+      if (!manifest_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(manifest_dir, ec);
+        const std::string manifest_path =
+            manifest_dir + "/" + pack.name + ".manifest.jsonl";
+        std::ofstream out{manifest_path};
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       manifest_path.c_str());
+          return 2;
+        }
+        out << scenario::manifest_jsonl(pack, result, path, options);
+        std::printf("  manifest: %s\n", manifest_path.c_str());
+      }
+
+      golden_out += pack.name + " " + result.digest + "\n";
+      if (const auto it = golden.find(pack.name); it != golden.end()) {
+        if (it->second != result.digest) {
+          std::fprintf(stderr,
+                       "DIGEST DRIFT: pack %s produced %s, golden file says "
+                       "%s\n  (if the output change is intended, regenerate "
+                       "with: scenario_runner --pack %s --update-golden %s)\n",
+                       pack.name.c_str(), result.digest.c_str(),
+                       it->second.c_str(), path.c_str(),
+                       golden_path.c_str());
+          digest_mismatch = true;
+        }
+      } else if (!golden_path.empty()) {
+        std::fprintf(stderr,
+                     "DIGEST DRIFT: pack %s is missing from %s (add: "
+                     "\"%s %s\")\n",
+                     pack.name.c_str(), golden_path.c_str(),
+                     pack.name.c_str(), result.digest.c_str());
+        digest_mismatch = true;
+      }
+      if (!expect_digest.empty() && result.digest != expect_digest) {
+        std::fprintf(stderr, "DIGEST DRIFT: pack %s produced %s, expected "
+                             "%s\n",
+                     pack.name.c_str(), result.digest.c_str(),
+                     expect_digest.c_str());
+        digest_mismatch = true;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (!update_golden_path.empty()) {
+    std::ofstream out{update_golden_path};
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   update_golden_path.c_str());
+      return 2;
+    }
+    out << "# <pack-name> <trace-digest> — regenerate with scenario_runner "
+           "--update-golden\n"
+        << golden_out;
+    std::printf("wrote %s\n", update_golden_path.c_str());
+  }
+
+  return digest_mismatch ? 3 : 0;
+}

@@ -6,7 +6,7 @@
 // ingestion counters.
 //
 //   $ ./live_pipeline [incident_count] [--obs] [--chaos] [--steps N]
-//                     [--serve PORT]
+//                     [--serve PORT] [--snapshot-dir DIR] [--backend NAME]
 //
 // --obs dumps the observability registry (counters, gauges, latency
 // histograms from every pipeline layer) after the day completes.
@@ -21,13 +21,21 @@
 // /metrics.json, /metrics, /healthz). After the day completes the process
 // keeps serving until SIGINT, then shuts down cleanly (sockets drained,
 // threads joined).
+// --snapshot-dir DIR enables restart recovery: on startup, DIR/pipeline.snap
+// (when present) replaces the warmup — the run resumes exactly where the
+// saved run stopped; on clean exit the final state is written back. The
+// verdict store rides along in the same file when --serve is active.
+// --backend hashmap|columnar picks the learner/verdict state representation
+// (results are bit-identical; columnar is the memory-bounded path).
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <string>
 #include <thread>
 
 #include "examples/common.h"
@@ -36,6 +44,7 @@
 #include "ops/report.h"
 #include "sim/chaos.h"
 #include "sim/scenario.h"
+#include "store/snapshot.h"
 #include "svc/service.h"
 #include "util/table.h"
 
@@ -52,6 +61,8 @@ int main(int argc, char** argv) {
   bool with_chaos = false;
   int steps = util::kMinutesPerDay / 15;
   int serve_port = -1;
+  std::string snapshot_dir;
+  auto backend = store::StateBackend::kHashMap;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--obs") == 0) {
       dump_obs = true;
@@ -61,6 +72,19 @@ int main(int argc, char** argv) {
       steps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
       serve_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--snapshot-dir") == 0 && i + 1 < argc) {
+      snapshot_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "columnar") {
+        backend = store::StateBackend::kColumnar;
+      } else if (name == "hashmap") {
+        backend = store::StateBackend::kHashMap;
+      } else {
+        std::fprintf(stderr, "unknown --backend %s (hashmap|columnar)\n",
+                     name.c_str());
+        return 2;
+      }
     } else {
       incident_count = std::atoi(argv[i]);
     }
@@ -85,6 +109,7 @@ int main(int argc, char** argv) {
   // defaults; spelled out because the chaos config comes after them.
   core::BlameItConfig pipe_cfg;
   pipe_cfg.expected_rtt_window_days = 2;
+  pipe_cfg.state_backend = backend;
   net::TopologyConfig topo_cfg;
   topo_cfg.locations_per_region = 1;
   topo_cfg.eyeballs_per_region = 4;
@@ -105,7 +130,26 @@ int main(int argc, char** argv) {
                 util::to_string(inc.start).c_str(), inc.duration_minutes);
   }
 
-  examples::warm_pipeline(*stack, 2);
+  // Restart recovery: a prior run's snapshot replaces the warmup entirely —
+  // the learner/predictor/baseline state picks up exactly where it stopped.
+  const std::filesystem::path snap_path =
+      snapshot_dir.empty()
+          ? std::filesystem::path{}
+          : std::filesystem::path{snapshot_dir} / "pipeline.snap";
+  std::unique_ptr<store::SnapshotReader> restored;
+  if (!snap_path.empty() && std::filesystem::exists(snap_path)) {
+    try {
+      restored = std::make_unique<store::SnapshotReader>(
+          store::SnapshotReader::from_file(snap_path.string()));
+      stack->pipeline->restore_snapshot(*restored);
+      std::printf("restored pipeline state from %s\n",
+                  snap_path.string().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "snapshot restore failed: %s\n", e.what());
+      return 3;
+    }
+  }
+  if (!restored) examples::warm_pipeline(*stack, 2);
   ops::AlertSink alerts;
 
   // Optional service layer: every step report is published into the
@@ -116,8 +160,8 @@ int main(int argc, char** argv) {
   if (serve_port >= 0) {
     std::signal(SIGINT, on_sigint);
     std::signal(SIGTERM, on_sigint);
-    store = std::make_unique<svc::VerdictStore>(
-        svc::VerdictStore::Config{.registry = &stack->registry});
+    store = std::make_unique<svc::VerdictStore>(svc::VerdictStore::Config{
+        .backend = backend, .registry = &stack->registry});
     service =
         std::make_unique<svc::VerdictService>(store.get(), &stack->registry);
     svc::HttpServerConfig http_cfg;
@@ -129,6 +173,11 @@ int main(int argc, char** argv) {
     }
     stack->pipeline->set_step_observer(
         [&](const core::StepReport& report) { store->publish(report); });
+    if (restored && restored->has_section("verdicts")) {
+      store->restore_state(*restored);
+      std::printf("restored verdict store (epoch %llu)\n",
+                  static_cast<unsigned long long>(store->epoch()));
+    }
     std::printf("serving verdicts on http://127.0.0.1:%u\n", server->port());
   }
 
@@ -176,6 +225,20 @@ int main(int argc, char** argv) {
     if (minute % (6 * util::kMinutesPerHour) == 0) {
       std::printf("%s  %s\n", ops::render_step(report, topo).c_str(),
                   ops::render_ingest(stack->ingest_engine->stats()).c_str());
+    }
+  }
+
+  if (!snap_path.empty()) {
+    try {
+      std::filesystem::create_directories(snap_path.parent_path());
+      store::SnapshotWriter writer;
+      stack->pipeline->save_snapshot(writer);
+      if (store) store->save_state(writer);
+      writer.write_file(snap_path.string());
+      std::printf("saved pipeline state to %s\n", snap_path.string().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "snapshot save failed: %s\n", e.what());
+      return 3;
     }
   }
 

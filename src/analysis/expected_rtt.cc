@@ -28,6 +28,13 @@ ExpectedRttLearner::ExpectedRttLearner(ExpectedRttConfig config)
   if (config_.window_days < 1 || config_.reservoir_per_day < 1) {
     throw std::invalid_argument{"ExpectedRttConfig: invalid window/reservoir"};
   }
+  if (config_.backend == store::StateBackend::kColumnar) {
+    store::ReservoirStoreConfig store_config;
+    store_config.reservoir_cap = config_.reservoir_per_day;
+    store_config.metric_prefix = "store.learner";
+    store_config.registry = config_.registry;
+    store_ = std::make_unique<store::ReservoirStore>(std::move(store_config));
+  }
   memo_hits_c_ = obs::counter(config_.registry, "learner.memo_hits");
   memo_misses_c_ = obs::counter(config_.registry, "learner.memo_misses");
   evictions_c_ = obs::counter(config_.registry, "learner.reservoir_evictions");
@@ -38,10 +45,24 @@ void ExpectedRttLearner::observe(ExpectedRttKey key, int day, double rtt_ms) {
   if (day < 0 || rtt_ms < 0.0) {
     throw std::invalid_argument{"ExpectedRttLearner: negative day or RTT"};
   }
+  if (store_) {
+    // Same cache rule as the hash path: an observation can only fall inside
+    // a cached window when the cached query day lies ahead of it.
+    if (!columnar_memo_.empty()) {
+      const auto it = columnar_memo_.find(key.packed);
+      if (it != columnar_memo_.end() && it->second.cache_day > day) {
+        columnar_memo_.erase(it);
+      }
+    }
+    store_->observe(key.packed, day, rtt_ms);
+    obs::set(tracked_keys_g_, static_cast<double>(store_->tracked_keys()));
+    return;
+  }
   auto& history = histories_[key];
   obs::set(tracked_keys_g_, static_cast<double>(histories_.size()));
   if (history.days.empty() || history.days.back().day < day) {
     history.days.push_back(DayReservoir{.day = day, .seen = 0, .sample = {}});
+    keys_by_day_[day].push_back(key);  // one eviction-list entry per reservoir
   } else if (history.days.back().day > day) {
     throw std::invalid_argument{
         "ExpectedRttLearner: observations must arrive day-ordered"};
@@ -83,8 +104,31 @@ std::optional<double> ExpectedRttLearner::pooled_median(
   return util::median_inplace(pool);
 }
 
+std::optional<double> ExpectedRttLearner::columnar_median(std::uint64_t key,
+                                                          int day) const {
+  static thread_local std::vector<double> pool;
+  pool.clear();
+  store_->collect_window(key, day, config_.window_days, pool);
+  if (pool.empty()) return std::nullopt;
+  return util::median_inplace(pool);
+}
+
 std::optional<double> ExpectedRttLearner::expected(ExpectedRttKey key,
                                                    int day) const {
+  if (store_) {
+    if (!store_->contains(key.packed)) return std::nullopt;
+    if (!config_.memoize_medians) return columnar_median(key.packed, day);
+    std::lock_guard lock{cache_mutex_};
+    auto& memo = columnar_memo_[key.packed];
+    if (memo.cache_day != day) {
+      obs::add(memo_misses_c_);
+      memo.cache_value = columnar_median(key.packed, day);
+      memo.cache_day = day;
+    } else {
+      obs::add(memo_hits_c_);
+    }
+    return memo.cache_value;
+  }
   const auto it = histories_.find(key);
   if (it == histories_.end()) return std::nullopt;
   const KeyHistory& history = it->second;
@@ -102,6 +146,9 @@ std::optional<double> ExpectedRttLearner::expected(ExpectedRttKey key,
 
 std::size_t ExpectedRttLearner::history_size(ExpectedRttKey key,
                                              int day) const {
+  if (store_) {
+    return store_->window_sample_count(key.packed, day, config_.window_days);
+  }
   const auto it = histories_.find(key);
   if (it == histories_.end()) return 0;
   std::size_t n = 0;
@@ -115,24 +162,133 @@ std::size_t ExpectedRttLearner::history_size(ExpectedRttKey key,
 }
 
 void ExpectedRttLearner::evict_stale(int day) {
-  for (auto it = histories_.begin(); it != histories_.end();) {
-    auto& history = it->second;
-    bool popped = false;
-    while (!history.days.empty() &&
-           history.days.front().day < day - config_.window_days) {
-      history.days.pop_front();
-      popped = true;
-      obs::add(evictions_c_);
+  if (store_) {
+    const std::size_t dropped =
+        store_->evict_stale(day - config_.window_days);
+    obs::add(evictions_c_, dropped);
+    // Dropped reservoirs may sit inside the window of a cached older query
+    // day; recomputation is deterministic, so a blanket clear is safe.
+    if (dropped > 0) columnar_memo_.clear();
+    obs::set(tracked_keys_g_, static_cast<double>(store_->tracked_keys()));
+    return;
+  }
+  const int cutoff = day - config_.window_days;
+  // Only visit day buckets past the cutoff: each bucket lists the keys that
+  // created a reservoir on that day, so work tracks what expires rather
+  // than the full tracked-key count.
+  for (auto bucket = keys_by_day_.begin();
+       bucket != keys_by_day_.end() && bucket->first < cutoff;) {
+    for (const ExpectedRttKey key : bucket->second) {
+      const auto it = histories_.find(key);
+      if (it == histories_.end()) continue;  // already fully evicted
+      auto& history = it->second;
+      bool popped = false;
+      while (!history.days.empty() && history.days.front().day < cutoff) {
+        history.days.pop_front();
+        popped = true;
+        obs::add(evictions_c_);
+      }
+      // A popped reservoir may sit inside the window of a cached (older)
+      // query day, so any cached value is suspect now.
+      if (popped) history.cache_day = INT_MIN;
+      if (history.days.empty()) {
+        histories_.erase(it);  // keys that churned away must not leak
+      }
     }
-    // A popped reservoir may sit inside the window of a cached (older) query
-    // day, so any cached value is suspect now.
-    if (popped) history.cache_day = INT_MIN;
-    if (history.days.empty()) {
-      it = histories_.erase(it);  // keys that churned away must not leak
-    } else {
-      ++it;
+    bucket = keys_by_day_.erase(bucket);
+  }
+  obs::set(tracked_keys_g_, static_cast<double>(histories_.size()));
+}
+
+void ExpectedRttLearner::save_state(store::SnapshotWriter& writer) const {
+  std::string& out = writer.section("learner");
+  store::put_varint(out, 1);  // learner payload format
+  store::put_varint(
+      out, config_.backend == store::StateBackend::kColumnar ? 1 : 0);
+  if (store_) {
+    store_->save(out);
+    return;
+  }
+  std::vector<std::uint64_t> keys;
+  keys.reserve(histories_.size());
+  for (const auto& [key, history] : histories_) keys.push_back(key.packed);
+  std::sort(keys.begin(), keys.end());
+  store::put_varint(out, keys.size());
+  std::uint64_t prev = 0;
+  for (const std::uint64_t packed : keys) {
+    const KeyHistory& history = histories_.at(ExpectedRttKey{packed});
+    store::put_varint(out, packed - prev);
+    prev = packed;
+    store::put_varint(out, history.days.size());
+    for (const DayReservoir& reservoir : history.days) {
+      store::put_svarint(out, reservoir.day);
+      store::put_varint(out, reservoir.seen);
+      store::put_varint(out, reservoir.sample.size());
+      for (const double v : reservoir.sample) store::put_f64(out, v);
     }
   }
+}
+
+void ExpectedRttLearner::restore_state(const store::SnapshotReader& reader) {
+  store::ByteReader in = reader.section("learner");
+  const std::uint64_t format = in.varint();
+  if (format != 1) {
+    in.fail("unsupported learner payload format " + std::to_string(format));
+  }
+  const std::uint64_t saved_backend = in.varint();
+  const std::uint64_t want_backend =
+      config_.backend == store::StateBackend::kColumnar ? 1 : 0;
+  if (saved_backend != want_backend) {
+    in.fail(std::string{"snapshot was written by the "} +
+            (saved_backend == 1 ? "columnar" : "hashmap") +
+            " backend but this learner is configured for " +
+            std::string{to_string(config_.backend)});
+  }
+  if (store_) {
+    store_->restore(in);
+    columnar_memo_.clear();
+    obs::set(tracked_keys_g_, static_cast<double>(store_->tracked_keys()));
+    return;
+  }
+  std::unordered_map<ExpectedRttKey, KeyHistory, KeyHash> histories;
+  std::map<int, std::vector<ExpectedRttKey>> keys_by_day;
+  const std::uint64_t n_keys = in.varint();
+  if (n_keys > (std::uint64_t{1} << 40)) in.fail("key count absurd");
+  histories.reserve(static_cast<std::size_t>(n_keys));
+  std::uint64_t prev = 0;
+  for (std::uint64_t k = 0; k < n_keys; ++k) {
+    prev += in.varint();
+    const ExpectedRttKey key{prev};
+    KeyHistory& history = histories[key];
+    const std::uint64_t n_days = in.varint();
+    if (n_days > (std::uint64_t{1} << 32)) in.fail("day count absurd");
+    int last_day = INT_MIN;
+    for (std::uint64_t d = 0; d < n_days; ++d) {
+      DayReservoir reservoir;
+      const std::int64_t day64 = in.svarint();
+      if (day64 < 0 || day64 > INT_MAX) in.fail("reservoir day out of range");
+      reservoir.day = static_cast<int>(day64);
+      if (reservoir.day <= last_day) {
+        in.fail("reservoir days not strictly ascending");
+      }
+      last_day = reservoir.day;
+      reservoir.seen = in.varint();
+      const std::uint64_t n_samples = in.varint();
+      if (n_samples >
+          static_cast<std::uint64_t>(config_.reservoir_per_day)) {
+        in.fail("sample count exceeds reservoir cap");
+      }
+      reservoir.sample.reserve(static_cast<std::size_t>(n_samples));
+      for (std::uint64_t s = 0; s < n_samples; ++s) {
+        reservoir.sample.push_back(in.f64());
+      }
+      keys_by_day[reservoir.day].push_back(key);
+      history.days.push_back(std::move(reservoir));
+    }
+  }
+  in.expect_done();
+  histories_ = std::move(histories);
+  keys_by_day_ = std::move(keys_by_day);
   obs::set(tracked_keys_g_, static_cast<double>(histories_.size()));
 }
 

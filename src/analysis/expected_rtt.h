@@ -6,6 +6,14 @@
 // catch shifts that stay below the region target (the paper's 40 ms→55 ms
 // worked example).
 //
+// Two interchangeable state backends (ExpectedRttConfig::backend):
+//  - kHashMap: per-key deques of day reservoirs, the original reference path.
+//  - kColumnar: a store::ReservoirStore — sorted immutable blocks + memtable,
+//    memory-bounded and snapshot-friendly. Requires globally day-ordered
+//    observations (which is how the pipeline feeds the learner).
+// Both produce bit-identical expected() values on the same feed; the hash
+// path stays as the reference the columnar path is tested against.
+//
 // The pooled median is memoized per ⟨key, query day⟩: the 14-day window only
 // changes at day rollover, yet expected() is consulted once per group per
 // 5-minute bucket, so without the cache the same pool was rebuilt and
@@ -14,14 +22,17 @@
 // the cached query day lies ahead of the observation day) and by
 // evict_stale() whenever it drops reservoirs.
 //
-// Threading contract: observe() and evict_stale() must be externally
-// serialized with all other calls; expected() and history_size() may run
-// concurrently with each other (the parallel passive localizer does this).
+// Threading contract: observe(), evict_stale(), save_state(), and
+// restore_state() must be externally serialized with all other calls;
+// expected() and history_size() may run concurrently with each other (the
+// parallel passive localizer does this).
 #pragma once
 
 #include <climits>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -31,6 +42,8 @@
 #include "net/cloud.h"
 #include "net/device.h"
 #include "obs/registry.h"
+#include "store/reservoir_store.h"
+#include "store/snapshot.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -55,8 +68,11 @@ struct ExpectedRttConfig {
   /// Off = recompute per call (the pre-cache behavior; kept as an A/B knob
   /// for the perf benches).
   bool memoize_medians = true;
-  /// Optional metrics sink (memoization hit/miss, evictions, tracked keys);
-  /// null = no instrumentation, zero overhead.
+  /// Which state representation holds the reservoirs (see file comment).
+  store::StateBackend backend = store::StateBackend::kHashMap;
+  /// Optional metrics sink (memoization hit/miss, evictions, tracked keys;
+  /// the columnar backend additionally exports store.learner.* block/
+  /// memtable/merge metrics); null = no instrumentation, zero overhead.
   obs::Registry* registry = nullptr;
 };
 
@@ -85,12 +101,25 @@ class ExpectedRttLearner {
   /// Drops per-day reservoirs older than `day - window` (memory bound) and
   /// erases keys whose history becomes empty — without the erase, churned
   /// keys (BGP paths that stop being used) would grow the map forever.
+  /// Incremental: only day buckets past the cutoff are visited, so the cost
+  /// tracks what expires, not the total tracked-key count.
   void evict_stale(int day);
 
   /// Keys with at least one live reservoir (memory-regression observability).
   [[nodiscard]] std::size_t tracked_keys() const noexcept {
-    return histories_.size();
+    return store_ ? store_->tracked_keys() : histories_.size();
   }
+
+  [[nodiscard]] store::StateBackend backend() const noexcept {
+    return config_.backend;
+  }
+
+  /// Writes the full reservoir state as snapshot section "learner". Memo
+  /// caches are not persisted (recomputation yields identical values).
+  void save_state(store::SnapshotWriter& writer) const;
+  /// Replaces the reservoir state from a snapshot. The snapshot must have
+  /// been written by the same backend (the section records which).
+  void restore_state(const store::SnapshotReader& reader);
 
  private:
   struct DayReservoir {
@@ -110,14 +139,25 @@ class ExpectedRttLearner {
       return std::hash<std::uint64_t>{}(k.packed);
     }
   };
+  struct ColumnarMemo {
+    int cache_day = INT_MIN;
+    std::optional<double> cache_value;
+  };
 
   /// Pools the window's reservoirs into a reused scratch buffer and takes
   /// the median (nth_element, no per-call allocation).
   [[nodiscard]] std::optional<double> pooled_median(const KeyHistory& history,
                                                     int day) const;
+  [[nodiscard]] std::optional<double> columnar_median(std::uint64_t key,
+                                                      int day) const;
 
   ExpectedRttConfig config_;
   std::unordered_map<ExpectedRttKey, KeyHistory, KeyHash> histories_;
+  /// Day -> keys that created a reservoir on that day; lets evict_stale()
+  /// visit only expired reservoirs instead of scanning every tracked key.
+  std::map<int, std::vector<ExpectedRttKey>> keys_by_day_;
+  std::unique_ptr<store::ReservoirStore> store_;  // columnar backend only
+  mutable std::unordered_map<std::uint64_t, ColumnarMemo> columnar_memo_;
   mutable std::mutex cache_mutex_;
 
   // Instruments (null without a registry).

@@ -1,5 +1,6 @@
 #include "core/background.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/prioritizer.h"
@@ -37,6 +38,62 @@ const Baseline* BaselineStore::get_before(net::CloudLocationId location,
   // culprit increase of ~0 — a silent miss. Let the caller take the
   // explicit low-confidence no-baseline path instead.
   return best;
+}
+
+void BaselineStore::save(std::string& out) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(baselines_.size());
+  for (const auto& [key, history] : baselines_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  store::put_varint(out, keys.size());
+  std::uint64_t prev = 0;
+  for (const std::uint64_t key : keys) {
+    store::put_varint(out, key - prev);
+    prev = key;
+    const auto& history = baselines_.at(key);
+    store::put_varint(out, history.size());
+    for (const Baseline& baseline : history) {
+      store::put_svarint(out, baseline.when.minutes);
+      store::put_f64(out, baseline.cloud_ms);
+      store::put_varint(out, baseline.contributions.size());
+      for (const auto& [as, ms] : baseline.contributions) {
+        store::put_varint(out, as.value);
+        store::put_f64(out, ms);
+      }
+    }
+  }
+}
+
+void BaselineStore::restore(store::ByteReader& in) {
+  std::unordered_map<std::uint64_t, std::vector<Baseline>> baselines;
+  const std::uint64_t n_keys = in.varint();
+  if (n_keys > (std::uint64_t{1} << 40)) in.fail("baseline key count absurd");
+  baselines.reserve(static_cast<std::size_t>(n_keys));
+  std::uint64_t prev = 0;
+  for (std::uint64_t k = 0; k < n_keys; ++k) {
+    prev += in.varint();
+    const std::uint64_t n = in.varint();
+    if (n > kHistory) in.fail("baseline history exceeds retention");
+    auto& history = baselines[prev];
+    history.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Baseline baseline;
+      baseline.when.minutes = in.svarint();
+      baseline.cloud_ms = in.f64();
+      const std::uint64_t n_contrib = in.varint();
+      if (n_contrib > (std::uint64_t{1} << 20)) {
+        in.fail("contribution count absurd");
+      }
+      baseline.contributions.reserve(static_cast<std::size_t>(n_contrib));
+      for (std::uint64_t c = 0; c < n_contrib; ++c) {
+        const net::AsId as{static_cast<std::uint32_t>(in.varint())};
+        const double ms = in.f64();
+        baseline.contributions.emplace_back(as, ms);
+      }
+      history.push_back(std::move(baseline));
+    }
+  }
+  baselines_ = std::move(baselines);
 }
 
 BackgroundProber::BackgroundProber(const net::Topology* topology,

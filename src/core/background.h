@@ -8,10 +8,12 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
+#include "store/encoding.h"
 #include "net/topology.h"
 #include "obs/registry.h"
 #include "sim/traceroute.h"
@@ -45,6 +47,12 @@ class BaselineStore {
                                            util::MinuteTime when) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return baselines_.size(); }
+
+  /// Appends every retained baseline (key-sorted normal form, oldest-first
+  /// per path, raw f64 contributions — restore is bit-exact).
+  void save(std::string& out) const;
+  /// Replaces the store contents from `in`; commits after a clean parse.
+  void restore(store::ByteReader& in);
 
  private:
   /// Bounded per-path history, oldest first.

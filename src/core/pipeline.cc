@@ -1,7 +1,10 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
+#include <climits>
 #include <stdexcept>
+#include <string>
 
 namespace blameit::core {
 
@@ -17,6 +20,7 @@ BlameItPipeline::BlameItPipeline(const net::Topology* topology,
           .window_days = config.expected_rtt_window_days,
           .reservoir_per_day = 256,
           .memoize_medians = config.memoize_expected_rtt,
+          .backend = config.state_backend,
           .registry = registry}),
       passive_(topology, &learner_, config, registry),
       durations_(config.duration_horizon_buckets),
@@ -45,6 +49,88 @@ BlameItPipeline::BlameItPipeline(const net::Topology* topology,
   active_retries_c_ = obs::counter(registry, "pipeline.active_retries");
   probe_budget_g_ = obs::gauge(registry, "pipeline.probe_budget_per_run");
   obs::set(probe_budget_g_, static_cast<double>(config_.probe_budget_per_run));
+  snapshot_save_ms_h_ = obs::histogram(registry, "store.snapshot_save_ms");
+  snapshot_load_ms_h_ = obs::histogram(registry, "store.snapshot_load_ms");
+}
+
+void BlameItPipeline::save_snapshot(store::SnapshotWriter& writer) const {
+  const obs::ScopedTimer span{snapshot_save_ms_h_};
+  {
+    std::string& out = writer.section("pipeline-cursors");
+    store::put_varint(out, 1);  // cursors payload format
+    store::put_svarint(out, next_bucket_.index);
+    store::put_svarint(out, last_step_.minutes);
+    store::put_svarint(out, last_evict_day_);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(open_runs_.size());
+    for (const auto& [key, run] : open_runs_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    store::put_varint(out, keys.size());
+    std::uint64_t prev = 0;
+    for (const std::uint64_t key : keys) {
+      store::put_varint(out, key - prev);
+      prev = key;
+      const OpenRun& run = open_runs_.at(key);
+      store::put_svarint(out, run.last.index);
+      store::put_svarint(out, run.length);
+    }
+  }
+  learner_.save_state(writer);
+  durations_.save(writer.section("durations"));
+  clients_.save(writer.section("clients"));
+  baselines_.save(writer.section("baselines"));
+}
+
+void BlameItPipeline::restore_snapshot(const store::SnapshotReader& reader) {
+  const obs::ScopedTimer span{snapshot_load_ms_h_};
+  {
+    store::ByteReader in = reader.section("pipeline-cursors");
+    const std::uint64_t format = in.varint();
+    if (format != 1) {
+      in.fail("unsupported cursors payload format " + std::to_string(format));
+    }
+    const std::int64_t next_bucket = in.svarint();
+    const std::int64_t last_step = in.svarint();
+    const std::int64_t last_evict_day = in.svarint();
+    if (last_evict_day < -1 || last_evict_day > INT_MAX) {
+      in.fail("eviction day out of range");
+    }
+    std::unordered_map<std::uint64_t, OpenRun> open_runs;
+    const std::uint64_t n_runs = in.varint();
+    if (n_runs > (std::uint64_t{1} << 32)) in.fail("open-run count absurd");
+    open_runs.reserve(static_cast<std::size_t>(n_runs));
+    std::uint64_t prev = 0;
+    for (std::uint64_t r = 0; r < n_runs; ++r) {
+      prev += in.varint();
+      OpenRun run;
+      run.last = util::TimeBucket{in.svarint()};
+      const std::int64_t length = in.svarint();
+      if (length < 1 || length > INT_MAX) in.fail("run length out of range");
+      run.length = static_cast<int>(length);
+      open_runs.emplace(prev, run);
+    }
+    in.expect_done();
+    next_bucket_ = util::TimeBucket{next_bucket};
+    last_step_ = util::MinuteTime{last_step};
+    last_evict_day_ = static_cast<int>(last_evict_day);
+    open_runs_ = std::move(open_runs);
+  }
+  learner_.restore_state(reader);
+  {
+    store::ByteReader in = reader.section("durations");
+    durations_.restore(in);
+    in.expect_done();
+  }
+  {
+    store::ByteReader in = reader.section("clients");
+    clients_.restore(in);
+    in.expect_done();
+  }
+  {
+    store::ByteReader in = reader.section("baselines");
+    baselines_.restore(in);
+    in.expect_done();
+  }
 }
 
 void BlameItPipeline::learn_from(

@@ -20,6 +20,7 @@
 #include "net/topology.h"
 #include "obs/registry.h"
 #include "sim/traceroute.h"
+#include "store/snapshot.h"
 
 namespace blameit::core {
 
@@ -114,6 +115,20 @@ class BlameItPipeline {
   /// evaluation window.
   void warmup_bucket(util::TimeBucket bucket);
 
+  /// Serializes all learned/cursor state into snapshot sections: pipeline
+  /// cursors + open runs, the expected-RTT learner, both predictors, and
+  /// the baseline store. A pipeline restored from the result and fed the
+  /// same subsequent buckets produces bit-identical step reports. What is
+  /// deliberately NOT saved: probe accounting (cost counters, not state)
+  /// and background prober targets (rebuilt deterministically from routing
+  /// state on the next step).
+  void save_snapshot(store::SnapshotWriter& writer) const;
+  /// Replaces this pipeline's learned/cursor state from a snapshot. The
+  /// pipeline must have been constructed with the same config (notably the
+  /// same learner backend). On exception the pipeline state is unspecified;
+  /// discard it.
+  void restore_snapshot(const store::SnapshotReader& reader);
+
  private:
   void learn_from(const std::vector<analysis::Quartet>& quartets,
                   util::TimeBucket bucket);
@@ -155,6 +170,8 @@ class BlameItPipeline {
   obs::Counter* degraded_steps_c_ = nullptr;
   obs::Counter* active_retries_c_ = nullptr;
   obs::Gauge* probe_budget_g_ = nullptr;
+  obs::Histogram* snapshot_save_ms_h_ = nullptr;
+  obs::Histogram* snapshot_load_ms_h_ = nullptr;
 };
 
 }  // namespace blameit::core

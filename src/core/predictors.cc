@@ -1,6 +1,7 @@
 #include "core/predictors.h"
 
 #include <algorithm>
+#include <climits>
 #include <stdexcept>
 
 namespace blameit::core {
@@ -76,6 +77,55 @@ std::size_t DurationPredictor::history_count(std::uint64_t key) const {
   return it == per_key_.end() ? 0 : it->second.size();
 }
 
+void DurationPredictor::save(std::string& out) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(per_key_.size());
+  for (const auto& [key, durations] : per_key_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  store::put_varint(out, keys.size());
+  std::uint64_t prev = 0;
+  for (const std::uint64_t key : keys) {
+    store::put_varint(out, key - prev);
+    prev = key;
+    const auto& durations = per_key_.at(key);
+    store::put_varint(out, durations.size());
+    for (const int d : durations) store::put_svarint(out, d);
+  }
+  store::put_varint(out, global_.size());
+  for (const int d : global_) store::put_svarint(out, d);
+}
+
+void DurationPredictor::restore(store::ByteReader& in) {
+  std::unordered_map<std::uint64_t, std::vector<int>> per_key;
+  const std::uint64_t n_keys = in.varint();
+  if (n_keys > (std::uint64_t{1} << 40)) in.fail("duration key count absurd");
+  per_key.reserve(static_cast<std::size_t>(n_keys));
+  std::uint64_t prev = 0;
+  for (std::uint64_t k = 0; k < n_keys; ++k) {
+    prev += in.varint();
+    const std::uint64_t n = in.varint();
+    if (n > (std::uint64_t{1} << 32)) in.fail("duration history absurd");
+    auto& durations = per_key[prev];
+    durations.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::int64_t d = in.svarint();
+      if (d < 1 || d > INT_MAX) in.fail("duration out of range");
+      durations.push_back(static_cast<int>(d));
+    }
+  }
+  const std::uint64_t n_global = in.varint();
+  if (n_global > (std::uint64_t{1} << 40)) in.fail("global pool absurd");
+  std::vector<int> global;
+  global.reserve(static_cast<std::size_t>(n_global));
+  for (std::uint64_t i = 0; i < n_global; ++i) {
+    const std::int64_t d = in.svarint();
+    if (d < 1 || d > INT_MAX) in.fail("duration out of range");
+    global.push_back(static_cast<int>(d));
+  }
+  per_key_ = std::move(per_key);
+  global_ = std::move(global);
+}
+
 ClientVolumePredictor::ClientVolumePredictor(int window_days)
     : window_days_(window_days) {
   if (window_days_ < 1) {
@@ -123,6 +173,62 @@ void ClientVolumePredictor::evict_stale(int current_day) {
       }
     }
   }
+}
+
+void ClientVolumePredictor::save(std::string& out) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(data_.size());
+  for (const auto& [key, slots] : data_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  store::put_varint(out, keys.size());
+  std::uint64_t prev = 0;
+  for (const std::uint64_t key : keys) {
+    store::put_varint(out, key - prev);
+    prev = key;
+    const auto& slots = data_.at(key);
+    std::vector<int> bods;
+    bods.reserve(slots.size());
+    for (const auto& [bod, slot] : slots) bods.push_back(bod);
+    std::sort(bods.begin(), bods.end());
+    store::put_varint(out, bods.size());
+    for (const int bod : bods) {
+      store::put_svarint(out, bod);
+      const auto& history = slots.at(bod).history;
+      store::put_varint(out, history.size());
+      for (const auto& [day, users] : history) {
+        store::put_svarint(out, day);
+        store::put_f64(out, users);
+      }
+    }
+  }
+}
+
+void ClientVolumePredictor::restore(store::ByteReader& in) {
+  std::unordered_map<std::uint64_t, std::unordered_map<int, Slot>> data;
+  const std::uint64_t n_keys = in.varint();
+  if (n_keys > (std::uint64_t{1} << 40)) in.fail("client key count absurd");
+  data.reserve(static_cast<std::size_t>(n_keys));
+  std::uint64_t prev = 0;
+  for (std::uint64_t k = 0; k < n_keys; ++k) {
+    prev += in.varint();
+    auto& slots = data[prev];
+    const std::uint64_t n_slots = in.varint();
+    if (n_slots > (std::uint64_t{1} << 20)) in.fail("slot count absurd");
+    for (std::uint64_t s = 0; s < n_slots; ++s) {
+      const std::int64_t bod = in.svarint();
+      if (bod < 0 || bod > INT_MAX) in.fail("bucket-of-day out of range");
+      auto& slot = slots[static_cast<int>(bod)];
+      const std::uint64_t n = in.varint();
+      if (n > (std::uint64_t{1} << 20)) in.fail("slot history absurd");
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::int64_t day = in.svarint();
+        if (day < 0 || day > INT_MAX) in.fail("history day out of range");
+        const double users = in.f64();
+        slot.history.emplace_back(static_cast<int>(day), users);
+      }
+    }
+  }
+  data_ = std::move(data);
 }
 
 }  // namespace blameit::core

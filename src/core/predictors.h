@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "store/encoding.h"
 #include "util/time.h"
 
 namespace blameit::core {
@@ -39,6 +41,12 @@ class DurationPredictor {
                                             int extra_buckets) const;
 
   [[nodiscard]] std::size_t history_count(std::uint64_t key) const;
+
+  /// Appends the full duration history (key-sorted normal form; the global
+  /// pool keeps its arrival order, which restore reproduces exactly).
+  void save(std::string& out) const;
+  /// Replaces the history from `in`; commits only after a clean parse.
+  void restore(store::ByteReader& in);
 
  private:
   [[nodiscard]] const std::vector<int>& pool_for(std::uint64_t key) const;
@@ -68,6 +76,12 @@ class ClientVolumePredictor {
 
   /// Drops observations older than the window (call once per day).
   void evict_stale(int current_day);
+
+  /// Appends all per-⟨key, bucket-of-day⟩ histories in key-sorted normal
+  /// form (deque order preserved within a slot).
+  void save(std::string& out) const;
+  /// Replaces the history from `in`; commits only after a clean parse.
+  void restore(store::ByteReader& in);
 
  private:
   struct Slot {

@@ -106,6 +106,91 @@ std::vector<AsPath> AsGraph::k_paths(AsId src, AsId dst, std::size_t k) const {
   return found;
 }
 
+std::unordered_map<AsId, std::vector<AsPath>> AsGraph::eyeball_paths(
+    AsId src, std::size_t k) const {
+  std::unordered_map<AsId, std::vector<AsPath>> out;
+  if (k == 0) return out;
+
+  std::vector<AsId> eyeballs;
+  for (const auto& info : registry_->all()) {
+    if (info.type == AsType::Eyeball && info.id != src) {
+      eyeballs.push_back(info.id);
+    }
+  }
+  if (eyeballs.empty()) return out;
+
+  // Phase 1: enumerate every simple valley-free walk PREFIX over the
+  // non-eyeball core (k_paths' DFS states, minus the eyeball dead-ends),
+  // bucketed by endpoint. Each prefix remembers its phase: a peering or
+  // customer link into an eyeball is only legal while still ascending,
+  // exactly as in k_paths.
+  constexpr std::size_t kMaxNodes = 7;  // full path cap, matching k_paths
+  enum class Phase : std::uint8_t { Ascending, Descending };
+  struct CorePrefix {
+    AsPath path;
+    double latency;
+    Phase phase;
+  };
+  std::unordered_map<AsId, std::vector<CorePrefix>> ending_at;
+
+  AsPath current{src};
+  auto dfs = [&](auto&& self, AsId node, Phase phase, double latency) -> void {
+    ending_at[node].push_back(CorePrefix{current, latency, phase});
+    if (current.size() >= kMaxNodes - 1) return;  // leave room for the eyeball
+    for (const auto& n : neighbors(node)) {
+      if (registry_->at(n.to).type == AsType::Eyeball) continue;
+      if (std::find(current.begin(), current.end(), n.to) != current.end()) {
+        continue;
+      }
+      Phase next_phase = Phase::Descending;
+      if (phase == Phase::Ascending) {
+        if (n.rel == Rel::Customer) next_phase = Phase::Ascending;
+      } else {
+        if (n.rel != Rel::Provider) continue;
+        next_phase = Phase::Descending;
+      }
+      current.push_back(n.to);
+      self(self, n.to, next_phase, latency + n.latency_ms);
+      current.pop_back();
+    }
+  };
+  dfs(dfs, src, Phase::Ascending, 0.0);
+
+  // Phase 2: extend each core prefix across the final link into the eyeball
+  // and rank with k_paths' exact comparator. Latency accumulates in the same
+  // left-to-right order as the per-eyeball DFS, so FP sums match bit-for-bit.
+  std::vector<std::pair<AsPath, double>> candidates;
+  for (const AsId e : eyeballs) {
+    candidates.clear();
+    for (const auto& n : neighbors(e)) {  // n.rel is e's view; invert for T
+      const bool provider_entry = n.rel == Rel::Customer;  // T provides e
+      const auto it = ending_at.find(n.to);
+      if (it == ending_at.end()) continue;
+      for (const CorePrefix& prefix : it->second) {
+        if (!provider_entry && prefix.phase != Phase::Ascending) continue;
+        AsPath path = prefix.path;
+        path.push_back(e);
+        candidates.emplace_back(std::move(path),
+                                prefix.latency + n.latency_ms);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& x, const auto& y) {
+                if (x.first.size() != y.first.size()) {
+                  return x.first.size() < y.first.size();
+                }
+                if (x.second != y.second) return x.second < y.second;
+                return x.first < y.first;
+              });
+    std::vector<AsPath>& found = out[e];
+    for (auto& [path, latency] : candidates) {
+      found.push_back(std::move(path));
+      if (found.size() == k) break;
+    }
+  }
+  return out;
+}
+
 std::optional<AsPath> AsGraph::best_path(AsId src, AsId dst) const {
   auto paths = k_paths(src, dst, 1);
   if (paths.empty()) return std::nullopt;

@@ -47,6 +47,21 @@ Topology::Topology(const TopologyConfig& config) : config_(config) {
     throw std::invalid_argument{
         "TopologyConfig: blocks_per_prefix must be a power of two <= 256"};
   }
+  if (config_.blocks_per_eyeball > 256) {
+    throw std::invalid_argument{
+        "TopologyConfig: blocks_per_eyeball must be <= 256 (each eyeball "
+        "owns one /16 of the 10.0.0.0 address plan)"};
+  }
+  // Eyeball /16s are carved consecutively from 10.0.0.0 upward; the whole
+  // plan must stay inside 32-bit IPv4 space.
+  const auto total_eyeballs = static_cast<std::uint64_t>(kAllRegions.size()) *
+                              static_cast<std::uint64_t>(
+                                  config_.eyeballs_per_region);
+  if ((10u << 16) + total_eyeballs * 256 > (std::uint64_t{1} << 24)) {
+    throw std::invalid_argument{
+        "TopologyConfig: too many eyeballs for the address plan (max "
+        "~62,000 across all regions)"};
+  }
   util::Rng rng{config_.seed};
   build_ases_and_links(rng);
   build_locations(rng);
@@ -211,7 +226,10 @@ void Topology::build_blocks(util::Rng& rng) {
     for (const AsId isp : region_eyeballs_[region]) {
       for (int j = 0; j < config_.blocks_per_eyeball; ++j) {
         ClientBlock cb;
-        cb.block = Slash24{(10u << 16) | (eyeball_index << 8) |
+        // Arithmetic (not OR-packed) so eyeball #256+ rolls into the next
+        // first octet instead of colliding with eyeball #0 — identical bits
+        // to the original 10.g.j plan for g < 256.
+        cb.block = Slash24{(10u << 16) + eyeball_index * 256u +
                            static_cast<std::uint32_t>(j)};
         cb.client_as = isp;
         cb.region = region;
@@ -249,17 +267,14 @@ void Topology::build_blocks(util::Rng& rng) {
 }
 
 void Topology::build_routes() {
-  // Candidate AS paths depend only on the destination eyeball; compute once
-  // per eyeball, then filter per location by permissible first hop.
+  // Candidate AS paths depend only on the destination eyeball; compute all
+  // eyeballs in one core DFS (bit-identical to per-eyeball k_paths, but
+  // O(eyeballs) cheaper — the difference between milliseconds and minutes at
+  // the 1M-/24 scale), then filter per location by permissible first hop.
   // The candidate pool must be generous: a far-away location's usable paths
   // (first hop restricted to its own egress transits) are much longer than
   // the global shortest, so a small k would truncate them away.
-  std::unordered_map<AsId, std::vector<AsPath>> candidates;
-  for (const auto& info : registry_.all()) {
-    if (info.type == AsType::Eyeball) {
-      candidates.emplace(info.id, graph_->k_paths(cloud_as_, info.id, 512));
-    }
-  }
+  const auto candidates = graph_->eyeball_paths(cloud_as_, 512);
 
   // Announced prefixes: one per blocks_per_prefix-aligned group; all /24s in
   // the group share the eyeball, so any block in the group identifies it.

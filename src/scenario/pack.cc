@@ -212,7 +212,7 @@ void parse_pipeline(const Ctx& ctx, const Value& v, const std::string& path,
   ctx.check_keys(v, path,
                  {"analytics_threads", "expected_rtt_window_days",
                   "probe_budget_per_run", "active_quorum_k",
-                  "active_probe_retries"});
+                  "active_probe_retries", "state_backend"});
   const auto opt_int = [&](std::string_view key, int& field, int lo, int hi) {
     if (const auto* m = v.find(key)) {
       field = static_cast<int>(
@@ -224,6 +224,19 @@ void parse_pipeline(const Ctx& ctx, const Value& v, const std::string& path,
   opt_int("probe_budget_per_run", out.probe_budget_per_run, 0, 1000);
   opt_int("active_quorum_k", out.active_quorum_k, 1, 9);
   opt_int("active_probe_retries", out.active_probe_retries, 0, 10);
+  if (const auto* m = v.find("state_backend")) {
+    const std::string p = path + ".state_backend";
+    const auto& token = ctx.want_string(*m, p);
+    if (token == "hashmap") {
+      out.state_backend = store::StateBackend::kHashMap;
+    } else if (token == "columnar") {
+      out.state_backend = store::StateBackend::kColumnar;
+    } else {
+      ctx.fail(*m, p,
+               "unknown state backend \"" + token +
+                   "\" (allowed: hashmap, columnar)");
+    }
+  }
 }
 
 void parse_ingest(const Ctx& ctx, const Value& v, const std::string& path,
@@ -438,7 +451,7 @@ Pack parse_pack(const util::json::Value& doc,
   ctx.check_keys(doc, "$",
                  {"name", "description", "mode", "warmup_days", "run_days",
                   "telemetry_seed", "topology", "pipeline", "ingest",
-                  "chaos", "surges", "incidents"});
+                  "chaos", "surges", "incidents", "restart"});
   Pack pack;
   pack.name = ctx.want_string(ctx.require(doc, "$", "name"), "$.name");
   if (const auto* m = doc.find("description")) {
@@ -508,6 +521,32 @@ Pack parse_pack(const util::json::Value& doc,
                      "\" (names key the manifest)");
       }
     }
+  }
+  if (const auto* m = doc.find("restart")) {
+    ctx.want_object(*m, "$.restart");
+    ctx.check_keys(*m, "$.restart", {"at"});
+    PackRestart restart;
+    const auto& at = ctx.require(*m, "$.restart", "at");
+    restart.at = ctx.want_time(at, "$.restart.at");
+    if (restart.at.minutes % 15 != 0) {
+      ctx.fail(at, "$.restart.at",
+               "restart must land on a 15-minute step boundary");
+    }
+    // Must fall on a step of the evaluation window, with at least one step
+    // left afterwards — a restart after the final step recovers nothing.
+    const auto first_step =
+        util::MinuteTime::from_days(pack.warmup_days).plus_minutes(15);
+    const auto last_step =
+        util::MinuteTime::from_days(pack.warmup_days + pack.run_days);
+    if (restart.at < first_step || !(restart.at < last_step)) {
+      ctx.fail(at, "$.restart.at",
+               "restart at minute " + std::to_string(restart.at.minutes) +
+                   " must fall on an evaluation step strictly before the "
+                   "final one (steps run minute " +
+                   std::to_string(first_step.minutes) + " .. " +
+                   std::to_string(last_step.minutes) + ")");
+    }
+    pack.restart = restart;
   }
   // Every incident must end inside the evaluation window, or it can never
   // be scored.

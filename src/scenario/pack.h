@@ -89,6 +89,17 @@ struct PackSurge {
   double multiplier = 1.0;
 };
 
+/// A scheduled pipeline restart: after the step at `at` completes, the
+/// pipeline state is snapshotted, the pipeline is destroyed, and a fresh one
+/// is restored from the snapshot before the next step. The simulated
+/// internet (topology, faults, chaos, traceroute engine, ingest plumbing)
+/// persists across the restart — it is the environment, not the monitor.
+/// The runner executes the pack twice (uninterrupted and restarted) and
+/// reports whether the two verdict-stream digests match.
+struct PackRestart {
+  util::MinuteTime at;  ///< must land on a 15-minute step inside the window
+};
+
 struct Pack {
   std::string name;
   std::string description;
@@ -104,6 +115,7 @@ struct Pack {
 
   std::vector<PackSurge> surges;
   std::vector<PackIncident> incidents;
+  std::optional<PackRestart> restart;
 };
 
 /// Parses and validates a pack document. `source_name` is used in error

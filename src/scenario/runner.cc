@@ -2,11 +2,14 @@
 
 #include <memory>
 
+#include <optional>
+
 #include "analysis/quartet.h"
 #include "ingest/source.h"
 #include "sim/chaos.h"
 #include "sim/rtt_model.h"
 #include "sim/traceroute.h"
+#include "store/snapshot.h"
 #include "util/digest.h"
 #include "util/json.h"
 
@@ -45,9 +48,14 @@ void fold_step(util::Digest64& digest, const core::StepReport& report) {
   digest.update(report.degraded_passive_only);
 }
 
-}  // namespace
-
-RunResult run_pack(const Pack& pack, const RunnerOptions& options) {
+/// One full execution of the pack. When `restart_at` is set, the pipeline is
+/// snapshotted after the step at that time, destroyed, and a fresh pipeline
+/// is restored from the snapshot bytes before the next step. Everything
+/// else — topology, fault schedule, chaos, traceroute engine, ingest
+/// plumbing — lives on: it models the internet and the telemetry stream,
+/// which do not restart when the monitor does.
+RunResult run_once(const Pack& pack, const RunnerOptions& options,
+                   std::optional<util::MinuteTime> restart_at) {
   auto topology = net::make_topology(pack.topology);
 
   sim::FaultInjector faults;
@@ -124,12 +132,14 @@ RunResult run_pack(const Pack& pack, const RunnerOptions& options) {
     };
   }
 
-  core::BlameItPipeline pipeline{topology.get(), engine.get(),
-                                 std::move(source), pipeline_config};
+  // The source is copied (not moved) into the pipeline so a restarted
+  // pipeline can be wired to the very same feed.
+  auto pipeline = std::make_unique<core::BlameItPipeline>(
+      topology.get(), engine.get(), source, pipeline_config);
 
   for (int day = 0; day < pack.warmup_days; ++day) {
     for (int b = 0; b < util::kBucketsPerDay; ++b) {
-      pipeline.warmup_bucket(
+      pipeline->warmup_bucket(
           util::TimeBucket{day * util::kBucketsPerDay + b});
     }
   }
@@ -143,12 +153,29 @@ RunResult run_pack(const Pack& pack, const RunnerOptions& options) {
        ++day) {
     for (int minute = 15; minute <= util::kMinutesPerDay; minute += 15) {
       const auto now = util::MinuteTime::from_days(day).plus_minutes(minute);
-      const auto report = pipeline.step(now);
+      const auto report = pipeline->step(now);
       scorer.observe(report);
       fold_step(digest, report);
       ++result.steps;
       result.blames_total += static_cast<long>(report.blames.size());
       result.diagnoses_total += static_cast<long>(report.diagnoses.size());
+
+      if (restart_at && now == *restart_at) {
+        // Snapshot, kill, restore. The snapshot round-trips through its
+        // serialized byte form — the same container live_pipeline writes to
+        // disk — so checksums and version gates are exercised, not just the
+        // in-memory section list.
+        store::SnapshotWriter writer;
+        pipeline->save_snapshot(writer);
+        std::string bytes = writer.serialize();
+        pipeline.reset();
+        pipeline = std::make_unique<core::BlameItPipeline>(
+            topology.get(), engine.get(), source, pipeline_config);
+        pipeline->restore_snapshot(store::SnapshotReader::from_bytes(
+            std::move(bytes), "<restart at " +
+                                  std::to_string(restart_at->minutes) +
+                                  "m>"));
+      }
     }
   }
 
@@ -176,6 +203,23 @@ RunResult run_pack(const Pack& pack, const RunnerOptions& options) {
     result.ingest_ring_high_water =
         static_cast<std::uint64_t>(stats.ring_high_water);
   }
+  return result;
+}
+
+}  // namespace
+
+RunResult run_pack(const Pack& pack, const RunnerOptions& options) {
+  RunResult reference = run_once(pack, options, std::nullopt);
+  if (!pack.restart) return reference;
+
+  // Restart pack: the reference run above is the ground truth; the second
+  // run kills and restores the pipeline mid-window. The restarted run is
+  // what the pack REPORTS (its digest is what goldens pin), with the
+  // reference digest alongside so drift in either run is caught.
+  RunResult result = run_once(pack, options, pack.restart->at);
+  result.restarted = true;
+  result.uninterrupted_digest = reference.digest;
+  result.restart_ok = result.digest == reference.digest;
   return result;
 }
 

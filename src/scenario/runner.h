@@ -42,6 +42,15 @@ struct RunResult {
   std::uint64_t ingest_late_dropped = 0;
   std::uint64_t ingest_backpressure_waits = 0;
   std::uint64_t ingest_ring_high_water = 0;
+
+  // Restart recovery (packs with a "restart" stanza only). The pack runs
+  // twice: once uninterrupted, once with a snapshot/kill/restore of the
+  // pipeline at the scheduled step. `digest` above is the RESTARTED run's
+  // digest (that is what the golden file pins); restart_ok says it matched
+  // the uninterrupted reference — recovery lost or invented nothing.
+  bool restarted = false;
+  bool restart_ok = true;
+  std::string uninterrupted_digest;
 };
 
 /// Runs the pack. Throws PackError / std::invalid_argument on schedule

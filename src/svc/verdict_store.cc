@@ -22,18 +22,178 @@ constexpr std::uint64_t client_run_key(net::AsId as) noexcept {
   return (std::uint64_t{3} << 62) | as.value;
 }
 
+// Rough per-entry bookkeeping cost of an unordered_map node.
+constexpr std::size_t kHashNodeOverhead = 48;
+
+void put_incident(std::string& out, const Incident& inc) {
+  store::put_varint(out, static_cast<std::uint64_t>(inc.category));
+  store::put_varint(out, inc.location.value);
+  store::put_varint(out, inc.middle ? inc.middle->value + std::uint64_t{1} : 0);
+  store::put_varint(out,
+                    inc.faulty_as ? inc.faulty_as->value + std::uint64_t{1} : 0);
+  store::put_svarint(out, inc.first_seen.minutes);
+  store::put_svarint(out, inc.last_seen.minutes);
+  store::put_svarint(out, inc.buckets);
+  store::put_varint(out, inc.open ? 1 : 0);
+}
+
+Incident read_incident(store::ByteReader& in) {
+  Incident inc;
+  inc.category = static_cast<core::Blame>(in.varint());
+  inc.location.value = static_cast<std::uint16_t>(in.varint());
+  if (const std::uint64_t mid = in.varint(); mid != 0) {
+    inc.middle = net::MiddleSegmentId{static_cast<std::uint32_t>(mid - 1)};
+  }
+  if (const std::uint64_t as = in.varint(); as != 0) {
+    inc.faulty_as = net::AsId{static_cast<std::uint32_t>(as - 1)};
+  }
+  inc.first_seen.minutes = in.svarint();
+  inc.last_seen.minutes = in.svarint();
+  inc.buckets = static_cast<int>(in.svarint());
+  inc.open = in.varint() != 0;
+  return inc;
+}
+
+void put_diagnosis(std::string& out, const DiagnosisRecord& record) {
+  const core::ActiveDiagnosis& d = record.diagnosis;
+  store::put_svarint(out, record.at.minutes);
+  store::put_varint(out, d.location.value);
+  store::put_varint(out, d.middle.value);
+  const std::uint64_t bits =
+      (d.probe_reached ? 1u : 0u) | (d.have_baseline ? 2u : 0u) |
+      (d.baseline_predates_issue ? 4u : 0u) | (d.baseline_stale ? 8u : 0u) |
+      (d.truncated ? 16u : 0u) | (d.coarse_middle ? 32u : 0u);
+  store::put_varint(out, bits);
+  store::put_varint(out,
+                    d.culprit ? d.culprit->value + std::uint64_t{1} : 0);
+  store::put_f64(out, d.culprit_increase_ms);
+  store::put_varint(out, static_cast<std::uint64_t>(d.confidence));
+  store::put_svarint(out, d.probes_spent);
+  store::put_svarint(out, d.retries);
+  const sim::TracerouteResult& p = d.probe;
+  store::put_varint(out, p.from.value);
+  store::put_varint(out, p.target.block);
+  store::put_svarint(out, p.time.minutes);
+  store::put_f64(out, p.cloud_ms);
+  const std::uint64_t pbits = (p.reached ? 1u : 0u) | (p.truncated ? 2u : 0u) |
+                              (p.lost ? 4u : 0u) | (p.no_route ? 8u : 0u) |
+                              (p.in_outage ? 16u : 0u);
+  store::put_varint(out, pbits);
+  store::put_varint(out, p.hops.size());
+  for (const sim::TracerouteHop& hop : p.hops) {
+    store::put_varint(out, hop.as.value);
+    store::put_f64(out, hop.cumulative_rtt_ms);
+  }
+}
+
+DiagnosisRecord read_diagnosis(store::ByteReader& in) {
+  DiagnosisRecord record;
+  core::ActiveDiagnosis& d = record.diagnosis;
+  record.at.minutes = in.svarint();
+  d.location.value = static_cast<std::uint16_t>(in.varint());
+  d.middle.value = static_cast<std::uint32_t>(in.varint());
+  const std::uint64_t bits = in.varint();
+  d.probe_reached = (bits & 1) != 0;
+  d.have_baseline = (bits & 2) != 0;
+  d.baseline_predates_issue = (bits & 4) != 0;
+  d.baseline_stale = (bits & 8) != 0;
+  d.truncated = (bits & 16) != 0;
+  d.coarse_middle = (bits & 32) != 0;
+  if (const std::uint64_t as = in.varint(); as != 0) {
+    d.culprit = net::AsId{static_cast<std::uint32_t>(as - 1)};
+  }
+  d.culprit_increase_ms = in.f64();
+  d.confidence = static_cast<core::DiagnosisConfidence>(in.varint());
+  d.probes_spent = static_cast<int>(in.svarint());
+  d.retries = static_cast<int>(in.svarint());
+  sim::TracerouteResult& p = d.probe;
+  p.from.value = static_cast<std::uint16_t>(in.varint());
+  p.target.block = static_cast<std::uint32_t>(in.varint());
+  p.time.minutes = in.svarint();
+  p.cloud_ms = in.f64();
+  const std::uint64_t pbits = in.varint();
+  p.reached = (pbits & 1) != 0;
+  p.truncated = (pbits & 2) != 0;
+  p.lost = (pbits & 4) != 0;
+  p.no_route = (pbits & 8) != 0;
+  p.in_outage = (pbits & 16) != 0;
+  const std::uint64_t n_hops = in.varint();
+  if (n_hops > (std::uint64_t{1} << 20)) in.fail("hop count absurd");
+  p.hops.reserve(static_cast<std::size_t>(n_hops));
+  for (std::uint64_t h = 0; h < n_hops; ++h) {
+    sim::TracerouteHop hop;
+    hop.as.value = static_cast<std::uint32_t>(in.varint());
+    hop.cumulative_rtt_ms = in.f64();
+    p.hops.push_back(hop);
+  }
+  return record;
+}
+
 }  // namespace
+
+std::size_t VerdictStore::VerdictColumns::bytes() const noexcept {
+  return keys.capacity() * sizeof(Key) +
+         middles.capacity() * sizeof(std::uint32_t) +
+         client_ases.capacity() * sizeof(std::uint32_t) +
+         blames.capacity() + faulty_ases.capacity() * sizeof(std::uint32_t) +
+         confidences.capacity() + flags.capacity() +
+         buckets.capacity() * sizeof(std::int64_t) +
+         mean_rtts.capacity() * sizeof(double) +
+         sample_counts.capacity() * sizeof(std::int32_t) + sizeof(*this);
+}
+
+void VerdictStore::VerdictColumns::append(Key key, const Verdict& v) {
+  keys.push_back(key);
+  middles.push_back(v.middle.value);
+  client_ases.push_back(v.client_as.value);
+  blames.push_back(static_cast<std::uint8_t>(v.blame));
+  faulty_ases.push_back(v.faulty_as ? v.faulty_as->value + 1 : 0);
+  confidences.push_back(static_cast<std::uint8_t>(v.confidence));
+  flags.push_back(static_cast<std::uint8_t>((v.from_active ? 1 : 0) |
+                                            (v.baseline_predates_issue ? 2
+                                                                       : 0)));
+  buckets.push_back(v.bucket.index);
+  mean_rtts.push_back(v.mean_rtt_ms);
+  sample_counts.push_back(v.sample_count);
+  min_bucket = std::min(min_bucket, v.bucket.index);
+}
+
+Verdict VerdictStore::VerdictColumns::row(std::size_t i) const {
+  Verdict v;
+  v.block = net::Slash24{static_cast<std::uint32_t>(keys[i] >> 16)};
+  v.location =
+      net::CloudLocationId{static_cast<std::uint16_t>(keys[i] & 0xFFFF)};
+  v.middle = net::MiddleSegmentId{middles[i]};
+  v.client_as = net::AsId{client_ases[i]};
+  v.blame = static_cast<core::Blame>(blames[i]);
+  if (faulty_ases[i] != 0) v.faulty_as = net::AsId{faulty_ases[i] - 1};
+  v.confidence = static_cast<core::DiagnosisConfidence>(confidences[i]);
+  v.from_active = (flags[i] & 1) != 0;
+  v.baseline_predates_issue = (flags[i] & 2) != 0;
+  v.bucket = util::TimeBucket{buckets[i]};
+  v.mean_rtt_ms = mean_rtts[i];
+  v.sample_count = sample_counts[i];
+  return v;
+}
 
 VerdictStore::VerdictStore(Config config)
     : config_(config),
       work_(static_cast<std::size_t>(std::max(1, config.shards))),
       dirty_(work_.size(), false),
-      shards_(work_.size()) {
+      shards_(work_.size()),
+      cshards_(work_.size()) {
   if (config_.verdict_retention_buckets < 1) {
     throw std::invalid_argument{"VerdictStore: retention must be >= 1"};
   }
   const auto empty = std::make_shared<const ShardMap>();
   for (auto& shard : shards_) shard.store(empty);
+  if (columnar()) {
+    delta_.resize(work_.size());
+    ccur_.assign(work_.size(), std::make_shared<const VerdictColumns>());
+    for (std::size_t i = 0; i < cshards_.size(); ++i) {
+      cshards_[i].store(ccur_[i]);
+    }
+  }
   timeline_.store(std::make_shared<const Timeline>());
   auto* r = config_.registry;
   publishes_c_ = obs::counter(r, "svc.store.publishes");
@@ -54,11 +214,20 @@ void VerdictStore::publish(const core::StepReport& report) {
   // Swap the shards that changed. Readers that loaded the old pointer keep
   // a consistent (just slightly stale) view until they drop it.
   std::size_t live = 0;
-  for (std::size_t i = 0; i < work_.size(); ++i) {
-    live += work_[i].size();
-    if (!dirty_[i]) continue;
-    shards_[i].store(std::make_shared<const ShardMap>(work_[i]));
-    dirty_[i] = false;
+  if (columnar()) {
+    const std::int64_t horizon =
+        newest_bucket_.index - config_.verdict_retention_buckets;
+    for (std::size_t i = 0; i < delta_.size(); ++i) {
+      rebuild_columnar_shard(i, horizon);
+      live += ccur_[i]->rows();
+    }
+  } else {
+    for (std::size_t i = 0; i < work_.size(); ++i) {
+      live += work_[i].size();
+      if (!dirty_[i]) continue;
+      shards_[i].store(std::make_shared<const ShardMap>(work_[i]));
+      dirty_[i] = false;
+    }
   }
   publish_timeline(report);
   epoch_.fetch_add(1, std::memory_order_release);
@@ -115,9 +284,15 @@ void VerdictStore::fold_blames(const core::StepReport& report) {
     }
     newest_bucket_ = std::max(newest_bucket_, v.bucket);
     const auto shard = shard_of(v.block);
-    work_[shard][key_of(v.block, v.location)] = v;
-    dirty_[shard] = true;
+    if (columnar()) {
+      delta_[shard][key_of(v.block, v.location)] = v;
+    } else {
+      work_[shard][key_of(v.block, v.location)] = v;
+      dirty_[shard] = true;
+    }
   }
+
+  if (columnar()) return;  // aging happens during the column rebuild
 
   // Age out verdicts that fell off the retention window.
   const std::int64_t horizon =
@@ -132,6 +307,49 @@ void VerdictStore::fold_blames(const core::StepReport& report) {
       }
     }
   }
+}
+
+void VerdictStore::rebuild_columnar_shard(std::size_t i,
+                                          std::int64_t horizon) {
+  ShardMap& delta = delta_[i];
+  const VerdictColumns& old = *ccur_[i];
+  const bool needs_age = old.rows() > 0 && old.min_bucket <= horizon;
+  if (delta.empty() && !needs_age) return;
+
+  // Sort the delta once; merge-walk against the old (already sorted) block.
+  std::vector<std::pair<Key, const Verdict*>> upserts;
+  upserts.reserve(delta.size());
+  for (const auto& [key, v] : delta) upserts.emplace_back(key, &v);
+  std::sort(upserts.begin(), upserts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  auto next = std::make_shared<VerdictColumns>();
+  next->keys.reserve(old.rows() + upserts.size());
+  std::size_t oi = 0;
+  std::size_t di = 0;
+  while (oi < old.rows() || di < upserts.size()) {
+    const bool take_delta =
+        di < upserts.size() &&
+        (oi >= old.rows() || upserts[di].first <= old.keys[oi]);
+    if (take_delta) {
+      if (oi < old.rows() && upserts[di].first == old.keys[oi]) {
+        ++oi;  // the delta row supersedes the old one
+      }
+      const Verdict& v = *upserts[di].second;
+      // Same rule as the hash path: upsert, then age — a row older than
+      // the horizon (however it got here) does not survive the publish.
+      if (v.bucket.index > horizon) next->append(upserts[di].first, v);
+      ++di;
+    } else {
+      if (old.buckets[oi] > horizon) {
+        next->append(old.keys[oi], old.row(oi));
+      }
+      ++oi;
+    }
+  }
+  delta.clear();
+  ccur_[i] = std::move(next);
+  cshards_[i].store(ccur_[i]);
 }
 
 void VerdictStore::fold_incidents(const core::StepReport& report) {
@@ -248,6 +466,14 @@ void VerdictStore::publish_timeline(const core::StepReport& report) {
 std::optional<Verdict> VerdictStore::lookup(
     net::Slash24 block, net::CloudLocationId location) const {
   obs::add(lookups_c_);
+  if (columnar()) {
+    const auto cols = cshards_[shard_of(block)].load();
+    const Key key = key_of(block, location);
+    const auto it =
+        std::lower_bound(cols->keys.begin(), cols->keys.end(), key);
+    if (it == cols->keys.end() || *it != key) return std::nullopt;
+    return cols->row(static_cast<std::size_t>(it - cols->keys.begin()));
+  }
   const auto shard = shards_[shard_of(block)].load();
   const auto it = shard->find(key_of(block, location));
   if (it == shard->end()) return std::nullopt;
@@ -256,8 +482,23 @@ std::optional<Verdict> VerdictStore::lookup(
 
 std::vector<Verdict> VerdictStore::lookup(net::Slash24 block) const {
   obs::add(lookups_c_);
-  const auto shard = shards_[shard_of(block)].load();
   std::vector<Verdict> out;
+  if (columnar()) {
+    const auto cols = cshards_[shard_of(block)].load();
+    // All keys of this /24 are the contiguous range [block<<16, block+1<<16);
+    // rows are key-sorted, so the result is already location-ordered.
+    const Key lo = static_cast<Key>(block.block) << 16;
+    const auto first =
+        std::lower_bound(cols->keys.begin(), cols->keys.end(), lo);
+    const auto last = std::lower_bound(first, cols->keys.end(),
+                                       lo + (Key{1} << 16));
+    for (auto it = first; it != last; ++it) {
+      out.push_back(
+          cols->row(static_cast<std::size_t>(it - cols->keys.begin())));
+    }
+    return out;
+  }
+  const auto shard = shards_[shard_of(block)].load();
   for (const auto& [key, v] : *shard) {
     if (v.block == block) out.push_back(v);
   }
@@ -270,10 +511,21 @@ std::vector<Verdict> VerdictStore::lookup(net::Slash24 block) const {
 std::vector<Verdict> VerdictStore::lookup(net::Prefix prefix) const {
   obs::add(lookups_c_);
   std::vector<Verdict> out;
-  for (const auto& shard_slot : shards_) {
-    const auto shard = shard_slot.load();
-    for (const auto& [key, v] : *shard) {
-      if (prefix.contains(v.block)) out.push_back(v);
+  if (columnar()) {
+    for (const auto& slot : cshards_) {
+      const auto cols = slot.load();
+      for (std::size_t i = 0; i < cols->rows(); ++i) {
+        const net::Slash24 block{static_cast<std::uint32_t>(cols->keys[i] >>
+                                                            16)};
+        if (prefix.contains(block)) out.push_back(cols->row(i));
+      }
+    }
+  } else {
+    for (const auto& shard_slot : shards_) {
+      const auto shard = shard_slot.load();
+      for (const auto& [key, v] : *shard) {
+        if (prefix.contains(v.block)) out.push_back(v);
+      }
     }
   }
   std::sort(out.begin(), out.end(), [](const Verdict& a, const Verdict& b) {
@@ -300,6 +552,249 @@ std::vector<DiagnosisRecord> VerdictStore::recent_diagnoses() const {
 
 VerdictStore::Health VerdictStore::health() const {
   return timeline_.load()->health;
+}
+
+std::size_t VerdictStore::verdict_state_bytes() const {
+  std::size_t n = 0;
+  if (columnar()) {
+    for (std::size_t i = 0; i < delta_.size(); ++i) {
+      n += delta_[i].size() *
+           (sizeof(std::pair<const Key, Verdict>) + kHashNodeOverhead);
+      n += ccur_[i]->bytes();  // working state == published snapshot
+    }
+  } else {
+    // The working map AND its latest published copy are both resident.
+    for (const auto& shard : work_) {
+      n += 2 * shard.size() *
+           (sizeof(std::pair<const Key, Verdict>) + kHashNodeOverhead);
+    }
+  }
+  return n;
+}
+
+void VerdictStore::save_state(store::SnapshotWriter& writer) const {
+  std::string& out = writer.section("verdicts");
+  store::put_varint(out, 1);  // verdicts payload format
+  store::put_svarint(out, newest_bucket_.index);
+  store::put_varint(out, steps_);
+  store::put_varint(out, degraded_steps_);
+  store::put_u64(out, epoch_.load(std::memory_order_relaxed));
+  const auto timeline = timeline_.load();
+  store::put_svarint(out, timeline->health.last_step.minutes);
+  store::put_varint(out, timeline->health.degraded ? 1 : 0);
+
+  // Verdict rows in a backend-independent normal form: globally key-sorted,
+  // column-major. (Keys are unique across shards, so a flat sort is exact.)
+  std::vector<std::pair<Key, Verdict>> rows;
+  if (columnar()) {
+    for (std::size_t i = 0; i < ccur_.size(); ++i) {
+      const VerdictColumns& cols = *ccur_[i];
+      for (std::size_t r = 0; r < cols.rows(); ++r) {
+        rows.emplace_back(cols.keys[r], cols.row(r));
+      }
+      for (const auto& [key, v] : delta_[i]) rows.emplace_back(key, v);
+    }
+  } else {
+    for (const auto& shard : work_) {
+      for (const auto& [key, v] : shard) rows.emplace_back(key, v);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // A delta row shadows the block row with the same key (columnar only):
+  // keep the later of equal keys... deltas are only non-empty between
+  // fold_blames and publish, and save_state runs between publishes, so in
+  // practice both sets are disjoint-or-empty; dedupe defensively anyway.
+  rows.erase(std::unique(rows.begin(), rows.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first;
+                         }),
+             rows.end());
+
+  store::put_varint(out, rows.size());
+  Key prev = 0;
+  for (const auto& [key, v] : rows) {
+    store::put_varint(out, key - prev);
+    prev = key;
+  }
+  for (const auto& [key, v] : rows) store::put_varint(out, v.middle.value);
+  for (const auto& [key, v] : rows) store::put_varint(out, v.client_as.value);
+  for (const auto& [key, v] : rows) {
+    out.push_back(static_cast<char>(v.blame));
+  }
+  for (const auto& [key, v] : rows) {
+    store::put_varint(out, v.faulty_as ? v.faulty_as->value + std::uint64_t{1}
+                                       : 0);
+  }
+  for (const auto& [key, v] : rows) {
+    out.push_back(static_cast<char>(v.confidence));
+  }
+  for (const auto& [key, v] : rows) {
+    out.push_back(static_cast<char>((v.from_active ? 1 : 0) |
+                                    (v.baseline_predates_issue ? 2 : 0)));
+  }
+  for (const auto& [key, v] : rows) store::put_svarint(out, v.bucket.index);
+  for (const auto& [key, v] : rows) store::put_f64(out, v.mean_rtt_ms);
+  for (const auto& [key, v] : rows) store::put_svarint(out, v.sample_count);
+
+  // Incident machinery: open runs (key-sorted for determinism), closed ring
+  // and diagnosis ring in deque order (order is part of the bounded-pop
+  // semantics).
+  std::vector<std::pair<std::uint64_t, const OpenRun*>> runs;
+  runs.reserve(open_runs_.size());
+  for (const auto& [key, run] : open_runs_) runs.emplace_back(key, &run);
+  std::sort(runs.begin(), runs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  store::put_varint(out, runs.size());
+  for (const auto& [key, run] : runs) {
+    store::put_u64(out, key);
+    put_incident(out, run->incident);
+    store::put_svarint(out, run->last_bucket.index);
+  }
+  store::put_varint(out, closed_.size());
+  for (const Incident& inc : closed_) put_incident(out, inc);
+  store::put_varint(out, diagnoses_.size());
+  for (const DiagnosisRecord& record : diagnoses_) {
+    put_diagnosis(out, record);
+  }
+}
+
+void VerdictStore::restore_state(const store::SnapshotReader& reader) {
+  store::ByteReader in = reader.section("verdicts");
+  const std::uint64_t format = in.varint();
+  if (format != 1) {
+    in.fail("unsupported verdicts payload format " + std::to_string(format));
+  }
+  const std::int64_t newest_bucket = in.svarint();
+  const std::uint64_t steps = in.varint();
+  const std::uint64_t degraded_steps = in.varint();
+  const std::uint64_t epoch = in.u64();
+  const std::int64_t last_step_minutes = in.svarint();
+  const bool degraded = in.varint() != 0;
+
+  const std::uint64_t n_rows = in.varint();
+  if (n_rows > (std::uint64_t{1} << 40)) in.fail("verdict row count absurd");
+  std::vector<Key> keys(static_cast<std::size_t>(n_rows));
+  std::vector<Verdict> verdicts(static_cast<std::size_t>(n_rows));
+  Key prev = 0;
+  for (auto& key : keys) {
+    prev += in.varint();
+    key = prev;
+  }
+  for (std::size_t r = 0; r < verdicts.size(); ++r) {
+    verdicts[r].block =
+        net::Slash24{static_cast<std::uint32_t>(keys[r] >> 16)};
+    verdicts[r].location =
+        net::CloudLocationId{static_cast<std::uint16_t>(keys[r] & 0xFFFF)};
+  }
+  for (auto& v : verdicts) {
+    v.middle = net::MiddleSegmentId{static_cast<std::uint32_t>(in.varint())};
+  }
+  for (auto& v : verdicts) {
+    v.client_as = net::AsId{static_cast<std::uint32_t>(in.varint())};
+  }
+  for (auto& v : verdicts) v.blame = static_cast<core::Blame>(in.u8());
+  for (auto& v : verdicts) {
+    if (const std::uint64_t as = in.varint(); as != 0) {
+      v.faulty_as = net::AsId{static_cast<std::uint32_t>(as - 1)};
+    }
+  }
+  for (auto& v : verdicts) {
+    v.confidence = static_cast<core::DiagnosisConfidence>(in.u8());
+  }
+  for (auto& v : verdicts) {
+    const std::uint8_t bits = in.u8();
+    v.from_active = (bits & 1) != 0;
+    v.baseline_predates_issue = (bits & 2) != 0;
+  }
+  for (auto& v : verdicts) v.bucket = util::TimeBucket{in.svarint()};
+  for (auto& v : verdicts) v.mean_rtt_ms = in.f64();
+  for (auto& v : verdicts) v.sample_count = static_cast<int>(in.svarint());
+
+  const std::uint64_t n_runs = in.varint();
+  if (n_runs > (std::uint64_t{1} << 32)) in.fail("open-run count absurd");
+  std::unordered_map<Key, OpenRun> open_runs;
+  open_runs.reserve(static_cast<std::size_t>(n_runs));
+  for (std::uint64_t r = 0; r < n_runs; ++r) {
+    const std::uint64_t key = in.u64();
+    OpenRun run;
+    run.incident = read_incident(in);
+    run.last_bucket = util::TimeBucket{in.svarint()};
+    open_runs.emplace(key, std::move(run));
+  }
+  const std::uint64_t n_closed = in.varint();
+  if (n_closed > (std::uint64_t{1} << 32)) in.fail("closed count absurd");
+  std::deque<Incident> closed;
+  for (std::uint64_t c = 0; c < n_closed; ++c) {
+    closed.push_back(read_incident(in));
+  }
+  const std::uint64_t n_diagnoses = in.varint();
+  if (n_diagnoses > (std::uint64_t{1} << 32)) in.fail("diagnosis count absurd");
+  std::deque<DiagnosisRecord> diagnoses;
+  for (std::uint64_t d = 0; d < n_diagnoses; ++d) {
+    diagnoses.push_back(read_diagnosis(in));
+  }
+  in.expect_done();
+
+  // All parsed cleanly — commit and republish.
+  newest_bucket_ = util::TimeBucket{newest_bucket};
+  steps_ = steps;
+  degraded_steps_ = degraded_steps;
+  epoch_.store(epoch, std::memory_order_release);
+  open_runs_ = std::move(open_runs);
+  closed_ = std::move(closed);
+  diagnoses_ = std::move(diagnoses);
+
+  if (columnar()) {
+    std::vector<std::shared_ptr<VerdictColumns>> next(cshards_.size());
+    for (auto& cols : next) cols = std::make_shared<VerdictColumns>();
+    // The global key sort survives the shard split (per-shard subsequences
+    // stay sorted), so a straight append per shard builds valid blocks.
+    for (std::size_t r = 0; r < keys.size(); ++r) {
+      const net::Slash24 block{static_cast<std::uint32_t>(keys[r] >> 16)};
+      next[shard_of(block)]->append(keys[r], verdicts[r]);
+    }
+    for (std::size_t i = 0; i < cshards_.size(); ++i) {
+      delta_[i].clear();
+      ccur_[i] = std::move(next[i]);
+      cshards_[i].store(ccur_[i]);
+    }
+  } else {
+    for (auto& shard : work_) shard.clear();
+    for (std::size_t r = 0; r < keys.size(); ++r) {
+      work_[shard_of(verdicts[r].block)].emplace(keys[r], verdicts[r]);
+    }
+    for (std::size_t i = 0; i < work_.size(); ++i) {
+      shards_[i].store(std::make_shared<const ShardMap>(work_[i]));
+      dirty_[i] = false;
+    }
+  }
+  publish_restored_timeline(util::MinuteTime{last_step_minutes}, degraded);
+  obs::set(verdicts_g_, static_cast<double>(keys.size()));
+  obs::set(open_incidents_g_, static_cast<double>(open_runs_.size()));
+}
+
+void VerdictStore::publish_restored_timeline(util::MinuteTime last_step,
+                                             bool degraded) {
+  auto timeline = std::make_shared<Timeline>();
+  timeline->incidents.reserve(closed_.size() + open_runs_.size());
+  timeline->incidents.assign(closed_.begin(), closed_.end());
+  for (const auto& [key, run] : open_runs_) {
+    timeline->incidents.push_back(run.incident);
+  }
+  std::sort(timeline->incidents.begin(), timeline->incidents.end(),
+            [](const Incident& a, const Incident& b) {
+              return a.first_seen < b.first_seen;
+            });
+  timeline->diagnoses.assign(diagnoses_.begin(), diagnoses_.end());
+  // epoch_ already holds the restored published count; unlike
+  // publish_timeline there is no pending increment to anticipate.
+  timeline->health = Health{.epoch = epoch_.load(std::memory_order_relaxed),
+                            .last_step = last_step,
+                            .steps = steps_,
+                            .degraded_steps = degraded_steps_,
+                            .degraded = degraded};
+  timeline_.store(std::move(timeline));
 }
 
 }  // namespace blameit::svc

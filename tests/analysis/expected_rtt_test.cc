@@ -221,5 +221,103 @@ TEST(ExpectedRttLearner, WorkedExampleFromPaper) {
   EXPECT_NEAR(bad_by_target / 3000.0, 2.0 / 3.0, 0.05);
 }
 
+// --- Columnar backend: bit-identical to the hash-map reference path. ---
+
+ExpectedRttConfig backend_config(store::StateBackend backend) {
+  ExpectedRttConfig cfg;
+  cfg.backend = backend;
+  cfg.reservoir_per_day = 8;  // small cap so Algorithm R actually evicts
+  cfg.window_days = 3;        // short window so evict_stale() really drops
+  return cfg;
+}
+
+/// Feeds both backends the identical day-ordered stream: many keys, sample
+/// counts past the reservoir cap (so slot arithmetic matters), day gaps,
+/// and an eviction partway through.
+void parity_feed(ExpectedRttLearner& learner) {
+  for (int day = 0; day < 20; ++day) {
+    if (day == 7) continue;  // a silent day
+    for (int k = 0; k < 6; ++k) {
+      const auto key = middle_key(net::CloudLocationId{7},
+                                  net::MiddleSegmentId{(unsigned)k},
+                                  net::DeviceClass::NonMobile);
+      const int samples = 3 + 5 * k;  // some keys overflow the cap of 8
+      for (int s = 0; s < samples; ++s) {
+        learner.observe(key, day, 30.0 + k * 7 + day * 0.25 + s * 0.125);
+      }
+    }
+    if (day == 12) learner.evict_stale(day - 6);
+  }
+}
+
+TEST(ExpectedRttBackends, ColumnarMatchesHashMapBitForBit) {
+  ExpectedRttLearner hash{backend_config(store::StateBackend::kHashMap)};
+  ExpectedRttLearner columnar{backend_config(store::StateBackend::kColumnar)};
+  parity_feed(hash);
+  parity_feed(columnar);
+
+  EXPECT_EQ(hash.tracked_keys(), columnar.tracked_keys());
+  for (int k = 0; k < 6; ++k) {
+    const auto key = middle_key(net::CloudLocationId{7},
+                                net::MiddleSegmentId{(unsigned)k},
+                                net::DeviceClass::NonMobile);
+    for (int day = 0; day <= 21; ++day) {
+      const auto h = hash.expected(key, day);
+      const auto c = columnar.expected(key, day);
+      ASSERT_EQ(h.has_value(), c.has_value()) << "key " << k << " day " << day;
+      if (h) {
+        // Bit-level equality, not near: both backends must pool the same
+        // samples in the same order.
+        EXPECT_EQ(*h, *c) << "key " << k << " day " << day;
+      }
+      EXPECT_EQ(hash.history_size(key, day), columnar.history_size(key, day));
+    }
+  }
+}
+
+TEST(ExpectedRttBackends, EvictStaleParityAfterChurn) {
+  ExpectedRttLearner hash{backend_config(store::StateBackend::kHashMap)};
+  ExpectedRttLearner columnar{backend_config(store::StateBackend::kColumnar)};
+  const auto churned = cloud_key(net::CloudLocationId{1},
+                                 net::DeviceClass::Mobile);
+  const auto steady = cloud_key(net::CloudLocationId{2},
+                                net::DeviceClass::Mobile);
+  for (auto* learner : {&hash, &columnar}) {
+    learner->observe(churned, 0, 11.0);
+    for (int day = 0; day < 10; ++day) learner->observe(steady, day, 22.0);
+    learner->evict_stale(8);  // churned key's only reservoir expires
+  }
+  EXPECT_EQ(hash.tracked_keys(), 1u);
+  EXPECT_EQ(columnar.tracked_keys(), 1u);
+  EXPECT_FALSE(columnar.expected(churned, 10).has_value());
+  EXPECT_EQ(hash.expected(steady, 10), columnar.expected(steady, 10));
+}
+
+TEST(ExpectedRttBackends, SaveRestoreRoundTripsEachBackend) {
+  for (const auto backend :
+       {store::StateBackend::kHashMap, store::StateBackend::kColumnar}) {
+    ExpectedRttLearner learner{backend_config(backend)};
+    parity_feed(learner);
+
+    store::SnapshotWriter writer;
+    learner.save_state(writer);
+    const auto reader =
+        store::SnapshotReader::from_bytes(writer.serialize(), "<rt>");
+
+    ExpectedRttLearner restored{backend_config(backend)};
+    restored.restore_state(reader);
+    EXPECT_EQ(restored.tracked_keys(), learner.tracked_keys());
+    for (int k = 0; k < 6; ++k) {
+      const auto key = middle_key(net::CloudLocationId{7},
+                                  net::MiddleSegmentId{(unsigned)k},
+                                  net::DeviceClass::NonMobile);
+      for (int day = 18; day <= 21; ++day) {
+        EXPECT_EQ(learner.expected(key, day), restored.expected(key, day))
+            << to_string(backend) << " key " << k << " day " << day;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace blameit::analysis

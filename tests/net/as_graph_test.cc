@@ -124,5 +124,49 @@ TEST(AsGraphStandalone, NullRegistryThrows) {
   EXPECT_THROW(AsGraph{nullptr}, std::invalid_argument);
 }
 
+TEST_F(AsGraphTest, EyeballPathsMatchPerEyeballKPathsExactly) {
+  // The all-eyeballs DFS must return the SAME paths in the SAME order as
+  // the per-eyeball enumeration — including for an eyeball that is only
+  // reachable through a peering entry and one hanging off the apex.
+  reg_.add(AsInfo{AsId{7}, AsType::Eyeball, Region::UnitedStates, "peer-e"});
+  graph_.add_link({AsId{7}, kT1, LinkKind::Peer, 2.5});  // peer entry only
+  reg_.add(AsInfo{AsId{99}, AsType::Eyeball, Region::Europe, "island"});
+
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3},
+                              std::size_t{16}}) {
+    const auto all = graph_.eyeball_paths(kCloud, k);
+    for (const AsId e : {kE, kF, AsId{7}, AsId{99}}) {
+      const auto reference = graph_.k_paths(kCloud, e, k);
+      const auto it = all.find(e);
+      if (reference.empty()) {
+        EXPECT_TRUE(it == all.end() || it->second.empty())
+            << "e=" << e.value << " k=" << k;
+        continue;
+      }
+      ASSERT_TRUE(it != all.end()) << "e=" << e.value << " k=" << k;
+      EXPECT_EQ(it->second, reference) << "e=" << e.value << " k=" << k;
+    }
+  }
+}
+
+TEST_F(AsGraphTest, EyeballPathsHonorsPhaseOnPeerEntries) {
+  // An eyeball peered with T2 can be entered from an Ascending prefix
+  // (cloud -> T2) but NOT from a Descending one (cloud -> T1 -> G -> T2
+  // descends into T2, and a descending walk cannot cross a peer link).
+  reg_.add(AsInfo{AsId{8}, AsType::Eyeball, Region::UnitedStates, "p2"});
+  graph_.add_link({AsId{8}, kT2, LinkKind::Peer, 1.0});
+  const auto all = graph_.eyeball_paths(kCloud, 32);
+  const auto reference = graph_.k_paths(kCloud, AsId{8}, 32);
+  const auto it = all.find(AsId{8});
+  ASSERT_TRUE(it != all.end());
+  EXPECT_EQ(it->second, reference);
+  for (const auto& path : it->second) {
+    // Any path ending ...G -> T2 -> 8 would be a valley; none may appear.
+    ASSERT_GE(path.size(), 3u);
+    EXPECT_FALSE(path[path.size() - 3] == kG &&
+                 path[path.size() - 2] == kT2);
+  }
+}
+
 }  // namespace
 }  // namespace blameit::net

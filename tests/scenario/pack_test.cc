@@ -255,5 +255,66 @@ TEST_F(PackResolveTest, MiddleAsTargetsAreNonDominantTransits) {
   EXPECT_EQ(incidents[0].target_as, eligible.front());
 }
 
+std::string with_restart_and_backend(const std::string& restart_at,
+                                     const std::string& backend) {
+  return R"({
+  "name": "mini",
+  "warmup_days": 3,
+  "run_days": 1,
+  "pipeline": { "state_backend": ")" +
+         backend + R"(" },
+  "restart": { "at": )" +
+         restart_at + R"( },
+  "incidents": [
+    {
+      "name": "one",
+      "type": "middle_as",
+      "region": "usa",
+      "start": "3d01:00",
+      "duration_minutes": 60,
+      "added_ms": 50.0
+    }
+  ]
+})";
+}
+
+TEST(PackTest, RestartAndBackendParse) {
+  const auto pack =
+      parse(with_restart_and_backend("\"3d12:00\"", "columnar"));
+  ASSERT_TRUE(pack.restart.has_value());
+  EXPECT_EQ(pack.restart->at.minutes,
+            util::MinuteTime::from_days(3).plus_minutes(12 * 60).minutes);
+  EXPECT_EQ(pack.pipeline.state_backend, store::StateBackend::kColumnar);
+  // Absent stanza → no restart, hash-map default.
+  const auto plain = parse(kMinimal);
+  EXPECT_FALSE(plain.restart.has_value());
+  EXPECT_EQ(plain.pipeline.state_backend, store::StateBackend::kHashMap);
+}
+
+TEST(PackTest, RestartMustLandOnAStepBoundary) {
+  const auto what =
+      error_of(with_restart_and_backend("\"3d12:07\"", "columnar"));
+  EXPECT_NE(what.find("$.restart.at"), std::string::npos) << what;
+  EXPECT_NE(what.find("15-minute step boundary"), std::string::npos) << what;
+}
+
+TEST(PackTest, RestartOutsideTheEvaluationWindowIsRejected) {
+  // During warmup: recovers nothing that a fresh warmup would not rebuild.
+  const auto early =
+      error_of(with_restart_and_backend("\"1d12:00\"", "columnar"));
+  EXPECT_NE(early.find("$.restart.at"), std::string::npos) << early;
+  // Exactly at the final step: no post-restore step left to verify.
+  const auto last =
+      error_of(with_restart_and_backend("\"4d00:00\"", "columnar"));
+  EXPECT_NE(last.find("strictly before"), std::string::npos) << last;
+}
+
+TEST(PackTest, UnknownStateBackendListsAllowed) {
+  const auto what =
+      error_of(with_restart_and_backend("\"3d12:00\"", "btree"));
+  EXPECT_NE(what.find("$.pipeline.state_backend"), std::string::npos) << what;
+  EXPECT_NE(what.find("hashmap, columnar"), std::string::npos) << what;
+}
+
 }  // namespace
 }  // namespace blameit::scenario

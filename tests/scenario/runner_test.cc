@@ -54,6 +54,66 @@ constexpr const char* kChaosPack = R"({
   ]
 })";
 
+// Restart pack: a tiny run with an incident in flight at the restart step,
+// on the columnar backend. run_pack executes it twice (uninterrupted +
+// snapshot/kill/restore) and must find the digests bit-identical.
+constexpr const char* kRestartPack = R"({
+  "name": "restart_probe",
+  "mode": "aggregates",
+  "warmup_days": 1,
+  "run_days": 1,
+  "telemetry_seed": 5,
+  "topology": {
+    "locations_per_region": 1,
+    "eyeballs_per_region": 4,
+    "blocks_per_eyeball": 8
+  },
+  "pipeline": {
+    "expected_rtt_window_days": 1,
+    "state_backend": "columnar"
+  },
+  "restart": { "at": "1d03:00" },
+  "incidents": [
+    {
+      "name": "usa-transit-fault",
+      "type": "middle_as",
+      "region": "usa",
+      "start": "1d02:00",
+      "duration_minutes": 120,
+      "added_ms": 60.0
+    }
+  ]
+})";
+
+TEST(RunnerRestartTest, MidIncidentRestartRecoversBitIdentical) {
+  const auto pack = parse(kRestartPack);
+  ASSERT_TRUE(pack.restart.has_value());
+  const auto result = run_pack(pack);
+  EXPECT_TRUE(result.restarted);
+  EXPECT_TRUE(result.restart_ok)
+      << "restarted " << result.digest << " vs uninterrupted "
+      << result.uninterrupted_digest;
+  EXPECT_EQ(result.digest, result.uninterrupted_digest);
+  // The restart must not cost the in-flight incident its detection.
+  ASSERT_EQ(result.scores.size(), 1u);
+  EXPECT_TRUE(result.scores[0].passed);
+}
+
+TEST(RunnerRestartTest, RestartedDigestMatchesTheSamePackWithoutRestart) {
+  // Dropping the restart stanza (everything else identical) must yield the
+  // very same digest — the stanza changes fault-tolerance mechanics, never
+  // output.
+  const auto with_restart = run_pack(parse(kRestartPack));
+  std::string no_restart_text{kRestartPack};
+  const auto pos = no_restart_text.find("\"restart\": { \"at\": \"1d03:00\" },");
+  ASSERT_NE(pos, std::string::npos);
+  no_restart_text.erase(pos, std::string{"\"restart\": { \"at\": \"1d03:00\" },"}
+                                 .size());
+  const auto without = run_pack(parse(no_restart_text));
+  EXPECT_FALSE(without.restarted);
+  EXPECT_EQ(without.digest, with_restart.digest);
+}
+
 TEST(RunnerDeterminismTest, DigestStableAcrossThreadsAndShardsUnderChaos) {
   const auto pack = parse(kChaosPack);
   const auto base = run_pack(pack);

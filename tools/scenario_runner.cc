@@ -128,6 +128,22 @@ int main(int argc, char** argv) {
                   "accuracy %.3f\n",
                   pack.name.c_str(), result.digest.c_str(), result.passed,
                   result.scores.size(), result.accuracy);
+      if (result.restarted) {
+        std::printf("  restart: %s (restarted %s, uninterrupted %s)\n",
+                    result.restart_ok ? "recovered bit-identical"
+                                      : "DIVERGED after restore",
+                    result.digest.c_str(),
+                    result.uninterrupted_digest.c_str());
+        if (!result.restart_ok) {
+          std::fprintf(stderr,
+                       "DIGEST DRIFT: pack %s restarted run produced %s but "
+                       "the uninterrupted run produced %s — snapshot/restore "
+                       "lost or invented state\n",
+                       pack.name.c_str(), result.digest.c_str(),
+                       result.uninterrupted_digest.c_str());
+          digest_mismatch = true;
+        }
+      }
       for (const auto& score : result.scores) {
         std::printf("  %-28s expected %-7s majority %-7s votes %5d/%-5d "
                     "%s%s\n",
@@ -151,8 +167,26 @@ int main(int argc, char** argv) {
       }
 
       if (!manifest_dir.empty()) {
+        // mkdir -p semantics, with real diagnostics: a failed create (e.g.
+        // permission, or a parent that is a file) and a pre-existing
+        // non-directory both name the path and the reason instead of
+        // surfacing later as an unexplained "cannot write" on the manifest.
         std::error_code ec;
         std::filesystem::create_directories(manifest_dir, ec);
+        if (ec) {
+          std::fprintf(stderr,
+                       "error: --manifest-dir %s: cannot create directory: "
+                       "%s\n",
+                       manifest_dir.c_str(), ec.message().c_str());
+          return 2;
+        }
+        if (!std::filesystem::is_directory(manifest_dir)) {
+          std::fprintf(stderr,
+                       "error: --manifest-dir %s exists and is not a "
+                       "directory\n",
+                       manifest_dir.c_str());
+          return 2;
+        }
         const std::string manifest_path =
             manifest_dir + "/" + pack.name + ".manifest.jsonl";
         std::ofstream out{manifest_path};

@@ -28,6 +28,10 @@ ExpectedRttLearner::ExpectedRttLearner(ExpectedRttConfig config)
   if (config_.window_days < 1 || config_.reservoir_per_day < 1) {
     throw std::invalid_argument{"ExpectedRttConfig: invalid window/reservoir"};
   }
+  if (config_.transfer_discount < 1.0 || config_.transfer_max_age_days < 1) {
+    throw std::invalid_argument{
+        "ExpectedRttConfig: transfer discount must be >= 1 and max age >= 1"};
+  }
   if (config_.backend == store::StateBackend::kColumnar) {
     store::ReservoirStoreConfig store_config;
     store_config.reservoir_cap = config_.reservoir_per_day;
@@ -144,6 +148,58 @@ std::optional<double> ExpectedRttLearner::expected(ExpectedRttKey key,
   return history.cache_value;
 }
 
+GradedExpectation ExpectedRttLearner::expected_with_provenance(
+    ExpectedRttKey key, int day) const {
+  if (auto fresh = expected(key, day)) {
+    return GradedExpectation{fresh, BaselineProvenance::kFresh};
+  }
+  const auto it = transfers_.find(key.packed);
+  if (it != transfers_.end() &&
+      day - it->second.day <= config_.transfer_max_age_days) {
+    return GradedExpectation{it->second.value * config_.transfer_discount,
+                             BaselineProvenance::kTransferred};
+  }
+  return GradedExpectation{};
+}
+
+bool ExpectedRttLearner::transfer_baseline(ExpectedRttKey from_key,
+                                           ExpectedRttKey to_key, int day) {
+  if (from_key == to_key) return false;
+  // Capture the source value NOW — eager capture is what makes the transfer
+  // survive the source path's history being evicted afterwards.
+  double value = 0.0;
+  if (const auto fresh = expected(from_key, day)) {
+    value = *fresh;
+  } else if (const auto it = transfers_.find(from_key.packed);
+             it != transfers_.end() &&
+             day - it->second.day <= config_.transfer_max_age_days) {
+    // Chained transfer (the path churned twice inside the age limit): one
+    // more discount compounds at read time.
+    value = it->second.value * config_.transfer_discount;
+  } else {
+    return false;  // source has nothing usable
+  }
+  // No-clobber: a strictly fresher transfer must not be overwritten by a
+  // replayed or late-delivered churn event. A target with real window
+  // history still gets the entry recorded — serving always prefers the
+  // fresh median (expected_with_provenance), so the entry cannot clobber
+  // anything, but it marks the key as recently churned (the soft-badness
+  // corroboration signal) and survives the fresh history being evicted.
+  if (const auto it = transfers_.find(to_key.packed);
+      it != transfers_.end() && it->second.day > day) {
+    return false;
+  }
+  transfers_[to_key.packed] =
+      TransferEntry{.day = day, .value = value, .from_key = from_key.packed};
+  return true;
+}
+
+bool ExpectedRttLearner::recently_churned(ExpectedRttKey key, int day) const {
+  const auto it = transfers_.find(key.packed);
+  return it != transfers_.end() && it->second.day <= day &&
+         day - it->second.day <= config_.transfer_max_age_days;
+}
+
 std::size_t ExpectedRttLearner::history_size(ExpectedRttKey key,
                                              int day) const {
   if (store_) {
@@ -162,6 +218,15 @@ std::size_t ExpectedRttLearner::history_size(ExpectedRttKey key,
 }
 
 void ExpectedRttLearner::evict_stale(int day) {
+  // Transfers past the age limit stopped being served already; drop them so
+  // churned-away paths don't grow the side table forever.
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    if (day - it->second.day > config_.transfer_max_age_days) {
+      it = transfers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   if (store_) {
     const std::size_t dropped =
         store_->evict_stale(day - config_.window_days);
@@ -202,10 +267,27 @@ void ExpectedRttLearner::evict_stale(int day) {
 
 void ExpectedRttLearner::save_state(store::SnapshotWriter& writer) const {
   std::string& out = writer.section("learner");
-  store::put_varint(out, 1);  // learner payload format
+  // Format 2 = format 1 + the trailing transfer side table. The table is
+  // serialized identically on both backends (std::map order), so transferred
+  // provenance round-trips bit-identically everywhere.
+  store::put_varint(out, 2);  // learner payload format
   store::put_varint(
       out, config_.backend == store::StateBackend::kColumnar ? 1 : 0);
+  const auto put_transfers = [&] {
+    store::put_varint(out, transfers_.size());
+    std::uint64_t prev = 0;
+    for (const auto& [key, entry] : transfers_) {
+      store::put_varint(out, key - prev);
+      prev = key;
+      store::put_svarint(out, entry.day);
+      store::put_f64(out, entry.value);
+      store::put_varint(out, entry.from_key);
+    }
+  };
   if (store_) {
+    // Transfers go BEFORE the columnar payload: ReservoirStore::restore
+    // consumes to the end of the section (its own expect_done).
+    put_transfers();
     store_->save(out);
     return;
   }
@@ -227,12 +309,13 @@ void ExpectedRttLearner::save_state(store::SnapshotWriter& writer) const {
       for (const double v : reservoir.sample) store::put_f64(out, v);
     }
   }
+  put_transfers();
 }
 
 void ExpectedRttLearner::restore_state(const store::SnapshotReader& reader) {
   store::ByteReader in = reader.section("learner");
   const std::uint64_t format = in.varint();
-  if (format != 1) {
+  if (format != 1 && format != 2) {
     in.fail("unsupported learner payload format " + std::to_string(format));
   }
   const std::uint64_t saved_backend = in.varint();
@@ -244,8 +327,31 @@ void ExpectedRttLearner::restore_state(const store::SnapshotReader& reader) {
             " backend but this learner is configured for " +
             std::string{to_string(config_.backend)});
   }
+  const auto read_transfers = [&] {
+    std::map<std::uint64_t, TransferEntry> transfers;
+    if (format >= 2) {
+      const std::uint64_t n = in.varint();
+      if (n > (std::uint64_t{1} << 40)) in.fail("transfer count absurd");
+      std::uint64_t prev = 0;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        prev += in.varint();
+        TransferEntry entry;
+        const std::int64_t day64 = in.svarint();
+        if (day64 < 0 || day64 > INT_MAX) in.fail("transfer day out of range");
+        entry.day = static_cast<int>(day64);
+        entry.value = in.f64();
+        entry.from_key = in.varint();
+        if (!transfers.emplace(prev, entry).second) {
+          in.fail("duplicate transfer key");
+        }
+      }
+    }
+    return transfers;
+  };
   if (store_) {
-    store_->restore(in);
+    auto transfers = read_transfers();
+    store_->restore(in);  // consumes the rest of the section, expect_done'd
+    transfers_ = std::move(transfers);
     columnar_memo_.clear();
     obs::set(tracked_keys_g_, static_cast<double>(store_->tracked_keys()));
     return;
@@ -286,9 +392,11 @@ void ExpectedRttLearner::restore_state(const store::SnapshotReader& reader) {
       history.days.push_back(std::move(reservoir));
     }
   }
+  auto transfers = read_transfers();
   in.expect_done();
   histories_ = std::move(histories);
   keys_by_day_ = std::move(keys_by_day);
+  transfers_ = std::move(transfers);
   obs::set(tracked_keys_g_, static_cast<double>(histories_.size()));
 }
 

@@ -61,9 +61,32 @@ struct ExpectedRttKey {
                                         net::MiddleSegmentId middle,
                                         net::DeviceClass device) noexcept;
 
+/// Where an expected-RTT value came from, carried through Algorithm 1 so a
+/// verdict can say how churn-degraded its baseline was.
+enum class BaselineProvenance : std::uint8_t {
+  kNone,         ///< no usable expectation at all
+  kFresh,        ///< pooled median of the key's own window history
+  kTransferred,  ///< inherited from another key after a churn event
+};
+
+/// An expectation with its provenance (expected_with_provenance()).
+struct GradedExpectation {
+  std::optional<double> value;
+  BaselineProvenance provenance = BaselineProvenance::kNone;
+};
+
 struct ExpectedRttConfig {
   int window_days = 14;          ///< paper uses the past 14 days
   int reservoir_per_day = 256;   ///< bounded per-day sample memory
+  /// Multiplier applied to a transferred baseline when it is served — the
+  /// freshness discount: the new path is ASSUMED a bit worse than the old
+  /// path's median until real history accumulates, so borderline groups
+  /// don't flap to bad on inherited optimism. Compounds across chained
+  /// transfers.
+  double transfer_discount = 1.1;
+  /// Transfers older than this many days stop being served (and are evicted)
+  /// — by then the window either has real history or the path is gone.
+  int transfer_max_age_days = 3;
   /// Serve repeated expected() queries from the per-⟨key, day⟩ median cache.
   /// Off = recompute per call (the pre-cache behavior; kept as an A/B knob
   /// for the perf benches).
@@ -97,6 +120,37 @@ class ExpectedRttLearner {
 
   /// Number of historical observations backing expected(key, day).
   [[nodiscard]] std::size_t history_size(ExpectedRttKey key, int day) const;
+
+  /// expected() plus provenance: the key's own window median when it has
+  /// one (kFresh), else a live transferred baseline with the freshness
+  /// discount applied (kTransferred), else {nullopt, kNone}. Thread-safe
+  /// like expected() — the transfer table only changes under the external
+  /// serialization contract.
+  [[nodiscard]] GradedExpectation expected_with_provenance(ExpectedRttKey key,
+                                                           int day) const;
+
+  /// Seeds `to_key`'s expectation from `from_key`, keyed on a churn event
+  /// observed on `day`. The source value is captured EAGERLY — the source's
+  /// fresh median at transfer time (or its own live transferred value, with
+  /// one more discount compounded) — so the transfer survives the source
+  /// being evicted later. Recorded even when the target has real window
+  /// history (fresh history always wins at serve time; the entry then acts
+  /// purely as the recently_churned() mark). No-ops (returns false) when
+  /// the source has nothing usable or the target holds a strictly fresher
+  /// transfer.
+  bool transfer_baseline(ExpectedRttKey from_key, ExpectedRttKey to_key,
+                         int day);
+
+  /// True while `key` holds a live (non-expired, non-future) transfer entry
+  /// — i.e. a churn event re-routed traffic onto this key within the last
+  /// transfer_max_age_days. The passive phase uses this as corroboration
+  /// that a sub-threshold group shift is path-shaped (§13 soft badness).
+  [[nodiscard]] bool recently_churned(ExpectedRttKey key, int day) const;
+
+  /// Live transfer entries (observability + tests).
+  [[nodiscard]] std::size_t transfer_count() const noexcept {
+    return transfers_.size();
+  }
 
   /// Drops per-day reservoirs older than `day - window` (memory bound) and
   /// erases keys whose history becomes empty — without the erase, churned
@@ -143,6 +197,15 @@ class ExpectedRttLearner {
     int cache_day = INT_MIN;
     std::optional<double> cache_value;
   };
+  /// One inherited baseline: the (undiscounted) value captured from the
+  /// source at transfer time. Held OUTSIDE the reservoir backends: the
+  /// columnar store requires globally day-ordered rows, which forbids
+  /// seeding past days, and a side table keeps both backends bit-identical.
+  struct TransferEntry {
+    int day = -1;                ///< day the transfer was recorded
+    double value = 0.0;          ///< source median at transfer time
+    std::uint64_t from_key = 0;  ///< provenance (diagnostics + snapshots)
+  };
 
   /// Pools the window's reservoirs into a reused scratch buffer and takes
   /// the median (nth_element, no per-call allocation).
@@ -157,6 +220,9 @@ class ExpectedRttLearner {
   /// visit only expired reservoirs instead of scanning every tracked key.
   std::map<int, std::vector<ExpectedRttKey>> keys_by_day_;
   std::unique_ptr<store::ReservoirStore> store_;  // columnar backend only
+  /// Key → inherited baseline. std::map: deterministic iteration order makes
+  /// the snapshot bytes identical on both backends.
+  std::map<std::uint64_t, TransferEntry> transfers_;
   mutable std::unordered_map<std::uint64_t, ColumnarMemo> columnar_memo_;
   mutable std::mutex cache_mutex_;
 

@@ -111,6 +111,7 @@ ActiveLocalizer::ActiveLocalizer(const net::Topology* topology,
   conf_high_c_ = obs::counter(registry, "active.confidence.high");
   conf_medium_c_ = obs::counter(registry, "active.confidence.medium");
   conf_low_c_ = obs::counter(registry, "active.confidence.low");
+  probed_cold_c_ = obs::counter(registry, "active.probed_cold");
   baseline_age_h_ = obs::histogram(registry, "active.baseline_age_minutes",
                                    kBaselineAgeBucketsMin);
 }
@@ -146,9 +147,14 @@ sim::TracerouteResult ActiveLocalizer::probe_with_retries(
 
 void ActiveLocalizer::finalize_confidence(ActiveDiagnosis& diag) const {
   DiagnosisConfidence conf = DiagnosisConfidence::Low;
-  if (diag.coarse_middle || !diag.culprit.has_value() ||
-      !diag.have_baseline) {
+  if (diag.coarse_middle || !diag.culprit.has_value()) {
     conf = DiagnosisConfidence::Low;
+  } else if (!diag.have_baseline) {
+    // A probed-cold verdict rests on two agreeing direct measurements of
+    // the path (§13) — degraded but actionable. Any other no-baseline
+    // verdict stays Low, exactly as before the knob existed.
+    conf = diag.grade == BaselineGrade::ProbedCold ? DiagnosisConfidence::Medium
+                                                   : DiagnosisConfidence::Low;
   } else if (diag.truncated || diag.baseline_stale) {
     conf = DiagnosisConfidence::Medium;
   } else {
@@ -286,15 +292,47 @@ ActiveDiagnosis ActiveLocalizer::diagnose(
     // branch — without it a cloud-dominated path could never be blamed on
     // the cloud AS. Over a truncated prefix the absolute fallback is
     // doubly unreliable; the confidence stays Low either way.
-    double best = agg.cloud_ms;
-    if (best > 0.0) diag.culprit = topology_->cloud_as();
-    for (const auto& [as, ms] : agg.contributions) {
-      if (ms > best) {
-        best = ms;
-        diag.culprit = as;
+    const auto top_contributor =
+        [&](double cloud_ms,
+            const std::vector<std::pair<net::AsId, double>>& contribs) {
+          double best = cloud_ms;
+          std::optional<net::AsId> who;
+          if (best > 0.0) who = topology_->cloud_as();
+          for (const auto& [as, ms] : contribs) {
+            if (ms > best) {
+              best = ms;
+              who = as;
+            }
+          }
+          return std::pair{who, best};
+        };
+    const auto [who, best] = top_contributor(agg.cloud_ms, agg.contributions);
+    diag.culprit = who;
+    diag.culprit_increase_ms = best;
+    if (config_.probe_on_no_baseline && diag.probe_reached) {
+      // §13 probe-on-no-baseline: instead of abstaining at Low on a
+      // (likely churn-fresh) path, spend one bounded confirmation probe.
+      // If it answers end-to-end and independently names the same top
+      // contributor, the diagnosis is graded probed-cold and confidence
+      // rises to Medium; the pipeline back-fills the learner and the
+      // baseline store from the confirmed measurement. Every attempt is
+      // charged against the same §5.3 budget as the quorum probes.
+      const int pre_confirm = diag.probes_spent;
+      const auto confirm =
+          probe_with_retries(location, target_block, now, attempt_counter,
+                             diag);
+      obs::add(probes_c_,
+               static_cast<std::uint64_t>(diag.probes_spent - pre_confirm));
+      if (confirm.reached) {
+        const auto [confirm_who, confirm_best] =
+            top_contributor(confirm.cloud_ms, confirm.contributions());
+        if (confirm_who == diag.culprit) {
+          diag.grade = BaselineGrade::ProbedCold;
+          diag.culprit_increase_ms = (best + confirm_best) / 2.0;
+          obs::add(probed_cold_c_);
+        }
       }
     }
-    diag.culprit_increase_ms = best;
   }
   finalize_confidence(diag);
   return diag;

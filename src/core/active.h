@@ -24,6 +24,7 @@
 #include <string_view>
 
 #include "core/background.h"
+#include "core/blame.h"
 #include "core/config.h"
 #include "net/topology.h"
 #include "obs/registry.h"
@@ -79,6 +80,13 @@ struct ActiveDiagnosis {
   std::optional<net::AsId> culprit;
   double culprit_increase_ms = 0.0;  ///< contribution delta vs baseline
   DiagnosisConfidence confidence = DiagnosisConfidence::Low;
+  /// ProbedCold when the no-baseline path ran under
+  /// BlameItConfig::probe_on_no_baseline and a bounded confirmation probe
+  /// independently named the same top contributor (§13): the verdict rests
+  /// on two agreeing direct measurements of a cold path, and the pipeline
+  /// back-fills the learner and the baseline store from it. Fresh otherwise
+  /// (the grade of the baseline itself is the passive phase's business).
+  BaselineGrade grade = BaselineGrade::Fresh;
   /// Traceroute attempts issued for this diagnosis (quorum probes +
   /// retries); what the probe budget is charged.
   int probes_spent = 0;
@@ -135,6 +143,7 @@ class ActiveLocalizer {
   obs::Counter* conf_high_c_ = nullptr;
   obs::Counter* conf_medium_c_ = nullptr;
   obs::Counter* conf_low_c_ = nullptr;
+  obs::Counter* probed_cold_c_ = nullptr;
   obs::Histogram* baseline_age_h_ = nullptr;
 };
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/prioritizer.h"
+#include "sim/chaos.h"
 #include "util/rng.h"
 
 namespace blameit::core {
@@ -160,13 +161,27 @@ int BackgroundProber::step(util::MinuteTime prev, util::MinuteTime now) {
   int probes = 0;
 
   // Churn-triggered probes first: they also tell us the target list changed.
-  const auto churn = topology_->routing().churn_between(
-      prev.plus_minutes(1), now.plus_minutes(1));
-  if (!churn.empty()) targets_dirty_ = true;
+  // The feed goes through the chaos layer (§13): with control-plane chaos
+  // configured, some events are dropped or delivered late; without it this
+  // is the raw listener feed verbatim.
+  const auto churn = sim::fetch_churn(topology_->routing(), engine_->chaos(),
+                                      prev.plus_minutes(1),
+                                      now.plus_minutes(1));
+  for (const auto& event : churn) {
+    // SteerShift moves clients, not routes: the ⟨location, path⟩ target list
+    // and its baselines are both still valid, so the prober ignores steers
+    // entirely (and churn-blind configs stay bit-identical to the pre-steer
+    // feed).
+    if (event.kind != net::ChurnKind::SteerShift) {
+      targets_dirty_ = true;
+      break;
+    }
+  }
   if (targets_dirty_) rebuild_targets(now);
 
   if (config_.churn_triggered_probes) {
     for (const auto& event : churn) {
+      if (event.kind == net::ChurnKind::SteerShift) continue;
       if (event.kind == net::ChurnKind::Announce &&
           event.time == util::MinuteTime{0}) {
         continue;  // initial table load, not real churn

@@ -34,6 +34,24 @@ inline constexpr std::array<Blame, 5> kAllBlames = {
     Blame::Cloud, Blame::Middle, Blame::Client, Blame::Ambiguous,
     Blame::Insufficient};
 
+/// How churn-degraded the baseline behind a verdict was (§13): readers can
+/// distinguish a blame computed against the key's own learned history from
+/// one that leaned on an inherited or probe-seeded expectation.
+enum class BaselineGrade : std::uint8_t {
+  Fresh,        ///< compared against the key's own window median
+  Transferred,  ///< compared against a churn-transferred baseline
+  ProbedCold,   ///< baseline established by a no-baseline active probe
+};
+
+[[nodiscard]] constexpr std::string_view to_string(BaselineGrade g) noexcept {
+  switch (g) {
+    case BaselineGrade::Fresh: return "fresh";
+    case BaselineGrade::Transferred: return "transferred";
+    case BaselineGrade::ProbedCold: return "probed-cold";
+  }
+  return "?";
+}
+
 /// Localization result for one bad quartet.
 struct BlameResult {
   analysis::Quartet quartet;
@@ -42,6 +60,8 @@ struct BlameResult {
   /// for Cloud blames, the client AS for Client blames. Middle blames leave
   /// this empty until the active phase runs (§5).
   std::optional<net::AsId> faulty_as;
+  /// Provenance of the expected-RTT value this verdict compared against.
+  BaselineGrade grade = BaselineGrade::Fresh;
 
   bool operator==(const BlameResult&) const = default;
 };

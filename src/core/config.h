@@ -95,6 +95,41 @@ struct BlameItConfig {
   /// diagnosis downgrades to coarse Middle blame (culprit past the
   /// truncation point, or invisible).
   double partial_path_min_increase_ms = 10.0;
+
+  // --- Route-churn resilience (§13) -------------------------------------
+  // All knobs default OFF: with every one of them off the pipeline never
+  // consults the churn feed in the step loop and its output is bit-identical
+  // to the churn-blind pipeline.
+
+  /// On a PathChange churn event, seed the new middle segment's expected-RTT
+  /// entry from the old path's baseline (or a same-⟨location, old-path⟩
+  /// sibling device class) instead of starting cold (→ Insufficient).
+  bool churn_baseline_transfer = false;
+
+  /// Freshness discount multiplied into every served transferred baseline
+  /// (≥ 1; the inherited median is assumed slightly optimistic for the new
+  /// path until real history accumulates).
+  double churn_transfer_discount = 1.1;
+
+  /// Transferred baselines expire after this many days without being
+  /// replaced by real history.
+  int churn_transfer_max_age_days = 3;
+
+  /// Shield destination-edge cloud blames for /24s that a SteerShift churn
+  /// event just moved: re-steered clients inflate the destination location's
+  /// cloud group, which must not be blamed Cloud without corroboration from
+  /// the location's un-steered quartets.
+  bool churn_steer_shield = false;
+
+  /// How long a SteerShift event shields its /24s (covers the steer window
+  /// plus the trailing bucket lag).
+  int churn_shield_minutes = 4 * 60;
+
+  /// Treat baseline-less bad middle groups as probeable: spend active-phase
+  /// budget on a direct measurement of the new path (grade: probed-cold) and
+  /// back-fill the learner with the probe's observation instead of
+  /// abstaining at Low confidence.
+  bool probe_on_no_baseline = false;
 };
 
 }  // namespace blameit::core

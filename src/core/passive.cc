@@ -12,12 +12,32 @@ namespace {
 struct GroupStats {
   int quartets = 0;
   int bad_vs_expected = 0;  ///< quartets whose mean exceeds the expected RTT
+  // Un-shielded subgroup (cloud groups only, maintained only while a steer
+  // shield is active): the group's evidence minus the quartets a SteerShift
+  // event just moved in. For a group with no shielded members these equal
+  // the full counters.
+  int unshielded_quartets = 0;
+  int unshielded_bad = 0;
 
   [[nodiscard]] double bad_fraction() const noexcept {
     return quartets == 0
                ? 0.0
                : static_cast<double>(bad_vs_expected) / quartets;
   }
+  [[nodiscard]] double unshielded_fraction() const noexcept {
+    return unshielded_quartets == 0
+               ? 0.0
+               : static_cast<double>(unshielded_bad) / unshielded_quartets;
+  }
+};
+
+/// A group's comparison value plus whether it came from a transferred
+/// baseline (drives BlameResult::grade) and whether a churn event recently
+/// re-routed traffic onto the group's key (soft-badness corroboration).
+struct Comparison {
+  double value = 0.0;
+  bool transferred = false;
+  bool churned = false;
 };
 
 std::uint64_t cloud_group(const analysis::Quartet& q) noexcept {
@@ -41,7 +61,7 @@ struct ShardState {
   std::unordered_map<std::uint32_t, std::unordered_set<std::uint16_t>>
       good_locations;
   /// Comparison RTTs per group so the learner is consulted once per group.
-  std::unordered_map<std::uint64_t, double> comparison_cache;
+  std::unordered_map<std::uint64_t, Comparison> comparison_cache;
 };
 
 }  // namespace
@@ -76,19 +96,31 @@ PassiveLocalizer::PassiveLocalizer(
 double PassiveLocalizer::comparison_rtt(analysis::ExpectedRttKey key, int day,
                                         net::Region region,
                                         net::DeviceClass device) const {
-  // Prefer the learned 14-day median; before history accrues, fall back to
-  // the region target (deployment bootstrap; also exercised by the
-  // expected-RTT ablation bench).
+  // Prefer the learned 14-day median; with churn_baseline_transfer on, a
+  // live transferred baseline (already discounted) comes next; before any
+  // history accrues, fall back to the region target (deployment bootstrap;
+  // also exercised by the expected-RTT ablation bench).
+  if (config_.churn_baseline_transfer) {
+    const auto graded = learner_->expected_with_provenance(key, day);
+    if (graded.value) return *graded.value;
+    return thresholds_.threshold(region, device);
+  }
   const auto learned = learner_->expected(key, day);
   return learned ? *learned : thresholds_.threshold(region, device);
 }
 
 std::vector<BlameResult> PassiveLocalizer::localize(
-    std::span<const analysis::Quartet> quartets, int day) const {
+    std::span<const analysis::Quartet> quartets, int day,
+    const SteerShield* shield) const {
   const obs::ScopedTimer span{localize_ms_h_};
   const std::size_t n = quartets.size();
   const auto nshards =
       static_cast<std::size_t>(pool_ ? pool_->size() : 1);
+  const bool shield_on = shield && !shield->empty();
+  const auto shielded = [&](const analysis::Quartet& q) {
+    return shield_on &&
+           shield->contains(steer_shield_key(q.key.location, q.key.block));
+  };
 
   // Partition quartet indices by cloud location. Location ids are dense, so
   // a plain modulo spreads locations round-robin across shards.
@@ -109,34 +141,48 @@ std::vector<BlameResult> PassiveLocalizer::localize(
       const auto ck = cloud_group(q);
       const auto mk = middle_group(q);
 
-      const auto cloud_cmp = [&] {
-        const auto it = shard.comparison_cache.find(ck);
+      const auto lookup = [&](std::uint64_t group,
+                              analysis::ExpectedRttKey key) {
+        const auto it = shard.comparison_cache.find(group);
         if (it != shard.comparison_cache.end()) return it->second;
-        const double v =
-            comparison_rtt(analysis::cloud_key(q.key.location, q.key.device),
-                           day, q.region, q.key.device);
-        shard.comparison_cache.emplace(ck, v);
-        return v;
-      }();
-      const auto middle_cmp = [&] {
-        const auto it = shard.comparison_cache.find(mk);
-        if (it != shard.comparison_cache.end()) return it->second;
-        const double v = comparison_rtt(
-            analysis::middle_key(q.key.location, q.middle, q.key.device), day,
-            q.region, q.key.device);
-        shard.comparison_cache.emplace(mk, v);
-        return v;
-      }();
+        Comparison cmp;
+        if (config_.churn_baseline_transfer) {
+          const auto graded = learner_->expected_with_provenance(key, day);
+          if (graded.value) {
+            cmp.value = *graded.value;
+            cmp.transferred = graded.provenance ==
+                              analysis::BaselineProvenance::kTransferred;
+          } else {
+            cmp.value = thresholds_.threshold(q.region, q.key.device);
+          }
+          cmp.churned = learner_->recently_churned(key, day);
+        } else {
+          const auto learned = learner_->expected(key, day);
+          cmp.value = learned ? *learned
+                              : thresholds_.threshold(q.region, q.key.device);
+        }
+        shard.comparison_cache.emplace(group, cmp);
+        return cmp;
+      };
+      const auto cloud_cmp =
+          lookup(ck, analysis::cloud_key(q.key.location, q.key.device));
+      const auto middle_cmp = lookup(
+          mk, analysis::middle_key(q.key.location, q.middle, q.key.device));
 
       // §4.2 subtlety: fractions count quartets, NOT RTT samples — a handful
       // of high-volume "good" /24s must not mask widespread badness.
+      const bool cloud_bad = q.mean_rtt_ms > cloud_cmp.value;
       auto& cg = shard.groups[ck];
       ++cg.quartets;
-      cg.bad_vs_expected += q.mean_rtt_ms > cloud_cmp;
+      cg.bad_vs_expected += cloud_bad;
+      if (shield_on && !shielded(q)) {
+        ++cg.unshielded_quartets;
+        cg.unshielded_bad += cloud_bad;
+      }
 
       auto& mg = shard.groups[mk];
       ++mg.quartets;
-      mg.bad_vs_expected += q.mean_rtt_ms > middle_cmp;
+      mg.bad_vs_expected += q.mean_rtt_ms > middle_cmp.value;
 
       if (!q.bad) {
         shard.good_locations[q.key.block.block].insert(q.key.location.value);
@@ -183,23 +229,63 @@ std::vector<BlameResult> PassiveLocalizer::localize(
     const std::size_t end = std::min(n, begin + chunk_size);
     for (std::size_t i = begin; i < end; ++i) {
       const auto& q = quartets[i];
-      if (!q.bad) continue;
+      const auto& shard = shards[q.key.location.value % nshards];
+      if (!q.bad) {
+        // §13 soft badness: a route change can move a whole middle group to
+        // a longer path whose RTT stays under the absolute region target —
+        // invisible to the per-quartet threshold, but exactly what the
+        // expectation comparison exists to catch. Only RECENTLY CHURNED
+        // groups qualify (a live churn event re-routed traffic onto this
+        // key): there, "the group crossed τ against its expectation" is a
+        // path-shaped signal corroborated by the routing plane, while the
+        // same crossing on an unchurned group can equally be a client-side
+        // fault inflating a small group (so co-group quartets must keep
+        // seed's abstain behavior). Soft-bad quartets are blamed Middle
+        // directly and never touch the cloud or client branches.
+        if (!config_.churn_baseline_transfer) continue;
+        const auto mk = middle_group(q);
+        const auto& soft_mg = shard.groups.at(mk);
+        const auto& cmp = shard.comparison_cache.at(mk);
+        if (!cmp.churned) continue;
+        if (soft_mg.quartets <= config_.min_group_quartets) continue;
+        if (soft_mg.bad_fraction() < config_.tau) continue;
+        if (q.mean_rtt_ms <= cmp.value) continue;
+        BlameResult result;
+        result.quartet = q;
+        result.blame = Blame::Middle;
+        result.grade = cmp.transferred ? BaselineGrade::Transferred
+                                       : BaselineGrade::Fresh;
+        out.push_back(std::move(result));
+        continue;
+      }
       BlameResult result;
       result.quartet = q;
 
-      const auto& shard = shards[q.key.location.value % nshards];
       const auto& cg = shard.groups.at(cloud_group(q));
       const auto& mg = shard.groups.at(middle_group(q));
 
+      // With a steer shield active, the cloud check runs on the group's
+      // UN-shielded evidence: a destination-edge shift that is only visible
+      // through just-re-steered /24s has no corroborating cloud-side signal
+      // and must fall through to the middle checks. Groups untouched by the
+      // shield have unshielded == full counters, so this is the original
+      // rule for them; with the shield off it is the original rule for all.
+      const bool cloud_blamed =
+          shield_on ? (cg.unshielded_quartets > config_.min_group_quartets &&
+                       cg.unshielded_fraction() >= config_.tau)
+                    : cg.bad_fraction() >= config_.tau;
       if (cg.quartets <= config_.min_group_quartets) {
         result.blame = Blame::Insufficient;
-      } else if (cg.bad_fraction() >= config_.tau) {
+      } else if (cloud_blamed) {
         result.blame = Blame::Cloud;
         result.faulty_as = topology_->cloud_as();
       } else if (mg.quartets <= config_.min_group_quartets) {
         result.blame = Blame::Insufficient;
       } else if (mg.bad_fraction() >= config_.tau) {
         result.blame = Blame::Middle;  // active phase refines to an AS
+        result.grade = shard.comparison_cache.at(middle_group(q)).transferred
+                           ? BaselineGrade::Transferred
+                           : BaselineGrade::Fresh;
       } else {
         const auto it = good_locations.find(q.key.block.block);
         const bool good_elsewhere =

@@ -25,6 +25,7 @@
 
 #include <memory>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include <array>
@@ -39,6 +40,18 @@
 
 namespace blameit::core {
 
+/// /24s currently shielded from Cloud blame at a location because a recent
+/// SteerShift churn event moved them there: entries are packed
+/// (location << 32) | /24 block. Assembled by the pipeline from the churn
+/// feed (config.churn_steer_shield); empty or null = no shielding, and
+/// localize() is bit-identical to the churn-blind pipeline.
+using SteerShield = std::unordered_set<std::uint64_t>;
+
+[[nodiscard]] constexpr std::uint64_t steer_shield_key(
+    net::CloudLocationId location, net::Slash24 block) noexcept {
+  return (std::uint64_t{location.value} << 32) | block.block;
+}
+
 class PassiveLocalizer {
  public:
   PassiveLocalizer(const net::Topology* topology,
@@ -49,9 +62,14 @@ class PassiveLocalizer {
   /// Runs Algorithm 1 over one bucket's quartets (good and bad; the good
   /// ones shape the group fractions and the ambiguity signal). Returns one
   /// BlameResult per *bad* quartet, in input order regardless of thread
-  /// count. `day` selects the learner's history window.
+  /// count. `day` selects the learner's history window. A non-empty
+  /// `shield` makes Cloud blame for shielded ⟨location, /24⟩ quartets
+  /// require corroboration from the location's UN-shielded quartets (§13's
+  /// re-steer rule); un-shielded quartets of an affected group likewise
+  /// judge the cloud check on the un-steered evidence only.
   [[nodiscard]] std::vector<BlameResult> localize(
-      std::span<const analysis::Quartet> quartets, int day) const;
+      std::span<const analysis::Quartet> quartets, int day,
+      const SteerShield* shield = nullptr) const;
 
   /// The comparison value used for group bad-fractions: the learned expected
   /// RTT when history exists, else the badness threshold (bootstrap

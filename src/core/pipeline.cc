@@ -51,13 +51,85 @@ BlameItPipeline::BlameItPipeline(const net::Topology* topology,
   obs::set(probe_budget_g_, static_cast<double>(config_.probe_budget_per_run));
   snapshot_save_ms_h_ = obs::histogram(registry, "store.snapshot_save_ms");
   snapshot_load_ms_h_ = obs::histogram(registry, "store.snapshot_load_ms");
+  churn_transfers_c_ = obs::counter(registry, "pipeline.churn_transfers");
+  steer_shields_c_ = obs::counter(registry, "pipeline.steer_shields");
+  cold_backfills_c_ = obs::counter(registry, "pipeline.cold_backfills");
+}
+
+void BlameItPipeline::apply_churn_events(
+    const std::vector<net::ChurnEvent>& events, std::size_t& cursor,
+    util::MinuteTime upto) {
+  for (; cursor < events.size() && events[cursor].time < upto; ++cursor) {
+    const net::ChurnEvent& event = events[cursor];
+    if (event.kind == net::ChurnKind::SteerShift) {
+      if (config_.churn_steer_shield) {
+        shield_entries_.push_back(ShieldEntry{
+            .location = event.location,
+            .prefix = event.prefix,
+            .until = event.time.plus_minutes(config_.churn_shield_minutes)});
+        obs::add(steer_shields_c_);
+      }
+      continue;
+    }
+    // Baseline transfer (§13): a PathChange that swaps the middle segment
+    // leaves the new ⟨location, path, device⟩ groups with no history — seed
+    // them from the old path's baseline so the very next buckets compare
+    // against an inherited (discounted) expectation instead of falling to
+    // Insufficient. A Withdraw/Announce pair has no old path to inherit
+    // from; a PathChange that keeps the middle segment needs nothing.
+    if (!config_.churn_baseline_transfer) continue;
+    if (event.kind != net::ChurnKind::PathChange) continue;
+    if (!event.old_route || !event.new_route) continue;
+    if (event.old_route->middle == event.new_route->middle) continue;
+    const int day = event.time.day();
+    for (const net::DeviceClass device : net::kAllDeviceClasses) {
+      const auto to =
+          analysis::middle_key(event.location, event.new_route->middle,
+                               device);
+      bool moved = learner_.transfer_baseline(
+          analysis::middle_key(event.location, event.old_route->middle,
+                               device),
+          to, day);
+      if (!moved) {
+        // Same-path sibling fallback: the other device class of the old
+        // ⟨location, path⟩ often has history when this one does not (e.g.
+        // a mobile-sparse region).
+        for (const net::DeviceClass sibling : net::kAllDeviceClasses) {
+          if (sibling == device) continue;
+          moved = learner_.transfer_baseline(
+              analysis::middle_key(event.location, event.old_route->middle,
+                                   sibling),
+              to, day);
+          if (moved) break;
+        }
+      }
+      if (moved) obs::add(churn_transfers_c_);
+    }
+  }
+}
+
+SteerShield BlameItPipeline::build_shield(util::TimeBucket bucket) {
+  SteerShield shield;
+  const util::MinuteTime start = bucket.start();
+  std::erase_if(shield_entries_, [&](const ShieldEntry& entry) {
+    return entry.until < start;
+  });
+  for (const ShieldEntry& entry : shield_entries_) {
+    const std::uint32_t base = entry.prefix.network >> 8;
+    const std::uint32_t count = entry.prefix.slash24_count();
+    for (std::uint32_t b = 0; b < count; ++b) {
+      shield.insert(
+          steer_shield_key(entry.location, net::Slash24{base + b}));
+    }
+  }
+  return shield;
 }
 
 void BlameItPipeline::save_snapshot(store::SnapshotWriter& writer) const {
   const obs::ScopedTimer span{snapshot_save_ms_h_};
   {
     std::string& out = writer.section("pipeline-cursors");
-    store::put_varint(out, 1);  // cursors payload format
+    store::put_varint(out, 2);  // cursors payload format (2 adds shields)
     store::put_svarint(out, next_bucket_.index);
     store::put_svarint(out, last_step_.minutes);
     store::put_svarint(out, last_evict_day_);
@@ -74,6 +146,16 @@ void BlameItPipeline::save_snapshot(store::SnapshotWriter& writer) const {
       store::put_svarint(out, run.last.index);
       store::put_svarint(out, run.length);
     }
+    // Format 2: live steer-shield windows, in feed order (deterministic —
+    // see ShieldEntry). A restored pipeline keeps shielding exactly the
+    // /24s the killed one was shielding.
+    store::put_varint(out, shield_entries_.size());
+    for (const ShieldEntry& entry : shield_entries_) {
+      store::put_varint(out, entry.location.value);
+      store::put_varint(out, entry.prefix.network);
+      store::put_varint(out, entry.prefix.length);
+      store::put_svarint(out, entry.until.minutes);
+    }
   }
   learner_.save_state(writer);
   durations_.save(writer.section("durations"));
@@ -86,7 +168,7 @@ void BlameItPipeline::restore_snapshot(const store::SnapshotReader& reader) {
   {
     store::ByteReader in = reader.section("pipeline-cursors");
     const std::uint64_t format = in.varint();
-    if (format != 1) {
+    if (format != 1 && format != 2) {
       in.fail("unsupported cursors payload format " + std::to_string(format));
     }
     const std::int64_t next_bucket = in.svarint();
@@ -109,11 +191,30 @@ void BlameItPipeline::restore_snapshot(const store::SnapshotReader& reader) {
       run.length = static_cast<int>(length);
       open_runs.emplace(prev, run);
     }
+    std::vector<ShieldEntry> shields;
+    if (format >= 2) {
+      const std::uint64_t n_shields = in.varint();
+      if (n_shields > (std::uint64_t{1} << 32)) {
+        in.fail("shield entry count absurd");
+      }
+      shields.reserve(static_cast<std::size_t>(n_shields));
+      for (std::uint64_t s = 0; s < n_shields; ++s) {
+        ShieldEntry entry;
+        entry.location.value = static_cast<std::uint16_t>(in.varint());
+        entry.prefix.network = static_cast<std::uint32_t>(in.varint());
+        const std::uint64_t length = in.varint();
+        if (length > 32) in.fail("shield prefix length out of range");
+        entry.prefix.length = static_cast<std::uint8_t>(length);
+        entry.until.minutes = in.svarint();
+        shields.push_back(entry);
+      }
+    }
     in.expect_done();
     next_bucket_ = util::TimeBucket{next_bucket};
     last_step_ = util::MinuteTime{last_step};
     last_evict_day_ = static_cast<int>(last_evict_day);
     open_runs_ = std::move(open_runs);
+    shield_entries_ = std::move(shields);
   }
   learner_.restore_state(reader);
   {
@@ -174,10 +275,28 @@ StepReport BlameItPipeline::step(util::MinuteTime now) {
   StepReport report;
   report.now = now;
 
+  // §13 churn awareness: the BGP feed is fetched (through the chaos layer,
+  // which may drop or delay events) only when a churn knob is on — with all
+  // of them off the step loop never consults the feed and its output is
+  // bit-identical to the churn-blind pipeline.
+  const bool churn_aware =
+      config_.churn_baseline_transfer || config_.churn_steer_shield;
+  std::vector<net::ChurnEvent> churn;
+  std::size_t churn_cursor = 0;
+  if (churn_aware) {
+    churn = sim::fetch_churn(topology_->routing(), engine_->chaos(),
+                             last_step_.plus_minutes(1), now.plus_minutes(1));
+  }
+
   std::vector<analysis::Quartet> latest_quartets;
   std::vector<BlameResult> latest_blames;
   util::TimeBucket bucket = next_bucket_;
   for (; bucket.next().start() <= now; bucket = bucket.next()) {
+    // Transfers and shield windows opened by events up to this bucket's
+    // close must be visible to this bucket's localization.
+    if (churn_aware) {
+      apply_churn_events(churn, churn_cursor, bucket.next().start());
+    }
     auto quartets = source_(bucket);
     {
       const obs::ScopedTimer learn_span{learn_ms_h_,
@@ -188,7 +307,13 @@ StepReport BlameItPipeline::step(util::MinuteTime now) {
     {
       const obs::ScopedTimer localize_span{localize_ms_h_,
                                            &report.stages.localize_ms};
-      blames = passive_.localize(quartets, bucket.day());
+      if (config_.churn_steer_shield) {
+        const SteerShield shield = build_shield(bucket);
+        blames = passive_.localize(quartets, bucket.day(),
+                                   shield.empty() ? nullptr : &shield);
+      } else {
+        blames = passive_.localize(quartets, bucket.day());
+      }
     }
 
     // Middle-issue run tracking for the duration predictor.
@@ -221,6 +346,10 @@ StepReport BlameItPipeline::step(util::MinuteTime now) {
     latest_blames = std::move(blames);
   }
   next_bucket_ = bucket;
+  // Drain feed events between the last processed bucket's close and `now`
+  // (the next step's fetch window starts at now + 1, so they would
+  // otherwise be lost).
+  if (churn_aware) apply_churn_events(churn, churn_cursor, now.plus_minutes(1));
   obs::add(buckets_c_, static_cast<std::uint64_t>(report.buckets_processed));
 
   // Active phase over the newest bucket's middle issues.
@@ -249,6 +378,21 @@ StepReport BlameItPipeline::step(util::MinuteTime now) {
       // against the same §5.3 budget — hardening must not quietly inflate
       // the probing bill.
       const int budget = config_.probe_budget_per_run;
+      // For §13 probed-cold back-fill: which device classes each issue's
+      // Middle-blamed quartets actually cover (the learner is seeded only
+      // for groups that exist).
+      std::unordered_map<std::uint64_t,
+                         std::array<bool, net::kAllDeviceClasses.size()>>
+          devices_by_issue;
+      if (config_.probe_on_no_baseline) {
+        for (const auto& b : latest_blames) {
+          if (b.blame != Blame::Middle) continue;
+          devices_by_issue[middle_issue_key(b.quartet.key.location,
+                                            b.quartet.middle)]
+                          [static_cast<std::size_t>(b.quartet.key.device)] =
+                              true;
+        }
+      }
       for (std::size_t i = 0;
            i < report.ranked_issues.size() && report.on_demand_probes < budget;
            ++i) {
@@ -268,6 +412,32 @@ StepReport BlameItPipeline::step(util::MinuteTime now) {
                              issue.representative_block, now, issue_start);
         report.on_demand_probes += diag.probes_spent;
         report.active_retries += diag.retries;
+        if (diag.grade == BaselineGrade::ProbedCold) {
+          // Back-fill (§13): the confirmed cold-path measurement becomes
+          // the path's baseline, and its end-to-end RTT seeds the learner
+          // for the issue's device classes. observe() feeds only the
+          // CURRENT day and expected() medians exclude it, so today's
+          // verdicts are untouched — but tomorrow the new path starts with
+          // history instead of falling to Insufficient again.
+          baselines_.update(
+              issue.location, issue.middle,
+              Baseline{.when = now,
+                       .cloud_ms = diag.probe.cloud_ms,
+                       .contributions = diag.probe.contributions()});
+          const auto dit = devices_by_issue.find(
+              middle_issue_key(issue.location, issue.middle));
+          if (dit != devices_by_issue.end()) {
+            const double rtt = diag.probe.hops.back().cumulative_rtt_ms;
+            for (std::size_t d = 0; d < net::kAllDeviceClasses.size(); ++d) {
+              if (!dit->second[d]) continue;
+              learner_.observe(
+                  analysis::middle_key(issue.location, issue.middle,
+                                       net::kAllDeviceClasses[d]),
+                  now.day(), rtt);
+            }
+          }
+          obs::add(cold_backfills_c_);
+        }
         report.diagnoses.push_back(std::move(diag));
       }
     }

@@ -133,6 +133,16 @@ class BlameItPipeline {
   void learn_from(const std::vector<analysis::Quartet>& quartets,
                   util::TimeBucket bucket);
 
+  /// Consumes churn-feed events up to `upto` (exclusive), advancing
+  /// `cursor`: PathChange events drive baseline transfers (§13), SteerShift
+  /// events open steer-shield windows.
+  void apply_churn_events(const std::vector<net::ChurnEvent>& events,
+                          std::size_t& cursor, util::MinuteTime upto);
+
+  /// Expands the live shield entries into the per-⟨location, /24⟩ set the
+  /// passive phase consults for `bucket`, pruning expired entries.
+  [[nodiscard]] SteerShield build_shield(util::TimeBucket bucket);
+
   const net::Topology* topology_;
   sim::TracerouteEngine* engine_;
   QuartetSource source_;
@@ -153,6 +163,17 @@ class BlameItPipeline {
   };
   std::unordered_map<std::uint64_t, OpenRun> open_runs_;
 
+  /// One live steer-shield window (§13): /24s of `prefix` recently
+  /// re-steered onto `location` are shielded from Cloud blame until `until`.
+  /// Appended in churn-feed order and pruned front-to-back as buckets pass,
+  /// so the vector order — and hence the snapshot bytes — is deterministic.
+  struct ShieldEntry {
+    net::CloudLocationId location;
+    net::Prefix prefix;
+    util::MinuteTime until;
+  };
+  std::vector<ShieldEntry> shield_entries_;
+
   util::TimeBucket next_bucket_{0};
   util::MinuteTime last_step_{0};
   int last_evict_day_ = -1;
@@ -172,6 +193,9 @@ class BlameItPipeline {
   obs::Gauge* probe_budget_g_ = nullptr;
   obs::Histogram* snapshot_save_ms_h_ = nullptr;
   obs::Histogram* snapshot_load_ms_h_ = nullptr;
+  obs::Counter* churn_transfers_c_ = nullptr;
+  obs::Counter* steer_shields_c_ = nullptr;
+  obs::Counter* cold_backfills_c_ = nullptr;
 };
 
 }  // namespace blameit::core

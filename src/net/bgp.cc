@@ -127,6 +127,24 @@ void RoutingState::change_path(CloudLocationId location, const Prefix& prefix,
   it->second.set_route(when, std::move(entry));
 }
 
+void RoutingState::note_steer_shift(CloudLocationId location,
+                                    const Prefix& prefix,
+                                    util::MinuteTime when) {
+  const auto it = timelines_.find(key_of(location, prefix));
+  if (it == timelines_.end()) {
+    throw std::invalid_argument{
+        "RoutingState: steer shift on unannounced prefix"};
+  }
+  const RouteEntry* route = it->second.route_at(when);
+  const auto copy = route ? std::optional<RouteEntry>{*route} : std::nullopt;
+  churn_log_.push_back(ChurnEvent{.time = when,
+                                  .location = location,
+                                  .prefix = prefix,
+                                  .kind = ChurnKind::SteerShift,
+                                  .old_route = copy,
+                                  .new_route = copy});
+}
+
 const RouteEntry* RoutingState::route_for(CloudLocationId location,
                                           Slash24 client,
                                           util::MinuteTime when) const {

@@ -69,7 +69,11 @@ struct RouteEntry {
 };
 
 /// Kinds of routing-change events surfaced by the BGP listener (§5.4).
-enum class ChurnKind : std::uint8_t { PathChange, Withdraw, Announce };
+/// SteerShift is an anycast/traffic-engineering steer: the BGP route is
+/// unchanged but clients of the prefix were moved to a different serving
+/// location, so their destination-edge latency shifts without any AS fault.
+enum class ChurnKind : std::uint8_t { PathChange, Withdraw, Announce,
+                                      SteerShift };
 
 struct ChurnEvent {
   util::MinuteTime time;
@@ -77,7 +81,9 @@ struct ChurnEvent {
   Prefix prefix;
   ChurnKind kind{};
   std::optional<RouteEntry> old_route;  ///< empty for Announce
-  std::optional<RouteEntry> new_route;  ///< empty for Withdraw
+  std::optional<RouteEntry> new_route;  ///< empty for Withdraw; for
+                                        ///< SteerShift both equal the route
+                                        ///< still in effect
 };
 
 /// The route history for one ⟨cloud location, announced prefix⟩ pair.
@@ -110,6 +116,13 @@ class RoutingState {
   /// Replaces the route at `when` and records a PathChange churn event.
   void change_path(CloudLocationId location, const Prefix& prefix,
                    util::MinuteTime when, AsPath new_full_path);
+
+  /// Records a SteerShift churn event at `when` for clients of `prefix`
+  /// served from `location` (anycast re-steer). The route timeline is NOT
+  /// touched — steering moves traffic, not BGP state — so events may be
+  /// noted out of timeline order.
+  void note_steer_shift(CloudLocationId location, const Prefix& prefix,
+                        util::MinuteTime when);
 
   /// Route for a client /24 from a location at a time; nullopt when no
   /// covering prefix is announced.

@@ -88,6 +88,13 @@ struct Ctx {
     return n;
   }
 
+  bool want_bool(const Value& v, const std::string& path) const {
+    if (!v.is_bool()) {
+      fail(v, path, "expected a boolean, got " + std::string{v.type_name()});
+    }
+    return v.as_bool();
+  }
+
   double want_number(const Value& v, const std::string& path) const {
     if (!v.is_number()) {
       fail(v, path, "expected a number, got " + std::string{v.type_name()});
@@ -212,11 +219,19 @@ void parse_pipeline(const Ctx& ctx, const Value& v, const std::string& path,
   ctx.check_keys(v, path,
                  {"analytics_threads", "expected_rtt_window_days",
                   "probe_budget_per_run", "active_quorum_k",
-                  "active_probe_retries", "state_backend"});
+                  "active_probe_retries", "state_backend",
+                  "churn_baseline_transfer", "churn_transfer_discount",
+                  "churn_transfer_max_age_days", "churn_steer_shield",
+                  "churn_shield_minutes", "probe_on_no_baseline"});
   const auto opt_int = [&](std::string_view key, int& field, int lo, int hi) {
     if (const auto* m = v.find(key)) {
       field = static_cast<int>(
           ctx.want_int_in(*m, path + "." + std::string{key}, lo, hi));
+    }
+  };
+  const auto opt_bool = [&](std::string_view key, bool& field) {
+    if (const auto* m = v.find(key)) {
+      field = ctx.want_bool(*m, path + "." + std::string{key});
     }
   };
   opt_int("analytics_threads", out.analytics_threads, 0, 64);
@@ -224,6 +239,20 @@ void parse_pipeline(const Ctx& ctx, const Value& v, const std::string& path,
   opt_int("probe_budget_per_run", out.probe_budget_per_run, 0, 1000);
   opt_int("active_quorum_k", out.active_quorum_k, 1, 9);
   opt_int("active_probe_retries", out.active_probe_retries, 0, 10);
+  opt_bool("churn_baseline_transfer", out.churn_baseline_transfer);
+  if (const auto* m = v.find("churn_transfer_discount")) {
+    const std::string p = path + ".churn_transfer_discount";
+    out.churn_transfer_discount = ctx.want_number(*m, p);
+    if (out.churn_transfer_discount < 1.0 ||
+        out.churn_transfer_discount > 4.0) {
+      ctx.fail(*m, p, "discount must be in [1, 4]");
+    }
+  }
+  opt_int("churn_transfer_max_age_days", out.churn_transfer_max_age_days, 1,
+          30);
+  opt_bool("churn_steer_shield", out.churn_steer_shield);
+  opt_int("churn_shield_minutes", out.churn_shield_minutes, 1, 7 * 24 * 60);
+  opt_bool("probe_on_no_baseline", out.probe_on_no_baseline);
   if (const auto* m = v.find("state_backend")) {
     const std::string p = path + ".state_backend";
     const auto& token = ctx.want_string(*m, p);
@@ -269,7 +298,8 @@ void parse_chaos(const Ctx& ctx, const Value& v, const std::string& path,
                  {"seed", "probe_loss_rate", "hop_timeout_rate",
                   "silent_as_rate", "duplicate_record_rate",
                   "late_record_rate", "late_record_delay_buckets",
-                  "outages"});
+                  "churn_feed_loss_rate", "churn_feed_delay_rate",
+                  "churn_feed_delay_minutes", "outages"});
   if (const auto* m = v.find("seed")) {
     out.seed = static_cast<std::uint64_t>(
         ctx.want_int_in(*m, path + ".seed", 0, INT64_MAX));
@@ -288,6 +318,12 @@ void parse_chaos(const Ctx& ctx, const Value& v, const std::string& path,
   opt_rate("silent_as_rate", out.silent_as_rate);
   opt_rate("duplicate_record_rate", out.duplicate_record_rate);
   opt_rate("late_record_rate", out.late_record_rate);
+  opt_rate("churn_feed_loss_rate", out.churn_feed_loss_rate);
+  opt_rate("churn_feed_delay_rate", out.churn_feed_delay_rate);
+  if (const auto* m = v.find("churn_feed_delay_minutes")) {
+    out.churn_feed_delay_minutes = static_cast<int>(
+        ctx.want_int_in(*m, path + ".churn_feed_delay_minutes", 1, 24 * 60));
+  }
   if (const auto* m = v.find("late_record_delay_buckets")) {
     out.late_record_delay_buckets = static_cast<int>(
         ctx.want_int_in(*m, path + ".late_record_delay_buckets", 1, 288));

@@ -12,6 +12,7 @@ constexpr std::uint64_t kLossTag = 0x10535;
 constexpr std::uint64_t kHopTag = 0x40953;
 constexpr std::uint64_t kDupTag = 0xD0BBE;
 constexpr std::uint64_t kLateTag = 0x1A7E0;
+constexpr std::uint64_t kChurnTag = 0xC4021;
 
 }  // namespace
 
@@ -23,7 +24,10 @@ ChaosInjector::ChaosInjector(ChaosConfig config, obs::Registry* registry)
       !valid_rate(config_.silent_as_rate) ||
       !valid_rate(config_.duplicate_record_rate) ||
       !valid_rate(config_.late_record_rate) ||
-      config_.late_record_delay_buckets < 1) {
+      !valid_rate(config_.churn_feed_loss_rate) ||
+      !valid_rate(config_.churn_feed_delay_rate) ||
+      config_.late_record_delay_buckets < 1 ||
+      config_.churn_feed_delay_minutes < 1) {
     throw std::invalid_argument{"ChaosConfig: rate outside [0, 1]"};
   }
   lost_c_ = obs::counter(registry, "chaos.probes_lost");
@@ -101,6 +105,25 @@ bool ChaosInjector::late_record(util::TimeBucket bucket,
   return late;
 }
 
+ChaosInjector::ChurnFate ChaosInjector::churn_fate(
+    net::CloudLocationId location, std::uint32_t prefix_network,
+    util::MinuteTime t, std::uint8_t kind) const {
+  if (config_.churn_feed_loss_rate <= 0.0 &&
+      config_.churn_feed_delay_rate <= 0.0) {
+    return ChurnFate::Deliver;
+  }
+  const std::uint64_t who =
+      (std::uint64_t{location.value} << 40) | std::uint64_t{prefix_network};
+  const double u = roll(kChurnTag, who, static_cast<std::uint64_t>(t.minutes),
+                        kind);
+  // One draw decides both fates, like hop_fate.
+  if (u < config_.churn_feed_loss_rate) return ChurnFate::Drop;
+  if (u < config_.churn_feed_loss_rate + config_.churn_feed_delay_rate) {
+    return ChurnFate::Delay;
+  }
+  return ChurnFate::Deliver;
+}
+
 ChaosRecordFeed::ChaosRecordFeed(const ChaosInjector* chaos, Feed inner)
     : chaos_(chaos), inner_(std::move(inner)) {
   if (!chaos_ || !inner_) {
@@ -132,6 +155,34 @@ void ChaosRecordFeed::operator()(util::TimeBucket bucket, const Sink& sink) {
     for (const auto& record : held_back_.begin()->second) sink(record);
     held_back_.erase(held_back_.begin());
   }
+}
+
+std::vector<net::ChurnEvent> fetch_churn(const net::RoutingState& routing,
+                                         const ChaosInjector* chaos,
+                                         util::MinuteTime from,
+                                         util::MinuteTime to) {
+  if (!chaos || !chaos->config().any_control_plane_chaos()) {
+    return routing.churn_between(from, to);
+  }
+  const auto fate_of = [&](const net::ChurnEvent& ev) {
+    return chaos->churn_fate(ev.location, ev.prefix.network, ev.time,
+                             static_cast<std::uint8_t>(ev.kind));
+  };
+  std::vector<net::ChurnEvent> out;
+  for (const auto& ev : routing.churn_between(from, to)) {
+    if (fate_of(ev) == ChaosInjector::ChurnFate::Deliver) out.push_back(ev);
+  }
+  // Delayed events surface D minutes late: an event at time T is delivered
+  // by the fetch whose window covers T + D.
+  const int delay = chaos->config().churn_feed_delay_minutes;
+  if (chaos->config().churn_feed_delay_rate > 0.0) {
+    const util::MinuteTime dfrom{from.minutes - delay};
+    const util::MinuteTime dto{to.minutes - delay};
+    for (const auto& ev : routing.churn_between(dfrom, dto)) {
+      if (fate_of(ev) == ChaosInjector::ChurnFate::Delay) out.push_back(ev);
+    }
+  }
+  return out;
 }
 
 }  // namespace blameit::sim

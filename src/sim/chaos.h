@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "analysis/record.h"
+#include "net/bgp.h"
 #include "net/cloud.h"
 #include "net/ipv4.h"
 #include "obs/registry.h"
@@ -72,6 +73,17 @@ struct ChaosConfig {
   double late_record_rate = 0.0;
   int late_record_delay_buckets = 3;
 
+  // --- control plane (BGP listener feed) ---
+  /// Probability a churn event never reaches the listener (session reset,
+  /// collector gap). The routing plane itself is untouched — only the FEED
+  /// is lossy, so the pipeline must degrade to its churn-blind behavior.
+  double churn_feed_loss_rate = 0.0;
+  /// Probability a churn event is delivered `churn_feed_delay_minutes` late
+  /// (it surfaces in whatever listener fetch window covers the deferred
+  /// time).
+  double churn_feed_delay_rate = 0.0;
+  int churn_feed_delay_minutes = 30;
+
   [[nodiscard]] bool any_probe_chaos() const noexcept {
     return probe_loss_rate > 0.0 || hop_timeout_rate > 0.0 ||
            silent_as_rate > 0.0 || !outages.empty();
@@ -79,8 +91,12 @@ struct ChaosConfig {
   [[nodiscard]] bool any_telemetry_chaos() const noexcept {
     return duplicate_record_rate > 0.0 || late_record_rate > 0.0;
   }
+  [[nodiscard]] bool any_control_plane_chaos() const noexcept {
+    return churn_feed_loss_rate > 0.0 || churn_feed_delay_rate > 0.0;
+  }
   [[nodiscard]] bool enabled() const noexcept {
-    return any_probe_chaos() || any_telemetry_chaos();
+    return any_probe_chaos() || any_telemetry_chaos() ||
+           any_control_plane_chaos();
   }
 };
 
@@ -120,6 +136,19 @@ class ChaosInjector {
                                       std::uint64_t record_index) const;
   [[nodiscard]] bool late_record(util::TimeBucket bucket,
                                  std::uint64_t record_index) const;
+
+  /// Fate of one BGP churn event in the listener feed, keyed on the event's
+  /// identity (location, announced-prefix network, time, kind) so every
+  /// consumer of the same event sees the same fate.
+  enum class ChurnFate : std::uint8_t {
+    Deliver,  ///< surfaces in its own fetch window
+    Drop,     ///< never surfaces
+    Delay,    ///< surfaces churn_feed_delay_minutes late
+  };
+  [[nodiscard]] ChurnFate churn_fate(net::CloudLocationId location,
+                                     std::uint32_t prefix_network,
+                                     util::MinuteTime t,
+                                     std::uint8_t kind) const;
 
   // Counter hooks for the consuming engines (null-safe).
   void count_lost() const noexcept { obs::add(lost_c_); }
@@ -169,5 +198,15 @@ class ChaosRecordFeed {
   std::uint64_t duplicated_ = 0;
   std::uint64_t delayed_n_ = 0;
 };
+
+/// One BGP-listener fetch over [from, to) with churn-feed chaos applied:
+/// on-time events in the window that were neither dropped nor delayed, plus
+/// delayed events whose deferred delivery time lands in the window. With a
+/// null or inert injector this is exactly `routing.churn_between(from, to)`.
+/// Stateless — the same window query always returns the same events, so
+/// restart recovery replays the feed identically.
+[[nodiscard]] std::vector<net::ChurnEvent> fetch_churn(
+    const net::RoutingState& routing, const ChaosInjector* chaos,
+    util::MinuteTime from, util::MinuteTime to);
 
 }  // namespace blameit::sim

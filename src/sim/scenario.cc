@@ -188,6 +188,26 @@ void apply_incident(const Incident& incident, const ApplyTargets& targets) {
                         .duration_minutes = incident.duration_minutes,
                         .client_region = incident.region,
                         .to_location = incident.override_to});
+    // With a topology in hand, the steer is also visible to the BGP listener:
+    // one SteerShift churn event per re-steered prefix at the DESTINATION
+    // location (where the moved quartets now land), at both edges of the
+    // override window. Legacy callers without a topology keep the silent
+    // override behavior.
+    if (targets.topology) {
+      auto& routing = targets.topology->routing();
+      std::unordered_set<std::uint64_t> seen;
+      for (const auto& block : targets.topology->blocks()) {
+        if (block.region != incident.region) continue;
+        const std::uint64_t key =
+            (std::uint64_t{block.announced.network} << 8) |
+            block.announced.length;
+        if (!seen.insert(key).second) continue;
+        routing.note_steer_shift(incident.override_to, block.announced,
+                                 incident.start);
+        routing.note_steer_shift(incident.override_to, block.announced,
+                                 incident.end());
+      }
+    }
     return;
   }
   if (incident.disruption != RouteDisruption::None) {

@@ -55,7 +55,8 @@ void write_verdict(Writer& w, const Verdict& v) {
       .member("middle", v.middle.to_string())
       .member("client_as", v.client_as.to_string())
       .member("blame", core::to_string(v.blame))
-      .member("confidence", core::to_string(v.confidence));
+      .member("confidence", core::to_string(v.confidence))
+      .member("grade", core::to_string(v.grade));
   w.key("faulty_as");
   if (v.faulty_as) {
     w.value(v.faulty_as->to_string());
@@ -91,6 +92,7 @@ void write_incident(Writer& w, const Incident& inc) {
       .member("last_seen_minutes", inc.last_seen.minutes)
       .member("buckets", inc.buckets)
       .member("open", inc.open)
+      .member("grade", core::to_string(inc.grade))
       .end_object();
 }
 
@@ -107,6 +109,7 @@ void write_diagnosis(Writer& w, const DiagnosisRecord& rec) {
     w.null();
   }
   w.member("confidence", core::to_string(d.confidence))
+      .member("grade", core::to_string(d.grade))
       .member("probe_reached", d.probe_reached)
       .member("have_baseline", d.have_baseline)
       .member("baseline_predates_issue", d.baseline_predates_issue)

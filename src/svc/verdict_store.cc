@@ -35,9 +35,12 @@ void put_incident(std::string& out, const Incident& inc) {
   store::put_svarint(out, inc.last_seen.minutes);
   store::put_svarint(out, inc.buckets);
   store::put_varint(out, inc.open ? 1 : 0);
+  store::put_varint(out, static_cast<std::uint64_t>(inc.grade));
 }
 
-Incident read_incident(store::ByteReader& in) {
+/// `format` is the enclosing verdicts payload format: the §13 grade byte
+/// exists from format 2 on (format-1 snapshots predate grades — Fresh).
+Incident read_incident(store::ByteReader& in, std::uint64_t format) {
   Incident inc;
   inc.category = static_cast<core::Blame>(in.varint());
   inc.location.value = static_cast<std::uint16_t>(in.varint());
@@ -51,6 +54,11 @@ Incident read_incident(store::ByteReader& in) {
   inc.last_seen.minutes = in.svarint();
   inc.buckets = static_cast<int>(in.svarint());
   inc.open = in.varint() != 0;
+  if (format >= 2) {
+    const std::uint64_t grade = in.varint();
+    if (grade > 2) in.fail("incident grade out of range");
+    inc.grade = static_cast<core::BaselineGrade>(grade);
+  }
   return inc;
 }
 
@@ -59,10 +67,13 @@ void put_diagnosis(std::string& out, const DiagnosisRecord& record) {
   store::put_svarint(out, record.at.minutes);
   store::put_varint(out, d.location.value);
   store::put_varint(out, d.middle.value);
+  // Bits 6-7 carry the §13 grade; format-1 snapshots never set them, so a
+  // zero there decodes to Fresh with no format gate needed.
   const std::uint64_t bits =
       (d.probe_reached ? 1u : 0u) | (d.have_baseline ? 2u : 0u) |
       (d.baseline_predates_issue ? 4u : 0u) | (d.baseline_stale ? 8u : 0u) |
-      (d.truncated ? 16u : 0u) | (d.coarse_middle ? 32u : 0u);
+      (d.truncated ? 16u : 0u) | (d.coarse_middle ? 32u : 0u) |
+      (static_cast<std::uint64_t>(d.grade) << 6);
   store::put_varint(out, bits);
   store::put_varint(out,
                     d.culprit ? d.culprit->value + std::uint64_t{1} : 0);
@@ -99,6 +110,8 @@ DiagnosisRecord read_diagnosis(store::ByteReader& in) {
   d.baseline_stale = (bits & 8) != 0;
   d.truncated = (bits & 16) != 0;
   d.coarse_middle = (bits & 32) != 0;
+  if (((bits >> 6) & 3) > 2) in.fail("diagnosis grade out of range");
+  d.grade = static_cast<core::BaselineGrade>((bits >> 6) & 3);
   if (const std::uint64_t as = in.varint(); as != 0) {
     d.culprit = net::AsId{static_cast<std::uint32_t>(as - 1)};
   }
@@ -149,9 +162,9 @@ void VerdictStore::VerdictColumns::append(Key key, const Verdict& v) {
   blames.push_back(static_cast<std::uint8_t>(v.blame));
   faulty_ases.push_back(v.faulty_as ? v.faulty_as->value + 1 : 0);
   confidences.push_back(static_cast<std::uint8_t>(v.confidence));
-  flags.push_back(static_cast<std::uint8_t>((v.from_active ? 1 : 0) |
-                                            (v.baseline_predates_issue ? 2
-                                                                       : 0)));
+  flags.push_back(static_cast<std::uint8_t>(
+      (v.from_active ? 1 : 0) | (v.baseline_predates_issue ? 2 : 0) |
+      (static_cast<std::uint8_t>(v.grade) << 2)));
   buckets.push_back(v.bucket.index);
   mean_rtts.push_back(v.mean_rtt_ms);
   sample_counts.push_back(v.sample_count);
@@ -170,6 +183,7 @@ Verdict VerdictStore::VerdictColumns::row(std::size_t i) const {
   v.confidence = static_cast<core::DiagnosisConfidence>(confidences[i]);
   v.from_active = (flags[i] & 1) != 0;
   v.baseline_predates_issue = (flags[i] & 2) != 0;
+  v.grade = static_cast<core::BaselineGrade>((flags[i] >> 2) & 3);
   v.bucket = util::TimeBucket{buckets[i]};
   v.mean_rtt_ms = mean_rtts[i];
   v.sample_count = sample_counts[i];
@@ -255,6 +269,7 @@ void VerdictStore::fold_blames(const core::StepReport& report) {
     v.client_as = b.quartet.client_as;
     v.blame = b.blame;
     v.faulty_as = b.faulty_as;
+    v.grade = b.grade;
     v.bucket = b.quartet.key.bucket;
     v.mean_rtt_ms = b.quartet.mean_rtt_ms;
     v.sample_count = b.quartet.sample_count;
@@ -274,6 +289,10 @@ void VerdictStore::fold_blames(const core::StepReport& report) {
           v.from_active = true;
           v.baseline_predates_issue = d->baseline_predates_issue;
           if (d->culprit) v.faulty_as = d->culprit;
+          // A probed-cold diagnosis supersedes the passive grade: the
+          // faulty-AS verdict the reader sees rests on the cold-path
+          // measurement, not the (absent or inherited) learned median.
+          if (d->grade == core::BaselineGrade::ProbedCold) v.grade = d->grade;
         }
         break;
       }
@@ -355,9 +374,13 @@ void VerdictStore::rebuild_columnar_shard(std::size_t i,
 void VerdictStore::fold_incidents(const core::StepReport& report) {
   // Culprits named by this step's active phase, for middle-run enrichment.
   std::map<std::uint64_t, net::AsId> culprit_of;
+  std::map<std::uint64_t, core::BaselineGrade> diag_grade_of;
   for (const auto& d : report.diagnoses) {
     if (d.culprit) {
       culprit_of[middle_run_key(d.location, d.middle)] = *d.culprit;
+    }
+    if (d.grade == core::BaselineGrade::ProbedCold) {
+      diag_grade_of[middle_run_key(d.location, d.middle)] = d.grade;
     }
   }
 
@@ -372,6 +395,7 @@ void VerdictStore::fold_incidents(const core::StepReport& report) {
     std::uint64_t key = 0;
     Incident proto;
     proto.location = b.quartet.key.location;
+    proto.grade = b.grade;
     switch (b.blame) {
       case core::Blame::Cloud:
         key = cloud_run_key(b.quartet.key.location);
@@ -391,8 +415,15 @@ void VerdictStore::fold_incidents(const core::StepReport& report) {
       default:
         continue;  // Ambiguous/Insufficient never form incidents
     }
-    by_bucket[b.quartet.key.bucket.index].try_emplace(key,
-                                                      KeyInfo{proto});
+    const auto [slot, inserted] =
+        by_bucket[b.quartet.key.bucket.index].try_emplace(key,
+                                                          KeyInfo{proto});
+    if (!inserted) {
+      // The run's grade is the most-degraded evidence seen: any quartet of
+      // the group leaning on a transferred baseline marks the bucket.
+      slot->second.proto.grade =
+          std::max(slot->second.proto.grade, proto.grade);
+    }
   }
 
   for (const auto& [bucket_index, keys] : by_bucket) {
@@ -404,6 +435,8 @@ void VerdictStore::fold_incidents(const core::StepReport& report) {
       if (hit != pending.end()) {
         run.incident.last_seen = bucket.start();
         ++run.incident.buckets;
+        run.incident.grade =
+            std::max(run.incident.grade, hit->second.proto.grade);
         run.last_bucket = bucket;
         pending.erase(hit);
         ++it;
@@ -428,10 +461,16 @@ void VerdictStore::fold_incidents(const core::StepReport& report) {
     }
   }
 
-  // Name the culprit on open middle runs the active phase resolved.
+  // Name the culprit on open middle runs the active phase resolved; a
+  // probed-cold diagnosis also escalates the run's grade (the named AS
+  // rests on a cold-path measurement).
   for (auto& [key, run] : open_runs_) {
     const auto it = culprit_of.find(key);
     if (it != culprit_of.end()) run.incident.faulty_as = it->second;
+    const auto git = diag_grade_of.find(key);
+    if (git != diag_grade_of.end()) {
+      run.incident.grade = std::max(run.incident.grade, git->second);
+    }
   }
 
   while (closed_.size() > config_.max_closed_incidents) closed_.pop_front();
@@ -574,7 +613,7 @@ std::size_t VerdictStore::verdict_state_bytes() const {
 
 void VerdictStore::save_state(store::SnapshotWriter& writer) const {
   std::string& out = writer.section("verdicts");
-  store::put_varint(out, 1);  // verdicts payload format
+  store::put_varint(out, 2);  // verdicts payload format (2 adds §13 grades)
   store::put_svarint(out, newest_bucket_.index);
   store::put_varint(out, steps_);
   store::put_varint(out, degraded_steps_);
@@ -630,8 +669,9 @@ void VerdictStore::save_state(store::SnapshotWriter& writer) const {
     out.push_back(static_cast<char>(v.confidence));
   }
   for (const auto& [key, v] : rows) {
-    out.push_back(static_cast<char>((v.from_active ? 1 : 0) |
-                                    (v.baseline_predates_issue ? 2 : 0)));
+    out.push_back(static_cast<char>(
+        (v.from_active ? 1 : 0) | (v.baseline_predates_issue ? 2 : 0) |
+        (static_cast<int>(v.grade) << 2)));
   }
   for (const auto& [key, v] : rows) store::put_svarint(out, v.bucket.index);
   for (const auto& [key, v] : rows) store::put_f64(out, v.mean_rtt_ms);
@@ -662,7 +702,7 @@ void VerdictStore::save_state(store::SnapshotWriter& writer) const {
 void VerdictStore::restore_state(const store::SnapshotReader& reader) {
   store::ByteReader in = reader.section("verdicts");
   const std::uint64_t format = in.varint();
-  if (format != 1) {
+  if (format != 1 && format != 2) {
     in.fail("unsupported verdicts payload format " + std::to_string(format));
   }
   const std::int64_t newest_bucket = in.svarint();
@@ -706,6 +746,8 @@ void VerdictStore::restore_state(const store::SnapshotReader& reader) {
     const std::uint8_t bits = in.u8();
     v.from_active = (bits & 1) != 0;
     v.baseline_predates_issue = (bits & 2) != 0;
+    if (((bits >> 2) & 3) > 2) in.fail("verdict grade out of range");
+    v.grade = static_cast<core::BaselineGrade>((bits >> 2) & 3);
   }
   for (auto& v : verdicts) v.bucket = util::TimeBucket{in.svarint()};
   for (auto& v : verdicts) v.mean_rtt_ms = in.f64();
@@ -718,7 +760,7 @@ void VerdictStore::restore_state(const store::SnapshotReader& reader) {
   for (std::uint64_t r = 0; r < n_runs; ++r) {
     const std::uint64_t key = in.u64();
     OpenRun run;
-    run.incident = read_incident(in);
+    run.incident = read_incident(in, format);
     run.last_bucket = util::TimeBucket{in.svarint()};
     open_runs.emplace(key, std::move(run));
   }
@@ -726,7 +768,7 @@ void VerdictStore::restore_state(const store::SnapshotReader& reader) {
   if (n_closed > (std::uint64_t{1} << 32)) in.fail("closed count absurd");
   std::deque<Incident> closed;
   for (std::uint64_t c = 0; c < n_closed; ++c) {
-    closed.push_back(read_incident(in));
+    closed.push_back(read_incident(in, format));
   }
   const std::uint64_t n_diagnoses = in.varint();
   if (n_diagnoses > (std::uint64_t{1} << 32)) in.fail("diagnosis count absurd");

@@ -97,6 +97,10 @@ struct Verdict {
   /// The faulty AS came from an on-demand traceroute diagnosis.
   bool from_active = false;
   bool baseline_predates_issue = false;
+  /// §13 degradation grade of the expectation this verdict compared
+  /// against: fresh learned history, a churn-transferred baseline, or a
+  /// cold-path probe measurement.
+  core::BaselineGrade grade = core::BaselineGrade::Fresh;
   util::TimeBucket bucket;  ///< bucket the verdict was computed from
   double mean_rtt_ms = 0.0;
   int sample_count = 0;
@@ -114,6 +118,10 @@ struct Incident {
   util::MinuteTime last_seen;
   int buckets = 0;  ///< bad buckets observed in the run
   bool open = true;
+  /// Most-degraded §13 baseline grade any of the run's blames carried
+  /// (Fresh < Transferred < ProbedCold): consumers see at a glance whether
+  /// the incident's evidence leaned on inherited or probe-seeded baselines.
+  core::BaselineGrade grade = core::BaselineGrade::Fresh;
 };
 
 /// An active-phase diagnosis with the step time it landed at.
@@ -216,7 +224,8 @@ class VerdictStore {
     std::vector<std::uint8_t> blames;
     std::vector<std::uint32_t> faulty_ases;  // AsId + 1; 0 = none
     std::vector<std::uint8_t> confidences;
-    std::vector<std::uint8_t> flags;  // bit0 from_active, bit1 predates
+    std::vector<std::uint8_t> flags;  // bit0 from_active, bit1 predates,
+                                      // bits2-3 BaselineGrade
     std::vector<std::int64_t> buckets;
     std::vector<double> mean_rtts;
     std::vector<std::int32_t> sample_counts;

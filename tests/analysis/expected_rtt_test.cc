@@ -319,5 +319,133 @@ TEST(ExpectedRttBackends, SaveRestoreRoundTripsEachBackend) {
   }
 }
 
+// --- §13 churn-aware baseline transfer ---------------------------------
+
+const auto kOldPath =
+    middle_key(kLoc, net::MiddleSegmentId{10}, net::DeviceClass::NonMobile);
+const auto kNewPath =
+    middle_key(kLoc, net::MiddleSegmentId{11}, net::DeviceClass::NonMobile);
+
+TEST(BaselineTransfer, SeedsColdKeyWithDiscount) {
+  ExpectedRttLearner learner;
+  for (int day = 0; day < 5; ++day) learner.observe(kOldPath, day, 40.0);
+  ASSERT_TRUE(learner.transfer_baseline(kOldPath, kNewPath, 5));
+
+  // Plain expected() is untouched — the seed lives in the side table.
+  EXPECT_FALSE(learner.expected(kNewPath, 5).has_value());
+  const auto graded = learner.expected_with_provenance(kNewPath, 5);
+  ASSERT_TRUE(graded.value.has_value());
+  EXPECT_DOUBLE_EQ(*graded.value, 40.0 * 1.1);  // default discount
+  EXPECT_EQ(graded.provenance, BaselineProvenance::kTransferred);
+  EXPECT_TRUE(learner.recently_churned(kNewPath, 5));
+  EXPECT_FALSE(learner.recently_churned(kOldPath, 5));
+}
+
+TEST(BaselineTransfer, SurvivesSourceEvictionThenExpires) {
+  ExpectedRttConfig cfg;
+  cfg.window_days = 2;
+  cfg.transfer_max_age_days = 3;
+  ExpectedRttLearner learner{cfg};
+  learner.observe(kOldPath, 0, 50.0);
+  ASSERT_TRUE(learner.transfer_baseline(kOldPath, kNewPath, 1));
+
+  // Evicting the source's history must not lose the eagerly captured value.
+  learner.evict_stale(3);  // drops the day-0 reservoir, keeps the transfer
+  EXPECT_FALSE(learner.expected_with_provenance(kOldPath, 4).value);
+  const auto graded = learner.expected_with_provenance(kNewPath, 4);
+  ASSERT_TRUE(graded.value.has_value());
+  EXPECT_DOUBLE_EQ(*graded.value, 50.0 * cfg.transfer_discount);
+
+  // Past the age limit the transfer stops being served, and evict_stale
+  // drops the entry from the side table.
+  EXPECT_FALSE(learner.expected_with_provenance(kNewPath, 5).value);
+  EXPECT_FALSE(learner.recently_churned(kNewPath, 5));
+  EXPECT_EQ(learner.transfer_count(), 1u);
+  learner.evict_stale(5);
+  EXPECT_EQ(learner.transfer_count(), 0u);
+}
+
+TEST(BaselineTransfer, DoesNotClobberFresherBaseline) {
+  ExpectedRttLearner learner;
+  for (int day = 0; day < 4; ++day) {
+    learner.observe(kOldPath, day, 80.0);
+    learner.observe(kNewPath, day, 30.0);
+  }
+  // The target has real window history: the transfer is recorded (it marks
+  // the key recently churned) but the served value stays the fresh median.
+  EXPECT_TRUE(learner.transfer_baseline(kOldPath, kNewPath, 4));
+  const auto graded = learner.expected_with_provenance(kNewPath, 4);
+  ASSERT_TRUE(graded.value.has_value());
+  EXPECT_DOUBLE_EQ(*graded.value, 30.0);
+  EXPECT_EQ(graded.provenance, BaselineProvenance::kFresh);
+  EXPECT_TRUE(learner.recently_churned(kNewPath, 4));
+}
+
+TEST(BaselineTransfer, ReplayedEventCannotOverwriteFresherTransfer) {
+  ExpectedRttLearner learner;
+  learner.observe(kOldPath, 0, 40.0);
+  const auto other =
+      middle_key(kLoc, net::MiddleSegmentId{12}, net::DeviceClass::NonMobile);
+  learner.observe(other, 0, 90.0);
+  ASSERT_TRUE(learner.transfer_baseline(kOldPath, kNewPath, 3));
+  // A late-delivered (older-day) churn event for the same target loses.
+  EXPECT_FALSE(learner.transfer_baseline(other, kNewPath, 2));
+  EXPECT_DOUBLE_EQ(*learner.expected_with_provenance(kNewPath, 3).value,
+                   40.0 * 1.1);
+}
+
+TEST(BaselineTransfer, NoOpWithoutUsableSource) {
+  // Churn for an untracked path (no learner history on either end, e.g. a
+  // /24 the pipeline never saw traffic from): nothing to seed, no crash,
+  // no side-table growth.
+  ExpectedRttLearner learner;
+  EXPECT_FALSE(learner.transfer_baseline(kOldPath, kNewPath, 3));
+  EXPECT_FALSE(learner.transfer_baseline(kOldPath, kOldPath, 3));
+  EXPECT_EQ(learner.transfer_count(), 0u);
+  EXPECT_FALSE(learner.recently_churned(kNewPath, 3));
+}
+
+TEST(BaselineTransfer, ChainedTransferCompoundsDiscount) {
+  ExpectedRttLearner learner;
+  learner.observe(kOldPath, 0, 40.0);
+  const auto third =
+      middle_key(kLoc, net::MiddleSegmentId{13}, net::DeviceClass::NonMobile);
+  ASSERT_TRUE(learner.transfer_baseline(kOldPath, kNewPath, 1));
+  // The path churns again inside the age limit: the second hop captures the
+  // first transfer's once-discounted value, and serving applies one more
+  // discount — two compounds total for the two-hop chain.
+  ASSERT_TRUE(learner.transfer_baseline(kNewPath, third, 2));
+  EXPECT_DOUBLE_EQ(*learner.expected_with_provenance(third, 2).value,
+                   40.0 * 1.1 * 1.1);
+}
+
+TEST(BaselineTransfer, SnapshotParityOfTransferredProvenance) {
+  // Transferred provenance must survive snapshot/restore bit-identically on
+  // BOTH state backends.
+  for (const auto backend :
+       {store::StateBackend::kHashMap, store::StateBackend::kColumnar}) {
+    ExpectedRttLearner learner{backend_config(backend)};
+    for (int day = 0; day < 3; ++day) {
+      for (int i = 0; i < 4; ++i) learner.observe(kOldPath, day, 44.0);
+    }
+    ASSERT_TRUE(learner.transfer_baseline(kOldPath, kNewPath, 3));
+
+    store::SnapshotWriter writer;
+    learner.save_state(writer);
+    const auto reader =
+        store::SnapshotReader::from_bytes(writer.serialize(), "<rt>");
+    ExpectedRttLearner restored{backend_config(backend)};
+    restored.restore_state(reader);
+
+    EXPECT_EQ(restored.transfer_count(), 1u) << to_string(backend);
+    const auto before = learner.expected_with_provenance(kNewPath, 3);
+    const auto after = restored.expected_with_provenance(kNewPath, 3);
+    ASSERT_TRUE(after.value.has_value()) << to_string(backend);
+    EXPECT_EQ(*before.value, *after.value) << to_string(backend);
+    EXPECT_EQ(after.provenance, BaselineProvenance::kTransferred);
+    EXPECT_TRUE(restored.recently_churned(kNewPath, 3));
+  }
+}
+
 }  // namespace
 }  // namespace blameit::analysis

@@ -582,6 +582,86 @@ TEST_F(PassiveTest, RegistryNeverAffectsOutputAndCountsBlames) {
   EXPECT_EQ(span->count, 1u);
 }
 
+TEST_F(PassiveTest, ReSteeredBlocksNeedUnshieldedCloudCorroboration) {
+  // §13 re-steer rule: an anycast steer moves a set of /24s to a different
+  // serving location, and their RTT jumps purely because the new location
+  // is farther — no cloud fault anywhere. Churn-blind, those quartets
+  // saturate the destination's cloud group and Algorithm 1 slanders the
+  // Cloud; with the steer shield, Cloud blame needs corroboration from the
+  // location's un-steered quartets.
+  analysis::ExpectedRttLearner learner;
+  warm(learner, 14);
+  const sim::FaultInjector no_faults;
+  auto quartets = quartets_for(no_faults, eval_bucket());
+  const auto loc = topo_->locations_in(net::Region::Europe).front();
+
+  std::vector<std::size_t> at_loc;
+  for (std::size_t i = 0; i < quartets.size(); ++i) {
+    if (quartets[i].key.location == loc &&
+        quartets[i].key.device == net::DeviceClass::NonMobile) {
+      at_loc.push_back(i);
+    }
+  }
+  // Keep an un-steered healthy minority big enough to clear the min-quartet
+  // gate on its own, while the steered majority still pushes the full-group
+  // fraction past τ.
+  constexpr std::size_t kKeepHealthy = 6;
+  ASSERT_GT(at_loc.size(), kKeepHealthy + 30);
+  SteerShield shield;
+  for (std::size_t j = 0; j + kKeepHealthy < at_loc.size(); ++j) {
+    auto& q = quartets[at_loc[j]];
+    q.mean_rtt_ms += 120.0;  // destination-edge shift of the longer path
+    q.bad = true;
+    shield.insert(steer_shield_key(q.key.location, q.key.block));
+  }
+
+  const PassiveLocalizer localizer{topo_, &learner};
+
+  // Churn-blind baseline: the steered quartets dominate the cloud group and
+  // get blamed Cloud — the misattribution this rule exists to stop.
+  const auto blind = localizer.localize(quartets, 14);
+  int blind_cloud = 0;
+  int blind_total = 0;
+  for (const auto& r : blind) {
+    if (r.quartet.key.location != loc ||
+        r.quartet.key.device != net::DeviceClass::NonMobile) {
+      continue;
+    }
+    ++blind_total;
+    blind_cloud += r.blame == Blame::Cloud;
+  }
+  ASSERT_GT(blind_total, 10);
+  EXPECT_GT(blind_cloud, blind_total * 9 / 10);
+
+  // Shielded: the cloud check judges only the un-steered evidence (healthy),
+  // so not one steered quartet may be blamed Cloud.
+  const auto shielded = localizer.localize(quartets, 14, &shield);
+  int shielded_cloud = 0;
+  int shielded_total = 0;
+  for (const auto& r : shielded) {
+    if (r.quartet.key.location != loc) continue;
+    ++shielded_total;
+    shielded_cloud += r.blame == Blame::Cloud;
+  }
+  ASSERT_GT(shielded_total, 10);
+  EXPECT_EQ(shielded_cloud, 0);
+
+  // Corroboration restores Cloud blame: when the un-steered quartets go bad
+  // too (a real destination-side fault), the shield must not mask it.
+  for (std::size_t j = at_loc.size() - kKeepHealthy; j < at_loc.size(); ++j) {
+    auto& q = quartets[at_loc[j]];
+    q.mean_rtt_ms += 120.0;
+    q.bad = true;
+  }
+  const auto corroborated = localizer.localize(quartets, 14, &shield);
+  int corroborated_cloud = 0;
+  for (const auto& r : corroborated) {
+    corroborated_cloud +=
+        r.quartet.key.location == loc && r.blame == Blame::Cloud;
+  }
+  EXPECT_GT(corroborated_cloud, blind_total * 9 / 10);
+}
+
 TEST_F(PassiveTest, InvalidConfigRejected) {
   analysis::ExpectedRttLearner learner;
   BlameItConfig bad;

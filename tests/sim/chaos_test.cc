@@ -317,5 +317,160 @@ TEST_F(ChaosTest, UnreachedResultContributionsAreEmpty) {
   EXPECT_TRUE(no_route.contributions().empty());
 }
 
+/// A routing state with a synthetic churn log: three /16s at one location,
+/// each changing paths once per hour over four hours (12 PathChange events
+/// plus the 3 time-0 Announces).
+struct ChurnFixture {
+  net::MiddleSegmentInterner interner;
+  net::RoutingState routing{&interner};
+  const net::CloudLocationId loc{1};
+
+  ChurnFixture() {
+    const net::AsId cloud{8075};
+    const net::AsId client{64500};
+    std::vector<net::Prefix> prefixes;
+    for (std::uint32_t p = 0; p < 3; ++p) {
+      const net::Prefix prefix{(10u << 24) | (p << 16), 16};
+      prefixes.push_back(prefix);
+      routing.announce(loc, prefix, {cloud, net::AsId{100 + p}, client});
+    }
+    for (int hour = 1; hour <= 4; ++hour) {
+      for (std::uint32_t p = 0; p < 3; ++p) {
+        routing.change_path(
+            loc, prefixes[p],
+            util::MinuteTime{hour * 60 + static_cast<int>(p)},
+            {cloud, net::AsId{200 + 10 * hour + p}, client});
+      }
+    }
+  }
+
+  /// Identity key for exactly-once accounting across fetch windows.
+  static std::uint64_t key_of(const net::ChurnEvent& ev) {
+    return (static_cast<std::uint64_t>(ev.time.minutes) << 40) ^
+           (static_cast<std::uint64_t>(ev.prefix.network) << 8) ^
+           static_cast<std::uint64_t>(ev.kind);
+  }
+};
+
+TEST_F(ChaosTest, ChurnFeedInertInjectorMatchesRawLog) {
+  const ChurnFixture fx;
+  const util::MinuteTime from{0};
+  const util::MinuteTime to{300};
+  const auto raw = fx.routing.churn_between(from, to);
+  ASSERT_EQ(raw.size(), 15u);  // 3 announces + 12 path changes
+
+  const auto with_null = fetch_churn(fx.routing, nullptr, from, to);
+  const ChaosInjector inert{ChaosConfig{}};
+  const auto with_inert = fetch_churn(fx.routing, &inert, from, to);
+  ASSERT_EQ(with_null.size(), raw.size());
+  ASSERT_EQ(with_inert.size(), raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(ChurnFixture::key_of(with_null[i]),
+              ChurnFixture::key_of(raw[i]));
+    EXPECT_EQ(ChurnFixture::key_of(with_inert[i]),
+              ChurnFixture::key_of(raw[i]));
+  }
+}
+
+TEST_F(ChaosTest, ChurnFeedTotalLossDegradesToEmptyFeed) {
+  // A fully lossy listener feed silences every event; the routing plane
+  // itself is untouched, so consumers degrade to churn-blind behavior
+  // rather than seeing corrupt events.
+  const ChurnFixture fx;
+  ChaosConfig cfg;
+  cfg.churn_feed_loss_rate = 1.0;
+  const ChaosInjector chaos{cfg};
+  EXPECT_TRUE(
+      fetch_churn(fx.routing, &chaos, util::MinuteTime{0},
+                  util::MinuteTime{300}).empty());
+  // Ground truth unaffected: the raw log still has every event.
+  EXPECT_EQ(fx.routing.churn_between(util::MinuteTime{0},
+                                     util::MinuteTime{300}).size(), 15u);
+}
+
+TEST_F(ChaosTest, ChurnFeedDelayDeliversExactlyOnceLate) {
+  // delay_rate 1.0: every event surfaces exactly once, in the fetch window
+  // covering time + delay, never in its own window.
+  const ChurnFixture fx;
+  ChaosConfig cfg;
+  cfg.churn_feed_delay_rate = 1.0;
+  cfg.churn_feed_delay_minutes = 30;
+  const ChaosInjector chaos{cfg};
+
+  std::map<std::uint64_t, int> seen;
+  std::map<std::uint64_t, int> window_of;
+  for (int w = 0; w < 6; ++w) {
+    const util::MinuteTime from{w * 60};
+    const util::MinuteTime to{(w + 1) * 60};
+    for (const auto& ev : fetch_churn(fx.routing, &chaos, from, to)) {
+      ++seen[ChurnFixture::key_of(ev)];
+      window_of[ChurnFixture::key_of(ev)] = w;
+      // Deferred delivery: the event's own time predates this window.
+      EXPECT_LT(ev.time.minutes + 30, to.minutes);
+      EXPECT_GE(ev.time.minutes + 30, from.minutes);
+    }
+  }
+  const auto all = fx.routing.churn_between(util::MinuteTime{0},
+                                            util::MinuteTime{360});
+  ASSERT_EQ(seen.size(), all.size());
+  for (const auto& ev : all) {
+    const auto key = ChurnFixture::key_of(ev);
+    EXPECT_EQ(seen[key], 1) << "event must surface exactly once";
+    EXPECT_EQ(window_of[key], (ev.time.minutes + 30) / 60);
+  }
+}
+
+TEST_F(ChaosTest, ChurnFeedMixedChaosIsDeterministicAndAtMostOnce) {
+  // Partial loss + delay: every event surfaces at most once across
+  // contiguous windows, fates are stable across injector instances, and
+  // at these rates both outcomes actually occur.
+  const ChurnFixture fx;
+  ChaosConfig cfg;
+  cfg.seed = 7;
+  cfg.churn_feed_loss_rate = 0.3;
+  cfg.churn_feed_delay_rate = 0.3;
+  cfg.churn_feed_delay_minutes = 45;
+  const ChaosInjector a{cfg};
+  const ChaosInjector b{cfg};
+
+  std::map<std::uint64_t, int> seen;
+  for (int w = 0; w < 6; ++w) {
+    const util::MinuteTime from{w * 60};
+    const util::MinuteTime to{(w + 1) * 60};
+    const auto got_a = fetch_churn(fx.routing, &a, from, to);
+    const auto got_b = fetch_churn(fx.routing, &b, from, to);
+    ASSERT_EQ(got_a.size(), got_b.size());
+    for (std::size_t i = 0; i < got_a.size(); ++i) {
+      EXPECT_EQ(ChurnFixture::key_of(got_a[i]),
+                ChurnFixture::key_of(got_b[i]));
+      ++seen[ChurnFixture::key_of(got_a[i])];
+    }
+  }
+  const auto all = fx.routing.churn_between(util::MinuteTime{0},
+                                            util::MinuteTime{360});
+  EXPECT_LE(seen.size(), all.size());
+  EXPECT_GT(seen.size(), 0u);
+  EXPECT_LT(seen.size(), all.size());  // some events were dropped
+  for (const auto& [key, n] : seen) EXPECT_EQ(n, 1);
+}
+
+TEST_F(ChaosTest, ChurnRateValidation) {
+  ChaosConfig bad;
+  bad.churn_feed_loss_rate = 1.5;
+  EXPECT_THROW((ChaosInjector{bad}), std::invalid_argument);
+  bad = {};
+  bad.churn_feed_delay_rate = -0.1;
+  EXPECT_THROW((ChaosInjector{bad}), std::invalid_argument);
+  bad = {};
+  bad.churn_feed_delay_minutes = 0;
+  EXPECT_THROW((ChaosInjector{bad}), std::invalid_argument);
+  ChaosConfig churn_only;
+  churn_only.churn_feed_loss_rate = 0.1;
+  EXPECT_TRUE(churn_only.any_control_plane_chaos());
+  EXPECT_TRUE(churn_only.enabled());
+  EXPECT_FALSE(churn_only.any_probe_chaos());
+  EXPECT_FALSE(churn_only.any_telemetry_chaos());
+}
+
 }  // namespace
 }  // namespace blameit::sim

@@ -230,6 +230,48 @@ TEST_F(VerdictServiceTest, HealthzReflectsDegradedSteps) {
   EXPECT_NE(response.find("\"degraded_steps\":1"), std::string::npos);
 }
 
+TEST_F(VerdictServiceTest, DegradationGradeSurfacesInEveryFeed) {
+  // The fixture's verdicts were computed against fresh baselines.
+  EXPECT_NE(get("/v1/verdict?client=10.0.0.1&cloud=edge-1")
+                .find("\"grade\":\"fresh\""),
+            std::string::npos);
+
+  // Publish a step whose middle blame leaned on a churn-transferred
+  // baseline and whose active diagnosis ran off a cold-probed one: §13's
+  // grades must come through verbatim in all three JSON feeds.
+  auto report = make_report(12);
+  auto degraded = make_blame(0x0A0002, 3, 12, core::Blame::Middle, 9);
+  degraded.grade = core::BaselineGrade::Transferred;
+  report.blames = {degraded};
+  // Deliberately NOT matching the blame's ⟨location, middle⟩: a matching
+  // diagnosis would upgrade the verdict and replace its grade with the
+  // probe's own, masking the transferred grade this test pins down.
+  core::ActiveDiagnosis diag;
+  diag.location = net::CloudLocationId{4};
+  diag.middle = net::MiddleSegmentId{99};
+  diag.probe_reached = true;
+  diag.have_baseline = true;
+  diag.culprit = net::AsId{777};
+  diag.confidence = core::DiagnosisConfidence::Medium;
+  diag.grade = core::BaselineGrade::ProbedCold;
+  report.diagnoses.push_back(diag);
+  store_->publish(report);
+
+  const auto verdict = get("/v1/verdict?client=10.0.2.1&cloud=edge-3");
+  EXPECT_NE(verdict.find("\"grade\":\"transferred\""), std::string::npos)
+      << verdict;
+
+  const auto incidents = get("/v1/incidents");
+  EXPECT_NE(incidents.find("\"grade\":\"transferred\""), std::string::npos)
+      << incidents;
+  // The pre-existing fresh-graded runs keep their grade alongside.
+  EXPECT_NE(incidents.find("\"grade\":\"fresh\""), std::string::npos);
+
+  const auto diagnoses = get("/v1/diagnoses");
+  EXPECT_NE(diagnoses.find("\"grade\":\"probed-cold\""), std::string::npos)
+      << diagnoses;
+}
+
 TEST_F(VerdictServiceTest, RouterErrors) {
   EXPECT_NE(get("/nope").find("HTTP/1.1 404 "), std::string::npos);
 

@@ -10,11 +10,16 @@
 //   2  usage, schema, or runtime error (the message names file:line:column
 //      and the offending field for pack errors)
 //   3  a digest diverged from the golden file / --expect-digest
+//   4  a pack's incident accuracy fell below its --min-accuracy floor
 //
-// Failing INCIDENTS do not affect the exit code: frontier packs exist
-// precisely to pin down current misses, and the golden digest asserts the
-// whole verdict stream anyway — strictly stronger than pass counts.
+// Failing INCIDENTS do not affect the exit code by default: frontier packs
+// exist precisely to pin down current misses, and the golden digest asserts
+// the whole verdict stream anyway — strictly stronger than pass counts.
+// --min-accuracy turns a pack's accuracy into a ratcheted floor: once the
+// pipeline learns to localize a pack's incidents, CI pins that win so a
+// regression cannot slip back in behind an intentional digest refresh.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -39,7 +44,9 @@ int usage(const char* argv0) {
       "          [--manifest-dir DIR] write DIR/<pack>.manifest.jsonl\n"
       "          [--golden FILE]      compare digests (lines: <name> <hex>)\n"
       "          [--update-golden FILE] write digests instead of comparing\n"
-      "          [--expect-digest HEX]  assert a single pack's digest\n",
+      "          [--expect-digest HEX]  assert a single pack's digest\n"
+      "          [--min-accuracy PACK=FLOOR] fail (exit 4) if PACK's\n"
+      "                               incident accuracy drops below FLOOR\n",
       argv0);
   return 2;
 }
@@ -74,6 +81,7 @@ int main(int argc, char** argv) {
   std::string golden_path;
   std::string update_golden_path;
   std::string expect_digest;
+  std::map<std::string, double> accuracy_floors;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,6 +106,23 @@ int main(int argc, char** argv) {
       update_golden_path = next();
     } else if (arg == "--expect-digest") {
       expect_digest = next();
+    } else if (arg == "--min-accuracy") {
+      const std::string spec = next();
+      const auto eq = spec.find('=');
+      char* end = nullptr;
+      const double floor =
+          eq == std::string::npos
+              ? -1.0
+              : std::strtod(spec.c_str() + eq + 1, &end);
+      if (eq == std::string::npos || eq == 0 ||
+          end != spec.c_str() + spec.size() || floor < 0.0 || floor > 1.0) {
+        std::fprintf(stderr,
+                     "%s: --min-accuracy wants PACK=FLOOR with FLOOR in "
+                     "[0, 1], got \"%s\"\n",
+                     argv[0], spec.c_str());
+        return 2;
+      }
+      accuracy_floors[spec.substr(0, eq)] = floor;
     } else {
       std::fprintf(stderr, "%s: unknown argument %s\n", argv[0], arg.c_str());
       return usage(argv[0]);
@@ -118,6 +143,8 @@ int main(int argc, char** argv) {
   }
 
   bool digest_mismatch = false;
+  bool accuracy_failure = false;
+  std::map<std::string, double> unused_floors = accuracy_floors;
   std::string golden_out;
   for (const auto& path : pack_paths) {
     try {
@@ -142,6 +169,18 @@ int main(int argc, char** argv) {
                        pack.name.c_str(), result.digest.c_str(),
                        result.uninterrupted_digest.c_str());
           digest_mismatch = true;
+        }
+      }
+      if (const auto it = accuracy_floors.find(pack.name);
+          it != accuracy_floors.end()) {
+        unused_floors.erase(pack.name);
+        if (result.accuracy < it->second) {
+          std::fprintf(stderr,
+                       "ACCURACY REGRESSION: pack %s scored %.3f, floor is "
+                       "%.3f (%d/%zu incidents passed)\n",
+                       pack.name.c_str(), result.accuracy, it->second,
+                       result.passed, result.scores.size());
+          accuracy_failure = true;
         }
       }
       for (const auto& score : result.scores) {
@@ -245,5 +284,17 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", update_golden_path.c_str());
   }
 
-  return digest_mismatch ? 3 : 0;
+  // A floor naming a pack that never ran is a harness bug (typo'd name, or a
+  // pack dropped from the invocation) — fail loudly rather than green-lighting
+  // an unenforced gate.
+  for (const auto& [name, floor] : unused_floors) {
+    std::fprintf(stderr,
+                 "error: --min-accuracy %s=%.3f names a pack that did not "
+                 "run\n",
+                 name.c_str(), floor);
+    return 2;
+  }
+
+  if (digest_mismatch) return 3;
+  return accuracy_failure ? 4 : 0;
 }
